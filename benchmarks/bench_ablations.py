@@ -1,0 +1,50 @@
+"""Design-choice ablations (paper Section V-A text + DESIGN.md).
+
+* remote caching for GEMM (paper: 4.8x perf / 4x traffic),
+* hierarchy-aware batch dealing (H-CODA vs flat CODA),
+* CRB's per-class insertion-policy selection.
+"""
+
+from repro.experiments.ablations import (
+    run_crb_ablation,
+    run_hierarchy_ablation,
+    run_remote_caching_ablation,
+)
+
+
+def test_remote_caching_ablation(benchmark, scale):
+    result = benchmark.pedantic(
+        run_remote_caching_ablation, args=(scale,), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.mean_traffic_reduction() > 1.2, (
+        "remote caching must cut GEMM off-node traffic"
+    )
+    benchmark.extra_info["traffic_cut"] = round(result.mean_traffic_reduction(), 2)
+    benchmark.extra_info["perf_gain"] = round(result.geomean_speedup(), 2)
+
+
+def test_hierarchy_ablation(benchmark, scale):
+    result = benchmark.pedantic(
+        run_hierarchy_ablation, args=(scale,), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    # Hierarchy-aware dealing is not uniformly better per workload (stride
+    # residues can accidentally favour either node order -- the same
+    # accidental-alignment effect the paper notes for H-CODA's interleaving),
+    # so assert only sanity bounds here; the rendered table is the artefact.
+    for w, s in result.speedup.items():
+        assert 0.2 < s < 5.0, f"implausible H-CODA/CODA ratio on {w}: {s:.2f}x"
+
+
+def test_crb_ablation(benchmark, scale):
+    result = benchmark.pedantic(run_crb_ablation, args=(scale,), rounds=1, iterations=1)
+    print()
+    print(result.render())
+    # CRB picks the right policy per class: ITL favours RONCE.
+    assert result.ronce_vs_rtwice["ITL"] >= 0.99
+    # CRB never loses to the worse fixed policy.
+    for cls, ratio in result.crb_vs_worst.items():
+        assert ratio >= 0.99, f"CRB lost to a fixed policy on {cls}"

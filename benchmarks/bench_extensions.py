@@ -1,0 +1,40 @@
+"""Benches for the repository's extension experiments (DESIGN.md inventory):
+
+* data-movement energy (the paper's Section-II energy-efficiency argument),
+* oversubscribed-memory paging (the paper's Section-VI extension sketch),
+* proactive vs reactive placement (the paper's Section II-A argument).
+"""
+
+from repro.experiments.energy import run_energy_experiment
+from repro.experiments.oversubscription import run_oversubscription
+from repro.experiments.proactive import run_proactive_comparison
+
+
+def test_energy(benchmark, scale):
+    result = benchmark.pedantic(run_energy_experiment, args=(scale,), rounds=1, iterations=1)
+    print()
+    print(result.render())
+    # LADM must cut interconnect energy on the locality-friendly probes.
+    for workload in ("scalarprod", "srad"):
+        saving = result.interconnect_saving(workload)
+        assert saving > 1.5, f"{workload}: interconnect energy saving {saving:.2f}x"
+
+
+def test_oversubscription(benchmark, scale):
+    result = benchmark.pedantic(run_oversubscription, args=(scale,), rounds=1, iterations=1)
+    print()
+    print(result.render())
+    # Proactive paging must not demand-fault more than reactive, anywhere.
+    for wname, by_ratio in result.stats.items():
+        for ratio, (reactive, proactive) in by_ratio.items():
+            assert proactive.demand_faults <= reactive.demand_faults
+
+
+def test_proactive_vs_reactive(benchmark, scale):
+    result = benchmark.pedantic(
+        run_proactive_comparison, args=(scale,), rounds=1, iterations=1
+    )
+    print()
+    print(result.render())
+    assert result.ladm_speedup_over("Batch+FT") > 1.0
+    assert result.ladm_speedup_over("Reactive-Migration") >= 0.99

@@ -1,0 +1,18 @@
+"""Regenerates paper Figure 10: off-node traffic share per workload.
+
+Asserts the headline claim's shape: LADM cuts mean off-node traffic vs
+H-CODA by a large factor (paper: 4x).
+"""
+
+from repro.experiments.fig10 import run_fig10
+
+
+def test_fig10_traffic(benchmark, scale):
+    result = benchmark.pedantic(run_fig10, args=(scale,), rounds=1, iterations=1)
+    print()
+    print(result.render_traffic())
+
+    reduction = result.ladm_traffic_reduction()
+    assert reduction > 1.5, f"LADM should cut off-node traffic (got {reduction:.2f}x)"
+    benchmark.extra_info["traffic_reduction"] = round(reduction, 2)
+    benchmark.extra_info["paper_traffic_reduction"] = 4.0

@@ -1,0 +1,31 @@
+"""Regenerates paper Figure 11: RONCE vs RTWICE case study.
+
+Asserts both panels' direction: RONCE raises the total L2 hit rate on the
+low-reuse random_loc (11a) and collapses the home-side REMOTE-LOCAL hit
+rate on the high-reuse SQ-GEMM (11b).
+"""
+
+from repro.cache.stats import TrafficClass
+from repro.experiments.fig11 import run_fig11
+
+
+def test_fig11_case_study(benchmark, scale):
+    result = benchmark.pedantic(run_fig11, args=(scale,), rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    random_loc = result.cases["random_loc"]
+    assert random_loc.hit_improvement() > 1.0, (
+        "RONCE should raise random_loc's total hit rate (paper: ~4x)"
+    )
+    gemm = result.cases["sq_gemm"]
+    rl_rtwice = gemm.hit_rate["LASP+RTWICE"][TrafficClass.REMOTE_LOCAL]
+    rl_ronce = gemm.hit_rate["LASP+RONCE"][TrafficClass.REMOTE_LOCAL]
+    assert rl_rtwice > rl_ronce, (
+        "bypassing the home insert must collapse SQ-GEMM's REMOTE-LOCAL hits"
+    )
+    benchmark.extra_info["random_loc_hit_gain"] = round(random_loc.hit_improvement(), 2)
+    benchmark.extra_info["gemm_remote_local_hit"] = {
+        "rtwice": round(rl_rtwice, 3),
+        "ronce": round(rl_ronce, 3),
+    }

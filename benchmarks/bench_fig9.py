@@ -1,0 +1,22 @@
+"""Regenerates paper Figure 9: per-workload performance of H-CODA,
+LASP+RTWICE, LASP+RONCE, LADM and the monolithic GPU.
+
+Asserts the headline shape: LADM beats H-CODA overall and lands between
+H-CODA and the monolithic configuration.
+"""
+
+from repro.experiments.fig9 import run_fig9
+
+
+def test_fig9_full_sweep(benchmark, scale):
+    result = benchmark.pedantic(run_fig9, args=(scale,), rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    ladm = result.geomean_speedup("LADM")
+    mono = result.geomean_speedup("Monolithic")
+    assert ladm > 1.2, f"LADM should clearly beat H-CODA (got {ladm:.2f}x)"
+    assert mono >= ladm * 0.99, "the monolithic GPU bounds LADM from above"
+    benchmark.extra_info["ladm_vs_hcoda"] = round(ladm, 3)
+    benchmark.extra_info["mono_vs_hcoda"] = round(mono, 3)
+    benchmark.extra_info["paper_ladm_vs_hcoda"] = 1.8

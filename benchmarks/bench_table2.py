@@ -1,0 +1,14 @@
+"""Regenerates paper Table II: the index-classification rules.
+
+This is the exact, deterministic heart of the paper -- every canonical
+index shape must classify to its Table II row.
+"""
+
+from repro.experiments.table2 import run_table2
+
+
+def test_table2_classification(benchmark):
+    result = benchmark.pedantic(run_table2, rounds=3, iterations=1)
+    print()
+    print(result.render())
+    assert result.all_match, "every Table II row must classify exactly"

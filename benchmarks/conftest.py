@@ -1,0 +1,20 @@
+"""Benchmark configuration.
+
+Benchmarks default to the ``test`` scale so the whole harness regenerates
+every table and figure in a few minutes.  Set ``REPRO_BENCH_SCALE=bench``
+for the full evaluation-scale sweep (tens of minutes)::
+
+    REPRO_BENCH_SCALE=bench pytest benchmarks/ --benchmark-only
+"""
+
+import os
+
+import pytest
+
+from repro.workloads.base import BENCH, TEST
+
+
+@pytest.fixture(scope="session")
+def scale():
+    name = os.environ.get("REPRO_BENCH_SCALE", "test")
+    return BENCH if name == "bench" else TEST

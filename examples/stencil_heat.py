@@ -1,0 +1,51 @@
+"""A 2-D heat-diffusion stencil: adjacency locality and contiguous batching.
+
+Stencil threadblocks share only their borders with neighbours.  Round-robin
+batch schedulers (Batch+FT, CODA) cut the grid at every batch boundary and
+pay remote traffic on each cut; LADM detects the neighbour offsets
+statically (two affine sites whose index difference is a launch-time
+constant) and maximises contiguity with kernel-wide chunks -- the paper
+reports ~4x over H-CODA on stencils.
+
+Run:  python examples/stencil_heat.py
+"""
+
+from repro.compiler import compile_program
+from repro.engine import simulate
+from repro.runtime.lasp import LASP
+from repro.strategies import BatchFTStrategy, CODAStrategy, LADMStrategy
+from repro.topology import SystemTopology, bench_hierarchical
+from repro.workloads.base import BENCH
+from repro.workloads.regular import build_hs
+
+
+def main() -> None:
+    program = build_hs(BENCH)
+    compiled = compile_program(program)
+    config = bench_hierarchical()
+
+    decision = LASP(compiled, SystemTopology(config)).decide(program.launches[0])
+    print(f"LASP detected adjacency; scheduler = {decision.scheduler_desc}")
+    print()
+
+    results = {}
+    for strategy in (
+        CODAStrategy(hierarchical=True),
+        BatchFTStrategy(optimal=True),
+        LADMStrategy("crb"),
+    ):
+        run = simulate(program, strategy, config, compiled=compiled)
+        results[run.strategy] = run
+        print(run.summary())
+
+    hcoda = results["H-CODA"]
+    ladm = results["LADM"]
+    print()
+    print(
+        f"LADM vs H-CODA on the stencil: {ladm.speedup_over(hcoda):.2f}x "
+        f"(paper: ~4x on stencils)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""LADM reproduction: Locality-Centric Data and Threadblock Management for Massive GPUs.
+
+This package reproduces the system described in Khairy et al., MICRO 2020:
+
+* :mod:`repro.kir` -- a symbolic kernel IR standing in for CUDA source.
+* :mod:`repro.compiler` -- the threadblock-centric static index analysis
+  (Algorithm 1 / Table II of the paper) producing a locality table.
+* :mod:`repro.runtime` -- the LASP runtime (placement + scheduling selection)
+  and CRB cache-policy selection.
+* :mod:`repro.engine` -- a trace-driven NUMA multi-GPU memory-system simulator
+  with an analytical bottleneck performance model.
+* :mod:`repro.strategies` -- LADM plus the prior-work baselines it is compared
+  against (round-robin, Batch+FT, kernel-wide partitioning, CODA/H-CODA).
+* :mod:`repro.workloads` -- the 27 Table-IV workloads.
+* :mod:`repro.experiments` -- one harness per paper table/figure.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

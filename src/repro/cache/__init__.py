@@ -1,0 +1,14 @@
+"""Cache substrate: sectored set-associative L2 slices and insertion policies.
+
+The multi-GPU L2 is *dynamically shared* between local and remote traffic
+(Milic et al., adopted as the paper's baseline): a request probes the
+requester-side L2 first, then routes to the page's home node.  The insertion
+policy decides whether remote-homed data is cached twice (RTWICE, at home and
+requester) or once (RONCE, requester only) -- paper Section III-E, Figure 8.
+"""
+
+from repro.cache.insertion import CachePolicy
+from repro.cache.l2 import SectoredCache
+from repro.cache.stats import L2Stats, TrafficClass
+
+__all__ = ["SectoredCache", "CachePolicy", "TrafficClass", "L2Stats"]

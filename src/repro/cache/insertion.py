@@ -1,0 +1,33 @@
+"""Cache insertion policies for remote-homed data (paper Section III-E).
+
+* ``RTWICE`` (cache-remote-twice): a remote read is inserted both at the home
+  node's L2 and at the requester's L2 -- the baseline dynamically-shared L2
+  behaviour, good for row/column-locality workloads whose victim structures
+  see inter-GPU reuse.
+* ``RONCE`` (cache-remote-once): the home-node insert is bypassed; only the
+  requester caches the line -- better for intra-thread-locality workloads
+  where a remote line is used by exactly one warp on one SM and a home-side
+  copy merely pollutes the home L2.
+
+CRB (compiler-assisted remote request bypassing) selects RONCE only when the
+compiler classified the kernel's dominant locality as ITL; that decision
+lives in :mod:`repro.runtime.crb`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["CachePolicy"]
+
+
+class CachePolicy(enum.Enum):
+    """Remote-request insertion policy for one kernel (or one array)."""
+
+    RTWICE = "rtwice"
+    RONCE = "ronce"
+
+    @property
+    def insert_at_home(self) -> bool:
+        """Whether a remote-origin miss fills the home node's L2."""
+        return self is CachePolicy.RTWICE

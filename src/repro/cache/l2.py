@@ -1,0 +1,91 @@
+"""A sectored, set-associative, LRU cache model.
+
+The unit of lookup and fill is a 32-byte *sector* (the GPU L2's fetch
+granularity; Table IV reports sector MPKI).  The model tracks presence only
+-- data values never matter to the paper's metrics -- so a set is an
+ordered mapping from sector id to nothing, maintained in LRU order
+(``OrderedDict`` gives O(1) hit promotion and O(1) eviction).
+
+The simulator's hot loop accesses ``_sets`` directly (documented contract);
+the methods here are the supported API for everything else.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["SectoredCache"]
+
+
+class SectoredCache:
+    """Set-associative LRU cache over sector ids."""
+
+    __slots__ = ("num_sets", "assoc", "_sets", "accesses", "hits")
+
+    def __init__(self, num_sets: int, assoc: int):
+        if num_sets < 1 or assoc < 1:
+            raise SimulationError("cache needs >= 1 set and >= 1 way")
+        self.num_sets = num_sets
+        self.assoc = assoc
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(num_sets)]
+        self.accesses = 0
+        self.hits = 0
+
+    # ------------------------------------------------------------------
+    def access(self, sector: int, insert_on_miss: bool = True) -> bool:
+        """Probe for a sector; on a miss optionally fill it.  Returns hit?"""
+        s = self._sets[sector % self.num_sets]
+        self.accesses += 1
+        if sector in s:
+            s.move_to_end(sector)
+            self.hits += 1
+            return True
+        if insert_on_miss:
+            s[sector] = None
+            if len(s) > self.assoc:
+                s.popitem(last=False)
+        return False
+
+    def contains(self, sector: int) -> bool:
+        """Presence check without LRU update or stats."""
+        return sector in self._sets[sector % self.num_sets]
+
+    def flush(self) -> None:
+        """Invalidate everything (kernel-boundary coherence)."""
+        for s in self._sets:
+            s.clear()
+
+    def reset_stats(self) -> None:
+        self.accesses = 0
+        self.hits = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    @property
+    def capacity(self) -> int:
+        return self.num_sets * self.assoc
+
+    def resident_sectors(self) -> np.ndarray:
+        """All currently-cached sector ids (diagnostics/tests)."""
+        out = []
+        for s in self._sets:
+            out.extend(s.keys())
+        return np.array(sorted(out), dtype=np.int64)
+
+    def __repr__(self) -> str:
+        return (
+            f"SectoredCache(sets={self.num_sets}, ways={self.assoc}, "
+            f"occ={self.occupancy}/{self.capacity})"
+        )

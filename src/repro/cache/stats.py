@@ -1,0 +1,62 @@
+"""Per-node L2 traffic accounting in the paper's three classes (Figure 11).
+
+* ``LOCAL_LOCAL``  -- request from an in-node SM, page homed locally.
+* ``LOCAL_REMOTE`` -- request from an in-node SM, page homed remotely
+  (the requester-side probe of remote data).
+* ``REMOTE_LOCAL`` -- request arriving from a remote node at the page's home.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["TrafficClass", "L2Stats"]
+
+
+class TrafficClass(enum.Enum):
+    LOCAL_LOCAL = "LOCAL-LOCAL"
+    LOCAL_REMOTE = "LOCAL-REMOTE"
+    REMOTE_LOCAL = "REMOTE-LOCAL"
+
+
+@dataclass
+class L2Stats:
+    """Hit/access counters per traffic class for one L2 slice."""
+
+    accesses: Dict[TrafficClass, int] = field(
+        default_factory=lambda: {c: 0 for c in TrafficClass}
+    )
+    hits: Dict[TrafficClass, int] = field(
+        default_factory=lambda: {c: 0 for c in TrafficClass}
+    )
+
+    def record(self, cls: TrafficClass, hit: bool) -> None:
+        self.accesses[cls] += 1
+        if hit:
+            self.hits[cls] += 1
+
+    def hit_rate(self, cls: TrafficClass) -> float:
+        a = self.accesses[cls]
+        return self.hits[cls] / a if a else 0.0
+
+    def total_accesses(self) -> int:
+        return sum(self.accesses.values())
+
+    def total_hits(self) -> int:
+        return sum(self.hits.values())
+
+    def overall_hit_rate(self) -> float:
+        a = self.total_accesses()
+        return self.total_hits() / a if a else 0.0
+
+    def traffic_share(self, cls: TrafficClass) -> float:
+        """Fraction of this slice's accesses in the given class."""
+        total = self.total_accesses()
+        return self.accesses[cls] / total if total else 0.0
+
+    def merge(self, other: "L2Stats") -> None:
+        for c in TrafficClass:
+            self.accesses[c] += other.accesses[c]
+            self.hits[c] += other.hits[c]

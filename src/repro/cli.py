@@ -1,0 +1,144 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands map one-to-one onto the paper's tables/figures plus the
+repository's extensions::
+
+    python -m repro list                      # workloads and strategies
+    python -m repro classify sq_gemm          # show the locality table
+    python -m repro run sq_gemm --strategy LADM H-CODA
+    python -m repro fig4 | fig9 | fig10 | fig11
+    python -m repro table1 | table2 | table4
+    python -m repro hw-validation | ablations | energy | paging | proactive
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.compiler.passes import compile_program
+from repro.engine.simulator import simulate
+from repro.experiments import (
+    ablations,
+    energy,
+    fig4,
+    fig9,
+    fig10,
+    fig11,
+    hw_validation,
+    oversubscription,
+    proactive,
+    summary,
+    table1,
+    table2,
+    table4,
+)
+from repro.experiments.runner import scale_by_name, strategy_by_name
+from repro.topology.config import bench_hierarchical, bench_monolithic
+from repro.version import __version__
+from repro.workloads.suite import all_workloads, get_workload
+
+__all__ = ["main"]
+
+_EXPERIMENT_MAINS = {
+    "fig4": fig4.main,
+    "fig9": fig9.main,
+    "fig10": fig10.main,
+    "fig11": fig11.main,
+    "table1": table1.main,
+    "table2": table2.main,
+    "table4": table4.main,
+    "hw-validation": hw_validation.main,
+    "ablations": ablations.main,
+    "energy": energy.main,
+    "paging": oversubscription.main,
+    "proactive": proactive.main,
+    "summary": summary.main,
+}
+
+
+def _cmd_list(_args) -> None:
+    print("workloads (paper Table IV):")
+    for w in all_workloads():
+        print(f"  {w.name:<15} {w.cls.value:<13} {w.description}")
+    print()
+    print("strategies: Baseline-RR, Batch+FT[-optimal], Kernel-wide, CODA,")
+    print("            H-CODA, LASP+RTWICE, LASP+RONCE, LADM, Monolithic")
+
+
+def _cmd_classify(args) -> None:
+    workload = get_workload(args.workload)
+    program = workload.program(scale_by_name(args.scale))
+    compiled = compile_program(program)
+    print(compiled.locality_table.render())
+
+
+def _cmd_run(args) -> None:
+    from repro.engine.report import render_report, run_to_json
+
+    workload = get_workload(args.workload)
+    program = workload.program(scale_by_name(args.scale))
+    compiled = compile_program(program)
+    hier = bench_hierarchical()
+    mono = bench_monolithic()
+    for name in args.strategy:
+        strategy = strategy_by_name(name)
+        config = mono if name == "Monolithic" else hier
+        run = simulate(program, strategy, config, compiled=compiled)
+        if args.json:
+            print(run_to_json(run))
+        elif args.detail:
+            print(render_report(run))
+            print()
+        else:
+            print(run.summary())
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LADM (MICRO 2020) reproduction harness",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads and strategies")
+
+    p_classify = sub.add_parser("classify", help="show a workload's locality table")
+    p_classify.add_argument("workload")
+    p_classify.add_argument("--scale", default="test", choices=["bench", "test"])
+
+    p_run = sub.add_parser("run", help="simulate one workload under strategies")
+    p_run.add_argument("workload")
+    p_run.add_argument(
+        "--strategy", nargs="+", default=["H-CODA", "LADM", "Monolithic"]
+    )
+    p_run.add_argument("--scale", default="test", choices=["bench", "test"])
+    p_run.add_argument(
+        "--detail", action="store_true", help="per-kernel diagnostic report"
+    )
+    p_run.add_argument("--json", action="store_true", help="machine-readable output")
+
+    for name in _EXPERIMENT_MAINS:
+        sub.add_parser(name, help=f"regenerate {name} (forwards remaining args)")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Experiment commands forward their own flags to the experiment parser.
+    if argv and argv[0] in _EXPERIMENT_MAINS:
+        _EXPERIMENT_MAINS[argv[0]](argv[1:])
+        return
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        _cmd_list(args)
+    elif args.command == "classify":
+        _cmd_classify(args)
+    elif args.command == "run":
+        _cmd_run(args)
+
+
+if __name__ == "__main__":
+    main()

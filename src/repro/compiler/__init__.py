@@ -1,0 +1,31 @@
+"""The LADM static index analysis (paper Sections III-B and III-C).
+
+The compiler consumes a :class:`repro.kir.Program`, expands each global
+access into loop-variant and loop-invariant prime-variable groups, classifies
+it with Algorithm 1 into one of the Table-II locality types, and emits a
+*locality table* that the LASP runtime reads at every kernel launch.
+"""
+
+from repro.compiler.classify import (
+    AccessClassification,
+    LocalityType,
+    Motion,
+    Sharing,
+    classify_access,
+)
+from repro.compiler.groups import split_loop_groups
+from repro.compiler.locality_table import LocalityRow, LocalityTable
+from repro.compiler.passes import CompiledProgram, compile_program
+
+__all__ = [
+    "AccessClassification",
+    "LocalityType",
+    "Motion",
+    "Sharing",
+    "classify_access",
+    "split_loop_groups",
+    "LocalityRow",
+    "LocalityTable",
+    "CompiledProgram",
+    "compile_program",
+]

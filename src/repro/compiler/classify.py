@@ -1,0 +1,205 @@
+"""Algorithm 1: access classification into Table-II locality types.
+
+The classifier takes a global access's index expression (over prime
+variables) plus the dimensionality of the launch and returns an
+:class:`AccessClassification`: the locality type, the predicted threadblock
+*sharing* pattern (which threadblocks start on the same datablock), the
+threadblock *motion* direction (how the access moves across loop iterations),
+and the symbolic stride.
+
+Table II of the paper maps each classification to a scheduling policy, a
+placement policy, and a cache insertion policy; that mapping lives in
+:meth:`AccessClassification.table_row` consumers (the LASP runtime).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.compiler.groups import split_loop_groups
+from repro.kir.expr import BX, BY, GDX, M, Expr
+from repro.kir.kernel import GlobalAccess, Kernel
+
+__all__ = [
+    "LocalityType",
+    "Sharing",
+    "Motion",
+    "AccessClassification",
+    "classify_access",
+]
+
+
+class LocalityType(enum.Enum):
+    """The locality taxonomy of paper Section III-B / Table II."""
+
+    NO_LOCALITY = "NL"  # Table II row 1 (and loop-less exclusive accesses)
+    ROW_SHARED_H = "RCL-row-h"  # row 2: row-locality, horizontally shared
+    COL_SHARED_H = "RCL-col-h"  # row 3: column-locality, horizontally shared
+    ROW_SHARED_V = "RCL-row-v"  # row 4: row-locality, vertically shared
+    COL_SHARED_V = "RCL-col-v"  # row 5: column-locality, vertically shared
+    INTRA_THREAD = "ITL"  # row 6
+    UNCLASSIFIED = "unclassified"  # row 7
+
+    @property
+    def is_rcl(self) -> bool:
+        """True for the four row/column datablock-locality types."""
+        return self in (
+            LocalityType.ROW_SHARED_H,
+            LocalityType.COL_SHARED_H,
+            LocalityType.ROW_SHARED_V,
+            LocalityType.COL_SHARED_V,
+        )
+
+
+class Sharing(enum.Enum):
+    """Which line of threadblocks in the grid shares the same datablocks."""
+
+    GRID_ROWS = "rows"  # loop-invariant depends on by only -> a grid row shares
+    GRID_COLS = "cols"  # loop-invariant depends on bx only -> a grid column shares
+
+
+class Motion(enum.Enum):
+    """Threadblock motion direction across outer-loop iterations."""
+
+    HORIZONTAL = "row"  # strides within a data row
+    VERTICAL = "col"  # loop-variant contains gridDim.x -> skips whole rows
+
+
+#: Table II row numbers for reporting.
+_TABLE_ROW = {
+    LocalityType.NO_LOCALITY: 1,
+    LocalityType.ROW_SHARED_H: 2,
+    LocalityType.COL_SHARED_H: 3,
+    LocalityType.ROW_SHARED_V: 4,
+    LocalityType.COL_SHARED_V: 5,
+    LocalityType.INTRA_THREAD: 6,
+    LocalityType.UNCLASSIFIED: 7,
+}
+
+
+@dataclass(frozen=True)
+class AccessClassification:
+    """The result of Algorithm 1 for one access site."""
+
+    locality: LocalityType
+    sharing: Optional[Sharing] = None
+    motion: Optional[Motion] = None
+    stride: Optional[Expr] = None  # elements per loop iteration; None if no loop
+
+    @property
+    def table_row(self) -> int:
+        """The matching row of Table II in the paper."""
+        return _TABLE_ROW[self.locality]
+
+    def __repr__(self) -> str:
+        bits = [self.locality.value]
+        if self.sharing:
+            bits.append(f"share={self.sharing.value}")
+        if self.motion:
+            bits.append(f"motion={self.motion.value}")
+        if self.stride is not None and not self.stride.is_zero:
+            bits.append(f"stride={self.stride}")
+        return f"<{' '.join(bits)}>"
+
+
+def _is_2d(kernel: Kernel, index: Expr) -> bool:
+    """Whether the access should be analysed with 2-D grid rules.
+
+    The paper distinguishes 1-D and 2-D threadblocks (Table II "Dims").  We
+    treat an access as 2-D when the kernel's block is 2-D or the index uses
+    any y-dimension prime variable.
+    """
+    if kernel.block.is_2d:
+        return True
+    return any(v.name in ("ty", "by", "bdy", "gdy") for v in index.variables())
+
+
+def classify_access(kernel: Kernel, access: GlobalAccess) -> AccessClassification:
+    """Run Algorithm 1 on one global access site.
+
+    Follows the paper exactly:
+
+    1. ``loopVariant == m``                      -> intra-thread locality.
+    2. invariant depends on bx *and* by (2-D),
+       or on bx (1-D)                            -> no locality, stride = lv/m.
+    3. 2-D only: invariant depends on by only    -> grid rows share;
+       on bx only                                -> grid columns share;
+       then loop-variant containing gridDim.x    -> vertical motion,
+       otherwise (if nonzero)                    -> horizontal motion.
+    4. anything else                             -> unclassified.
+    """
+    index = access.index
+    groups = split_loop_groups(index)
+    lv, li = groups.variant, groups.invariant
+
+    # Step 1: pure induction-variable loop-variant group => ITL.
+    if not lv.is_zero and lv == Expr.from_var(M):
+        return AccessClassification(
+            locality=LocalityType.INTRA_THREAD,
+            stride=Expr.from_const(1),
+        )
+
+    stride = _extract_stride(lv)
+    if not lv.is_zero and stride is None:
+        # The loop-variant group is not linear in m (e.g. m**2): refuse.
+        return AccessClassification(locality=LocalityType.UNCLASSIFIED)
+
+    two_d = _is_2d(kernel, index)
+
+    # Step 2: no datablock-locality.  The invariant group must pin the start
+    # datablock to a unique threadblock: bx and by for 2-D, just bx for 1-D.
+    if li.depends_on(BX) and (li.depends_on(BY) if two_d else True):
+        return AccessClassification(
+            locality=LocalityType.NO_LOCALITY,
+            stride=stride,
+        )
+
+    # Step 3: sharing patterns (2-D grids only).
+    if two_d:
+        sharing: Optional[Sharing] = None
+        if li.depends_on(BY) and not li.depends_on(BX):
+            sharing = Sharing.GRID_ROWS
+        elif li.depends_on(BX) and not li.depends_on(BY):
+            sharing = Sharing.GRID_COLS
+
+        if sharing is not None:
+            if lv.depends_on(GDX):
+                motion = Motion.VERTICAL
+            elif not lv.is_zero:
+                motion = Motion.HORIZONTAL
+            else:
+                # No outer-loop motion: the shared datablocks are fixed.  Any
+                # consistent motion assumption works; horizontal keeps the
+                # Table II row-2/3 placement.
+                motion = Motion.HORIZONTAL
+
+            locality = {
+                (Sharing.GRID_ROWS, Motion.HORIZONTAL): LocalityType.ROW_SHARED_H,
+                (Sharing.GRID_COLS, Motion.HORIZONTAL): LocalityType.COL_SHARED_H,
+                (Sharing.GRID_ROWS, Motion.VERTICAL): LocalityType.ROW_SHARED_V,
+                (Sharing.GRID_COLS, Motion.VERTICAL): LocalityType.COL_SHARED_V,
+            }[(sharing, motion)]
+            return AccessClassification(
+                locality=locality,
+                sharing=sharing,
+                motion=motion,
+                stride=stride,
+            )
+
+    # Step 4: data-dependent or otherwise unanalysable.
+    return AccessClassification(locality=LocalityType.UNCLASSIFIED)
+
+
+def _extract_stride(loop_variant: Expr) -> Optional[Expr]:
+    """``stride = loopVariant(m, ...) / m`` when the group is linear in m."""
+    if loop_variant.is_zero:
+        return Expr.from_const(0)
+    try:
+        stride = loop_variant.div_by_var(M)
+    except Exception:
+        return None
+    if stride.depends_on(M):
+        return None
+    return stride

@@ -1,0 +1,38 @@
+"""Loop-variant / loop-invariant term grouping (paper Section III-C).
+
+"The basic idea behind our index analysis is to break the index in two
+groups of terms.  One group contains all the terms dependent on an induction
+variable, which we call the loop-variant group.  The second group is composed
+of all the terms that are not dependent on the induction variable, which we
+call the loop-invariant group."
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.kir.expr import Expr, M
+
+__all__ = ["LoopGroups", "split_loop_groups"]
+
+
+class LoopGroups(NamedTuple):
+    """The two term groups of an index expression."""
+
+    variant: Expr  # terms containing the induction variable m
+    invariant: Expr  # everything else
+
+    @property
+    def has_motion(self) -> bool:
+        """True if the threadblock moves between datablocks across iterations."""
+        return not self.variant.is_zero
+
+
+def split_loop_groups(index: Expr) -> LoopGroups:
+    """Split an index expression around the induction variable ``m``.
+
+    The sum of the two groups always equals the original expression, which
+    the property-based tests assert for arbitrary expressions.
+    """
+    variant, invariant = index.split_by(M)
+    return LoopGroups(variant=variant, invariant=invariant)

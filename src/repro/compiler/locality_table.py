@@ -1,0 +1,84 @@
+"""The locality table embedded in the executable (paper Figure 5).
+
+One row per (kernel, argument) pair that the static analysis classified.
+Static fields (locality type, stride, element size, MallocPC) are filled by
+the compiler; dynamic fields (base address, page count) are bound by the
+runtime when the allocation and launch actually happen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.compiler.classify import AccessClassification
+from repro.errors import CompilationError
+
+__all__ = ["LocalityRow", "LocalityTable"]
+
+
+@dataclass(frozen=True)
+class LocalityRow:
+    """A single locality-table entry.
+
+    ``classification`` is the merged result over all static access sites of
+    this kernel argument; ``site_classifications`` preserves the per-site
+    results for diagnostics and for the cache-policy decision (CRB needs to
+    know whether *any* site is ITL).
+    """
+
+    kernel: str
+    arg: str
+    malloc_pc: Optional[int]
+    element_size: int
+    classification: AccessClassification
+    site_classifications: Tuple[AccessClassification, ...]
+    read_weight: float  # summed dynamic weight of read sites
+    write_weight: float  # summed dynamic weight of write sites
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.kernel, self.arg)
+
+
+class LocalityTable:
+    """All locality rows for a program, keyed by (kernel, argument)."""
+
+    def __init__(self, rows: Iterable[LocalityRow]):
+        self._rows: Dict[Tuple[str, str], LocalityRow] = {}
+        for row in rows:
+            if row.key in self._rows:
+                raise CompilationError(f"duplicate locality row for {row.key}")
+            self._rows[row.key] = row
+
+    def lookup(self, kernel: str, arg: str) -> LocalityRow:
+        try:
+            return self._rows[(kernel, arg)]
+        except KeyError:
+            raise CompilationError(
+                f"no locality row for kernel {kernel!r} argument {arg!r}"
+            ) from None
+
+    def rows_for_kernel(self, kernel: str) -> Tuple[LocalityRow, ...]:
+        return tuple(r for r in self._rows.values() if r.kernel == kernel)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self):
+        return iter(self._rows.values())
+
+    def __contains__(self, key: Tuple[str, str]) -> bool:
+        return key in self._rows
+
+    def render(self) -> str:
+        """Human-readable dump, mirroring the table in paper Figure 5."""
+        header = f"{'kernel/arg':<28} {'mallocPC':>8} {'locality':<28} {'elem':>4}"
+        lines = [header, "-" * len(header)]
+        for row in sorted(self._rows.values(), key=lambda r: r.key):
+            pc = f"0x{row.malloc_pc:X}" if row.malloc_pc is not None else "-"
+            lines.append(
+                f"{row.kernel + '/' + row.arg:<28} {pc:>8} "
+                f"{repr(row.classification):<28} {row.element_size:>4}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""Trace-driven NUMA multi-GPU engine.
+
+The engine executes a compiled program under an :class:`ExecutionPlan`
+(produced by a strategy): it generates per-threadblock memory traces from
+the kernel IR, walks them through the per-TB L1 filter and the
+dynamically-shared NUMA L2, charges bytes to DRAM and interconnect channels,
+and converts the demands into time with an analytical bottleneck model.
+"""
+
+from repro.engine.plan import ExecutionPlan, LaunchPlan
+from repro.engine.metrics import KernelMetrics, RunResult
+from repro.engine.simulator import Simulator, simulate
+
+__all__ = [
+    "ExecutionPlan",
+    "LaunchPlan",
+    "KernelMetrics",
+    "RunResult",
+    "Simulator",
+    "simulate",
+]

@@ -1,0 +1,112 @@
+"""Data-movement energy model.
+
+The paper argues that even when exotic interconnects remove the NUMA
+*performance* penalty, "LADM still improves overall energy efficiency by
+minimizing data movement among the chiplets" (Section II, citing Arunkumar
+et al. [6]).  This model makes that claim measurable: every byte is charged
+by the wire class it crosses, plus DRAM-access and cache-access energy.
+
+Per-byte costs default to representative published figures (HBM ~7 pJ/bit,
+on-interposer GRS-class signalling ~1.3 pJ/bit, off-package links several
+times that); absolute joules are not the reproduction target -- ratios
+between strategies are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.engine.metrics import KernelMetrics, RunResult
+from repro.topology.system import Channel
+
+__all__ = ["EnergyConfig", "EnergyBreakdown", "kernel_energy", "run_energy"]
+
+
+@dataclass(frozen=True)
+class EnergyConfig:
+    """Per-byte energy costs in picojoules."""
+
+    dram_pj_per_byte: float = 56.0  # HBM access, ~7 pJ/bit
+    l2_pj_per_byte: float = 2.0  # L2 array access
+    xbar_pj_per_byte: float = 1.0  # on-chiplet SM<->L2 crossbar
+    ring_pj_per_byte: float = 10.4  # inter-chiplet GRS-class link, ~1.3 pJ/bit
+    inter_gpu_pj_per_byte: float = 40.0  # off-package switch link, ~5 pJ/bit
+
+    def channel_cost(self, channel: Channel) -> float:
+        return {
+            Channel.DRAM: self.dram_pj_per_byte,
+            Channel.XBAR: self.xbar_pj_per_byte,
+            Channel.RING: self.ring_pj_per_byte,
+            Channel.GPU_EGRESS: self.inter_gpu_pj_per_byte,
+            Channel.GPU_INGRESS: 0.0,  # egress already charges the link hop
+        }[channel]
+
+
+@dataclass
+class EnergyBreakdown:
+    """Joules spent moving data, by component."""
+
+    dram_j: float = 0.0
+    l2_j: float = 0.0
+    xbar_j: float = 0.0
+    ring_j: float = 0.0
+    inter_gpu_j: float = 0.0
+
+    @property
+    def total_j(self) -> float:
+        return self.dram_j + self.l2_j + self.xbar_j + self.ring_j + self.inter_gpu_j
+
+    @property
+    def interconnect_j(self) -> float:
+        """Energy spent crossing chiplet/GPU boundaries (the LADM target)."""
+        return self.ring_j + self.inter_gpu_j
+
+    def add(self, other: "EnergyBreakdown") -> None:
+        self.dram_j += other.dram_j
+        self.l2_j += other.l2_j
+        self.xbar_j += other.xbar_j
+        self.ring_j += other.ring_j
+        self.inter_gpu_j += other.inter_gpu_j
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "dram": self.dram_j,
+            "l2": self.l2_j,
+            "xbar": self.xbar_j,
+            "ring": self.ring_j,
+            "inter_gpu": self.inter_gpu_j,
+            "total": self.total_j,
+        }
+
+
+_PJ = 1e-12
+
+
+def kernel_energy(metrics: KernelMetrics, config: EnergyConfig = EnergyConfig()) -> EnergyBreakdown:
+    """Energy for one kernel's recorded data movement."""
+    out = EnergyBreakdown()
+    out.dram_j = float(metrics.dram_bytes_per_node.sum()) * config.dram_pj_per_byte * _PJ
+    # Every L2 access touches an array; home-side lookups are in the stats.
+    total_l2_accesses = metrics.aggregate_l2().total_accesses()
+    sector = 32 if metrics.l2_requests == 0 else metrics.l2_request_bytes // max(
+        1, metrics.l2_requests
+    )
+    out.l2_j = total_l2_accesses * sector * config.l2_pj_per_byte * _PJ
+    for (channel, _key), nbytes in metrics.channel_bytes.items():
+        joules = nbytes * config.channel_cost(channel) * _PJ
+        if channel is Channel.XBAR:
+            out.xbar_j += joules
+        elif channel is Channel.RING:
+            out.ring_j += joules
+        elif channel is Channel.GPU_EGRESS:
+            out.inter_gpu_j += joules
+    return out
+
+
+def run_energy(result: RunResult, config: EnergyConfig = EnergyConfig()) -> EnergyBreakdown:
+    """Total data-movement energy of a run."""
+    total = EnergyBreakdown()
+    for kernel in result.kernels:
+        total.add(kernel_energy(kernel, config))
+    return total

@@ -1,0 +1,137 @@
+"""Simulation metrics: per-kernel demand counters and whole-run results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.cache.stats import L2Stats
+from repro.topology.system import Channel
+
+__all__ = ["KernelMetrics", "RunResult"]
+
+ChannelKey = Tuple[Channel, int]
+
+
+@dataclass
+class KernelMetrics:
+    """Everything one kernel launch demanded from the machine."""
+
+    kernel: str
+    launch_index: int
+    num_nodes: int
+    warp_insts_per_node: np.ndarray = field(default=None)  # type: ignore[assignment]
+    dram_bytes_per_node: np.ndarray = field(default=None)  # type: ignore[assignment]
+    channel_bytes: Dict[ChannelKey, int] = field(default_factory=dict)
+    l2_stats: List[L2Stats] = field(default_factory=list)
+    l2_requests: int = 0  # sector requests reaching any L2 (post-L1)
+    l2_request_bytes: int = 0
+    l2_misses: int = 0  # requester-side misses (feeds MPKI)
+    off_node_bytes: int = 0  # data moved between nodes
+    inter_gpu_bytes: int = 0  # subset of off_node crossing GPUs
+    faults: int = 0
+    time_s: float = 0.0
+    time_breakdown: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.warp_insts_per_node is None:
+            self.warp_insts_per_node = np.zeros(self.num_nodes, dtype=np.float64)
+        if self.dram_bytes_per_node is None:
+            self.dram_bytes_per_node = np.zeros(self.num_nodes, dtype=np.int64)
+        if not self.l2_stats:
+            self.l2_stats = [L2Stats() for _ in range(self.num_nodes)]
+
+    # ------------------------------------------------------------------
+    def add_channel_bytes(self, key: ChannelKey, nbytes: int) -> None:
+        self.channel_bytes[key] = self.channel_bytes.get(key, 0) + nbytes
+
+    def aggregate_l2(self) -> L2Stats:
+        total = L2Stats()
+        for s in self.l2_stats:
+            total.merge(s)
+        return total
+
+    @property
+    def total_warp_insts(self) -> float:
+        return float(self.warp_insts_per_node.sum())
+
+    @property
+    def off_node_fraction(self) -> float:
+        """Fraction of L2 request bytes serviced across a node boundary."""
+        if self.l2_request_bytes == 0:
+            return 0.0
+        return self.off_node_bytes / self.l2_request_bytes
+
+    @property
+    def mpki(self) -> float:
+        """Requester-side L2 sector misses per kilo warp instruction."""
+        insts = self.total_warp_insts
+        return 1000.0 * self.l2_misses / insts if insts else 0.0
+
+
+@dataclass
+class RunResult:
+    """One program executed under one strategy on one system."""
+
+    program: str
+    strategy: str
+    system: str
+    kernels: List[KernelMetrics]
+    notes: Dict[str, str] = field(default_factory=dict)
+    #: Optional [num_nodes x num_pages] access counts (profiling runs only).
+    page_access_counts: "np.ndarray" = field(default=None, repr=False)
+
+    @property
+    def total_time_s(self) -> float:
+        return sum(k.time_s for k in self.kernels)
+
+    @property
+    def total_l2_request_bytes(self) -> int:
+        return sum(k.l2_request_bytes for k in self.kernels)
+
+    @property
+    def total_off_node_bytes(self) -> int:
+        return sum(k.off_node_bytes for k in self.kernels)
+
+    @property
+    def total_inter_gpu_bytes(self) -> int:
+        return sum(k.inter_gpu_bytes for k in self.kernels)
+
+    @property
+    def total_faults(self) -> int:
+        return sum(k.faults for k in self.kernels)
+
+    @property
+    def off_node_fraction(self) -> float:
+        """Paper Figure 10: percentage of memory traffic that goes off-node."""
+        total = self.total_l2_request_bytes
+        return self.total_off_node_bytes / total if total else 0.0
+
+    @property
+    def mpki(self) -> float:
+        insts = sum(k.total_warp_insts for k in self.kernels)
+        misses = sum(k.l2_misses for k in self.kernels)
+        return 1000.0 * misses / insts if insts else 0.0
+
+    def aggregate_l2(self) -> L2Stats:
+        total = L2Stats()
+        for k in self.kernels:
+            total.merge(k.aggregate_l2())
+        return total
+
+    def speedup_over(self, other: "RunResult") -> float:
+        """How much faster this run is than ``other`` (same program)."""
+        if self.total_time_s == 0:
+            return float("inf")
+        return other.total_time_s / self.total_time_s
+
+    def summary(self) -> str:
+        agg = self.aggregate_l2()
+        return (
+            f"{self.program:<16} {self.strategy:<18} time={self.total_time_s * 1e3:8.3f}ms "
+            f"off-node={100 * self.off_node_fraction:5.1f}% "
+            f"L2hit={100 * agg.overall_hit_rate():5.1f}% "
+            f"faults={self.total_faults}"
+        )

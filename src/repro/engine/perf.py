@@ -1,0 +1,62 @@
+"""Analytical bottleneck performance model.
+
+A kernel's time is the maximum over every contended resource of
+``demand / capacity`` (a classic roofline over compute issue, per-node DRAM,
+the per-chiplet SM<->L2 crossbar, per-GPU rings and per-GPU switch links),
+plus a serialisation charge for UVM first-touch faults.  This deliberately
+models *bandwidth* rather than latency: the paper's systems are
+bandwidth-bound, and all reported results are normalised ratios.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.engine.metrics import KernelMetrics
+from repro.topology.system import SystemTopology
+
+__all__ = ["apply_perf_model", "kernel_time", "FAULT_CONCURRENCY"]
+
+#: How many outstanding first-touch faults overlap (fault handling pipelines
+#: across SMs; full serialisation would be far too pessimistic).
+FAULT_CONCURRENCY = 32.0
+
+
+def kernel_time(
+    metrics: KernelMetrics, topology: SystemTopology, fault_cost_s: float
+) -> Tuple[float, Dict[str, float]]:
+    """Time for one kernel and the per-resource breakdown."""
+    cfg = topology.config
+    breakdown: Dict[str, float] = {}
+
+    issue_rate = cfg.ipc_per_sm * cfg.sms_per_node * cfg.clock_hz
+    t_compute = float(metrics.warp_insts_per_node.max()) / issue_rate if issue_rate else 0.0
+    breakdown["compute"] = t_compute
+
+    t_dram = 0.0
+    for node in range(metrics.num_nodes):
+        t_dram = max(t_dram, float(metrics.dram_bytes_per_node[node]) / cfg.mem_bw_per_node)
+    breakdown["dram"] = t_dram
+
+    t_link = 0.0
+    for (channel, key), nbytes in metrics.channel_bytes.items():
+        bw = topology.channel_bandwidth(channel)
+        if bw:
+            t_link = max(t_link, nbytes / bw)
+    breakdown["interconnect"] = t_link
+
+    t_fault = metrics.faults * fault_cost_s / FAULT_CONCURRENCY
+    breakdown["faults"] = t_fault
+
+    total = max(t_compute, t_dram, t_link) + t_fault
+    breakdown["total"] = total
+    return total, breakdown
+
+
+def apply_perf_model(
+    metrics: KernelMetrics, topology: SystemTopology, fault_cost_s: float
+) -> None:
+    """Fill ``metrics.time_s`` and ``metrics.time_breakdown`` in place."""
+    total, breakdown = kernel_time(metrics, topology, fault_cost_s)
+    metrics.time_s = total
+    metrics.time_breakdown = breakdown

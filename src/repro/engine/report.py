@@ -1,0 +1,119 @@
+"""Detailed run reports: per-node, per-channel and per-class breakdowns.
+
+``render_report`` produces the deep-dive view (what the paper's authors
+would read from simulator counters); ``run_to_dict`` serialises a run for
+downstream tooling (JSON-safe: plain ints/floats/strings only).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.cache.stats import TrafficClass
+from repro.engine.energy import run_energy
+from repro.engine.metrics import KernelMetrics, RunResult
+from repro.experiments.reporting import format_table
+
+__all__ = ["render_report", "run_to_dict", "run_to_json"]
+
+
+def _kernel_section(metrics: KernelMetrics) -> str:
+    lines: List[str] = []
+    lines.append(
+        f"kernel {metrics.kernel!r} (launch {metrics.launch_index}): "
+        f"{metrics.time_s * 1e6:.2f} us"
+    )
+    breakdown = ", ".join(
+        f"{k}={v * 1e6:.2f}us" for k, v in metrics.time_breakdown.items() if k != "total"
+    )
+    lines.append(f"  bottlenecks: {breakdown}")
+    lines.append(
+        f"  L2: {metrics.l2_requests} requests, "
+        f"{metrics.l2_misses} requester misses, MPKI={metrics.mpki:.1f}"
+    )
+    agg = metrics.aggregate_l2()
+    mix = "  traffic mix: " + "  ".join(
+        f"{c.value}={100 * agg.traffic_share(c):.1f}% (hit {100 * agg.hit_rate(c):.1f}%)"
+        for c in TrafficClass
+    )
+    lines.append(mix)
+    lines.append(
+        f"  off-node: {metrics.off_node_bytes} B "
+        f"({100 * metrics.off_node_fraction:.1f}%), "
+        f"inter-GPU: {metrics.inter_gpu_bytes} B, faults: {metrics.faults}"
+    )
+    dram = metrics.dram_bytes_per_node
+    lines.append(
+        f"  DRAM bytes/node: min={int(dram.min())} max={int(dram.max())} "
+        f"total={int(dram.sum())}"
+    )
+    return "\n".join(lines)
+
+
+def render_report(run: RunResult) -> str:
+    """The full diagnostic view of one run."""
+    header = (
+        f"=== {run.program} under {run.strategy} on {run.system} ===\n"
+        f"total time: {run.total_time_s * 1e6:.2f} us | "
+        f"off-node {100 * run.off_node_fraction:.1f}% | "
+        f"MPKI {run.mpki:.1f} | faults {run.total_faults}"
+    )
+    sections = [header]
+    for metrics in run.kernels:
+        sections.append(_kernel_section(metrics))
+    energy = run_energy(run)
+    rows = [[k, f"{v * 1e6:.3f} uJ"] for k, v in energy.as_dict().items()]
+    sections.append(format_table(["component", "energy"], rows, title="data movement"))
+    if run.notes:
+        sections.append("notes: " + ", ".join(f"{k}={v}" for k, v in run.notes.items()))
+    return "\n\n".join(sections)
+
+
+def run_to_dict(run: RunResult) -> Dict:
+    """JSON-safe summary of a run."""
+    agg = run.aggregate_l2()
+    energy = run_energy(run)
+    return {
+        "program": run.program,
+        "strategy": run.strategy,
+        "system": run.system,
+        "total_time_s": run.total_time_s,
+        "off_node_fraction": run.off_node_fraction,
+        "off_node_bytes": int(run.total_off_node_bytes),
+        "inter_gpu_bytes": int(run.total_inter_gpu_bytes),
+        "l2_request_bytes": int(run.total_l2_request_bytes),
+        "mpki": run.mpki,
+        "faults": int(run.total_faults),
+        "l2_hit_rate": agg.overall_hit_rate(),
+        "traffic_classes": {
+            c.value: {
+                "share": agg.traffic_share(c),
+                "hit_rate": agg.hit_rate(c),
+            }
+            for c in TrafficClass
+        },
+        "energy_j": energy.as_dict(),
+        "kernels": [
+            {
+                "kernel": k.kernel,
+                "launch_index": k.launch_index,
+                "time_s": k.time_s,
+                "time_breakdown": {
+                    key: float(value) for key, value in k.time_breakdown.items()
+                },
+                "l2_requests": int(k.l2_requests),
+                "l2_misses": int(k.l2_misses),
+                "off_node_bytes": int(k.off_node_bytes),
+                "faults": int(k.faults),
+                "dram_bytes_per_node": [int(b) for b in k.dram_bytes_per_node],
+            }
+            for k in run.kernels
+        ],
+        "notes": dict(run.notes),
+    }
+
+
+def run_to_json(run: RunResult, indent: int = 2) -> str:
+    """``run_to_dict`` rendered as JSON text."""
+    return json.dumps(run_to_dict(run), indent=indent)

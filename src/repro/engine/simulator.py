@@ -1,0 +1,305 @@
+"""The trace-driven NUMA multi-GPU simulator core.
+
+``Simulator.run`` executes an :class:`ExecutionPlan`: threadblocks are
+processed in a round-robin *wave order* across nodes (approximating the
+concurrent dispatch of real hardware, which matters for first-touch
+placement), each TB's requests pass a per-TB L1 sector filter, then walk the
+dynamically-shared NUMA L2:
+
+    requester L2 -> (miss, local home) -> local HBM
+    requester L2 -> (miss, remote home) -> interconnect -> home L2 -> home HBM
+
+RTWICE inserts remote-origin fills at the home L2; RONCE bypasses that
+insert (paper Figure 8).  Byte counts feed the bottleneck performance model.
+
+The request walk is the simulation's hot loop; it manipulates the cache
+sets and numpy accumulators directly (no per-request method calls or
+enum-keyed dicts) and converts everything into the reporting structures
+once per launch.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cache.l2 import SectoredCache
+from repro.cache.stats import TrafficClass
+from repro.compiler.passes import CompiledProgram, compile_program
+from repro.engine.metrics import KernelMetrics, RunResult
+from repro.engine.perf import apply_perf_model
+from repro.engine.plan import ExecutionPlan, LaunchPlan
+from repro.engine.trace import launch_tracer
+from repro.errors import SimulationError
+from repro.kir.program import Program
+from repro.topology.config import SystemConfig
+from repro.topology.system import Channel, LinkClass, SystemTopology
+
+__all__ = ["Simulator", "simulate"]
+
+# Integer codes for the traffic-class accumulators (see cache.stats).
+_LL, _LR, _RL = 0, 1, 2
+_CLASS_OF_CODE = {
+    _LL: TrafficClass.LOCAL_LOCAL,
+    _LR: TrafficClass.LOCAL_REMOTE,
+    _RL: TrafficClass.REMOTE_LOCAL,
+}
+
+
+def _wave_order(tb_nodes: np.ndarray, num_nodes: int) -> np.ndarray:
+    """Interleave threadblocks round-robin across nodes, preserving each
+    node's own dispatch order.
+
+    Successive waves start at successive nodes, so no single node always
+    wins first-touch races on pages that every node reads (shared matrices
+    would otherwise all fault to node 0, which real concurrent dispatch does
+    not produce).
+    """
+    per_node: list = [[] for _ in range(num_nodes)]
+    for tb, node in enumerate(tb_nodes.tolist()):
+        per_node[node].append(tb)
+    order = []
+    cursors = [0] * num_nodes
+    remaining = tb_nodes.size
+    wave = 0
+    while remaining:
+        for i in range(num_nodes):
+            node = (wave + i) % num_nodes
+            c = cursors[node]
+            if c < len(per_node[node]):
+                order.append(per_node[node][c])
+                cursors[node] = c + 1
+                remaining -= 1
+        wave += 1
+    return np.asarray(order, dtype=np.int64)
+
+
+class Simulator:
+    """Executes programs on one simulated system configuration."""
+
+    def __init__(self, config: SystemConfig):
+        self.config = config
+        self.topology = SystemTopology(config)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        compiled: CompiledProgram,
+        plan: ExecutionPlan,
+        profile_pages: bool = False,
+    ) -> RunResult:
+        cfg = self.config
+        num_nodes = cfg.num_nodes
+        l2s = [
+            SectoredCache(cfg.l2.num_sets, cfg.l2.assoc) for _ in range(num_nodes)
+        ]
+
+        if len(plan.launches) != len(compiled.program.launches):
+            raise SimulationError("plan does not cover every launch of the program")
+
+        page_counts = (
+            np.zeros((num_nodes, plan.space.num_pages), dtype=np.int64)
+            if profile_pages
+            else None
+        )
+        kernels: List[KernelMetrics] = []
+        for launch_index, lp in enumerate(plan.launches):
+            if cfg.flush_l2_between_kernels:
+                for cache in l2s:
+                    cache.flush()
+            metrics = self._run_launch(launch_index, lp, plan, l2s, page_counts)
+            apply_perf_model(metrics, self.topology, plan.fault_cost_s)
+            kernels.append(metrics)
+
+        if plan.setup_time_s and kernels:
+            kernels[0].time_s += plan.setup_time_s
+            kernels[0].time_breakdown["setup"] = plan.setup_time_s
+
+        return RunResult(
+            program=compiled.program.name,
+            strategy=plan.strategy_name,
+            system=cfg.name,
+            kernels=kernels,
+            notes=dict(plan.notes),
+            page_access_counts=page_counts,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_launch(
+        self,
+        launch_index: int,
+        lp: LaunchPlan,
+        plan: ExecutionPlan,
+        l2s: List[SectoredCache],
+        page_counts=None,
+    ) -> KernelMetrics:
+        cfg = self.config
+        num_nodes = cfg.num_nodes
+        sector_bytes = cfg.l2.sector_bytes
+        launch = lp.launch
+        kernel = launch.kernel
+        page_table = plan.page_table
+        metrics = KernelMetrics(
+            kernel=kernel.name, launch_index=launch_index, num_nodes=num_nodes
+        )
+        faults_before = page_table.fault_count
+
+        tracer = launch_tracer(launch, plan.space, sector_bytes)
+        warps_per_tb = -(-kernel.block.count // cfg.warp_size)
+        insts_per_tb = warps_per_tb * kernel.insts_per_thread * tracer.trip
+
+        # Raw accumulators (converted to reporting structures at the end).
+        xbar_requests = np.zeros(num_nodes, dtype=np.int64)
+        dram_requests = np.zeros(num_nodes, dtype=np.int64)
+        transfers = np.zeros((num_nodes, num_nodes), dtype=np.int64)  # [home, req]
+        stats_acc = np.zeros((num_nodes, 3, 2), dtype=np.int64)  # [node, class, hit]
+
+        l2_sets = [c._sets for c in l2s]
+        num_sets = cfg.l2.num_sets
+        assoc = cfg.l2.assoc
+        l1_capacity = cfg.l1_filter_sectors
+        remote_caching = cfg.remote_caching
+        touched_allocs = {launch.args[a.array] for a in kernel.accesses}
+        policy_insert_at_home = {
+            alloc: lp.policy_for(alloc).insert_at_home for alloc in touched_allocs
+        }
+
+        order = _wave_order(lp.tb_nodes, num_nodes)
+        tb_nodes = lp.tb_nodes
+
+        # Execution is iteration-major: every threadblock advances through
+        # outer-loop iteration m before anyone starts m+1.  This models the
+        # concurrency that drives the paper's cache results -- streams from
+        # all nodes interleave in the shared L2 slices (REMOTE-LOCAL
+        # pollution really does race with local reuse) -- and it makes
+        # first-touch fault placement honest without a separate pass.  The
+        # wave start rotates per iteration so no node always wins fault
+        # races on globally-shared pages.
+        order_list = order.tolist()
+        node_of = [int(n) for n in tb_nodes.tolist()]
+        for tb in order_list:
+            metrics.warp_insts_per_node[node_of[tb]] += insts_per_tb
+        l1_filters = {tb: OrderedDict() for tb in order_list}
+
+        for m in range(tracer.trip):
+            shift = (m * 7) % max(1, len(order_list))
+            for tb in order_list[shift:] + order_list[:shift]:
+                node = node_of[tb]
+                l1 = l1_filters[tb]
+                local_sets = l2_sets[node]
+                node_stats = stats_acc[node]
+                for sr in tracer.iteration_requests(tb, m):
+                    homes = page_table.homes_of_pages(sr.pages, toucher=node)
+                    if page_counts is not None:
+                        np.add.at(page_counts[node], sr.pages, 1)
+                    insert_at_home = policy_insert_at_home[sr.array]
+                    n_req = 0
+                    for sector, home in zip(sr.sectors.tolist(), homes.tolist()):
+                        # --- per-TB L1 sector filter -------------------
+                        if sector in l1:
+                            l1.move_to_end(sector)
+                            continue
+                        l1[sector] = None
+                        if len(l1) > l1_capacity:
+                            l1.popitem(last=False)
+                        # --- requester-side L2 -------------------------
+                        n_req += 1
+                        local_home = home == node
+                        s = local_sets[sector % num_sets]
+                        if sector in s:
+                            s.move_to_end(sector)
+                            node_stats[_LL if local_home else _LR, 1] += 1
+                            continue
+                        if local_home or remote_caching:
+                            s[sector] = None
+                            if len(s) > assoc:
+                                s.popitem(last=False)
+                        node_stats[_LL if local_home else _LR, 0] += 1
+                        if local_home:
+                            dram_requests[node] += 1
+                            continue
+                        # --- remote path -------------------------------
+                        transfers[home, node] += 1
+                        hs = l2_sets[home][sector % num_sets]
+                        if sector in hs:
+                            hs.move_to_end(sector)
+                            stats_acc[home, _RL, 1] += 1
+                        else:
+                            stats_acc[home, _RL, 0] += 1
+                            if insert_at_home:
+                                hs[sector] = None
+                                if len(hs) > assoc:
+                                    hs.popitem(last=False)
+                            dram_requests[home] += 1
+                    xbar_requests[node] += n_req
+
+        metrics.faults = page_table.fault_count - faults_before
+        self._finalize(metrics, xbar_requests, dram_requests, transfers, stats_acc)
+        return metrics
+
+    # ------------------------------------------------------------------
+    def _finalize(
+        self,
+        metrics: KernelMetrics,
+        xbar_requests: np.ndarray,
+        dram_requests: np.ndarray,
+        transfers: np.ndarray,
+        stats_acc: np.ndarray,
+    ) -> None:
+        """Convert raw accumulators into the reporting structures."""
+        topo = self.topology
+        num_nodes = self.config.num_nodes
+        sector_bytes = self.config.l2.sector_bytes
+
+        metrics.l2_requests = int(xbar_requests.sum())
+        metrics.l2_request_bytes = metrics.l2_requests * sector_bytes
+        metrics.dram_bytes_per_node = dram_requests * sector_bytes
+        # Requester-side misses: LOCAL-LOCAL + LOCAL-REMOTE misses.
+        metrics.l2_misses = int(stats_acc[:, (_LL, _LR), 0].sum())
+
+        for node in range(num_nodes):
+            metrics.add_channel_bytes(
+                (Channel.XBAR, node), int(xbar_requests[node]) * sector_bytes
+            )
+            stats = metrics.l2_stats[node]
+            for code, cls in _CLASS_OF_CODE.items():
+                misses = int(stats_acc[node, code, 0])
+                hits = int(stats_acc[node, code, 1])
+                stats.accesses[cls] += misses + hits
+                stats.hits[cls] += hits
+
+        off_node = 0
+        inter_gpu = 0
+        for home in range(num_nodes):
+            for node in range(num_nodes):
+                count = int(transfers[home, node])
+                if count == 0 or home == node:
+                    continue
+                nbytes = count * sector_bytes
+                off_node += nbytes
+                if topo.link_class(home, node) is LinkClass.INTER_GPU:
+                    inter_gpu += nbytes
+                for charge in topo.route_channels(home, node):
+                    metrics.add_channel_bytes(charge, nbytes)
+        metrics.off_node_bytes = off_node
+        metrics.inter_gpu_bytes = inter_gpu
+
+
+def simulate(
+    program: Program,
+    strategy,
+    config: SystemConfig,
+    compiled: Optional[CompiledProgram] = None,
+) -> RunResult:
+    """Compile, plan and run a program in one call.
+
+    ``strategy`` is any object with ``plan(compiled, topology) ->
+    ExecutionPlan`` (see :mod:`repro.strategies`).
+    """
+    if compiled is None:
+        compiled = compile_program(program)
+    sim = Simulator(config)
+    plan = strategy.plan(compiled, sim.topology)
+    return sim.run(compiled, plan)

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the LADM reproduction.
+
+Every error raised deliberately by this package derives from
+:class:`ReproError`, so callers can catch package failures without
+masking programming errors such as ``TypeError``.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ExpressionError(ReproError):
+    """Raised for invalid symbolic-expression operations (e.g. inexact division)."""
+
+
+class KernelIRError(ReproError):
+    """Raised for malformed kernel IR (bad dims, unknown arrays, bad loop specs)."""
+
+
+class CompilationError(ReproError):
+    """Raised when the static index analysis cannot process a program."""
+
+
+class TopologyError(ReproError):
+    """Raised for invalid system topology configurations."""
+
+
+class MemoryError_(ReproError):
+    """Raised for address-space/page-table violations (name avoids builtin clash)."""
+
+
+class PlacementError(ReproError):
+    """Raised when a page-placement policy is misconfigured or incomplete."""
+
+
+class SchedulingError(ReproError):
+    """Raised when a threadblock schedule is invalid (unassigned/duplicated TBs)."""
+
+
+class SimulationError(ReproError):
+    """Raised by the trace-driven engine for inconsistent simulation state."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload definition is inconsistent with its inputs."""

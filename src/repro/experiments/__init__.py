@@ -1,0 +1,18 @@
+"""Experiment harnesses: one module per table/figure of the paper.
+
+Each harness returns a plain-data result object with a ``render()`` method
+producing the same rows/series the paper reports, and is callable from the
+command line::
+
+    python -m repro.experiments.fig9 --scale test
+    python -m repro.experiments.table4
+    python -m repro.experiments.fig4 --workloads vecadd scalarprod
+
+Absolute numbers come from a scaled simulator, not the authors' testbed;
+the *shapes* (who wins, by what factor, where crossovers fall) are the
+reproduction target (see EXPERIMENTS.md).
+"""
+
+from repro.experiments.runner import run_matrix, strategy_by_name
+
+__all__ = ["run_matrix", "strategy_by_name"]

@@ -1,0 +1,30 @@
+"""Figure 10: percentage of memory traffic that goes off-node.
+
+Shares its sweep with Figure 9 (same configurations, same workloads); this
+module exists so the benchmark harness has one target per paper figure.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro.experiments.fig9 import Fig9Result, run_fig9
+from repro.experiments.runner import scale_by_name
+
+__all__ = ["run_fig10"]
+
+run_fig10 = run_fig9  # identical sweep; rendered with Fig9Result.render_traffic
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="bench", choices=["bench", "test"])
+    parser.add_argument("--workloads", nargs="*", default=None)
+    args = parser.parse_args(argv)
+    result: Fig9Result = run_fig10(scale_by_name(args.scale), args.workloads)
+    print(result.render_traffic())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+"""Figure 11: the RONCE / RTWICE cache-policy case study.
+
+Two panels, as in the paper:
+
+* (a) ``random_loc`` -- low-reuse remote traffic: bypassing the home-side
+  insert (RONCE) frees L2 capacity and raises the total hit rate.
+* (b) ``sq_gemm`` -- high-reuse shared matrix: REMOTE-LOCAL requests hit at
+  the home L2, so bypassing them (RONCE) collapses that hit rate.
+
+For each workload and policy the harness reports the L2 traffic mix across
+the three classes and the per-class hit rates.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cache.stats import TrafficClass
+from repro.compiler.passes import compile_program
+from repro.engine.simulator import simulate
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import scale_by_name, strategy_by_name
+from repro.topology.config import bench_hierarchical
+from repro.workloads.base import Scale
+from repro.workloads.suite import get_workload
+
+__all__ = ["Fig11Result", "run_fig11", "CASE_WORKLOADS"]
+
+CASE_WORKLOADS = ("random_loc", "sq_gemm")
+POLICIES = ("LASP+RTWICE", "LASP+RONCE")
+
+
+@dataclass
+class Fig11Case:
+    workload: str
+    #: share[policy][traffic class] -> fraction of L2 accesses
+    share: Dict[str, Dict[TrafficClass, float]]
+    #: hit_rate[policy][traffic class]
+    hit_rate: Dict[str, Dict[TrafficClass, float]]
+    #: overall L2 hit rate per policy
+    total_hit: Dict[str, float]
+    #: total runtime per policy (seconds)
+    time_s: Dict[str, float]
+
+    def hit_improvement(self) -> float:
+        """RONCE total hit rate over RTWICE (paper 11a: ~4x on random_loc)."""
+        rt = self.total_hit["LASP+RTWICE"]
+        ro = self.total_hit["LASP+RONCE"]
+        return ro / rt if rt else float("inf")
+
+    def render(self) -> str:
+        headers = ["policy"] + [c.value for c in TrafficClass] + ["total-hit", "time"]
+        rows = []
+        for policy in POLICIES:
+            rows.append(
+                [policy]
+                + [
+                    f"{100 * self.share[policy][c]:4.1f}% "
+                    f"(h={100 * self.hit_rate[policy][c]:4.1f}%)"
+                    for c in TrafficClass
+                ]
+                + [
+                    f"{100 * self.total_hit[policy]:.1f}%",
+                    f"{self.time_s[policy] * 1e6:.1f}us",
+                ]
+            )
+        return format_table(
+            headers, rows, title=f"Figure 11 case study: {self.workload}"
+        )
+
+
+@dataclass
+class Fig11Result:
+    cases: Dict[str, Fig11Case]
+
+    def render(self) -> str:
+        return "\n\n".join(self.cases[w].render() for w in self.cases)
+
+
+def run_fig11(scale: Scale, verbose: bool = False) -> Fig11Result:
+    config = bench_hierarchical()
+    cases: Dict[str, Fig11Case] = {}
+    for wname in CASE_WORKLOADS:
+        workload = get_workload(wname)
+        program = workload.program(scale)
+        compiled = compile_program(program)
+        share: Dict[str, Dict[TrafficClass, float]] = {}
+        hit_rate: Dict[str, Dict[TrafficClass, float]] = {}
+        total_hit: Dict[str, float] = {}
+        time_s: Dict[str, float] = {}
+        for policy in POLICIES:
+            run = simulate(program, strategy_by_name(policy), config, compiled=compiled)
+            agg = run.aggregate_l2()
+            share[policy] = {c: agg.traffic_share(c) for c in TrafficClass}
+            hit_rate[policy] = {c: agg.hit_rate(c) for c in TrafficClass}
+            total_hit[policy] = agg.overall_hit_rate()
+            time_s[policy] = run.total_time_s
+            if verbose:
+                print(f"  {wname:<12} {run.summary()}")
+        cases[wname] = Fig11Case(
+            workload=wname,
+            share=share,
+            hit_rate=hit_rate,
+            total_hit=total_hit,
+            time_s=time_s,
+        )
+    return Fig11Result(cases=cases)
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="bench", choices=["bench", "test"])
+    args = parser.parse_args(argv)
+    print(run_fig11(scale_by_name(args.scale), verbose=True).render())
+
+
+if __name__ == "__main__":
+    main()

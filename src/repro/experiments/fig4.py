@@ -1,0 +1,164 @@
+"""Figure 4: bandwidth sensitivity of prior NUMA-GPU techniques.
+
+Four-node systems (crossbar switches at 90/180/360 GB/s per link and
+MCM-style rings at 1.4/2.8 TB/s) running the baseline round-robin,
+Batch+FT-optimal, kernel-wide partitioning and CODA, normalised to a
+monolithic GPU with the same aggregate resources.
+
+The systems are the paper's Figure-4 configurations with the node shrunk
+uniformly (16 SMs, 128 KB L2, 512 B page) to match the scaled workloads;
+link and memory bandwidths keep the paper's absolute values, so every
+compute : memory : link ratio is preserved.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import geomean, run_matrix, scale_by_name
+from repro.topology.config import (
+    KB,
+    CacheConfig,
+    fig4_mcm_ring,
+    fig4_multi_gpu_xbar,
+    monolithic,
+)
+from repro.workloads.base import Scale
+from repro.workloads.suite import all_workloads, get_workload
+
+__all__ = ["Fig4Result", "run_fig4", "FIG4_STRATEGIES", "FIG4_SYSTEMS", "fig4_configs"]
+
+FIG4_STRATEGIES = ["Baseline-RR", "Batch+FT-optimal", "Kernel-wide", "CODA"]
+FIG4_SYSTEMS = [
+    "xbar-90GB/s",
+    "xbar-180GB/s",
+    "xbar-360GB/s",
+    "ring-1.4TB/s",
+    "ring-2.8TB/s",
+]
+
+#: A compact default subset covering every locality class (the full suite is
+#: available with --workloads all).
+DEFAULT_WORKLOADS = [
+    "vecadd",
+    "srad",
+    "scalarprod",
+    "sq_gemm",
+    "alexnet_fc2",
+    "pagerank",
+    "random_loc",
+    "lbm",
+]
+
+# Figure-4 nodes keep the paper's 4 KB page: the page-misalignment penalty
+# that separates CODA from Batch+FT's static batches only exists when a page
+# holds more datablocks than a batch covers (pageSize >> datablockSize).
+_NODE_OVERRIDES = dict(
+    sms_per_node=16, l2=CacheConfig(size=128 * KB), page_size=4096
+)
+
+
+def fig4_configs():
+    """The five Figure-4 systems plus their normalisation monolithic."""
+    systems = {
+        "xbar-90GB/s": fig4_multi_gpu_xbar(90).with_(**_NODE_OVERRIDES),
+        "xbar-180GB/s": fig4_multi_gpu_xbar(180).with_(**_NODE_OVERRIDES),
+        "xbar-360GB/s": fig4_multi_gpu_xbar(360).with_(**_NODE_OVERRIDES),
+        "ring-1.4TB/s": fig4_mcm_ring(1.4).with_(**_NODE_OVERRIDES),
+        "ring-2.8TB/s": fig4_mcm_ring(2.8).with_(**_NODE_OVERRIDES),
+    }
+    mono = monolithic().with_(
+        name="fig4-monolithic",
+        sms_per_node=4 * 16,
+        mem_bw_per_node=4 * 720e9,
+        l2=CacheConfig(size=4 * 128 * KB),
+        page_size=512,
+    )
+    return systems, mono
+
+
+@dataclass
+class Fig4Result:
+    """normalized[system][strategy] -> geomean performance vs monolithic."""
+
+    normalized: Dict[str, Dict[str, float]]
+    per_workload: Dict[str, Dict[str, Dict[str, float]]]
+
+    def render(self) -> str:
+        headers = ["system"] + FIG4_STRATEGIES
+        rows = []
+        for system in FIG4_SYSTEMS:
+            if system not in self.normalized:
+                continue
+            rows.append(
+                [system]
+                + [f"{self.normalized[system][s]:.2f}" for s in FIG4_STRATEGIES]
+            )
+        return format_table(
+            headers,
+            rows,
+            title="Figure 4: performance normalised to an equal-SM monolithic GPU",
+        )
+
+
+def run_fig4(
+    scale: Scale,
+    workload_names: Optional[Sequence[str]] = None,
+    systems: Optional[Sequence[str]] = None,
+    verbose: bool = False,
+) -> Fig4Result:
+    names = list(workload_names) if workload_names else DEFAULT_WORKLOADS
+    if names == ["all"]:
+        names = [w.name for w in all_workloads()]
+    workloads = [get_workload(n) for n in names]
+    all_systems, mono = fig4_configs()
+    wanted = systems or FIG4_SYSTEMS
+
+    normalized: Dict[str, Dict[str, float]] = {}
+    per_workload: Dict[str, Dict[str, Dict[str, float]]] = {}
+    # Monolithic reference once per workload.
+    mono_matrix = run_matrix(workloads, [("Monolithic", mono)], scale, verbose=verbose)
+
+    for system in wanted:
+        config = all_systems[system]
+        matrix = run_matrix(
+            workloads,
+            [(s, config) for s in FIG4_STRATEGIES],
+            scale,
+            verbose=verbose,
+        )
+        normalized[system] = {}
+        per_workload[system] = {}
+        for strat in FIG4_STRATEGIES:
+            speedups = []
+            per_workload[system][strat] = {}
+            for w in workloads:
+                mono_run = mono_matrix.get(w.name, "Monolithic")
+                run = matrix.get(w.name, strat)
+                # Normalised performance: 1.0 means monolithic parity.
+                value = (
+                    mono_run.total_time_s / run.total_time_s
+                    if run.total_time_s
+                    else 0.0
+                )
+                per_workload[system][strat][w.name] = value
+                speedups.append(value)
+            normalized[system][strat] = geomean(speedups)
+    return Fig4Result(normalized=normalized, per_workload=per_workload)
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="bench", choices=["bench", "test"])
+    parser.add_argument("--workloads", nargs="*", default=None)
+    args = parser.parse_args(argv)
+    result = run_fig4(scale_by_name(args.scale), args.workloads, verbose=True)
+    print()
+    print(result.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+"""Oversubscribed-memory experiment: reactive UVM vs LASP proactive paging.
+
+Implements the extension the paper sketches in its related-work discussion
+(Section VI): with the locality table, LASP can prefetch the pages upcoming
+threadblocks will touch and evict pages whose threadblocks have finished,
+hiding fault latency that reactive UVM pays on every cold/capacity miss.
+
+For each oversubscription ratio (resident capacity / footprint) the harness
+reports demand faults, hidden transfers and the end-to-end stall time for
+both policies.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.compiler.passes import compile_program
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import scale_by_name
+from repro.memory.address_space import AddressSpace
+from repro.runtime.oversubscription import (
+    PagingStats,
+    proactive_paging_stats,
+    reactive_paging_stats,
+)
+from repro.topology.config import bench_hierarchical
+from repro.workloads.base import Scale
+from repro.workloads.suite import get_workload
+
+__all__ = ["OversubscriptionResult", "run_oversubscription"]
+
+DEFAULT_WORKLOADS = ["scalarprod", "sq_gemm", "pagerank"]
+RATIOS = (1.0, 0.75, 0.5)
+
+#: Host link (PCIe/NVLink-to-host) feeding page transfers.
+HOST_BW = 64e9
+
+
+@dataclass
+class OversubscriptionResult:
+    #: stats[workload][ratio] -> (reactive, proactive)
+    stats: Dict[str, Dict[float, Tuple[PagingStats, PagingStats]]]
+    fault_cost_s: float
+    page_size: int
+
+    def stall_reduction(self, workload: str, ratio: float) -> float:
+        reactive, proactive = self.stats[workload][ratio]
+        r = reactive.stall_time_s(self.fault_cost_s)
+        p = proactive.stall_time_s(self.fault_cost_s)
+        return r / p if p else float("inf")
+
+    def render(self) -> str:
+        headers = [
+            "workload",
+            "capacity",
+            "reactive faults",
+            "proactive faults",
+            "hidden",
+            "stall cut",
+        ]
+        rows = []
+        for wname, by_ratio in self.stats.items():
+            for ratio, (reactive, proactive) in by_ratio.items():
+                cut = self.stall_reduction(wname, ratio)
+                rows.append(
+                    [
+                        wname,
+                        f"{int(100 * ratio)}%",
+                        str(reactive.demand_faults),
+                        str(proactive.demand_faults),
+                        str(proactive.hidden_transfers),
+                        f"{cut:.1f}x" if cut != float("inf") else "inf",
+                    ]
+                )
+        return format_table(
+            headers,
+            rows,
+            title="Oversubscription: reactive UVM vs LASP proactive paging",
+        )
+
+
+def run_oversubscription(
+    scale: Scale,
+    workload_names: Optional[Sequence[str]] = None,
+    ratios: Sequence[float] = RATIOS,
+) -> OversubscriptionResult:
+    names = list(workload_names) if workload_names else DEFAULT_WORKLOADS
+    config = bench_hierarchical()
+    stats: Dict[str, Dict[float, Tuple[PagingStats, PagingStats]]] = {}
+    for name in names:
+        workload = get_workload(name)
+        program = workload.program(scale)
+        compiled = compile_program(program)
+        space = AddressSpace(program, config.page_size)
+        stats[name] = {}
+        for ratio in ratios:
+            capacity = max(1, int(space.num_pages * ratio))
+            reactive = reactive_paging_stats(compiled, space, capacity)
+            proactive = proactive_paging_stats(compiled, space, capacity)
+            stats[name][ratio] = (reactive, proactive)
+    return OversubscriptionResult(
+        stats=stats, fault_cost_s=config.page_fault_cost_s, page_size=config.page_size
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="bench", choices=["bench", "test"])
+    parser.add_argument("--workloads", nargs="*", default=None)
+    args = parser.parse_args(argv)
+    print(run_oversubscription(scale_by_name(args.scale), args.workloads).render())
+
+
+if __name__ == "__main__":
+    main()

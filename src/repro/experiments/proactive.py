@@ -1,0 +1,105 @@
+"""Proactive vs reactive management (paper Section II-A's core argument).
+
+"Although reactive systems can be applied to GPUs, they introduce a
+substantial performance penalty that can outweigh the benefits."  This
+harness compares:
+
+* **Batch+FT** -- reactive first-touch with real fault stalls,
+* **Reactive-Migration** -- profile once, migrate pages to their majority
+  accessor, pay the movement bill (a Griffin-class scheme [7]),
+* **LADM** -- proactive placement from static analysis (no faults, no
+  migrations).
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.compiler.passes import compile_program
+from repro.engine.simulator import simulate
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import geomean, scale_by_name
+from repro.strategies import BatchFTStrategy, LADMStrategy
+from repro.strategies.migration import ReactiveMigrationStrategy
+from repro.topology.config import bench_hierarchical
+from repro.workloads.base import Scale
+from repro.workloads.suite import get_workload
+
+__all__ = ["ProactiveResult", "run_proactive_comparison"]
+
+DEFAULT_WORKLOADS = ["scalarprod", "srad", "sq_gemm", "pagerank"]
+
+
+@dataclass
+class ProactiveResult:
+    #: times[workload][strategy] (seconds); faults[workload][strategy]
+    times: Dict[str, Dict[str, float]]
+    faults: Dict[str, Dict[str, int]]
+
+    def ladm_speedup_over(self, strategy: str) -> float:
+        return geomean(
+            self.times[w][strategy] / self.times[w]["LADM"] for w in self.times
+        )
+
+    def render(self) -> str:
+        strategies = ["Batch+FT", "Reactive-Migration", "LADM"]
+        headers = ["workload"] + [f"{s} (faults)" for s in strategies]
+        rows = []
+        for wname in self.times:
+            rows.append(
+                [wname]
+                + [
+                    f"{self.times[wname][s] * 1e6:8.1f}us ({self.faults[wname][s]})"
+                    for s in strategies
+                ]
+            )
+        rows.append(
+            [
+                "LADM speedup",
+                f"{self.ladm_speedup_over('Batch+FT'):.2f}x",
+                f"{self.ladm_speedup_over('Reactive-Migration'):.2f}x",
+                "1.00x",
+            ]
+        )
+        return format_table(
+            headers, rows, title="Proactive (LADM) vs reactive placement"
+        )
+
+
+def run_proactive_comparison(
+    scale: Scale, workload_names: Optional[Sequence[str]] = None
+) -> ProactiveResult:
+    names = list(workload_names) if workload_names else DEFAULT_WORKLOADS
+    config = bench_hierarchical()
+    strategies = [
+        BatchFTStrategy(optimal=False),
+        ReactiveMigrationStrategy(),
+        LADMStrategy("crb"),
+    ]
+    times: Dict[str, Dict[str, float]] = {}
+    faults: Dict[str, Dict[str, int]] = {}
+    for name in names:
+        workload = get_workload(name)
+        program = workload.program(scale)
+        compiled = compile_program(program)
+        times[name] = {}
+        faults[name] = {}
+        for strategy in strategies:
+            run = simulate(program, strategy, config, compiled=compiled)
+            times[name][strategy.name] = run.total_time_s
+            faults[name][strategy.name] = run.total_faults
+    return ProactiveResult(times=times, faults=faults)
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="bench", choices=["bench", "test"])
+    parser.add_argument("--workloads", nargs="*", default=None)
+    args = parser.parse_args(argv)
+    print(run_proactive_comparison(scale_by_name(args.scale), args.workloads).render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+"""Shared experiment plumbing: strategy registry and run matrices."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.compiler.passes import compile_program
+from repro.engine.metrics import RunResult
+from repro.engine.simulator import simulate
+from repro.strategies import (
+    BatchFTStrategy,
+    CODAStrategy,
+    KernelWideStrategy,
+    LADMStrategy,
+    MonolithicStrategy,
+    RRStrategy,
+)
+from repro.topology.config import SystemConfig
+from repro.workloads.base import BENCH, TEST, Scale, Workload
+
+__all__ = ["strategy_by_name", "run_matrix", "MatrixResult", "scale_by_name"]
+
+
+def strategy_by_name(name: str):
+    """Construct a strategy from its reporting name."""
+    factory = {
+        "Baseline-RR": lambda: RRStrategy(),
+        "Batch+FT": lambda: BatchFTStrategy(optimal=False),
+        "Batch+FT-optimal": lambda: BatchFTStrategy(optimal=True),
+        "Kernel-wide": lambda: KernelWideStrategy(),
+        "CODA": lambda: CODAStrategy(hierarchical=False),
+        "H-CODA": lambda: CODAStrategy(hierarchical=True),
+        "LASP+RTWICE": lambda: LADMStrategy("rtwice"),
+        "LASP+RONCE": lambda: LADMStrategy("ronce"),
+        "LADM": lambda: LADMStrategy("crb"),
+        "Monolithic": lambda: MonolithicStrategy(),
+    }
+    try:
+        return factory[name]()
+    except KeyError:
+        raise ValueError(f"unknown strategy {name!r}; choose from {sorted(factory)}") from None
+
+
+def scale_by_name(name: str) -> Scale:
+    if name == "bench":
+        return BENCH
+    if name == "test":
+        return TEST
+    raise ValueError(f"unknown scale {name!r} (use 'bench' or 'test')")
+
+
+@dataclass
+class MatrixResult:
+    """Results of a (workload x strategy) sweep on fixed systems."""
+
+    scale: str
+    #: results[workload][strategy] -> RunResult
+    results: Dict[str, Dict[str, RunResult]] = field(default_factory=dict)
+
+    def get(self, workload: str, strategy: str) -> RunResult:
+        return self.results[workload][strategy]
+
+    def workloads(self) -> List[str]:
+        return list(self.results)
+
+    def speedups_over(
+        self, baseline: str, strategy: str
+    ) -> Dict[str, float]:
+        """Per-workload speedup of ``strategy`` normalised to ``baseline``."""
+        out = {}
+        for wname, by_strat in self.results.items():
+            out[wname] = by_strat[strategy].speedup_over(by_strat[baseline])
+        return out
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (the paper's summary statistic)."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def run_matrix(
+    workloads: Sequence[Workload],
+    strategies: Sequence[Tuple[str, SystemConfig]],
+    scale: Scale,
+    verbose: bool = False,
+) -> MatrixResult:
+    """Run every workload under every (strategy name, system) pair.
+
+    Programs are built and compiled once per workload and shared across
+    strategies (the static analysis is strategy-independent).
+    """
+    matrix = MatrixResult(scale=scale.name)
+    for workload in workloads:
+        program = workload.program(scale)
+        compiled = compile_program(program)
+        per_strategy: Dict[str, RunResult] = {}
+        for strat_name, config in strategies:
+            strategy = strategy_by_name(strat_name)
+            result = simulate(program, strategy, config, compiled=compiled)
+            per_strategy[strat_name] = result
+            if verbose:
+                print(f"  {workload.name:<14} {result.summary()}")
+        matrix.results[workload.name] = per_strategy
+    return matrix

@@ -1,0 +1,111 @@
+"""One-shot reproduction report: every artefact, one markdown document.
+
+``python -m repro summary --scale test --out report.md`` regenerates each
+table/figure harness and writes a single self-contained report -- the
+machine-generated twin of EXPERIMENTS.md for whatever scale/checkout you
+run it on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import time
+from typing import List, Optional
+
+from repro.experiments import (
+    ablations,
+    energy,
+    fig9,
+    fig11,
+    hw_validation,
+    oversubscription,
+    proactive,
+    table1,
+    table2,
+    table4,
+)
+from repro.experiments.runner import scale_by_name
+from repro.version import __version__
+from repro.workloads.base import Scale
+
+__all__ = ["build_summary"]
+
+
+def _block(text: str) -> str:
+    return "```\n" + text.rstrip() + "\n```\n"
+
+
+def build_summary(scale: Scale, include_fig4: bool = False) -> str:
+    """Run every harness at the given scale and render one markdown report.
+
+    Figure 4 is opt-in (it is by far the largest sweep).
+    """
+    out = io.StringIO()
+    started = time.strftime("%Y-%m-%d %H:%M:%S")
+    out.write(f"# LADM reproduction summary\n\n")
+    out.write(f"repro {__version__}, scale `{scale.name}`, generated {started}\n\n")
+
+    out.write("## Table II\n\n")
+    out.write(_block(table2.run_table2().render()))
+
+    out.write("\n## Table IV\n\n")
+    out.write(_block(table4.run_table4(scale, measure_mpki=True).render()))
+
+    out.write("\n## Figures 9 and 10\n\n")
+    f9 = fig9.run_fig9(scale)
+    out.write(_block(f9.render()))
+    out.write("\n")
+    out.write(_block(f9.render_traffic()))
+    out.write(
+        f"\nLADM vs H-CODA: **{f9.geomean_speedup('LADM'):.2f}x** performance, "
+        f"**{f9.ladm_traffic_reduction():.1f}x** traffic reduction "
+        f"(paper: 1.8x / 4x).\n"
+    )
+
+    out.write("\n## Table I\n\n")
+    out.write(_block(table1.run_table1(scale).render()))
+
+    out.write("\n## Figure 11\n\n")
+    out.write(_block(fig11.run_fig11(scale).render()))
+
+    if include_fig4:
+        from repro.experiments import fig4 as fig4_mod
+
+        out.write("\n## Figure 4\n\n")
+        out.write(_block(fig4_mod.run_fig4(scale).render()))
+
+    out.write("\n## Section IV-C hardware validation\n\n")
+    out.write(_block(hw_validation.run_hw_validation(scale).render()))
+
+    out.write("\n## Ablations\n\n")
+    out.write(_block(ablations.run_remote_caching_ablation(scale).render()))
+    out.write("\n")
+    out.write(_block(ablations.run_crb_ablation(scale).render()))
+
+    out.write("\n## Extensions\n\n")
+    out.write(_block(energy.run_energy_experiment(scale).render()))
+    out.write("\n")
+    out.write(_block(oversubscription.run_oversubscription(scale).render()))
+    out.write("\n")
+    out.write(_block(proactive.run_proactive_comparison(scale).render()))
+    return out.getvalue()
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="test", choices=["bench", "test"])
+    parser.add_argument("--out", default=None, help="write to a file instead of stdout")
+    parser.add_argument("--fig4", action="store_true", help="include the Figure-4 sweep")
+    args = parser.parse_args(argv)
+    report = build_summary(scale_by_name(args.scale), include_fig4=args.fig4)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(report)
+        print(f"wrote {args.out}")
+    else:
+        print(report)
+
+
+if __name__ == "__main__":
+    main()

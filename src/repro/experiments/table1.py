@@ -1,0 +1,193 @@
+"""Table I: which technique captures which locality pattern.
+
+The paper's Table I is qualitative; this harness makes every cell
+*measured*: each pattern row names a probe workload whose traffic is
+dominated by that pattern, and a technique "captures" the pattern when its
+off-node traffic share stays below a threshold (half of the pattern-blind
+worst case, and under 35% absolute).
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.compiler.passes import compile_program
+from repro.engine.simulator import simulate
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import scale_by_name, strategy_by_name
+from repro.strategies import (
+    LocalityAnnotation,
+    LocalityDescriptorStrategy,
+    PlacementHint,
+    SchedulerHint,
+)
+from repro.topology.config import bench_hierarchical
+from repro.workloads.base import Scale
+from repro.workloads.suite import get_workload
+
+__all__ = ["Table1Result", "run_table1", "PATTERNS", "TABLE1_STRATEGIES"]
+
+TABLE1_STRATEGIES = [
+    "Batch+FT-optimal",
+    "Kernel-wide",
+    "H-CODA",
+    "LD",
+    "LADM",
+]
+
+def _ld_strategy_for(probe: str, program) -> LocalityDescriptorStrategy:
+    """Hand-written Locality-Descriptor annotations per probe workload.
+
+    These are the expert hints the LD papers [80], [76], [43] require the
+    programmer to supply per application (including runtime values like the
+    grid-stride length, which the APIs take as arguments).  The point of
+    Table I's LD column: annotated patterns are captured, but nothing is
+    transparent -- an unannotated kernel gets the naive default.
+    """
+    launch = program.launches[0]
+    grid_stride_bytes = launch.grid.x * launch.kernel.block.x * 4
+    chunk = lambda *args: {a: PlacementHint.CHUNK for a in args}
+    annotations = {
+        "vecadd": {
+            "vecadd": LocalityAnnotation(SchedulerHint.CHUNK, chunk("A", "B", "C"))
+        },
+        # Grid-stride loop: contiguous TB chunks + stride-periodic data keep
+        # every +stride hop local (the hand-tuned equivalent of Equation 1).
+        "scalarprod": {
+            "scalarprod": LocalityAnnotation(
+                SchedulerHint.CHUNK,
+                placements={"A": PlacementHint.STRIDE, "B": PlacementHint.STRIDE},
+                stride_bytes={"A": grid_stride_bytes, "B": grid_stride_bytes},
+            )
+        },
+        "conv": {
+            "conv_rows": LocalityAnnotation(SchedulerHint.ROW_BIND, chunk("IN", "OUT"))
+        },
+        "histo_main": {
+            "histo_main": LocalityAnnotation(
+                SchedulerHint.COL_BIND,
+                placements={"IMG": PlacementHint.STRIDE},
+                stride_bytes={"IMG": grid_stride_bytes},  # one image row
+            )
+        },
+        "srad": {"srad": LocalityAnnotation(SchedulerHint.CHUNK, chunk("J", "OUT"))},
+        "kmeans_notex": {
+            "kmeans_kernel": LocalityAnnotation(
+                SchedulerHint.CHUNK, chunk("FEATURES", "CENTROIDS", "MEMBERSHIP")
+            )
+        },
+        "alexnet_fc2": {
+            f"{probe}_kernel": LocalityAnnotation(
+                SchedulerHint.COL_BIND,
+                placements={
+                    "B": PlacementHint.STRIDE,
+                    "C": PlacementHint.STRIDE,
+                    "A": PlacementHint.INTERLEAVE,
+                },
+                stride_bytes={"B": grid_stride_bytes, "C": grid_stride_bytes},
+            )
+        },
+    }
+    return LocalityDescriptorStrategy(annotations.get(probe, {}))
+
+#: pattern name -> probe workload
+PATTERNS = {
+    "Page alignment": "vecadd",
+    "Threadblock-stride aware": "scalarprod",
+    "Row sharing": "conv",
+    "Col sharing": "histo_main",
+    "Adjacent locality (stencil)": "srad",
+    "Intra-thread loc": "kmeans_notex",
+    "Input size aware": "alexnet_fc2",
+}
+
+#: The paper's qualitative expectations (Table I), for comparison.  The LD
+#: column captures everything *when annotated* -- the transparency row
+#: (not reproducible as traffic) is where it loses to LADM.
+PAPER_EXPECTATION = {
+    "Page alignment": {"Batch+FT-optimal": False, "Kernel-wide": True, "H-CODA": True, "LD": True, "LADM": True},
+    "Threadblock-stride aware": {"Batch+FT-optimal": True, "Kernel-wide": False, "H-CODA": False, "LD": True, "LADM": True},
+    "Row sharing": {"Batch+FT-optimal": False, "Kernel-wide": True, "H-CODA": False, "LD": True, "LADM": True},
+    "Col sharing": {"Batch+FT-optimal": False, "Kernel-wide": False, "H-CODA": False, "LD": True, "LADM": True},
+    "Adjacent locality (stencil)": {"Batch+FT-optimal": False, "Kernel-wide": True, "H-CODA": False, "LD": True, "LADM": True},
+    "Intra-thread loc": {"Batch+FT-optimal": True, "Kernel-wide": True, "H-CODA": False, "LD": True, "LADM": True},
+    "Input size aware": {"Batch+FT-optimal": False, "Kernel-wide": False, "H-CODA": False, "LD": True, "LADM": True},
+}
+
+ABSOLUTE_CAPTURE_THRESHOLD = 0.35
+
+
+@dataclass
+class Table1Result:
+    #: off_node[pattern][strategy] -> fraction
+    off_node: Dict[str, Dict[str, float]]
+
+    def captured(self, pattern: str, strategy: str) -> bool:
+        """Measured capture: clearly below the worst technique and <35%."""
+        row = self.off_node[pattern]
+        worst = max(row.values())
+        value = row[strategy]
+        return value < ABSOLUTE_CAPTURE_THRESHOLD and value <= 0.5 * worst + 1e-9
+
+    def render(self) -> str:
+        headers = ["pattern (probe)"] + TABLE1_STRATEGIES
+        rows = []
+        for pattern, probe in PATTERNS.items():
+            cells = []
+            for strat in TABLE1_STRATEGIES:
+                mark = "yes" if self.captured(pattern, strat) else "no "
+                cells.append(f"{mark} ({100 * self.off_node[pattern][strat]:4.1f}%)")
+            rows.append([f"{pattern} ({probe})"] + cells)
+        return format_table(
+            headers,
+            rows,
+            title="Table I (measured): captured = off-node traffic suppressed",
+        )
+
+    def matches_paper(self) -> Dict[str, Dict[str, bool]]:
+        """Where the measured matrix agrees with the paper's qualitative one."""
+        out: Dict[str, Dict[str, bool]] = {}
+        for pattern in PATTERNS:
+            out[pattern] = {}
+            for strat in TABLE1_STRATEGIES:
+                out[pattern][strat] = (
+                    self.captured(pattern, strat) == PAPER_EXPECTATION[pattern][strat]
+                )
+        return out
+
+
+def run_table1(scale: Scale, verbose: bool = False) -> Table1Result:
+    config = bench_hierarchical()
+    registry = [s for s in TABLE1_STRATEGIES if s != "LD"]
+    off_node: Dict[str, Dict[str, float]] = {}
+    for pattern, probe in PATTERNS.items():
+        workload = get_workload(probe)
+        program = workload.program(scale)
+        compiled = compile_program(program)
+        row: Dict[str, float] = {}
+        for name in registry:
+            run = simulate(program, strategy_by_name(name), config, compiled=compiled)
+            row[name] = run.off_node_fraction
+            if verbose:
+                print(f"  {probe:<14} {run.summary()}")
+        ld_run = simulate(
+            program, _ld_strategy_for(probe, program), config, compiled=compiled
+        )
+        row["LD"] = ld_run.off_node_fraction
+        if verbose:
+            print(f"  {probe:<14} {ld_run.summary()}")
+        off_node[pattern] = row
+    return Table1Result(off_node=off_node)
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="bench", choices=["bench", "test"])
+    args = parser.parse_args(argv)
+    print(run_table1(scale_by_name(args.scale), verbose=True).render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,150 @@
+"""Table II: the index-equation -> locality-type classification rules.
+
+Builds one canonical kernel per Table-II row and shows what Algorithm 1
+returns for it, together with the scheduling/placement/cache actions the
+LASP runtime would take.  Fully static -- no simulation.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.compiler.classify import AccessClassification, LocalityType, classify_access
+from repro.experiments.reporting import format_table
+from repro.kir.expr import BDX, BX, BY, GDX, M, TX, TY, param
+from repro.kir.kernel import Dim2, GlobalAccess, Kernel, LoopSpec, data_var
+
+__all__ = ["Table2Result", "run_table2", "canonical_accesses"]
+
+
+def canonical_accesses() -> List[Tuple[str, Kernel, GlobalAccess, LocalityType]]:
+    """One (description, kernel, access, expected type) per Table-II row."""
+    loop = LoopSpec(param("trip"))
+    b2 = Dim2(16, 16)
+    b1 = Dim2(128)
+    W = GDX * BDX
+    rows = []
+
+    acc = GlobalAccess("X", BY * 16 + BX * 16 + TX + M * 4 * W, in_loop=True)
+    rows.append(
+        (
+            "1: no locality, stride != 1",
+            Kernel("row1", b2, {"X": 4}, [acc], loop=loop),
+            acc,
+            LocalityType.NO_LOCALITY,
+        )
+    )
+    acc = GlobalAccess("X", (BY * 16 + TY) * 1024 + M * 16 + TX, in_loop=True)
+    rows.append(
+        (
+            "2: row-locality, horizontally shared",
+            Kernel("row2", b2, {"X": 4}, [acc], loop=loop),
+            acc,
+            LocalityType.ROW_SHARED_H,
+        )
+    )
+    acc = GlobalAccess("X", (BX * 16 + TX) * 1024 + M * 16 + TY, in_loop=True)
+    rows.append(
+        (
+            "3: column-locality, horizontally shared",
+            Kernel("row3", b2, {"X": 4}, [acc], loop=loop),
+            acc,
+            LocalityType.COL_SHARED_H,
+        )
+    )
+    acc = GlobalAccess("X", BY * 16 + TY + M * W, in_loop=True)
+    rows.append(
+        (
+            "4: row-locality, vertically shared",
+            Kernel("row4", b2, {"X": 4}, [acc], loop=loop),
+            acc,
+            LocalityType.ROW_SHARED_V,
+        )
+    )
+    acc = GlobalAccess("X", (M * 16 + TY) * W + BX * 16 + TX, in_loop=True)
+    rows.append(
+        (
+            "5: column-locality, vertically shared",
+            Kernel("row5", b2, {"X": 4}, [acc], loop=loop),
+            acc,
+            LocalityType.COL_SHARED_V,
+        )
+    )
+    acc = GlobalAccess("X", data_var("base") + M, in_loop=True)
+    rows.append(
+        (
+            "6: intra-thread locality",
+            Kernel("row6", b1, {"X": 4}, [acc], loop=loop),
+            acc,
+            LocalityType.INTRA_THREAD,
+        )
+    )
+    acc = GlobalAccess("X", data_var("indirect"))
+    rows.append(
+        (
+            "7: unclassified (X[Y[tid]])",
+            Kernel("row7", b1, {"X": 4}, [acc]),
+            acc,
+            LocalityType.UNCLASSIFIED,
+        )
+    )
+    return rows
+
+
+#: The Table-II action columns per locality type.
+ACTIONS: Dict[LocalityType, Tuple[str, str, str]] = {
+    LocalityType.NO_LOCALITY: ("Align-aware", "Stride-aware", "RTWICE"),
+    LocalityType.ROW_SHARED_H: ("Row-binding", "Row-based", "RTWICE"),
+    LocalityType.COL_SHARED_H: ("Col-binding", "Row-based", "RTWICE"),
+    LocalityType.ROW_SHARED_V: ("Row-binding", "Col-based", "RTWICE"),
+    LocalityType.COL_SHARED_V: ("Col-binding", "Col-based", "RTWICE"),
+    LocalityType.INTRA_THREAD: ("Kernel-wide", "Kernel-wide", "RONCE"),
+    LocalityType.UNCLASSIFIED: ("Kernel-wide", "Kernel-wide", "RTWICE"),
+}
+
+
+@dataclass
+class Table2Result:
+    rows: List[Tuple[str, AccessClassification, LocalityType]]
+
+    @property
+    def all_match(self) -> bool:
+        return all(c.locality is expected for _, c, expected in self.rows)
+
+    def render(self) -> str:
+        headers = ["index shape", "classified", "expected", "scheduling", "placement", "cache"]
+        table = []
+        for desc, classification, expected in self.rows:
+            sched, place, cache = ACTIONS[classification.locality]
+            mark = "" if classification.locality is expected else "  << MISMATCH"
+            table.append(
+                [
+                    desc,
+                    classification.locality.value + mark,
+                    expected.value,
+                    sched,
+                    place,
+                    cache,
+                ]
+            )
+        return format_table(headers, table, title="Table II: Algorithm 1 classification")
+
+
+def run_table2() -> Table2Result:
+    rows = []
+    for desc, kernel, access, expected in canonical_accesses():
+        rows.append((desc, classify_access(kernel, access), expected))
+    return Table2Result(rows=rows)
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    argparse.ArgumentParser(description=__doc__).parse_args(argv)
+    result = run_table2()
+    print(result.render())
+    print(f"\nall rows match Table II: {result.all_match}")
+
+
+if __name__ == "__main__":
+    main()

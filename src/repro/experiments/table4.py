@@ -1,0 +1,124 @@
+"""Table IV: workload characterisation.
+
+For every workload: the locality type the compiler detects, LASP's
+scheduler decision, the threadblock dimensions, the (scaled) input size,
+the number of launched threadblocks, and L2 sector MPKI measured under the
+baseline shared-L2 system (H-CODA, as representative NUMA baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.compiler.passes import compile_program
+from repro.engine.simulator import simulate
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import scale_by_name, strategy_by_name
+from repro.runtime.lasp import LASP
+from repro.topology.config import bench_hierarchical
+from repro.topology.system import SystemTopology
+from repro.workloads.base import Scale
+from repro.workloads.suite import all_workloads
+
+__all__ = ["Table4Row", "Table4Result", "run_table4"]
+
+
+@dataclass
+class Table4Row:
+    name: str
+    locality: str
+    expected_locality: str
+    scheduler: str
+    expected_scheduler: str
+    tb_dim: str
+    input_mb: float
+    launched_tbs: int
+    mpki: float
+
+    @property
+    def locality_matches(self) -> bool:
+        return self.locality == self.expected_locality
+
+
+@dataclass
+class Table4Result:
+    rows: List[Table4Row]
+
+    @property
+    def all_localities_match(self) -> bool:
+        return all(r.locality_matches for r in self.rows)
+
+    def render(self) -> str:
+        headers = [
+            "workload",
+            "locality",
+            "scheduler",
+            "TB dim",
+            "input",
+            "TBs",
+            "L2 MPKI",
+        ]
+        table = []
+        for r in self.rows:
+            mark = "" if r.locality_matches else " <<"
+            table.append(
+                [
+                    r.name,
+                    r.locality + mark,
+                    r.scheduler,
+                    r.tb_dim,
+                    f"{r.input_mb:6.1f} MB",
+                    str(r.launched_tbs),
+                    f"{r.mpki:7.1f}",
+                ]
+            )
+        return format_table(headers, table, title="Table IV: workload characterisation")
+
+
+def run_table4(scale: Scale, measure_mpki: bool = True, verbose: bool = False) -> Table4Result:
+    config = bench_hierarchical()
+    topology = SystemTopology(config)
+    rows: List[Table4Row] = []
+    for workload in all_workloads():
+        program = workload.program(scale)
+        compiled = compile_program(program)
+        launch = program.launches[0]
+        decision = LASP(compiled, topology).decide(launch)
+        mpki = 0.0
+        if measure_mpki:
+            run = simulate(
+                program, strategy_by_name("H-CODA"), config, compiled=compiled
+            )
+            mpki = run.mpki
+            if verbose:
+                print(f"  {workload.name:<14} {run.summary()}")
+        block = launch.kernel.block
+        rows.append(
+            Table4Row(
+                name=workload.name,
+                locality=decision.dominant_locality.value,
+                expected_locality=workload.expected_locality.value,
+                scheduler=decision.scheduler_desc,
+                expected_scheduler=workload.expected_scheduler,
+                tb_dim=f"({block.x},{block.y})",
+                input_mb=program.total_footprint_bytes() / (1024 * 1024),
+                launched_tbs=launch.num_threadblocks,
+                mpki=mpki,
+            )
+        )
+    return Table4Result(rows=rows)
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="bench", choices=["bench", "test"])
+    parser.add_argument("--no-mpki", action="store_true", help="skip simulation")
+    args = parser.parse_args(argv)
+    result = run_table4(scale_by_name(args.scale), measure_mpki=not args.no_mpki)
+    print(result.render())
+
+
+if __name__ == "__main__":
+    main()

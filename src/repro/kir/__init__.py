@@ -1,0 +1,67 @@
+"""Kernel IR: a symbolic stand-in for CUDA source code.
+
+The LADM compiler pass (paper Section III-C) analyses the *index expressions*
+of global-memory accesses after backward substitution into "prime" variables:
+thread ids, block ids, block/grid dimensions, the outer-loop induction
+variable, and constants.  This package provides exactly that representation:
+
+* :mod:`repro.kir.expr` -- integer multivariate polynomials over prime
+  variables and runtime parameters.
+* :mod:`repro.kir.kernel` -- kernels, global accesses, loop specs.
+* :mod:`repro.kir.program` -- whole programs (managed allocations + launches),
+  the unit the compiler and runtime operate on.
+"""
+
+from repro.kir.expr import (
+    BDX,
+    BDY,
+    BX,
+    BY,
+    GDX,
+    GDY,
+    M,
+    TX,
+    TY,
+    Expr,
+    Var,
+    VarKind,
+    const,
+    param,
+    var,
+)
+from repro.kir.kernel import (
+    AccessMode,
+    Dim2,
+    GlobalAccess,
+    IndirectAccess,
+    Kernel,
+    LoopSpec,
+)
+from repro.kir.program import Allocation, KernelLaunch, Program
+
+__all__ = [
+    "Expr",
+    "Var",
+    "VarKind",
+    "const",
+    "param",
+    "var",
+    "TX",
+    "TY",
+    "BX",
+    "BY",
+    "BDX",
+    "BDY",
+    "GDX",
+    "GDY",
+    "M",
+    "AccessMode",
+    "Dim2",
+    "GlobalAccess",
+    "IndirectAccess",
+    "Kernel",
+    "LoopSpec",
+    "Allocation",
+    "KernelLaunch",
+    "Program",
+]

@@ -1,0 +1,374 @@
+"""Integer multivariate polynomials over CUDA "prime" variables.
+
+The paper's index analysis (Section III-C) expands every global array index
+into *prime components*: thread ids, block ids, block dims, grid dims, loop
+induction variables, and constants.  An index such as::
+
+    A[Row * WIDTH + m * TILE + tx]        # Row = by*TILE + ty
+
+becomes, after backward substitution::
+
+    (by*TILE + ty) * (bdx*gdx) + m*TILE + tx
+
+which is a polynomial in the prime variables.  :class:`Expr` implements that
+polynomial ring: construction from variables/constants, ``+``, ``-``, ``*``,
+substitution (used both for backward substitution and for binding runtime
+parameters at launch), exact division (used to extract strides, Algorithm 1
+lines 5/13), and dependence queries (``loopInvariant(bx, by, ...)`` style
+tests from Table II).
+
+Expressions are immutable and hashable.  Internally an expression is a
+mapping from *monomials* to integer coefficients, where a monomial is a
+sorted tuple of ``(variable, power)`` pairs.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Mapping, Tuple, Union
+
+from repro.errors import ExpressionError
+
+__all__ = [
+    "VarKind",
+    "Var",
+    "Expr",
+    "var",
+    "const",
+    "param",
+    "TX",
+    "TY",
+    "BX",
+    "BY",
+    "BDX",
+    "BDY",
+    "GDX",
+    "GDY",
+    "M",
+]
+
+
+class VarKind(enum.Enum):
+    """Classes of prime variables recognised by the index analysis."""
+
+    THREAD = "thread"  # tx, ty: thread index within the block
+    BLOCK = "block"  # bx, by: block index within the grid
+    BLOCK_DIM = "block_dim"  # bdx, bdy
+    GRID_DIM = "grid_dim"  # gdx, gdy
+    INDUCTION = "induction"  # m: the kernel's outermost loop counter
+    PARAM = "param"  # runtime parameters (matrix widths etc.)
+
+
+class Var:
+    """A named prime variable.
+
+    Two variables are equal iff their names are equal; the kind is carried
+    for classification (e.g. "does the loop-invariant group depend on any
+    BLOCK variable?").
+    """
+
+    __slots__ = ("name", "kind")
+
+    def __init__(self, name: str, kind: VarKind):
+        self.name = name
+        self.kind = kind
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Var) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+    def __lt__(self, other: "Var") -> bool:
+        return self.name < other.name
+
+    # Convenience: allow `tx * 4 + m` style arithmetic directly on variables.
+    def _expr(self) -> "Expr":
+        return Expr.from_var(self)
+
+    def __add__(self, other: "ExprLike") -> "Expr":
+        return self._expr() + other
+
+    def __radd__(self, other: "ExprLike") -> "Expr":
+        return self._expr() + other
+
+    def __sub__(self, other: "ExprLike") -> "Expr":
+        return self._expr() - other
+
+    def __rsub__(self, other: "ExprLike") -> "Expr":
+        return (-self._expr()) + other
+
+    def __mul__(self, other: "ExprLike") -> "Expr":
+        return self._expr() * other
+
+    def __rmul__(self, other: "ExprLike") -> "Expr":
+        return self._expr() * other
+
+    def __neg__(self) -> "Expr":
+        return -self._expr()
+
+
+# A monomial is a product of variables with positive integer powers,
+# canonicalised as a tuple sorted by variable name.  The empty tuple is the
+# constant monomial.
+Monomial = Tuple[Tuple[Var, int], ...]
+_ONE: Monomial = ()
+
+ExprLike = Union["Expr", Var, int]
+
+
+def _mono_mul(a: Monomial, b: Monomial) -> Monomial:
+    powers: Dict[Var, int] = {}
+    for v, p in a:
+        powers[v] = powers.get(v, 0) + p
+    for v, p in b:
+        powers[v] = powers.get(v, 0) + p
+    return tuple(sorted(powers.items(), key=lambda vp: vp[0].name))
+
+
+def _mono_vars(mono: Monomial) -> Tuple[Var, ...]:
+    return tuple(v for v, _ in mono)
+
+
+class Expr:
+    """An immutable integer polynomial over :class:`Var`.
+
+    Use module helpers :func:`var`, :func:`const`, :func:`param` and the
+    predefined prime variables (``TX``, ``BX``, ``M``, ...) to build
+    expressions with ordinary Python arithmetic.
+    """
+
+    __slots__ = ("_terms",)
+
+    def __init__(self, terms: Mapping[Monomial, int]):
+        self._terms: Dict[Monomial, int] = {m: c for m, c in terms.items() if c != 0}
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_const(value: int) -> "Expr":
+        """The constant polynomial ``value``."""
+        return Expr({_ONE: int(value)})
+
+    @staticmethod
+    def from_var(v: Var) -> "Expr":
+        """The polynomial consisting of the single variable ``v``."""
+        return Expr({((v, 1),): 1})
+
+    @staticmethod
+    def coerce(value: ExprLike) -> "Expr":
+        """Coerce an int, :class:`Var` or :class:`Expr` into an :class:`Expr`."""
+        if isinstance(value, Expr):
+            return value
+        if isinstance(value, Var):
+            return Expr.from_var(value)
+        if isinstance(value, int):
+            return Expr.from_const(value)
+        raise ExpressionError(f"cannot coerce {value!r} into an Expr")
+
+    # ------------------------------------------------------------------
+    # Ring operations
+    # ------------------------------------------------------------------
+    def __add__(self, other: ExprLike) -> "Expr":
+        other = Expr.coerce(other)
+        terms = dict(self._terms)
+        for mono, coeff in other._terms.items():
+            terms[mono] = terms.get(mono, 0) + coeff
+        return Expr(terms)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Expr":
+        return Expr({m: -c for m, c in self._terms.items()})
+
+    def __sub__(self, other: ExprLike) -> "Expr":
+        return self + (-Expr.coerce(other))
+
+    def __rsub__(self, other: ExprLike) -> "Expr":
+        return (-self) + other
+
+    def __mul__(self, other: ExprLike) -> "Expr":
+        other = Expr.coerce(other)
+        terms: Dict[Monomial, int] = {}
+        for m1, c1 in self._terms.items():
+            for m2, c2 in other._terms.items():
+                mono = _mono_mul(m1, m2)
+                terms[mono] = terms.get(mono, 0) + c1 * c2
+        return Expr(terms)
+
+    __rmul__ = __mul__
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    @property
+    def is_zero(self) -> bool:
+        return not self._terms
+
+    @property
+    def is_constant(self) -> bool:
+        return all(m == _ONE for m in self._terms)
+
+    def constant_value(self) -> int:
+        """Return the integer value of a constant expression."""
+        if not self.is_constant:
+            raise ExpressionError(f"{self} is not constant")
+        return self._terms.get(_ONE, 0)
+
+    def variables(self) -> frozenset:
+        """All variables appearing with a nonzero coefficient."""
+        out = set()
+        for mono in self._terms:
+            out.update(_mono_vars(mono))
+        return frozenset(out)
+
+    def depends_on(self, *vs: Var) -> bool:
+        """True if any of ``vs`` appears anywhere in the expression."""
+        names = {v.name for v in vs}
+        return any(v.name in names for v in self.variables())
+
+    def depends_on_kind(self, kind: VarKind) -> bool:
+        """True if any variable of the given kind appears in the expression."""
+        return any(v.kind is kind for v in self.variables())
+
+    def terms(self) -> Mapping[Monomial, int]:
+        """Read-only view of the monomial -> coefficient mapping."""
+        return dict(self._terms)
+
+    # ------------------------------------------------------------------
+    # The loop-variant / loop-invariant split (paper Section III-C)
+    # ------------------------------------------------------------------
+    def split_by(self, v: Var) -> Tuple["Expr", "Expr"]:
+        """Split into ``(variant, invariant)`` groups with respect to ``v``.
+
+        The *variant* group collects every term in which ``v`` appears; the
+        *invariant* group is the rest.  ``variant + invariant == self``.
+        """
+        variant: Dict[Monomial, int] = {}
+        invariant: Dict[Monomial, int] = {}
+        for mono, coeff in self._terms.items():
+            if any(mv == v for mv in _mono_vars(mono)):
+                variant[mono] = coeff
+            else:
+                invariant[mono] = coeff
+        return Expr(variant), Expr(invariant)
+
+    def div_by_var(self, v: Var) -> "Expr":
+        """Exact division by the variable ``v`` (stride extraction).
+
+        Every monomial must contain ``v``; its power is reduced by one.
+        Used by Algorithm 1 to compute ``stride = loopVariant(m, ...) / m``.
+        """
+        terms: Dict[Monomial, int] = {}
+        for mono, coeff in self._terms.items():
+            powers = dict(mono)
+            if v not in powers:
+                raise ExpressionError(f"{self} is not divisible by {v}")
+            if powers[v] == 1:
+                del powers[v]
+            else:
+                powers[v] -= 1
+            new_mono = tuple(sorted(powers.items(), key=lambda vp: vp[0].name))
+            terms[new_mono] = terms.get(new_mono, 0) + coeff
+        return Expr(terms)
+
+    # ------------------------------------------------------------------
+    # Substitution and evaluation
+    # ------------------------------------------------------------------
+    def subst(self, bindings: Mapping[Var, ExprLike]) -> "Expr":
+        """Replace variables with expressions/constants (backward substitution)."""
+        result = Expr.from_const(0)
+        for mono, coeff in self._terms.items():
+            term = Expr.from_const(coeff)
+            for v, power in mono:
+                replacement = Expr.coerce(bindings.get(v, v))
+                for _ in range(power):
+                    term = term * replacement
+            result = result + term
+        return result
+
+    def evaluate(self, env: Mapping[Var, int]) -> int:
+        """Evaluate to an integer; every variable must be bound in ``env``."""
+        total = 0
+        for mono, coeff in self._terms.items():
+            value = coeff
+            for v, power in mono:
+                if v not in env:
+                    raise ExpressionError(f"unbound variable {v} while evaluating {self}")
+                value *= int(env[v]) ** power
+            total += value
+        return total
+
+    def evaluate_vectorized(self, env: Mapping[Var, object]):
+        """Evaluate with numpy-array bindings; returns a numpy array (or scalar).
+
+        ``env`` values may be numpy arrays (broadcastable against each other)
+        or plain ints.  Used by the trace generator to evaluate an index
+        expression for a whole warp/block of threads at once.
+        """
+        total = None
+        for mono, coeff in self._terms.items():
+            value = coeff
+            for v, power in mono:
+                if v not in env:
+                    raise ExpressionError(f"unbound variable {v} while evaluating {self}")
+                value = value * (env[v] ** power)
+            total = value if total is None else total + value
+        if total is None:
+            return 0
+        return total
+
+    # ------------------------------------------------------------------
+    # Dunder plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (int, Var)):
+            other = Expr.coerce(other)
+        if not isinstance(other, Expr):
+            return NotImplemented
+        return self._terms == other._terms
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._terms.items()))
+
+    def __repr__(self) -> str:
+        if not self._terms:
+            return "0"
+        parts = []
+        for mono, coeff in sorted(self._terms.items(), key=lambda mc: str(mc[0])):
+            factors = [str(coeff)] if (coeff != 1 or mono == _ONE) else []
+            for v, power in mono:
+                factors.append(v.name if power == 1 else f"{v.name}^{power}")
+            parts.append("*".join(factors))
+        return " + ".join(parts)
+
+
+def var(name: str, kind: VarKind) -> Var:
+    """Create a prime variable of the given kind."""
+    return Var(name, kind)
+
+
+def const(value: int) -> Expr:
+    """Create a constant expression."""
+    return Expr.from_const(value)
+
+
+def param(name: str) -> Var:
+    """Create a runtime-parameter variable (bound to an int at launch time)."""
+    return Var(name, VarKind.PARAM)
+
+
+# The canonical prime variables of the CUDA execution model.
+TX = Var("tx", VarKind.THREAD)
+TY = Var("ty", VarKind.THREAD)
+BX = Var("bx", VarKind.BLOCK)
+BY = Var("by", VarKind.BLOCK)
+BDX = Var("bdx", VarKind.BLOCK_DIM)
+BDY = Var("bdy", VarKind.BLOCK_DIM)
+GDX = Var("gdx", VarKind.GRID_DIM)
+GDY = Var("gdy", VarKind.GRID_DIM)
+M = Var("m", VarKind.INDUCTION)

@@ -1,0 +1,169 @@
+"""Whole-program IR: managed allocations plus kernel launches.
+
+This mirrors the host-side structure the paper's runtime consumes (Figure 5):
+a sequence of ``cudaMallocManaged`` calls, each tagged with a *MallocPC*, and
+kernel launches whose pointer arguments bind to those allocations.  The
+compiler's alias analysis (``repro.compiler.aliasing``) connects the two, and
+the locality table is keyed by ``(kernel, argument)`` tuples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.errors import KernelIRError
+from repro.kir.expr import BDX, BDY, GDX, GDY, Var
+from repro.kir.kernel import Dim2, Kernel
+
+__all__ = ["Allocation", "KernelLaunch", "Program"]
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """One ``cudaMallocManaged`` call.
+
+    ``malloc_pc`` is the host program counter of the call site, the key the
+    paper uses to connect static analysis with runtime allocation facts.
+    """
+
+    name: str
+    num_elements: int
+    element_size: int
+    malloc_pc: int
+
+    def __post_init__(self) -> None:
+        if self.num_elements <= 0:
+            raise KernelIRError(f"allocation {self.name!r}: num_elements must be > 0")
+        if self.element_size <= 0:
+            raise KernelIRError(f"allocation {self.name!r}: element_size must be > 0")
+
+    @property
+    def size_bytes(self) -> int:
+        return self.num_elements * self.element_size
+
+
+@dataclass(frozen=True)
+class KernelLaunch:
+    """A kernel launch: grid shape, argument bindings and runtime parameters.
+
+    ``args`` maps kernel argument names to allocation names.  ``params`` binds
+    the kernel's runtime-parameter variables (matrix widths, loop trip
+    parameters) to concrete integers for this launch.
+    """
+
+    kernel: Kernel
+    grid: Dim2
+    args: Mapping[str, str]
+    params: Mapping[Var, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        missing = set(self.kernel.arrays) - set(self.args)
+        if missing:
+            raise KernelIRError(
+                f"launch of {self.kernel.name!r}: unbound arguments {sorted(missing)}"
+            )
+
+    def launch_env(self) -> Dict[Var, int]:
+        """The evaluation environment fixed at launch: dims plus parameters."""
+        env: Dict[Var, int] = {
+            BDX: self.kernel.block.x,
+            BDY: self.kernel.block.y,
+            GDX: self.grid.x,
+            GDY: self.grid.y,
+        }
+        env.update(self.params)
+        return env
+
+    @property
+    def num_threadblocks(self) -> int:
+        return self.grid.count
+
+    @property
+    def threads_per_block(self) -> int:
+        return self.kernel.block.count
+
+    def trip_count(self) -> int:
+        """Outer-loop iterations for this launch (1 for loop-less kernels)."""
+        if self.kernel.loop is None:
+            return 1
+        return max(1, self.kernel.loop.trip_count(self.launch_env()))
+
+
+class Program:
+    """A host program: allocations in call order, then kernel launches.
+
+    The insertion order of allocations defines their MallocPCs and their
+    layout in the simulated virtual address space.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._allocations: Dict[str, Allocation] = {}
+        self._launches: List[KernelLaunch] = []
+        self._next_pc = 0x400
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def malloc_managed(self, name: str, num_elements: int, element_size: int) -> Allocation:
+        """Record a ``cudaMallocManaged`` call and return the allocation."""
+        if name in self._allocations:
+            raise KernelIRError(f"allocation {name!r} already exists in {self.name!r}")
+        alloc = Allocation(
+            name=name,
+            num_elements=num_elements,
+            element_size=element_size,
+            malloc_pc=self._next_pc,
+        )
+        self._next_pc += 4
+        self._allocations[name] = alloc
+        return alloc
+
+    def launch(
+        self,
+        kernel: Kernel,
+        grid: Dim2,
+        args: Mapping[str, str],
+        params: Optional[Mapping[Var, int]] = None,
+    ) -> KernelLaunch:
+        """Record a kernel launch; argument bindings must name known allocations."""
+        for arg, alloc_name in args.items():
+            if alloc_name not in self._allocations:
+                raise KernelIRError(
+                    f"launch of {kernel.name!r}: argument {arg!r} binds to "
+                    f"unknown allocation {alloc_name!r}"
+                )
+        kl = KernelLaunch(kernel=kernel, grid=grid, args=dict(args), params=dict(params or {}))
+        self._launches.append(kl)
+        return kl
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def allocations(self) -> Mapping[str, Allocation]:
+        return dict(self._allocations)
+
+    @property
+    def launches(self) -> List[KernelLaunch]:
+        return list(self._launches)
+
+    def allocation(self, name: str) -> Allocation:
+        try:
+            return self._allocations[name]
+        except KeyError:
+            raise KernelIRError(f"no allocation named {name!r} in {self.name!r}") from None
+
+    def allocation_for(self, launch: KernelLaunch, arg: str) -> Allocation:
+        """The allocation bound to a launch argument."""
+        return self.allocation(launch.args[arg])
+
+    def total_footprint_bytes(self) -> int:
+        return sum(a.size_bytes for a in self._allocations.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"Program({self.name!r}, {len(self._allocations)} allocations, "
+            f"{len(self._launches)} launches)"
+        )

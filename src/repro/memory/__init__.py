@@ -1,0 +1,12 @@
+"""Memory substrate: the flat managed address space and the page table.
+
+Allocations from :class:`repro.kir.Program` are laid out page-aligned in one
+virtual address space; the page table maps every page to its *home node*
+(the chiplet whose HBM holds it), either eagerly (LASP and the proactive
+baselines) or lazily via first-touch faulting (Batch+FT).
+"""
+
+from repro.memory.address_space import AddressSpace, Extent
+from repro.memory.page_table import FIRST_TOUCH_UNMAPPED, PageTable
+
+__all__ = ["AddressSpace", "Extent", "PageTable", "FIRST_TOUCH_UNMAPPED"]

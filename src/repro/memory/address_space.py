@@ -1,0 +1,118 @@
+"""The simulated managed (UVM) virtual address space.
+
+Every allocation receives a page-aligned extent, assigned in program order
+starting above a fixed base.  Addressing helpers convert element indices to
+byte addresses, sector ids and page ids; the trace generator uses the
+vectorised forms on whole numpy index arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+from repro.errors import MemoryError_
+from repro.kir.program import Program
+
+__all__ = ["Extent", "AddressSpace"]
+
+_BASE_ADDRESS = 0x1000_0000
+
+
+class Extent:
+    """One allocation's slice of the address space."""
+
+    __slots__ = ("name", "base", "size_bytes", "element_size", "num_elements")
+
+    def __init__(self, name: str, base: int, num_elements: int, element_size: int):
+        self.name = name
+        self.base = base
+        self.num_elements = num_elements
+        self.element_size = element_size
+        self.size_bytes = num_elements * element_size
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size_bytes
+
+    def __repr__(self) -> str:
+        return f"Extent({self.name}: 0x{self.base:X}+{self.size_bytes})"
+
+
+class AddressSpace:
+    """Page-aligned layout of all managed allocations of a program."""
+
+    def __init__(self, program: Program, page_size: int):
+        if page_size <= 0 or page_size & (page_size - 1):
+            raise MemoryError_(f"page size must be a power of two, got {page_size}")
+        self.page_size = page_size
+        self._extents: Dict[str, Extent] = {}
+        cursor = _BASE_ADDRESS
+        for alloc in program.allocations.values():
+            extent = Extent(alloc.name, cursor, alloc.num_elements, alloc.element_size)
+            self._extents[alloc.name] = extent
+            cursor = self._align_up(extent.end)
+        self._end = cursor
+
+    def _align_up(self, addr: int) -> int:
+        return (addr + self.page_size - 1) & ~(self.page_size - 1)
+
+    # ------------------------------------------------------------------
+    # Layout queries
+    # ------------------------------------------------------------------
+    def extent(self, name: str) -> Extent:
+        try:
+            return self._extents[name]
+        except KeyError:
+            raise MemoryError_(f"no extent for allocation {name!r}") from None
+
+    def extents(self) -> Mapping[str, Extent]:
+        return dict(self._extents)
+
+    @property
+    def first_page(self) -> int:
+        return _BASE_ADDRESS // self.page_size
+
+    @property
+    def num_pages(self) -> int:
+        """Total pages spanned by all allocations."""
+        return (self._align_up(self._end) // self.page_size) - self.first_page
+
+    def page_range(self, name: str) -> Tuple[int, int]:
+        """[first, last) page index (zero-based within the table) of an allocation."""
+        ext = self.extent(name)
+        first = ext.base // self.page_size - self.first_page
+        last = (self._align_up(ext.end)) // self.page_size - self.first_page
+        return first, last
+
+    def owner_of_page(self, page_index: int) -> str:
+        """Which allocation a (table-relative) page belongs to."""
+        addr = (page_index + self.first_page) * self.page_size
+        for ext in self._extents.values():
+            if ext.base <= addr < self._align_up(ext.end):
+                return ext.name
+        raise MemoryError_(f"page {page_index} belongs to no allocation")
+
+    # ------------------------------------------------------------------
+    # Vectorised translation (hot path)
+    # ------------------------------------------------------------------
+    def element_addresses(self, name: str, elements: np.ndarray) -> np.ndarray:
+        """Byte addresses of element indices; bounds-checked."""
+        ext = self.extent(name)
+        elements = np.asarray(elements, dtype=np.int64)
+        if elements.size and (elements.min() < 0 or elements.max() >= ext.num_elements):
+            bad = elements[(elements < 0) | (elements >= ext.num_elements)]
+            raise MemoryError_(
+                f"out-of-bounds access to {name!r}: element {int(bad[0])} "
+                f"outside [0, {ext.num_elements})"
+            )
+        return ext.base + elements * ext.element_size
+
+    def pages_of_addresses(self, addresses: np.ndarray) -> np.ndarray:
+        """Table-relative page indices for byte addresses."""
+        return np.asarray(addresses, dtype=np.int64) // self.page_size - self.first_page
+
+    def sectors_of_addresses(self, addresses: np.ndarray, sector_bytes: int) -> np.ndarray:
+        """Global sector ids for byte addresses."""
+        return np.asarray(addresses, dtype=np.int64) // sector_bytes

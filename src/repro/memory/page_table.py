@@ -1,0 +1,113 @@
+"""The page table: page -> home node, with optional first-touch faulting.
+
+Proactive policies (LASP, kernel-wide, CODA, round-robin) fill the table
+before a kernel runs.  The reactive Batch+FT baseline leaves pages unmapped
+(:data:`FIRST_TOUCH_UNMAPPED`) and resolves them to the node of the first
+toucher, counting the UVM fault that the paper charges 20-50 microseconds
+for (Section II-B).
+"""
+
+from __future__ import annotations
+
+
+import numpy as np
+
+from repro.errors import MemoryError_
+from repro.memory.address_space import AddressSpace
+
+__all__ = ["FIRST_TOUCH_UNMAPPED", "PageTable"]
+
+FIRST_TOUCH_UNMAPPED = -1
+
+
+class PageTable:
+    """Home-node mapping for every page of an address space."""
+
+    def __init__(self, space: AddressSpace, num_nodes: int):
+        self.space = space
+        self.num_nodes = num_nodes
+        self._home = np.full(space.num_pages, FIRST_TOUCH_UNMAPPED, dtype=np.int32)
+        self.fault_count = 0
+        self._unmapped = int(space.num_pages)
+
+    # ------------------------------------------------------------------
+    # Population
+    # ------------------------------------------------------------------
+    def map_allocation(self, name: str, homes: np.ndarray) -> None:
+        """Assign home nodes for every page of one allocation.
+
+        ``homes`` must have one entry per page of the allocation, each in
+        ``[0, num_nodes)`` or :data:`FIRST_TOUCH_UNMAPPED`.
+        """
+        first, last = self.space.page_range(name)
+        homes = np.asarray(homes, dtype=np.int32)
+        if homes.shape != (last - first,):
+            raise MemoryError_(
+                f"allocation {name!r} spans {last - first} pages, "
+                f"got {homes.shape[0]} home entries"
+            )
+        valid = (homes == FIRST_TOUCH_UNMAPPED) | (
+            (homes >= 0) & (homes < self.num_nodes)
+        )
+        if not valid.all():
+            raise MemoryError_(f"allocation {name!r}: home node out of range")
+        before = int((self._home[first:last] == FIRST_TOUCH_UNMAPPED).sum())
+        self._home[first:last] = homes
+        after = int((self._home[first:last] == FIRST_TOUCH_UNMAPPED).sum())
+        self._unmapped += after - before
+
+    def map_all_unmapped_to(self, node: int) -> None:
+        """Fallback: pin every still-unmapped page to one node."""
+        if not 0 <= node < self.num_nodes:
+            raise MemoryError_(f"node {node} out of range")
+        self._home[self._home == FIRST_TOUCH_UNMAPPED] = node
+        self._unmapped = 0
+
+    # ------------------------------------------------------------------
+    # Lookup (hot path)
+    # ------------------------------------------------------------------
+    def homes_of_pages(self, pages: np.ndarray, toucher: int) -> np.ndarray:
+        """Home nodes for a batch of page indices, faulting unmapped pages in.
+
+        Unmapped pages are assigned to ``toucher`` (first-touch) and counted
+        as faults.  Returns an int32 array of nodes aligned with ``pages``.
+        """
+        pages = np.asarray(pages, dtype=np.int64)
+        homes = self._home[pages]
+        if self._unmapped == 0:
+            return homes
+        unmapped = homes == FIRST_TOUCH_UNMAPPED
+        if unmapped.any():
+            faulting = np.unique(pages[unmapped])
+            # Only pages still unmapped fault (duplicates in this batch don't).
+            still = self._home[faulting] == FIRST_TOUCH_UNMAPPED
+            faulting = faulting[still]
+            self._home[faulting] = toucher
+            self.fault_count += int(faulting.size)
+            self._unmapped -= int(faulting.size)
+            homes = self._home[pages]
+        return homes
+
+    def home_of_page(self, page: int, toucher: int = 0) -> int:
+        return int(self.homes_of_pages(np.array([page]), toucher)[0])
+
+    @property
+    def has_unmapped(self) -> bool:
+        return self._unmapped > 0
+
+    @property
+    def mapped_fraction(self) -> float:
+        if self._home.size == 0:
+            return 1.0
+        return float((self._home != FIRST_TOUCH_UNMAPPED).mean())
+
+    def node_page_counts(self) -> np.ndarray:
+        """Pages resident per node (unmapped pages excluded)."""
+        counts = np.zeros(self.num_nodes, dtype=np.int64)
+        mapped = self._home[self._home != FIRST_TOUCH_UNMAPPED]
+        np.add.at(counts, mapped, 1)
+        return counts
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of the raw page->home array (for tests/diagnostics)."""
+        return self._home.copy()

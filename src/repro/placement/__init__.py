@@ -1,0 +1,32 @@
+"""Page-placement policies.
+
+Each policy answers one question: for an allocation spanning ``n`` pages,
+which node is each page's home?  LASP composes these primitives according to
+the locality table (stride-aware interleave, row/column-based placement,
+kernel-wide chunks); the baselines use them directly (round-robin
+interleave, first-touch).
+"""
+
+from repro.placement.policies import (
+    ChunkedPlacement,
+    FirstTouchPlacement,
+    FunctionPlacement,
+    InterleavePlacement,
+    PlacementContext,
+    PlacementPolicy,
+    SingleNodePlacement,
+    StridePeriodicPlacement,
+    stride_aware_granularity,
+)
+
+__all__ = [
+    "PlacementPolicy",
+    "PlacementContext",
+    "InterleavePlacement",
+    "ChunkedPlacement",
+    "FunctionPlacement",
+    "FirstTouchPlacement",
+    "SingleNodePlacement",
+    "StridePeriodicPlacement",
+    "stride_aware_granularity",
+]

@@ -1,0 +1,197 @@
+"""Placement-policy primitives (paper Section III-D1).
+
+The policies are deliberately small and composable: LASP's named policies
+map onto them as
+
+* stride-aware placement  -> :class:`InterleavePlacement` with the Equation-1
+  granularity from :func:`stride_aware_granularity`,
+* row/column-based placement -> :class:`FunctionPlacement` with a
+  page->node function derived from the index analysis,
+* kernel-wide data partitioning -> :class:`ChunkedPlacement`,
+* Batch+FT's reactive placement -> :class:`FirstTouchPlacement`.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import PlacementError
+from repro.memory.page_table import FIRST_TOUCH_UNMAPPED
+
+__all__ = [
+    "PlacementContext",
+    "PlacementPolicy",
+    "InterleavePlacement",
+    "ChunkedPlacement",
+    "FunctionPlacement",
+    "FirstTouchPlacement",
+    "SingleNodePlacement",
+    "stride_aware_granularity",
+]
+
+
+@dataclass(frozen=True)
+class PlacementContext:
+    """Everything a placement policy may consult.
+
+    ``node_order`` is the sequence in which chunks are dealt to nodes; the
+    hierarchical system uses plain node order (chiplets of a GPU are
+    contiguous), which keeps kernel-wide chunks GPU-local first.
+    """
+
+    num_nodes: int
+    page_size: int
+    node_order: Sequence[int]
+
+    def __post_init__(self) -> None:
+        if sorted(self.node_order) != list(range(self.num_nodes)):
+            raise PlacementError(
+                f"node_order must be a permutation of 0..{self.num_nodes - 1}"
+            )
+
+
+class PlacementPolicy(abc.ABC):
+    """Maps each page of one allocation to a home node."""
+
+    @abc.abstractmethod
+    def homes(self, num_pages: int, ctx: PlacementContext) -> np.ndarray:
+        """Home node per page; entries may be FIRST_TOUCH_UNMAPPED."""
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class InterleavePlacement(PlacementPolicy):
+    """Round-robin interleaving in chunks of ``granularity_pages`` pages.
+
+    Granularity 1 is the baseline page interleave; larger granularities
+    implement the paper's Equation-1 stride-aware placement.
+    """
+
+    def __init__(self, granularity_pages: int = 1):
+        if granularity_pages < 1:
+            raise PlacementError("interleave granularity must be >= 1 page")
+        self.granularity_pages = granularity_pages
+
+    def homes(self, num_pages: int, ctx: PlacementContext) -> np.ndarray:
+        order = np.asarray(ctx.node_order, dtype=np.int32)
+        chunk = np.arange(num_pages, dtype=np.int64) // self.granularity_pages
+        return order[(chunk % ctx.num_nodes).astype(np.int64)]
+
+    def describe(self) -> str:
+        return f"interleave(g={self.granularity_pages}p)"
+
+
+class ChunkedPlacement(PlacementPolicy):
+    """Kernel-wide data partitioning: N contiguous, near-equal chunks."""
+
+    def homes(self, num_pages: int, ctx: PlacementContext) -> np.ndarray:
+        order = np.asarray(ctx.node_order, dtype=np.int32)
+        if num_pages == 0:
+            return np.empty(0, dtype=np.int32)
+        pages = np.arange(num_pages, dtype=np.int64)
+        # Proportional contiguous chunks (matches the kernel-wide scheduler).
+        return order[(pages * ctx.num_nodes) // num_pages]
+
+    def describe(self) -> str:
+        return "kernel-wide-chunks"
+
+
+class FunctionPlacement(PlacementPolicy):
+    """Placement computed by an arbitrary page->node function.
+
+    ``fn`` receives the array of page indices (0-based within the
+    allocation) and the context, and returns the node per page.  Used for
+    row-based and column-based placement where the node follows the
+    threadblock-binding schedule.
+    """
+
+    def __init__(self, fn: Callable[[np.ndarray, PlacementContext], np.ndarray], label: str):
+        self.fn = fn
+        self.label = label
+
+    def homes(self, num_pages: int, ctx: PlacementContext) -> np.ndarray:
+        pages = np.arange(num_pages, dtype=np.int64)
+        nodes = np.asarray(self.fn(pages, ctx), dtype=np.int32)
+        if nodes.shape != pages.shape:
+            raise PlacementError(f"{self.label}: function returned wrong shape")
+        if nodes.size and (nodes.min() < 0 or nodes.max() >= ctx.num_nodes):
+            raise PlacementError(f"{self.label}: node out of range")
+        return nodes
+
+    def describe(self) -> str:
+        return self.label
+
+
+class StridePeriodicPlacement(PlacementPolicy):
+    """Stride-aware placement: split each stride period across the nodes.
+
+    Equation 1 of the paper interleaves round-robin at granularity
+    ``ceil(stride / #nodes) / pageSize``; applied as a plain modulo that
+    drifts whenever the stride is not an exact multiple of
+    ``#nodes * granularity * pageSize``.  Mapping by *position within the
+    stride period* keeps ``addr`` and ``addr + k*stride`` on the same node
+    for every k, which is the property the paper's co-location argument
+    actually needs.
+    """
+
+    def __init__(self, stride_bytes: int, page_size: int):
+        if stride_bytes <= 0:
+            raise PlacementError("stride must be positive")
+        self.stride_bytes = stride_bytes
+        self.page_size = page_size
+
+    def homes(self, num_pages: int, ctx: PlacementContext) -> np.ndarray:
+        order = np.asarray(ctx.node_order, dtype=np.int32)
+        chunk = math.ceil(self.stride_bytes / ctx.num_nodes)
+        pos = (np.arange(num_pages, dtype=np.int64) * ctx.page_size) % self.stride_bytes
+        node_idx = np.minimum(pos // chunk, ctx.num_nodes - 1)
+        return order[node_idx]
+
+    def describe(self) -> str:
+        return f"stride-periodic({self.stride_bytes}B)"
+
+
+class FirstTouchPlacement(PlacementPolicy):
+    """Reactive UVM placement: pages fault to the first toucher's node."""
+
+    def homes(self, num_pages: int, ctx: PlacementContext) -> np.ndarray:
+        return np.full(num_pages, FIRST_TOUCH_UNMAPPED, dtype=np.int32)
+
+    def describe(self) -> str:
+        return "first-touch"
+
+
+class SingleNodePlacement(PlacementPolicy):
+    """Pin an entire allocation to one node (monolithic, or small tables)."""
+
+    def __init__(self, node: int):
+        self.node = node
+
+    def homes(self, num_pages: int, ctx: PlacementContext) -> np.ndarray:
+        if not 0 <= self.node < ctx.num_nodes:
+            raise PlacementError(f"node {self.node} out of range")
+        return np.full(num_pages, self.node, dtype=np.int32)
+
+    def describe(self) -> str:
+        return f"single-node({self.node})"
+
+
+def stride_aware_granularity(stride_bytes: int, num_nodes: int, page_size: int) -> int:
+    """Paper Equation 1: interleaving granularity in pages.
+
+        InterleavingGranularity = ceil(strideSize / #nodes) / pageSize
+
+    ensures all datablocks a threadblock strides through land on one node
+    (assuming the alignment-aware scheduler deals batches in the same node
+    order).  Clamped to at least one page.
+    """
+    if stride_bytes <= 0:
+        return 1
+    per_node = math.ceil(stride_bytes / num_nodes)
+    return max(1, math.ceil(per_node / page_size))

@@ -1,0 +1,20 @@
+"""The LADM runtime: LASP scheduling/placement plus CRB cache selection.
+
+LASP (Locality-Aware Scheduling and Placement, paper Section III-D) reads
+the compiler's locality table at every kernel launch, binds it to runtime
+facts (grid dims, allocation sizes, topology), and emits the placement
+policy per data structure, the threadblock scheduler for the kernel, and --
+through CRB (Section III-E) -- the L2 insertion policy.
+"""
+
+from repro.runtime.crb import select_cache_policies
+from repro.runtime.datablock import datablock_span_bytes, delta_along
+from repro.runtime.lasp import LASP, LaunchDecision
+
+__all__ = [
+    "LASP",
+    "LaunchDecision",
+    "select_cache_policies",
+    "datablock_span_bytes",
+    "delta_along",
+]

@@ -1,0 +1,76 @@
+"""Datablock geometry computed at launch time.
+
+The paper defines the *datablock* as the region of data a threadblock
+accesses in one outer-loop iteration (Section III-B).  Its byte size and the
+per-grid-line advance (how far the start address moves when bx or by
+increments) are needed by Equation 2 (minimum threadblock batch) and by
+row/column-based placement.  Both are evaluated from the symbolic index with
+the launch environment bound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+import numpy as np
+
+from repro.kir.expr import BX, BY, M, TX, TY, Expr, Var
+from repro.kir.kernel import GlobalAccess
+from repro.kir.program import KernelLaunch
+
+__all__ = ["datablock_span_bytes", "delta_along", "eval_with_defaults"]
+
+
+def eval_with_defaults(expr: Expr, env: Mapping[Var, int], **overrides: int) -> int:
+    """Evaluate binding unknown variables (data-dependent terms) to zero."""
+    full: Dict[Var, int] = {v: 0 for v in expr.variables()}
+    full.update(env)
+    for name, value in overrides.items():
+        for v in list(full):
+            if v.name == name:
+                full[v] = value
+    return expr.evaluate(full)
+
+
+def datablock_span_bytes(launch: KernelLaunch, site: GlobalAccess) -> int:
+    """Contiguous byte span one threadblock touches in one iteration.
+
+    Evaluates the site's index for every thread of block (0, 0) at m = 0 and
+    returns ``(max - min + 1) * element_size``.  Data-dependent sites fall
+    back to one element per thread (their footprint is unknowable
+    statically; this matches the paper's observation that the datablock is
+    usually ``blockDim.x * primitiveSize``).
+    """
+    kernel = launch.kernel
+    elem = kernel.element_size(site.array)
+    if site.provider is not None:
+        return kernel.block.count * elem
+
+    bdx = kernel.block.x
+    lin = np.arange(kernel.block.count, dtype=np.int64)
+    env: Dict[Var, object] = {v: 0 for v in site.index.variables()}
+    env.update(launch.launch_env())
+    env[TX] = lin % bdx
+    env[TY] = lin // bdx
+    env[BX] = 0
+    env[BY] = 0
+    env[M] = 0
+    values = np.asarray(site.index.evaluate_vectorized(env), dtype=np.int64)
+    if values.ndim == 0:
+        return elem
+    span = int(values.max() - values.min()) + 1
+    return span * elem
+
+
+def delta_along(site: GlobalAccess, launch: KernelLaunch, var: Var) -> int:
+    """How many elements the index advances when ``var`` increments by one.
+
+    All other iteration variables (thread ids, the other block id, m) are
+    held at zero.  This is the grid-line pitch used by row/column-based
+    placement: e.g. for GEMM's A access it returns ``blockDim.y * WIDTH``.
+    """
+    env = launch.launch_env()
+    zeros = {"tx": 0, "ty": 0, "bx": 0, "by": 0, "m": 0}
+    at0 = eval_with_defaults(site.index, env, **{**zeros, var.name: 0})
+    at1 = eval_with_defaults(site.index, env, **{**zeros, var.name: 1})
+    return abs(at1 - at0)

@@ -1,0 +1,76 @@
+"""Inter-kernel placement-disagreement analysis.
+
+The paper places each data structure when the *first* kernel using it
+launches, and observes that "it is possible that the placement derived from
+the first kernel launch is sub-optimal for subsequent kernel launches...
+we find that the access pattern from the first kernel launch is often
+consistent with subsequent kernel launches.  We leave the exploration of
+inter-kernel data transformations as future work."
+
+This module implements the detection half of that future work: replaying
+LASP's per-launch decisions and reporting every allocation whose later
+launches would have placed it differently, with the locality types on each
+side -- the work-list an inter-kernel transformation engine would consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.compiler.passes import CompiledProgram
+from repro.runtime.lasp import LASP
+from repro.topology.system import SystemTopology
+
+__all__ = ["PlacementDisagreement", "detect_disagreements"]
+
+
+@dataclass(frozen=True)
+class PlacementDisagreement:
+    """One allocation whose launches disagree about placement."""
+
+    allocation: str
+    first_launch: int
+    first_policy: str
+    later_launch: int
+    later_policy: str
+
+    def __repr__(self) -> str:
+        return (
+            f"<{self.allocation}: launch {self.first_launch} wants "
+            f"{self.first_policy!r}, launch {self.later_launch} wants "
+            f"{self.later_policy!r}>"
+        )
+
+
+def detect_disagreements(
+    compiled: CompiledProgram, topology: SystemTopology
+) -> List[PlacementDisagreement]:
+    """All (allocation, later-launch) pairs that disagree with first use.
+
+    The paper's runtime keeps the first launch's placement; each entry here
+    is a potential inter-kernel data transformation (re-placement between
+    the two launches, costed like a migration).
+    """
+    lasp = LASP(compiled, topology)
+    first_seen: Dict[str, Tuple[int, str]] = {}
+    disagreements: List[PlacementDisagreement] = []
+    for index, launch in enumerate(compiled.program.launches):
+        decision = lasp.decide(launch)
+        for alloc, policy in decision.placements.items():
+            desc = policy.describe()
+            if alloc not in first_seen:
+                first_seen[alloc] = (index, desc)
+                continue
+            first_index, first_desc = first_seen[alloc]
+            if desc != first_desc:
+                disagreements.append(
+                    PlacementDisagreement(
+                        allocation=alloc,
+                        first_launch=first_index,
+                        first_policy=first_desc,
+                        later_launch=index,
+                        later_policy=desc,
+                    )
+                )
+    return disagreements

@@ -1,0 +1,423 @@
+"""LASP: Locality-Aware Scheduling and Placement (paper Section III-D).
+
+For every kernel launch LASP:
+
+1. looks up the locality-table rows of the kernel's arguments (falling back
+   to the default policy when alias binding failed),
+2. picks the threadblock scheduler -- row/column binding for RCL kernels
+   (favouring the *larger* data structure on disagreement, the paper's
+   input-size-aware tie-break), an alignment-aware batched round-robin with
+   the Equation-2 dynamic batch for no-locality kernels (kernel-wide
+   contiguous chunks when stencil adjacency is detected), and kernel-wide
+   chunks for ITL/unclassified kernels,
+3. derives the placement policy per data structure -- Equation-1
+   stride-aware interleaving, row/column-based placement that follows the
+   binding scheduler's line map, or kernel-wide chunks,
+4. selects the CRB cache policy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.cache.insertion import CachePolicy
+from repro.compiler.classify import LocalityType, Motion, Sharing
+from repro.compiler.locality_table import LocalityRow
+from repro.compiler.passes import CompiledProgram
+from repro.errors import SchedulingError
+from repro.kir.expr import BX, BY
+from repro.kir.kernel import GlobalAccess
+from repro.kir.program import KernelLaunch
+from repro.placement.policies import (
+    ChunkedPlacement,
+    FunctionPlacement,
+    InterleavePlacement,
+    PlacementContext,
+    PlacementPolicy,
+    StridePeriodicPlacement,
+)
+from repro.runtime.crb import select_cache_policies
+from repro.runtime.datablock import (
+    datablock_span_bytes,
+    delta_along,
+    eval_with_defaults,
+)
+from repro.sched.schedulers import (
+    BatchRRScheduler,
+    ExplicitScheduler,
+    KernelWideScheduler,
+    LineAxis,
+    LineBindingScheduler,
+    SchedContext,
+    TBScheduler,
+    min_tb_batch,
+)
+from repro.topology.system import SystemTopology
+
+__all__ = ["LASP", "LaunchDecision"]
+
+
+@dataclass
+class LaunchDecision:
+    """Everything LASP decided for one launch."""
+
+    scheduler: TBScheduler
+    scheduler_desc: str
+    placements: Dict[str, PlacementPolicy]  # allocation name -> policy
+    placement_desc: str
+    cache_policy: Dict[str, CachePolicy]  # allocation name -> policy
+    dominant_locality: LocalityType
+    batch_size: Optional[int] = None
+
+
+class LASP:
+    """The runtime decision engine, one instance per (program, topology)."""
+
+    def __init__(
+        self,
+        compiled: CompiledProgram,
+        topology: SystemTopology,
+        cache_mode: str = "crb",
+    ):
+        self.compiled = compiled
+        self.topology = topology
+        self.cache_mode = cache_mode
+        cfg = topology.config
+        self.page_size = cfg.page_size
+        self.sched_ctx = SchedContext(
+            num_nodes=cfg.num_nodes,
+            num_gpus=cfg.num_gpus,
+            chiplets_per_gpu=cfg.chiplets_per_gpu,
+            node_order=list(range(cfg.num_nodes)),
+        )
+
+    # ------------------------------------------------------------------
+    def decide(self, launch: KernelLaunch) -> LaunchDecision:
+        """Scheduling, placement and caching for one launch."""
+        kernel = launch.kernel
+        program = self.compiled.program
+        rows: Dict[str, LocalityRow] = {}
+        resolved: Dict[str, bool] = {}
+        alloc_of: Dict[str, str] = {}
+        sizes: Dict[str, int] = {}
+        for arg in kernel.arrays:
+            row = self.compiled.locality_table.lookup(kernel.name, arg)
+            rows[arg] = row
+            resolved[arg] = row.malloc_pc is not None
+            alloc_of[arg] = launch.args[arg]
+            sizes[arg] = program.allocation(launch.args[arg]).size_bytes
+
+        scheduler, desc, batch, dominant = self._pick_scheduler(
+            launch, rows, resolved, sizes
+        )
+        placements, placement_desc = self._pick_placements(
+            launch, rows, resolved, sizes, scheduler, batch
+        )
+        cache_policy = select_cache_policies(
+            rows.values(), dominant, mode=self.cache_mode, arg_to_alloc=alloc_of
+        )
+        return LaunchDecision(
+            scheduler=scheduler,
+            scheduler_desc=desc,
+            placements={alloc_of[a]: p for a, p in placements.items()},
+            placement_desc=placement_desc,
+            cache_policy=cache_policy,
+            dominant_locality=dominant,
+            batch_size=batch,
+        )
+
+    # ------------------------------------------------------------------
+    # Scheduler selection
+    # ------------------------------------------------------------------
+    def _pick_scheduler(
+        self,
+        launch: KernelLaunch,
+        rows: Mapping[str, LocalityRow],
+        resolved: Mapping[str, bool],
+        sizes: Mapping[str, int],
+    ) -> Tuple[TBScheduler, str, Optional[int], LocalityType]:
+        kernel = launch.kernel
+        usable = {a: r for a, r in rows.items() if resolved[a]}
+
+        rcl_args = [a for a, r in usable.items() if r.classification.locality.is_rcl]
+        nl_args = [
+            a
+            for a, r in usable.items()
+            if r.classification.locality is LocalityType.NO_LOCALITY
+        ]
+
+        dominant = self._dominant_locality(usable, sizes)
+
+        if rcl_args:
+            # Input-size-aware tie-break: the largest RCL structure wins.
+            winner = max(rcl_args, key=lambda a: sizes[a])
+            sharing = rows[winner].classification.sharing
+            axis = LineAxis.ROWS if sharing is Sharing.GRID_ROWS else LineAxis.COLS
+            sched = LineBindingScheduler(axis)
+            return sched, sched.describe(), None, dominant
+
+        if dominant is LocalityType.NO_LOCALITY and nl_args:
+            winner = max(nl_args, key=lambda a: sizes[a])
+            stride_bytes = self._stride_bytes(launch, rows[winner])
+            if stride_bytes > 0:
+                # Threadblock-stride-aware: derive each TB's node from its
+                # base offset within the stride period so base + k*stride
+                # always stays local (Equation 1 co-location, exact form).
+                sched = self._stride_aligned_scheduler(
+                    launch, rows[winner], winner, stride_bytes
+                )
+                return sched, sched.describe(), None, dominant
+            if self._has_adjacency(launch):
+                # Stencil adjacency: maximise contiguity (Equation 2 with
+                # n = max), i.e. kernel-wide contiguous chunks.
+                sched = KernelWideScheduler()
+                return sched, "align-aware(n=max)", None, dominant
+            site = self._dominant_site(launch.kernel, winner)
+            db_bytes = max(1, datablock_span_bytes(launch, site))
+            batch = min_tb_batch(self.page_size, db_bytes)
+            sched = BatchRRScheduler(batch)
+            return sched, f"align-aware(b={batch})", batch, dominant
+
+        # ITL and unclassified kernels: kernel-wide grid partitioning.
+        sched = KernelWideScheduler()
+        return sched, sched.describe(), None, dominant
+
+    def _dominant_locality(
+        self, usable: Mapping[str, LocalityRow], sizes: Mapping[str, int]
+    ) -> LocalityType:
+        """The locality type of the largest data structure.
+
+        The largest structure has the biggest effect on off-chip traffic
+        (the paper's tie-break rationale), so its type names the workload:
+        a kernel whose biggest array defies analysis is an 'unclassified'
+        workload even if small helper arrays are affine.
+        """
+        if not usable:
+            return LocalityType.UNCLASSIFIED
+        winner = max(usable.items(), key=lambda ar: sizes[ar[0]])
+        return winner[1].classification.locality
+
+    def _stride_aligned_scheduler(
+        self,
+        launch: KernelLaunch,
+        row: LocalityRow,
+        arg: str,
+        stride_bytes: int,
+    ):
+        """Map each threadblock to the node owning its stride-period chunk.
+
+        Evaluates the access's loop-invariant base for every threadblock
+        (the compiler knows it symbolically; the grid dims arrive at launch)
+        and assigns the node from the same position-in-period rule the
+        stride-periodic placement uses -- generalising the Equation-2 batch
+        to 2-D tilings where a plain linear batch would misalign.
+        """
+        site = self._dominant_site(launch.kernel, arg)
+        base_bytes = self._tb_base_bytes(launch, site, row.element_size)
+        n = self.sched_ctx.num_nodes
+        chunk = -(-stride_bytes // n)
+        if chunk >= self.page_size:
+            pos = base_bytes % stride_bytes
+            nodes = np.minimum(pos // chunk, n - 1)
+            label = f"align-aware(stride={stride_bytes}B)"
+        else:
+            # The whole period fits in under a page per node: page-level
+            # round-robin is the best page granularity can do.
+            nodes = (base_bytes // self.page_size) % n
+            label = "align-aware(page-rr)"
+        order = np.asarray(self.sched_ctx.node_order, dtype=np.int32)
+        return ExplicitScheduler(order[nodes.astype(np.int64)], label)
+
+    def _tb_base_bytes(self, launch: KernelLaunch, site, elem: int) -> np.ndarray:
+        """Byte offset of each threadblock's first iteration-0 element."""
+        grid = launch.grid
+        tb = np.arange(grid.count, dtype=np.int64)
+        env: Dict = {v: 0 for v in site.index.variables()}
+        env.update(launch.launch_env())
+        from repro.kir.expr import BX as _BX, BY as _BY, M as _M, TX as _TX, TY as _TY
+
+        env[_TX] = 0
+        env[_TY] = 0
+        env[_M] = 0
+        env[_BX] = tb % grid.x
+        env[_BY] = tb // grid.x
+        base = site.index.evaluate_vectorized(env)
+        base = np.asarray(base, dtype=np.int64)
+        if base.ndim == 0:
+            base = np.full(grid.count, int(base), dtype=np.int64)
+        return base * elem
+
+    def _stride_bytes(self, launch: KernelLaunch, row: LocalityRow) -> int:
+        stride = row.classification.stride
+        if stride is None or stride.is_zero:
+            return 0
+        elems = abs(eval_with_defaults(stride, launch.launch_env()))
+        return elems * row.element_size
+
+    def _dominant_site(self, kernel, arg: str) -> GlobalAccess:
+        sites = kernel.accesses_to(arg)
+        if not sites:
+            raise SchedulingError(f"kernel {kernel.name!r} never accesses {arg!r}")
+        return max(sites, key=lambda s: s.weight)
+
+    def _has_adjacency(self, launch: KernelLaunch) -> bool:
+        """Detect stencil neighbour accesses: two affine sites on one array
+        whose index difference is a nonzero launch-time constant."""
+        env = launch.launch_env()
+        kernel = launch.kernel
+        for arg in kernel.arrays:
+            sites = [s for s in kernel.accesses_to(arg) if s.provider is None]
+            for i in range(len(sites)):
+                for j in range(i + 1, len(sites)):
+                    diff = sites[i].index - sites[j].index
+                    vs = {v.name for v in diff.variables()}
+                    if vs - {"bdx", "bdy", "gdx", "gdy"}:
+                        continue  # difference varies per thread: not adjacency
+                    if eval_with_defaults(diff, env) != 0:
+                        return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Placement selection
+    # ------------------------------------------------------------------
+    def _pick_placements(
+        self,
+        launch: KernelLaunch,
+        rows: Mapping[str, LocalityRow],
+        resolved: Mapping[str, bool],
+        sizes: Mapping[str, int],
+        scheduler: TBScheduler,
+        batch: Optional[int],
+    ) -> Tuple[Dict[str, PlacementPolicy], str]:
+        placements: Dict[str, PlacementPolicy] = {}
+        descs: List[str] = []
+        kernel_wide_sched = isinstance(scheduler, KernelWideScheduler)
+        binding_axis = (
+            scheduler.axis if isinstance(scheduler, LineBindingScheduler) else None
+        )
+        for arg, row in rows.items():
+            if not resolved[arg]:
+                placements[arg] = ChunkedPlacement()
+                descs.append(f"{arg}:default")
+                continue
+            loc = row.classification.locality
+            if loc.is_rcl:
+                placements[arg] = self._rcl_placement(launch, row, arg)
+            elif loc is LocalityType.NO_LOCALITY:
+                placements[arg] = self._nl_placement(
+                    launch, row, arg, kernel_wide_sched, binding_axis
+                )
+            else:  # ITL and unclassified: kernel-wide data partitioning
+                placements[arg] = ChunkedPlacement()
+            descs.append(f"{arg}:{placements[arg].describe()}")
+        return placements, " ".join(descs)
+
+    def _nl_placement(
+        self,
+        launch: KernelLaunch,
+        row: LocalityRow,
+        arg: str,
+        kernel_wide_sched: bool,
+        binding_axis: Optional[LineAxis],
+    ) -> PlacementPolicy:
+        """Placement for a no-locality array, co-designed with the scheduler.
+
+        The paper computes stride-aware placement "knowing what decision the
+        threadblock scheduler will make": under a row/column-binding
+        scheduler the array follows the binding's line map; under the
+        alignment-aware scheduler it uses Equation-1 interleaving; under
+        kernel-wide (stencil) scheduling it is chunked contiguously.
+        """
+        if binding_axis is not None:
+            site = self._dominant_site(launch.kernel, arg)
+            placement = self._line_placement(
+                launch,
+                site,
+                row.element_size,
+                axis=binding_axis,
+                use_mod=binding_axis is LineAxis.COLS,
+            )
+            if placement is not None:
+                return placement
+            # The line map cannot be expressed at page granularity: fall
+            # back to contiguous chunks, which stay balanced across GPUs
+            # (a unit interleave can alias systematically with strided
+            # write patterns and overload individual switch links).
+            return ChunkedPlacement()
+        if kernel_wide_sched:
+            return ChunkedPlacement()
+        stride_bytes = self._stride_bytes(launch, row)
+        n = self.sched_ctx.num_nodes
+        if stride_bytes > 0 and -(-stride_bytes // n) >= self.page_size:
+            return StridePeriodicPlacement(stride_bytes, self.page_size)
+        return InterleavePlacement(1)
+
+    def _rcl_placement(
+        self, launch: KernelLaunch, row: LocalityRow, arg: str
+    ) -> PlacementPolicy:
+        """Row/column-based placement (Table II rows 2-5).
+
+        Follows the binding line map of the array's own sharing axis; when a
+        node's line strip is narrower than a page (placement cannot
+        discriminate at page granularity) it falls back to the paper's
+        Equation-1 round-robin interleave with the data row width as the
+        stride, leaving the L2 to absorb the residual sharing.
+        """
+        cls = row.classification
+        site = self._dominant_site(launch.kernel, arg)
+        axis = LineAxis.ROWS if cls.sharing is Sharing.GRID_ROWS else LineAxis.COLS
+        vertical = cls.motion is Motion.VERTICAL
+        placement = self._line_placement(
+            launch, site, row.element_size, axis=axis, use_mod=vertical
+        )
+        if placement is not None:
+            return placement
+        # A node's line strip is narrower than a page: page-granularity
+        # placement cannot express the row/column layout (CODA needed
+        # sub-page hardware for this).  Fall back to the kernel-wide default
+        # -- contiguous chunks stay balanced across GPUs and leave the L2 to
+        # absorb the sharing, as the paper prescribes for its default path.
+        return ChunkedPlacement()
+
+    def _line_placement(
+        self,
+        launch: KernelLaunch,
+        site: GlobalAccess,
+        elem: int,
+        axis: LineAxis,
+        use_mod: bool,
+    ) -> Optional[PlacementPolicy]:
+        """Page->node placement following a line-binding scheduler's map.
+
+        ``use_mod`` selects column-strip semantics (position within a data
+        row decides the line) versus row-chunk semantics (the element offset
+        decides the line).  Returns None when a node's strip is narrower
+        than a page, i.e. page-granularity placement cannot express it.
+        """
+        if axis is LineAxis.ROWS:
+            line_var, num_lines = BY, launch.grid.y
+        else:
+            line_var, num_lines = BX, launch.grid.x
+        delta = delta_along(site, launch, line_var)
+        if delta <= 0 or num_lines <= 0:
+            return None
+        n = self.sched_ctx.num_nodes
+        lines_per_node = math.ceil(num_lines / n)
+        strip_bytes = delta * elem * lines_per_node
+        if strip_bytes < self.page_size:
+            return None  # degenerate at page granularity
+        line_map = LineBindingScheduler(axis).line_to_node(num_lines, self.sched_ctx)
+        row_width = delta * num_lines
+
+        def page_to_node(pages: np.ndarray, ctx: PlacementContext) -> np.ndarray:
+            first_elem = pages * (ctx.page_size // max(1, elem))
+            position = first_elem % row_width if use_mod else first_elem
+            line = np.minimum(position // delta, num_lines - 1)
+            return line_map[line]
+
+        kind = "col" if use_mod else "row"
+        return FunctionPlacement(page_to_node, f"{kind}-based(d={delta})")

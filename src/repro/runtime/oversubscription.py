@@ -1,0 +1,168 @@
+"""Memory oversubscription: reactive UVM paging vs LASP proactive paging.
+
+Paper Section VI (related work) sketches the extension: "LASP can be
+extended to efficiently support oversubscribed memory by proactively
+placing the next page where it is predicted to be accessed, avoiding
+page-faulting overheads.  Using the locality table information, the pages
+that are already accessed by finished threadblocks and will not be used
+again can be evicted and replaced with the new pages proactively."
+
+This module implements that mechanism at page-trace granularity:
+
+* :class:`PagingSimulator` replays a page-reference stream against an
+  LRU-resident set of bounded capacity, counting demand faults and
+  evictions (the reactive UVM cost: every fault stalls ~20-50 us).
+* :func:`proactive_paging_stats` replays the same stream assuming LASP's
+  prefetcher hides every *predictable* fault (pages of compiler-classified
+  arrays arrive before their first use, dead pages leave first); only
+  data-dependent pages still fault on demand, and every transfer still pays
+  host-link bandwidth.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Set
+
+import numpy as np
+
+from repro.compiler.classify import LocalityType
+from repro.compiler.passes import CompiledProgram
+from repro.engine.trace import launch_tracer
+from repro.errors import SimulationError
+from repro.memory.address_space import AddressSpace
+
+__all__ = [
+    "PagingStats",
+    "PagingSimulator",
+    "page_reference_stream",
+    "predictable_pages",
+    "reactive_paging_stats",
+    "proactive_paging_stats",
+]
+
+
+@dataclass
+class PagingStats:
+    """Outcome of one paging replay."""
+
+    references: int = 0
+    demand_faults: int = 0  # faults that stall an SM
+    hidden_transfers: int = 0  # prefetches overlapped with execution
+    evictions: int = 0
+
+    def stall_time_s(self, fault_cost_s: float, concurrency: float = 32.0) -> float:
+        return self.demand_faults * fault_cost_s / concurrency
+
+    def transfer_bytes(self, page_size: int) -> int:
+        return (self.demand_faults + self.hidden_transfers) * page_size
+
+    def total_time_s(
+        self,
+        fault_cost_s: float,
+        page_size: int,
+        host_bw: float,
+        base_time_s: float = 0.0,
+    ) -> float:
+        """Kernel time plus paging overheads.
+
+        Demand faults stall execution; hidden (prefetched) transfers only
+        cost host-link bandwidth, overlapped with the kernel (they extend
+        the runtime only if they exceed it).
+        """
+        stall = self.stall_time_s(fault_cost_s)
+        transfer = self.transfer_bytes(page_size) / host_bw
+        return max(base_time_s + stall, transfer)
+
+
+class PagingSimulator:
+    """Bounded LRU resident set over page references."""
+
+    def __init__(self, capacity_pages: int):
+        if capacity_pages < 1:
+            raise SimulationError("paging capacity must be >= 1 page")
+        self.capacity = capacity_pages
+        self._resident: "OrderedDict[int, None]" = OrderedDict()
+
+    def replay(
+        self,
+        references: Iterable[int],
+        prefetched: Set[int] = frozenset(),
+    ) -> PagingStats:
+        """Replay references; pages in ``prefetched`` never demand-fault
+        (their first-use transfer is hidden), everything else faults on its
+        cold or capacity miss."""
+        stats = PagingStats()
+        resident = self._resident
+        capacity = self.capacity
+        for page in references:
+            stats.references += 1
+            if page in resident:
+                resident.move_to_end(page)
+                continue
+            if page in prefetched:
+                stats.hidden_transfers += 1
+            else:
+                stats.demand_faults += 1
+            resident[page] = None
+            if len(resident) > capacity:
+                resident.popitem(last=False)
+                stats.evictions += 1
+        return stats
+
+    @property
+    def resident_count(self) -> int:
+        return len(self._resident)
+
+
+def page_reference_stream(
+    compiled: CompiledProgram, space: AddressSpace, sector_bytes: int = 32
+) -> Iterator[int]:
+    """Unique-per-request page references in iteration-major launch order."""
+    for launch in compiled.program.launches:
+        tracer = launch_tracer(launch, space, sector_bytes)
+        num_tbs = launch.num_threadblocks
+        for m in range(tracer.trip):
+            for tb in range(num_tbs):
+                for sr in tracer.iteration_requests(tb, m):
+                    for page in np.unique(sr.pages).tolist():
+                        yield int(page)
+
+
+def predictable_pages(compiled: CompiledProgram, space: AddressSpace) -> Set[int]:
+    """Pages whose accesses the compiler can predict (non-data-dependent
+    classified arrays) -- the set LASP's prefetcher covers."""
+    predictable: Set[int] = set()
+    for launch in compiled.program.launches:
+        for arg in launch.kernel.arrays:
+            row = compiled.locality_table.lookup(launch.kernel.name, arg)
+            if row.classification.locality is LocalityType.UNCLASSIFIED:
+                # Data-dependent gathers (X[Y[tid]]) cannot be prefetched.
+                continue
+            # Affine arrays are fully predictable; ITL arrays walk forward
+            # from runtime-known bases (row_ptr is host-visible), so their
+            # next page is predictable too -- the paper's exact proposal.
+            first, last = space.page_range(launch.args[arg])
+            predictable.update(range(first, last))
+    return predictable
+
+
+def reactive_paging_stats(
+    compiled: CompiledProgram, space: AddressSpace, capacity_pages: int
+) -> PagingStats:
+    """First-touch UVM paging: every cold/capacity miss stalls."""
+    sim = PagingSimulator(capacity_pages)
+    return sim.replay(page_reference_stream(compiled, space))
+
+
+def proactive_paging_stats(
+    compiled: CompiledProgram, space: AddressSpace, capacity_pages: int
+) -> PagingStats:
+    """LASP proactive paging: predictable pages are prefetched/evicted
+    ahead of time, hiding their transfer latency."""
+    sim = PagingSimulator(capacity_pages)
+    return sim.replay(
+        page_reference_stream(compiled, space),
+        prefetched=predictable_pages(compiled, space),
+    )

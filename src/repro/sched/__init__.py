@@ -1,0 +1,30 @@
+"""Threadblock-to-node scheduling policies (paper Section III-D2).
+
+A scheduler maps every threadblock of a launch to the node (chiplet) that
+executes it.  LASP selects among them per kernel using the locality table;
+the baselines use fixed policies (round-robin batches, kernel-wide chunks).
+"""
+
+from repro.sched.schedulers import (
+    BatchRRScheduler,
+    ExplicitScheduler,
+    KernelWideScheduler,
+    LineAxis,
+    LineBindingScheduler,
+    SchedContext,
+    SingleNodeScheduler,
+    TBScheduler,
+    min_tb_batch,
+)
+
+__all__ = [
+    "TBScheduler",
+    "SchedContext",
+    "BatchRRScheduler",
+    "ExplicitScheduler",
+    "KernelWideScheduler",
+    "LineBindingScheduler",
+    "LineAxis",
+    "SingleNodeScheduler",
+    "min_tb_batch",
+]

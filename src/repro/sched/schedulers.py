@@ -1,0 +1,203 @@
+"""Threadblock scheduler implementations.
+
+All schedulers return, for a grid of ``gdx * gdy`` threadblocks, an array of
+node assignments indexed by linear threadblock id (row-major,
+``tb = by * gdx + bx`` -- the hardware dispatch order).
+
+* :class:`BatchRRScheduler` -- round-robin of fixed-size batches; batch 1 is
+  the baseline scheduler, batch 8 the Batch+FT static batch, and the
+  Equation-2 dynamic batch gives LASP's alignment-aware scheduler.
+* :class:`KernelWideScheduler` -- N contiguous chunks (Milic et al.).
+* :class:`LineBindingScheduler` -- row-binding / column-binding: contiguous
+  grid rows (or columns) per node, which is hierarchy-affine because node
+  ids within a GPU are contiguous.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import SchedulingError
+from repro.kir.kernel import Dim2
+
+__all__ = [
+    "SchedContext",
+    "TBScheduler",
+    "BatchRRScheduler",
+    "KernelWideScheduler",
+    "LineAxis",
+    "LineBindingScheduler",
+    "SingleNodeScheduler",
+    "min_tb_batch",
+]
+
+
+@dataclass(frozen=True)
+class SchedContext:
+    """Topology facts a scheduler may consult."""
+
+    num_nodes: int
+    num_gpus: int
+    chiplets_per_gpu: int
+    node_order: Sequence[int]
+
+    def __post_init__(self) -> None:
+        if self.num_gpus * self.chiplets_per_gpu != self.num_nodes:
+            raise SchedulingError("num_nodes must equal num_gpus * chiplets_per_gpu")
+        if sorted(self.node_order) != list(range(self.num_nodes)):
+            raise SchedulingError("node_order must be a permutation of the nodes")
+
+
+class TBScheduler(abc.ABC):
+    """Maps threadblocks to nodes."""
+
+    @abc.abstractmethod
+    def assign(self, grid: Dim2, ctx: SchedContext) -> np.ndarray:
+        """Node per linear threadblock id (int32, length ``grid.count``)."""
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+    def _validate(self, nodes: np.ndarray, grid: Dim2, ctx: SchedContext) -> np.ndarray:
+        nodes = np.asarray(nodes, dtype=np.int32)
+        if nodes.shape != (grid.count,):
+            raise SchedulingError(
+                f"{self.describe()}: produced {nodes.shape} assignments "
+                f"for {grid.count} threadblocks"
+            )
+        if nodes.size and (nodes.min() < 0 or nodes.max() >= ctx.num_nodes):
+            raise SchedulingError(f"{self.describe()}: node out of range")
+        return nodes
+
+
+class BatchRRScheduler(TBScheduler):
+    """Round-robin of contiguous batches of threadblocks across nodes."""
+
+    def __init__(self, batch_size: int = 1):
+        if batch_size < 1:
+            raise SchedulingError("batch size must be >= 1")
+        self.batch_size = batch_size
+
+    def assign(self, grid: Dim2, ctx: SchedContext) -> np.ndarray:
+        order = np.asarray(ctx.node_order, dtype=np.int32)
+        tb = np.arange(grid.count, dtype=np.int64)
+        nodes = order[((tb // self.batch_size) % ctx.num_nodes).astype(np.int64)]
+        return self._validate(nodes, grid, ctx)
+
+    def describe(self) -> str:
+        return f"batch-rr(b={self.batch_size})"
+
+
+class KernelWideScheduler(TBScheduler):
+    """Kernel-wide grid partitioning: N contiguous chunks of the linear grid.
+
+    Because chiplets of one GPU have contiguous node ids, contiguous chunks
+    are automatically hierarchy-affine: a GPU receives one contiguous
+    super-chunk split among its chiplets.
+    """
+
+    def assign(self, grid: Dim2, ctx: SchedContext) -> np.ndarray:
+        order = np.asarray(ctx.node_order, dtype=np.int32)
+        tb = np.arange(grid.count, dtype=np.int64)
+        # Proportional contiguous split: every node gets floor/ceil(T/N)
+        # threadblocks even when T is not a multiple of N.
+        nodes = order[(tb * ctx.num_nodes) // max(1, grid.count)]
+        return self._validate(nodes, grid, ctx)
+
+    def describe(self) -> str:
+        return "kernel-wide"
+
+
+class LineAxis(enum.Enum):
+    """Which grid lines a line-binding scheduler keeps together."""
+
+    ROWS = "rows"  # row-binding: all TBs with the same by on one node
+    COLS = "cols"  # column-binding: all TBs with the same bx on one node
+
+
+class LineBindingScheduler(TBScheduler):
+    """Row-binding / column-binding scheduler (Table II rows 2-5).
+
+    Contiguous lines (grid rows or columns) are dealt to nodes in contiguous
+    chunks, so a whole line always lands on one node and neighbouring lines
+    land on the same GPU before spilling to the next.
+    """
+
+    def __init__(self, axis: LineAxis):
+        self.axis = axis
+
+    def line_to_node(self, num_lines: int, ctx: SchedContext) -> np.ndarray:
+        """Node per grid line -- shared with row/column-based placement.
+
+        Proportional contiguous split: contiguous lines stay together but
+        every node receives floor/ceil(L/N) lines, so grids whose line
+        count is not a node-count multiple still use the whole machine.
+        """
+        order = np.asarray(ctx.node_order, dtype=np.int32)
+        lines = np.arange(num_lines, dtype=np.int64)
+        return order[(lines * ctx.num_nodes) // max(1, num_lines)]
+
+    def assign(self, grid: Dim2, ctx: SchedContext) -> np.ndarray:
+        num_lines = grid.y if self.axis is LineAxis.ROWS else grid.x
+        per_line = self.line_to_node(num_lines, ctx)
+        tb = np.arange(grid.count, dtype=np.int64)
+        if self.axis is LineAxis.ROWS:
+            line = tb // grid.x  # by
+        else:
+            line = tb % grid.x  # bx
+        return self._validate(per_line[line], grid, ctx)
+
+    def describe(self) -> str:
+        return "row-binding" if self.axis is LineAxis.ROWS else "col-binding"
+
+
+class ExplicitScheduler(TBScheduler):
+    """A precomputed threadblock-to-node map.
+
+    LASP's stride-aligned scheduler evaluates each threadblock's base
+    address from the index analysis and derives the node from the page
+    layout directly (the co-location the Equation-1/2 pair approximates for
+    1-D grids, generalised to 2-D tilings); the result is handed to the
+    engine through this wrapper.
+    """
+
+    def __init__(self, nodes: np.ndarray, label: str = "explicit"):
+        self.nodes = np.asarray(nodes, dtype=np.int32)
+        self.label = label
+
+    def assign(self, grid: Dim2, ctx: SchedContext) -> np.ndarray:
+        return self._validate(self.nodes, grid, ctx)
+
+    def describe(self) -> str:
+        return self.label
+
+
+class SingleNodeScheduler(TBScheduler):
+    """Everything on one node (the monolithic configuration)."""
+
+    def __init__(self, node: int = 0):
+        self.node = node
+
+    def assign(self, grid: Dim2, ctx: SchedContext) -> np.ndarray:
+        nodes = np.full(grid.count, self.node, dtype=np.int32)
+        return self._validate(nodes, grid, ctx)
+
+    def describe(self) -> str:
+        return f"single-node({self.node})"
+
+
+def min_tb_batch(page_size: int, datablock_bytes: int) -> int:
+    """Paper Equation 2: MinTBBatch = pageSize / datablockSize.
+
+    The minimum number of consecutive threadblocks per node that keeps
+    threadblock batches page-aligned.  Clamped to at least 1.
+    """
+    if datablock_bytes <= 0:
+        return 1
+    return max(1, math.ceil(page_size / datablock_bytes))

@@ -1,0 +1,51 @@
+"""Execution strategies: LADM and the prior-work baselines it is compared to.
+
+Every strategy converts a compiled program plus a topology into an
+:class:`repro.engine.ExecutionPlan`.  Implemented systems:
+
+* :class:`RRStrategy` -- baseline round-robin placement and scheduling [79].
+* :class:`BatchFTStrategy` -- Arunkumar et al. [5]: static threadblock
+  batches + reactive first-touch paging (with the zero-fault "optimal"
+  variant used in Figure 4).
+* :class:`KernelWideStrategy` -- Milic et al. [51]: kernel-wide grid and
+  data partitioning into contiguous chunks.
+* :class:`CODAStrategy` -- Kim et al. [36]: alignment-aware batched
+  round-robin over round-robin page interleaving (``hierarchical=True``
+  gives the paper's H-CODA extension).
+* :class:`LADMStrategy` -- this paper: LASP placement/scheduling plus CRB
+  cache insertion (``cache_mode`` selects LASP+RTWICE / LASP+RONCE / LADM).
+* :class:`MonolithicStrategy` -- the hypothetical single-chip GPU used for
+  normalisation.
+"""
+
+from repro.strategies.base import Strategy
+from repro.strategies.baselines import (
+    BatchFTStrategy,
+    CODAStrategy,
+    KernelWideStrategy,
+    MonolithicStrategy,
+    RRStrategy,
+)
+from repro.strategies.ladm import LADMStrategy
+from repro.strategies.locality_descriptor import (
+    LocalityAnnotation,
+    LocalityDescriptorStrategy,
+    PlacementHint,
+    SchedulerHint,
+)
+from repro.strategies.migration import ReactiveMigrationStrategy
+
+__all__ = [
+    "Strategy",
+    "RRStrategy",
+    "BatchFTStrategy",
+    "KernelWideStrategy",
+    "CODAStrategy",
+    "MonolithicStrategy",
+    "LADMStrategy",
+    "ReactiveMigrationStrategy",
+    "LocalityDescriptorStrategy",
+    "LocalityAnnotation",
+    "SchedulerHint",
+    "PlacementHint",
+]

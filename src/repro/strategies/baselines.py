@@ -1,0 +1,182 @@
+"""Prior-work baseline strategies (paper Section II-B, Table I).
+
+Each baseline reproduces the placement + scheduling combination of one
+state-of-the-art system; all run on the same dynamically-shared L2
+substrate (RTWICE insertion) unless the engine's ``remote_caching`` flag is
+off (used by the remote-caching ablation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.compiler.classify import LocalityType
+from repro.compiler.passes import CompiledProgram
+from repro.kir.program import KernelLaunch
+from repro.placement.policies import (
+    ChunkedPlacement,
+    FirstTouchPlacement,
+    InterleavePlacement,
+    PlacementPolicy,
+    SingleNodePlacement,
+)
+from repro.runtime.datablock import datablock_span_bytes
+from repro.runtime.lasp import LaunchDecision
+from repro.sched.schedulers import (
+    BatchRRScheduler,
+    KernelWideScheduler,
+    SingleNodeScheduler,
+    min_tb_batch,
+)
+from repro.strategies.base import Strategy
+from repro.topology.system import SystemTopology
+
+__all__ = [
+    "RRStrategy",
+    "BatchFTStrategy",
+    "KernelWideStrategy",
+    "CODAStrategy",
+    "MonolithicStrategy",
+]
+
+
+def _uniform_placements(
+    launch: KernelLaunch, compiled: CompiledProgram, policy_factory
+) -> Dict[str, PlacementPolicy]:
+    """One placement policy instance per allocation used by the launch."""
+    out: Dict[str, PlacementPolicy] = {}
+    for arg, alloc in launch.args.items():
+        out[alloc] = policy_factory()
+    return out
+
+
+class RRStrategy(Strategy):
+    """Baseline round-robin page interleaving + per-TB round-robin dispatch
+    (adopted from Vijayaraghavan et al. [79])."""
+
+    name = "Baseline-RR"
+
+    def decide_launch(self, compiled, topology, launch) -> LaunchDecision:
+        sched = BatchRRScheduler(1)
+        return LaunchDecision(
+            scheduler=sched,
+            scheduler_desc=sched.describe(),
+            placements=_uniform_placements(launch, compiled, InterleavePlacement),
+            placement_desc="interleave(1p)",
+            cache_policy={},
+            dominant_locality=LocalityType.UNCLASSIFIED,
+        )
+
+
+class BatchFTStrategy(Strategy):
+    """Batch+FT (Arunkumar et al. [5]): static threadblock batches dealt
+    round-robin, pages faulted to the first-touching node.
+
+    ``optimal=True`` models zero-overhead page faulting (the
+    "Batch+FT-optimal" configuration of Figure 4); otherwise every fault is
+    charged the UVM stall from the system config.
+    """
+
+    def __init__(self, batch_size: int = 8, optimal: bool = True):
+        self.batch_size = batch_size
+        self.optimal = optimal
+        self.name = "Batch+FT-optimal" if optimal else "Batch+FT"
+
+    def fault_cost_s(self, topology: SystemTopology) -> float:
+        return 0.0 if self.optimal else topology.config.page_fault_cost_s
+
+    def decide_launch(self, compiled, topology, launch) -> LaunchDecision:
+        sched = BatchRRScheduler(self.batch_size)
+        return LaunchDecision(
+            scheduler=sched,
+            scheduler_desc=sched.describe(),
+            placements=_uniform_placements(launch, compiled, FirstTouchPlacement),
+            placement_desc="first-touch",
+            cache_policy={},
+            dominant_locality=LocalityType.UNCLASSIFIED,
+        )
+
+
+class KernelWideStrategy(Strategy):
+    """Kernel-wide grid and data partitioning (Milic et al. [51]): both the
+    threadblock grid and every allocation split into N contiguous chunks."""
+
+    name = "Kernel-wide"
+
+    def decide_launch(self, compiled, topology, launch) -> LaunchDecision:
+        sched = KernelWideScheduler()
+        return LaunchDecision(
+            scheduler=sched,
+            scheduler_desc=sched.describe(),
+            placements=_uniform_placements(launch, compiled, ChunkedPlacement),
+            placement_desc="kernel-wide-chunks",
+            cache_policy={},
+            dominant_locality=LocalityType.UNCLASSIFIED,
+        )
+
+
+class CODAStrategy(Strategy):
+    """CODA (Kim et al. [36]): compiler-assisted page alignment.
+
+    CODA's index analysis measures the datablock width and launches
+    page-aligned batches over round-robin page interleaving.  It is not
+    stride-, sharing- or input-size-aware.  ``hierarchical=True`` (H-CODA)
+    deals batches to the chiplets of one GPU before moving to the next;
+    plain CODA spreads consecutive batches across GPUs.
+    """
+
+    def __init__(self, hierarchical: bool = True):
+        self.hierarchical = hierarchical
+        self.name = "H-CODA" if hierarchical else "CODA"
+
+    def node_order(self, topology: SystemTopology) -> list:
+        cfg = topology.config
+        if self.hierarchical:
+            return list(range(cfg.num_nodes))
+        # Breadth-first across GPUs: GPU0/chiplet0, GPU1/chiplet0, ...
+        order = []
+        for chiplet in range(cfg.chiplets_per_gpu):
+            for gpu in range(cfg.num_gpus):
+                order.append(gpu * cfg.chiplets_per_gpu + chiplet)
+        return order
+
+    def decide_launch(self, compiled, topology, launch) -> LaunchDecision:
+        page = topology.config.page_size
+        batch = 1
+        # Page-align to the widest per-TB datablock among affine accesses.
+        spans = []
+        for access in launch.kernel.accesses:
+            if access.provider is None:
+                spans.append(datablock_span_bytes(launch, access))
+        if spans:
+            db = max(1, min(spans))
+            batch = min_tb_batch(page, db)
+        sched = BatchRRScheduler(batch)
+        return LaunchDecision(
+            scheduler=sched,
+            scheduler_desc=f"coda-aligned(b={batch})",
+            placements=_uniform_placements(launch, compiled, InterleavePlacement),
+            placement_desc="interleave(1p)",
+            cache_policy={},
+            dominant_locality=LocalityType.UNCLASSIFIED,
+            batch_size=batch,
+        )
+
+
+class MonolithicStrategy(Strategy):
+    """Everything on the single node of a monolithic configuration."""
+
+    name = "Monolithic"
+
+    def decide_launch(self, compiled, topology, launch) -> LaunchDecision:
+        sched = SingleNodeScheduler(0)
+        return LaunchDecision(
+            scheduler=sched,
+            scheduler_desc=sched.describe(),
+            placements=_uniform_placements(
+                launch, compiled, lambda: SingleNodePlacement(0)
+            ),
+            placement_desc="single-node",
+            cache_policy={},
+            dominant_locality=LocalityType.UNCLASSIFIED,
+        )

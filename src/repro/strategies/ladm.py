@@ -1,0 +1,49 @@
+"""The LADM strategy: LASP placement/scheduling plus CRB cache insertion.
+
+``cache_mode`` selects the three configurations evaluated in Figures 9/10:
+
+* ``"rtwice"`` -- LASP+RTWICE (placement/scheduling only, baseline caching),
+* ``"ronce"``  -- LASP+RONCE (bypass the home-side insert everywhere),
+* ``"crb"``    -- full LADM: RONCE only for ITL kernels (LASP+CRB).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.compiler.passes import CompiledProgram
+from repro.kir.program import KernelLaunch
+from repro.runtime.lasp import LASP, LaunchDecision
+from repro.strategies.base import Strategy
+from repro.topology.system import SystemTopology
+
+__all__ = ["LADMStrategy"]
+
+_NAMES = {"crb": "LADM", "rtwice": "LASP+RTWICE", "ronce": "LASP+RONCE"}
+
+
+class LADMStrategy(Strategy):
+    """End-to-end LADM (paper Figure 5)."""
+
+    def __init__(self, cache_mode: str = "crb"):
+        if cache_mode not in _NAMES:
+            raise ValueError(f"unknown cache_mode {cache_mode!r}")
+        self.cache_mode = cache_mode
+        self.name = _NAMES[cache_mode]
+        self._lasp_cache: Dict[int, LASP] = {}
+
+    def _lasp(self, compiled: CompiledProgram, topology: SystemTopology) -> LASP:
+        key = id(compiled) ^ id(topology)
+        lasp = self._lasp_cache.get(key)
+        if lasp is None:
+            lasp = LASP(compiled, topology, cache_mode=self.cache_mode)
+            self._lasp_cache[key] = lasp
+        return lasp
+
+    def decide_launch(
+        self,
+        compiled: CompiledProgram,
+        topology: SystemTopology,
+        launch: KernelLaunch,
+    ) -> LaunchDecision:
+        return self._lasp(compiled, topology).decide(launch)

@@ -1,0 +1,149 @@
+"""A Locality-Descriptor-style baseline (Vijaykumar et al. [80], Sun et
+al. [76], Li et al. [43] -- Table I's "hand-tuned APIs" column).
+
+These systems reach the same decisions LADM automates, but only where a
+programmer wrote explicit annotations; unannotated programs fall back to
+the system default.  The strategy takes per-kernel
+:class:`LocalityAnnotation` objects (scheduler choice + per-array placement
+hints + cache policy) and applies exactly what they say -- the "hand-tuned"
+and "no transparency" trade-off the paper contrasts LADM against.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.cache.insertion import CachePolicy
+from repro.compiler.classify import LocalityType
+from repro.compiler.passes import CompiledProgram
+from repro.kir.program import KernelLaunch
+from repro.placement.policies import (
+    ChunkedPlacement,
+    InterleavePlacement,
+    PlacementPolicy,
+    StridePeriodicPlacement,
+)
+from repro.runtime.lasp import LaunchDecision
+from repro.sched.schedulers import (
+    BatchRRScheduler,
+    KernelWideScheduler,
+    LineAxis,
+    LineBindingScheduler,
+    TBScheduler,
+)
+from repro.strategies.base import Strategy
+from repro.topology.system import SystemTopology
+
+__all__ = [
+    "SchedulerHint",
+    "PlacementHint",
+    "LocalityAnnotation",
+    "LocalityDescriptorStrategy",
+]
+
+
+class SchedulerHint(enum.Enum):
+    """The scheduling primitives the LD API exposes."""
+
+    ROW_BIND = "row"
+    COL_BIND = "col"
+    CHUNK = "chunk"
+    BATCH_RR = "batch"
+
+
+class PlacementHint(enum.Enum):
+    """The placement primitives the LD API exposes."""
+
+    CHUNK = "chunk"
+    INTERLEAVE = "interleave"
+    STRIDE = "stride"  # requires stride_bytes
+
+
+@dataclass(frozen=True)
+class LocalityAnnotation:
+    """A programmer's locality description for one kernel.
+
+    ``placements`` maps kernel argument names to hints; ``stride_bytes``
+    applies to STRIDE placements; unlisted arguments get the default
+    interleave.
+    """
+
+    scheduler: SchedulerHint
+    placements: Mapping[str, PlacementHint] = field(default_factory=dict)
+    stride_bytes: Mapping[str, int] = field(default_factory=dict)
+    cache_policy: CachePolicy = CachePolicy.RTWICE
+    batch_size: int = 8
+
+    def build_scheduler(self) -> TBScheduler:
+        if self.scheduler is SchedulerHint.ROW_BIND:
+            return LineBindingScheduler(LineAxis.ROWS)
+        if self.scheduler is SchedulerHint.COL_BIND:
+            return LineBindingScheduler(LineAxis.COLS)
+        if self.scheduler is SchedulerHint.CHUNK:
+            return KernelWideScheduler()
+        return BatchRRScheduler(self.batch_size)
+
+    def build_placement(self, arg: str, page_size: int) -> PlacementPolicy:
+        hint = self.placements.get(arg, PlacementHint.INTERLEAVE)
+        if hint is PlacementHint.CHUNK:
+            return ChunkedPlacement()
+        if hint is PlacementHint.STRIDE:
+            stride = self.stride_bytes.get(arg, 0)
+            if stride > 0:
+                return StridePeriodicPlacement(stride, page_size)
+        return InterleavePlacement(1)
+
+
+class LocalityDescriptorStrategy(Strategy):
+    """Apply hand-written locality annotations; default elsewhere.
+
+    ``annotations`` maps kernel names to :class:`LocalityAnnotation`; any
+    launch of an unannotated kernel runs under the baseline round-robin
+    default, the behaviour the paper criticises these APIs for.
+    """
+
+    name = "Locality-Descriptor"
+
+    def __init__(self, annotations: Optional[Mapping[str, LocalityAnnotation]] = None):
+        self.annotations: Dict[str, LocalityAnnotation] = dict(annotations or {})
+
+    def decide_launch(
+        self,
+        compiled: CompiledProgram,
+        topology: SystemTopology,
+        launch: KernelLaunch,
+    ) -> LaunchDecision:
+        page_size = topology.config.page_size
+        annotation = self.annotations.get(launch.kernel.name)
+        if annotation is None:
+            sched = BatchRRScheduler(1)
+            return LaunchDecision(
+                scheduler=sched,
+                scheduler_desc="unannotated-default",
+                placements={
+                    alloc: InterleavePlacement(1)
+                    for alloc in set(launch.args.values())
+                },
+                placement_desc="interleave(1p)",
+                cache_policy={},
+                dominant_locality=LocalityType.UNCLASSIFIED,
+            )
+
+        scheduler = annotation.build_scheduler()
+        placements = {
+            launch.args[arg]: annotation.build_placement(arg, page_size)
+            for arg in launch.kernel.arrays
+        }
+        cache = {
+            alloc: annotation.cache_policy for alloc in set(launch.args.values())
+        }
+        return LaunchDecision(
+            scheduler=scheduler,
+            scheduler_desc=f"LD:{annotation.scheduler.value}",
+            placements=placements,
+            placement_desc="LD-annotated",
+            cache_policy=cache,
+            dominant_locality=LocalityType.UNCLASSIFIED,
+        )

@@ -1,0 +1,46 @@
+"""System topology: hierarchical multi-GPU machines built from chiplets.
+
+The primary configuration matches paper Table III: 4 GPUs x 4 chiplets x
+16 SMs, a bi-directional ring between chiplets of one GPU, and a switch
+crossbar between GPUs.  Alternate configurations (flat 4-GPU crossbars,
+MCM rings, the hypothetical monolithic GPU) back Figure 4 and the
+normalisation baselines.
+"""
+
+from repro.topology.config import (
+    GB,
+    KB,
+    MB,
+    CacheConfig,
+    SystemConfig,
+    TopologyKind,
+    bench_hierarchical,
+    bench_monolithic,
+    fig4_mcm_ring,
+    fig4_multi_gpu_xbar,
+    monolithic,
+    paper_hierarchical,
+    scaled_hierarchical,
+    scaled_monolithic,
+)
+from repro.topology.system import Channel, LinkClass, SystemTopology
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "CacheConfig",
+    "SystemConfig",
+    "TopologyKind",
+    "SystemTopology",
+    "LinkClass",
+    "paper_hierarchical",
+    "scaled_hierarchical",
+    "scaled_monolithic",
+    "monolithic",
+    "fig4_multi_gpu_xbar",
+    "fig4_mcm_ring",
+    "bench_hierarchical",
+    "bench_monolithic",
+    "Channel",
+]

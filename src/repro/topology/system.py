@@ -1,0 +1,153 @@
+"""Topology object: node identities, hierarchy queries and route accounting.
+
+A :class:`SystemTopology` wraps a :class:`SystemConfig` with:
+
+* node numbering (node = chiplet; nodes of one GPU are contiguous),
+* hierarchy queries used by schedulers and placement policies
+  (``gpu_of``, ``nodes_of_gpu``, ``link_class``),
+* a :class:`ChannelSet`-compatible route model: given a (src, dst) node pair
+  and a byte count, which bandwidth channels are charged (used by the
+  engine's bottleneck performance model).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterator, List, Tuple
+
+from repro.errors import TopologyError
+from repro.topology.config import SystemConfig, TopologyKind
+
+__all__ = ["LinkClass", "SystemTopology", "Channel"]
+
+
+class LinkClass(enum.Enum):
+    """Classification of the path between two nodes."""
+
+    LOCAL = "local"  # same node: stays on the chiplet
+    INTRA_GPU = "intra_gpu"  # different chiplets, same GPU: rides the ring
+    INTER_GPU = "inter_gpu"  # different GPUs: ring + switch + ring
+
+
+class Channel(enum.Enum):
+    """Bandwidth-channel kinds charged along a route."""
+
+    DRAM = "dram"  # keyed by node
+    XBAR = "xbar"  # keyed by node: the SM<->L2 crossbar inside a chiplet
+    RING = "ring"  # keyed by gpu
+    GPU_EGRESS = "egress"  # keyed by gpu (link into the switch)
+    GPU_INGRESS = "ingress"  # keyed by gpu (link out of the switch)
+
+
+RouteCharge = Tuple[Channel, int]  # (channel kind, key)
+
+
+class SystemTopology:
+    """Concrete node layout for a :class:`SystemConfig`."""
+
+    def __init__(self, config: SystemConfig):
+        self.config = config
+        self._nodes = list(range(config.num_nodes))
+
+    # ------------------------------------------------------------------
+    # Identity / hierarchy
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.config.num_nodes
+
+    @property
+    def nodes(self) -> List[int]:
+        return list(self._nodes)
+
+    def gpu_of(self, node: int) -> int:
+        self._check_node(node)
+        return node // self.config.chiplets_per_gpu
+
+    def chiplet_of(self, node: int) -> int:
+        """Index of the chiplet within its GPU."""
+        self._check_node(node)
+        return node % self.config.chiplets_per_gpu
+
+    def nodes_of_gpu(self, gpu: int) -> List[int]:
+        if not 0 <= gpu < self.config.num_gpus:
+            raise TopologyError(f"gpu {gpu} out of range")
+        base = gpu * self.config.chiplets_per_gpu
+        return list(range(base, base + self.config.chiplets_per_gpu))
+
+    def node_of(self, gpu: int, chiplet: int) -> int:
+        if not 0 <= chiplet < self.config.chiplets_per_gpu:
+            raise TopologyError(f"chiplet {chiplet} out of range")
+        return gpu * self.config.chiplets_per_gpu + chiplet
+
+    def link_class(self, src: int, dst: int) -> LinkClass:
+        """How far apart two nodes are in the hierarchy."""
+        self._check_node(src)
+        self._check_node(dst)
+        if src == dst:
+            return LinkClass.LOCAL
+        if self.gpu_of(src) == self.gpu_of(dst):
+            return LinkClass.INTRA_GPU
+        return LinkClass.INTER_GPU
+
+    # ------------------------------------------------------------------
+    # Route -> channel charging (for the bandwidth bottleneck model)
+    # ------------------------------------------------------------------
+    def route_channels(self, src: int, dst: int) -> List[RouteCharge]:
+        """The bandwidth channels a transfer from src to dst occupies.
+
+        Local transfers charge nothing here (DRAM is charged separately by
+        the engine when the access actually reaches memory).
+        """
+        link = self.link_class(src, dst)
+        if link is LinkClass.LOCAL:
+            return []
+        gsrc, gdst = self.gpu_of(src), self.gpu_of(dst)
+        if link is LinkClass.INTRA_GPU:
+            return [(Channel.RING, gsrc)]
+        charges: List[RouteCharge] = []
+        if self.config.chiplets_per_gpu > 1:
+            charges.append((Channel.RING, gsrc))
+            charges.append((Channel.RING, gdst))
+        elif self.config.kind is TopologyKind.FLAT_RING:
+            # Flat ring: both endpoints inject/eject on the shared ring.
+            charges.append((Channel.RING, gsrc))
+            charges.append((Channel.RING, gdst))
+        charges.append((Channel.GPU_EGRESS, gsrc))
+        charges.append((Channel.GPU_INGRESS, gdst))
+        return charges
+
+    def channel_bandwidth(self, channel: Channel) -> float:
+        """Capacity in bytes/second of one channel of the given kind."""
+        cfg = self.config
+        if channel is Channel.DRAM:
+            return cfg.mem_bw_per_node
+        if channel is Channel.XBAR:
+            return cfg.intra_node_bw
+        if channel is Channel.RING:
+            return cfg.ring_bw_per_gpu
+        return cfg.inter_gpu_link_bw
+
+    def all_channels(self) -> Iterator[Tuple[Channel, int]]:
+        """Every (channel kind, key) pair that exists in this topology."""
+        for node in self._nodes:
+            yield (Channel.DRAM, node)
+            yield (Channel.XBAR, node)
+        for gpu in range(self.config.num_gpus):
+            yield (Channel.RING, gpu)
+            yield (Channel.GPU_EGRESS, gpu)
+            yield (Channel.GPU_INGRESS, gpu)
+
+    # ------------------------------------------------------------------
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.config.num_nodes:
+            raise TopologyError(
+                f"node {node} out of range for {self.config.num_nodes}-node system"
+            )
+
+    def __repr__(self) -> str:
+        c = self.config
+        return (
+            f"SystemTopology({c.name}: {c.num_gpus} GPUs x "
+            f"{c.chiplets_per_gpu} chiplets x {c.sms_per_node} SMs)"
+        )

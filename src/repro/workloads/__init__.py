@@ -1,0 +1,31 @@
+"""The 27-workload evaluation suite of paper Table IV.
+
+Every workload is a synthetic IR model of the corresponding benchmark,
+matched on the properties the paper's evaluation depends on: locality class
+(NL / RCL / ITL / unclassified), threadblock dimensions, grid shape,
+access-pattern structure and (scaled) memory footprint.  Graph workloads run
+on seeded synthetic CSR graphs.
+
+Use :func:`repro.workloads.suite.all_workloads` for the full suite and
+:func:`repro.workloads.suite.get_workload` by name.
+"""
+
+from repro.workloads.base import BENCH, TEST, Scale, Workload, WorkloadClass
+from repro.workloads.suite import (
+    all_workloads,
+    get_workload,
+    workload_names,
+    workloads_by_class,
+)
+
+__all__ = [
+    "BENCH",
+    "TEST",
+    "Scale",
+    "Workload",
+    "WorkloadClass",
+    "all_workloads",
+    "get_workload",
+    "workload_names",
+    "workloads_by_class",
+]

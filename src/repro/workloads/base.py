@@ -1,0 +1,69 @@
+"""Workload descriptors and scaling profiles.
+
+A :class:`Workload` bundles a program builder with the Table-IV metadata the
+experiments report (locality class, expected scheduler decision).  Builders
+take a :class:`Scale`: ``BENCH`` is the default evaluation size, ``TEST``
+shrinks linear dimensions for the unit-test suite.  Scaling preserves the
+alignment and sharing *relationships* (pages per datablock, grid-to-node
+divisibility, cache-to-footprint regime) that drive every result.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.compiler.classify import LocalityType
+from repro.kir.program import Program
+
+__all__ = ["Scale", "WorkloadClass", "Workload", "BENCH", "TEST"]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """A size profile for workload builders.
+
+    ``linear`` divides 1-D element counts; ``grid`` divides each grid
+    dimension of 2-D workloads (so 2-D footprints shrink by ``grid**2``).
+    """
+
+    name: str
+    linear: int = 1
+    grid: int = 1
+
+    def div(self, n: int, by: Optional[int] = None, minimum: int = 1) -> int:
+        """Divide a dimension by the profile factor, keeping it >= minimum."""
+        d = by if by is not None else self.linear
+        return max(minimum, n // d)
+
+
+BENCH = Scale("bench", linear=1, grid=1)
+TEST = Scale("test", linear=8, grid=4)
+
+
+class WorkloadClass(enum.Enum):
+    """Table IV's grouping of the suite."""
+
+    NL = "NL"
+    RCL = "RCL"
+    ITL = "ITL"
+    UNCLASSIFIED = "unclassified"
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark of the suite."""
+
+    name: str
+    cls: WorkloadClass
+    #: locality type Table IV lists for the dominant kernel/array
+    expected_locality: LocalityType
+    #: scheduler decision Table IV lists ("Align-aware", "Row-sched", ...)
+    expected_scheduler: str
+    build: Callable[[Scale], Program] = field(repr=False)
+    description: str = ""
+
+    def program(self, scale: Scale = BENCH) -> Program:
+        """Build the workload's program at the given scale."""
+        return self.build(scale)

@@ -1,0 +1,276 @@
+"""RCL-class workloads: GEMM-family kernels plus row/column-shared patterns.
+
+``build_gemm`` is the reference tiled dense matrix multiply of paper
+Figure 6 (A row-shared / B column-shared / C no-locality); the deep-learning
+FC layers instantiate it with rectangular shapes extracted (and scaled) from
+AlexNet, VGG, ResNet-50 and LSTM models, where the weight matrix B dominates
+and LASP's input-size-aware tie-break must pick column binding.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.kir.expr import BDX, BX, BY, GDX, M, TX, TY, param
+from repro.kir.kernel import AccessMode, Dim2, GlobalAccess, Kernel, LoopSpec
+from repro.kir.program import Program
+from repro.workloads.base import Scale
+
+__all__ = [
+    "build_gemm",
+    "build_sq_gemm",
+    "build_tra",
+    "build_conv",
+    "build_fwt_k2",
+    "build_histo_main",
+    "build_alexnet_fc2",
+    "build_vggnet_fc2",
+    "build_resnet50_fc",
+    "build_lstm1",
+    "build_lstm2",
+]
+
+READ = AccessMode.READ
+WRITE = AccessMode.WRITE
+
+
+K_STEP = 16  # inner-dimension elements consumed per outer-loop iteration
+
+
+def build_gemm(
+    name: str,
+    m_rows: int,
+    k_inner: int,
+    n_cols: int,
+    block: Optional[Dim2] = None,
+    insts: float = 40.0,
+) -> Program:
+    """C[M,N] = A[M,K] x B[K,N], tiled over ``block``-shaped threadblocks.
+
+    Matches Figure 6: per outer iteration a threadblock loads a slab of A
+    (row-shared, horizontal motion) and of B (column-shared, vertical
+    motion) into scratchpad, then writes its C tile once (no locality).
+    """
+    block = block or Dim2(16, 16)
+    if m_rows % block.y or n_cols % block.x or k_inner % K_STEP:
+        raise ValueError(f"{name}: dims must fit block {block} / K_STEP {K_STEP}")
+    grid = Dim2(n_cols // block.x, m_rows // block.y)
+    row = BY * block.y + TY
+    col = BX * block.x + TX
+    # N == gridDim.x * blockDim.x by construction; expressing the row pitch
+    # in prime variables is exactly the backward substitution of Figure 6.
+    width = GDX * BDX
+    a = GlobalAccess("A", row * k_inner + M * K_STEP + TX, READ, in_loop=True)
+    b = GlobalAccess("B", (M * K_STEP + TY) * width + col, READ, in_loop=True)
+    c = GlobalAccess("C", row * width + col, WRITE)
+    kernel = Kernel(
+        name=f"{name}_kernel",
+        block=block,
+        arrays={"A": 4, "B": 4, "C": 4},
+        accesses=[a, b, c],
+        loop=LoopSpec(param("ktiles")),
+        insts_per_thread=insts,
+    )
+    prog = Program(name)
+    # A is padded by one block width: wide blocks (32,4) overlap their
+    # K-slab loads past the row end (register-tile prefetch), which the L1
+    # absorbs but the bounds checker must allow.
+    prog.malloc_managed("A", m_rows * k_inner + block.x, 4)
+    prog.malloc_managed("B", k_inner * n_cols, 4)
+    prog.malloc_managed("C", m_rows * n_cols, 4)
+    prog.launch(
+        kernel, grid, {"A": "A", "B": "B", "C": "C"}, {param("ktiles"): k_inner // K_STEP}
+    )
+    return prog
+
+
+def build_sq_gemm(scale: Scale) -> Program:
+    """Square sgemm (SDK/Parboil reference).
+
+    30 grid columns/rows -- deliberately not a multiple of the 16-node
+    count, so round-robin schedulers cannot accidentally column-bind (paper
+    Section V-A notes such accidental alignments for some layer sizes),
+    while row binding stays balanced (30 rows -> 1.9 +- 0.1 per node).
+    The inner dimension is shallower to keep the sweep fast.
+    """
+    side = 16 * scale.div(30, by=scale.grid)
+    return build_gemm("sq_gemm", side, side, side)
+
+
+def _dl_gemm(name: str, scale: Scale, m_rows: int, k_inner: int, n_cols: int) -> Program:
+    """A deep-learning FC layer: activations A (small) x weights B (large).
+
+    Blocks are (32, 4) as in Table IV, and N stays wide so the weight
+    matrix's column strips are at least a page per node -- the regime the
+    paper's ML workloads (Section IV-B) sit in.  LASP's input-size-aware
+    tie-break must pick column binding here.
+    """
+    g = scale.grid
+    return build_gemm(
+        name,
+        max(4, m_rows // g),
+        max(K_STEP, (k_inner // g) // K_STEP * K_STEP),
+        max(512, n_cols // g),
+        block=Dim2(32, 4),
+        insts=16,
+    )
+
+
+def build_alexnet_fc2(scale: Scale) -> Program:
+    """AlexNet FC-2 (4096x4096 weights, scaled to keep the sweep fast)."""
+    return _dl_gemm("alexnet_fc2", scale, 32, 320, 2048)
+
+
+def build_vggnet_fc2(scale: Scale) -> Program:
+    """VGGNet FC-2: same width, shallower inner dimension."""
+    return _dl_gemm("vggnet_fc2", scale, 32, 256, 2048)
+
+
+def build_resnet50_fc(scale: Scale) -> Program:
+    """ResNet-50 final FC (scaled): larger batch, shallower K."""
+    return _dl_gemm("resnet50_fc", scale, 64, 192, 2048)
+
+
+def build_lstm1(scale: Scale) -> Program:
+    """LSTM gate GEMM, layer 1: four gates stacked along N."""
+    return _dl_gemm("lstm1", scale, 64, 256, 2048)
+
+
+def build_lstm2(scale: Scale) -> Program:
+    """LSTM gate GEMM, layer 2: smaller batch."""
+    return _dl_gemm("lstm2", scale, 32, 192, 2048)
+
+
+def build_tra(scale: Scale) -> Program:
+    """Matrix transpose, thread-coarsened along rows (row-shared input).
+
+    A single grid column of threadblocks walks each band of rows: the input
+    is row-shared with horizontal motion (Table II row 2); the scattered
+    output is handled by the L2.
+    """
+    tile = 16
+    height = tile * scale.div(64, by=scale.grid)  # rows of IN
+    width = 32 * tile  # columns of IN, walked by the loop
+    block = Dim2(tile, tile)
+    grid = Dim2(1, height // tile)
+    row = BY * tile + TY
+    in_site = GlobalAccess("IN", row * width + M * tile + TX, READ, in_loop=True)
+    out_site = GlobalAccess(
+        "OUT", (M * tile + TX) * height + row, WRITE, in_loop=True
+    )
+    kernel = Kernel(
+        name="tra_kernel",
+        block=block,
+        arrays={"IN": 4, "OUT": 4},
+        accesses=[in_site, out_site],
+        loop=LoopSpec(param("xtiles")),
+        insts_per_thread=12,
+    )
+    prog = Program("tra")
+    prog.malloc_managed("IN", height * width, 4)
+    prog.malloc_managed("OUT", width * height, 4)
+    prog.launch(kernel, grid, {"IN": "IN", "OUT": "OUT"}, {param("xtiles"): width // tile})
+    return prog
+
+
+def build_conv(scale: Scale) -> Program:
+    """Separable row convolution (SDK): grid rows share image rows.
+
+    Every threadblock of a grid row sweeps the full (apron-extended) row
+    band -- the halo overlap of real tiled convolution expressed as whole-
+    row sharing -- so IN is row-shared with horizontal motion; each block
+    writes its own interleaved output columns (no locality).
+    """
+    block = Dim2(16, 4)
+    gy = scale.div(64, by=scale.grid)
+    gx = 4
+    height = gy * block.y
+    width = 1024
+    row = BY * block.y + TY
+    in_site = GlobalAccess("IN", row * width + M * block.x + TX, READ, in_loop=True)
+    flt = GlobalAccess("FLT", TX, READ, in_loop=True)
+    out_site = GlobalAccess("OUT", row * width + BX * block.x + TX, WRITE)
+    kernel = Kernel(
+        name="conv_rows",
+        block=block,
+        arrays={"IN": 4, "FLT": 4, "OUT": 4},
+        accesses=[in_site, flt, out_site],
+        loop=LoopSpec(param("sweeps")),
+        insts_per_thread=8,
+    )
+    prog = Program("conv")
+    prog.malloc_managed("IN", height * width, 4)
+    prog.malloc_managed("FLT", 64, 4)
+    prog.malloc_managed("OUT", height * width, 4)
+    prog.launch(
+        kernel,
+        Dim2(gx, gy),
+        {"IN": "IN", "FLT": "FLT", "OUT": "OUT"},
+        {param("sweeps"): width // block.x},
+    )
+    return prog
+
+
+def build_fwt_k2(scale: Scale) -> Program:
+    """Fast Walsh transform kernel 2: column-major walk, columns shared.
+
+    Grid columns own column bands of a column-major matrix and walk down
+    them (Table II row 3: column-locality, horizontally shared).
+    """
+    tile = 16
+    block = Dim2(tile, tile)
+    gx = scale.div(32, by=scale.grid, minimum=16)
+    height = 1024  # elements per column
+    width = gx * tile
+    col = BX * tile + TX
+    site = GlobalAccess("DATA", col * height + M * tile + TY, READ, in_loop=True)
+    out = GlobalAccess("DATA", col * height + M * tile + TY, WRITE, in_loop=True, weight=0.5)
+    kernel = Kernel(
+        name="fwt_k2",
+        block=block,
+        arrays={"DATA": 4},
+        accesses=[site, out],
+        loop=LoopSpec(param("steps")),
+        insts_per_thread=18,
+    )
+    prog = Program("fwt_k2")
+    prog.malloc_managed("DATA", width * height, 4)
+    prog.launch(kernel, Dim2(gx, 1), {"DATA": "DATA"}, {param("steps"): height // tile})
+    return prog
+
+
+def build_histo_main(scale: Scale) -> Program:
+    """Parboil histo main kernel: grid columns sweep image columns downward
+    (column-locality, vertically shared)."""
+    block = Dim2(16, 16)
+    # 160 grid columns: wide enough for page-sized column strips per node,
+    # and a row pitch (160 * 16 * 4B = 20 pages) that is NOT a multiple of
+    # 16 nodes x 1 page, so CODA's static interleave cannot accidentally
+    # align with the column sharing (the paper notes the ML layers' sizes
+    # sometimes do align; the characterisation kernel should not).
+    gx = scale.div(160, by=scale.grid, minimum=20)
+    gy = 1
+    rows = 512
+    col = BX * block.x + TX
+    site = GlobalAccess(
+        "IMG", (M * block.y + TY) * (GDX * BDX) + col, READ, in_loop=True
+    )
+    bins = GlobalAccess("BINS", TX, WRITE, weight=0.1)
+    kernel = Kernel(
+        name="histo_main",
+        block=block,
+        arrays={"IMG": 4, "BINS": 4},
+        accesses=[site, bins],
+        loop=LoopSpec(param("rsweeps")),
+        insts_per_thread=14,
+    )
+    prog = Program("histo_main")
+    prog.malloc_managed("IMG", rows * gx * block.x, 4)
+    prog.malloc_managed("BINS", 1024, 4)
+    prog.launch(
+        kernel,
+        Dim2(gx, gy),
+        {"IMG": "IMG", "BINS": "BINS"},
+        {param("rsweeps"): rows // block.y},
+    )
+    return prog

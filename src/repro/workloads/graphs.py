@@ -1,0 +1,181 @@
+"""Graph-analytics workloads on synthetic CSR graphs (ITL class).
+
+PageRank, BFS and SSSP (Pannotia / Lonestar) and SpMV-jds (Parboil) walk
+CSR adjacency structures: each thread owns a vertex/row and strides through
+its edge list (intra-thread locality on the edge arrays), gathering
+neighbour values through a data-dependent index (unclassifiable).
+
+The synthetic generator produces a seeded, locality-skewed graph: most
+edges point near their source vertex (the community structure real graphs
+have), a minority are uniform long-range edges.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.kir.expr import BDX, BX, M, TX
+from repro.kir.kernel import AccessMode, Dim2, GlobalAccess, IndirectAccess, Kernel, LoopSpec, data_var
+from repro.kir.program import Program
+from repro.workloads.base import Scale
+
+__all__ = [
+    "make_csr",
+    "build_pagerank",
+    "build_bfs_relax",
+    "build_sssp",
+    "build_spmv_jds",
+]
+
+READ = AccessMode.READ
+WRITE = AccessMode.WRITE
+
+
+def make_csr(
+    num_vertices: int,
+    avg_degree: int,
+    seed: int,
+    locality: float = 0.75,
+    window: int = 512,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """A seeded synthetic CSR graph (row_ptr, col_idx).
+
+    ``locality`` is the fraction of edges kept within ``window`` vertices of
+    their source; the rest are uniform.  Degrees are geometric-ish around
+    ``avg_degree`` (clipped), giving the skew CSR workloads see.
+    """
+    rng = np.random.default_rng(seed)
+    degrees = rng.geometric(1.0 / avg_degree, size=num_vertices)
+    degrees = np.clip(degrees, 1, 4 * avg_degree)
+    row_ptr = np.zeros(num_vertices + 1, dtype=np.int64)
+    np.cumsum(degrees, out=row_ptr[1:])
+    num_edges = int(row_ptr[-1])
+
+    src = np.repeat(np.arange(num_vertices, dtype=np.int64), degrees)
+    local = rng.random(num_edges) < locality
+    offsets = rng.integers(-window, window + 1, size=num_edges)
+    near = (src + offsets) % num_vertices
+    far = rng.integers(0, num_vertices, size=num_edges)
+    col_idx = np.where(local, near, far).astype(np.int64)
+    return row_ptr, col_idx
+
+
+def _edge_provider(row_ptr: np.ndarray, num_edges: int):
+    """Provider for the ITL edge-array walk: element = row_start[tid] + m,
+    clamped to the thread's own edge range (short rows re-read their last
+    edge, which coalescing absorbs)."""
+
+    def provider(ctx):
+        tid = ctx.linear_tid
+        tid = np.minimum(tid, row_ptr.size - 2)
+        start = row_ptr[tid]
+        end = np.maximum(row_ptr[tid + 1] - 1, start)
+        return np.minimum(start + ctx.m, end)
+
+    return provider
+
+
+def _gather_provider(row_ptr: np.ndarray, col_idx: np.ndarray):
+    """Provider for the neighbour-value gather: col_idx[row_start[tid]+m]."""
+    edge = _edge_provider(row_ptr, col_idx.size)
+
+    def provider(ctx):
+        return col_idx[edge(ctx)]
+
+    return provider
+
+
+def _csr_kernel(
+    name: str,
+    scale: Scale,
+    num_vertices: int,
+    avg_degree: int,
+    seed: int,
+    value_reads: int = 1,
+    edge_payload: bool = False,
+    insts: float = 20.0,
+) -> Program:
+    """Shared CSR traversal shape of the graph workloads."""
+    block = Dim2(128)
+    # Keep at least one thread per vertex and 16 threadblocks so the grid
+    # spreads over every node even at test scale.
+    v = max(scale.div(num_vertices), 16 * block.x)
+    row_ptr, col_idx = make_csr(v, avg_degree, seed)
+    num_edges = int(col_idx.size)
+    grid = Dim2(v // block.x)
+    trip = avg_degree
+
+    start = data_var("row_start")
+    nbr = data_var("neighbour")
+    i = BX * BDX + TX
+    accesses = [
+        GlobalAccess("ROW_PTR", i, READ),
+        IndirectAccess(
+            "COL_IDX", start + M, _edge_provider(row_ptr, num_edges), READ, in_loop=True
+        ),
+    ]
+    arrays = {"ROW_PTR": 4, "COL_IDX": 4, "VALUES": 4, "OUT": 4}
+    for _ in range(value_reads):
+        accesses.append(
+            IndirectAccess(
+                "VALUES", nbr, _gather_provider(row_ptr, col_idx), READ, in_loop=True
+            )
+        )
+    if edge_payload:
+        arrays["WEIGHTS"] = 4
+        accesses.append(
+            IndirectAccess(
+                "WEIGHTS",
+                start + M,
+                _edge_provider(row_ptr, num_edges),
+                READ,
+                in_loop=True,
+            )
+        )
+    accesses.append(GlobalAccess("OUT", i, WRITE))
+
+    kernel = Kernel(
+        name=f"{name}_kernel",
+        block=block,
+        arrays=arrays,
+        accesses=accesses,
+        loop=LoopSpec(trip),
+        insts_per_thread=insts,
+    )
+    prog = Program(name)
+    threads = grid.x * block.x
+    prog.malloc_managed("COL_IDX", max(num_edges, 1), 4)
+    if edge_payload:
+        prog.malloc_managed("WEIGHTS", max(num_edges, 1), 4)
+    prog.malloc_managed("ROW_PTR", max(v + 1, threads), 4)
+    prog.malloc_managed("VALUES", max(v, threads), 4)
+    prog.malloc_managed("OUT", max(v, threads), 4)
+    args = {a: a for a in arrays}
+    prog.launch(kernel, grid, args)
+    return prog
+
+
+def build_pagerank(scale: Scale) -> Program:
+    """PageRank (Pannotia): rank gather along each vertex's edge list."""
+    return _csr_kernel("pagerank", scale, 16384, 12, seed=11, insts=16)
+
+
+def build_bfs_relax(scale: Scale) -> Program:
+    """BFS relaxation (Lonestar): frontier-less topology-driven relaxation."""
+    return _csr_kernel("bfs_relax", scale, 24576, 8, seed=23, insts=14)
+
+
+def build_sssp(scale: Scale) -> Program:
+    """SSSP (Pannotia): like BFS but also reading per-edge weights."""
+    return _csr_kernel(
+        "sssp", scale, 16384, 8, seed=37, edge_payload=True, insts=18
+    )
+
+
+def build_spmv_jds(scale: Scale) -> Program:
+    """SpMV in JDS layout (Parboil): value/col walks plus an x gather."""
+    return _csr_kernel(
+        "spmv_jds", scale, 8192, 16, seed=53, edge_payload=True, insts=12
+    )

@@ -1,0 +1,222 @@
+"""NL-class workloads: vector ops, grid-stride loops and stencils.
+
+These model the Table-IV rows VecAdd, SRAD, HS, ScalarProd, BLK,
+Histo-final, Reduction-k6 and Hotspot3D.  Stencil arrays carry a halo so
+neighbour accesses never leave the allocation.
+"""
+
+from __future__ import annotations
+
+from repro.kir.expr import BDX, BX, BY, GDX, M, TX, TY, param
+from repro.kir.kernel import AccessMode, Dim2, GlobalAccess, Kernel, LoopSpec
+from repro.kir.program import Program
+from repro.workloads.base import Scale
+
+__all__ = [
+    "build_vecadd",
+    "build_srad",
+    "build_hs",
+    "build_scalarprod",
+    "build_blk",
+    "build_histo_final",
+    "build_reduction_k6",
+    "build_hotspot3d",
+]
+
+READ = AccessMode.READ
+WRITE = AccessMode.WRITE
+
+
+def build_vecadd(scale: Scale) -> Program:
+    """C = A + B; one element per thread, no loop (pure page-alignment test)."""
+    n = scale.div(1 << 19)
+    block = Dim2(64)
+    grid = Dim2(n // block.x)
+    i = BX * BDX + TX
+    kernel = Kernel(
+        name="vecadd",
+        block=block,
+        arrays={"A": 4, "B": 4, "C": 4},
+        accesses=[
+            GlobalAccess("A", i, READ),
+            GlobalAccess("B", i, READ),
+            GlobalAccess("C", i, WRITE),
+        ],
+        insts_per_thread=8,
+    )
+    prog = Program("vecadd")
+    for name in ("A", "B", "C"):
+        prog.malloc_managed(name, n, 4)
+    prog.launch(kernel, grid, {"A": "A", "B": "B", "C": "C"})
+    return prog
+
+
+def _stencil_2d(name: str, scale: Scale, extra_array: bool, insts: float) -> Program:
+    """Shared shape of the SRAD / HS five-point stencils (halo layout)."""
+    block = Dim2(16, 16)
+    gx = scale.div(32, by=scale.grid)
+    gy = scale.div(32, by=scale.grid)
+    width = gx * block.x
+    height = gy * block.y
+    w2 = width + 2  # halo'd row pitch
+    r = BY * block.y + TY + 1
+    c = BX * block.x + TX + 1
+    center = r * w2 + c
+    accesses = [
+        GlobalAccess("J", center, READ),
+        GlobalAccess("J", center - 1, READ),
+        GlobalAccess("J", center + 1, READ),
+        GlobalAccess("J", center - w2, READ),
+        GlobalAccess("J", center + w2, READ),
+        GlobalAccess("OUT", center, WRITE),
+    ]
+    arrays = {"J": 4, "OUT": 4}
+    if extra_array:
+        accesses.append(GlobalAccess("P", center, READ))
+        arrays["P"] = 4
+    kernel = Kernel(
+        name=name,
+        block=block,
+        arrays=arrays,
+        accesses=accesses,
+        insts_per_thread=insts,
+    )
+    prog = Program(name)
+    halo_elems = w2 * (height + 2)
+    prog.malloc_managed("J", halo_elems, 4)
+    prog.malloc_managed("OUT", halo_elems, 4)
+    args = {"J": "J", "OUT": "OUT"}
+    if extra_array:
+        prog.malloc_managed("P", halo_elems, 4)
+        args["P"] = "P"
+    prog.launch(kernel, Dim2(gx, gy), args)
+    return prog
+
+
+def build_srad(scale: Scale) -> Program:
+    """SRAD (Rodinia): 2-D diffusion stencil, adjacency locality."""
+    return _stencil_2d("srad", scale, extra_array=False, insts=28)
+
+
+def build_hs(scale: Scale) -> Program:
+    """HotSpot (Rodinia): 2-D thermal stencil reading temperature + power."""
+    return _stencil_2d("hs", scale, extra_array=True, insts=24)
+
+
+def _grid_stride(
+    name: str,
+    scale: Scale,
+    n_base: int,
+    block_x: int,
+    grid_x: int,
+    reads,
+    writes,
+    insts: float,
+) -> Program:
+    """Shared shape of the grid-stride-loop workloads (NL with x-stride)."""
+    n = scale.div(n_base)
+    block = Dim2(block_x)
+    grid = Dim2(max(scale.div(grid_x, by=scale.linear), 16))
+    trip = max(1, n // (grid.x * block.x))
+    i = BX * BDX + TX + M * GDX * BDX
+    accesses = [GlobalAccess(a, i, READ, in_loop=True) for a in reads]
+    accesses += [GlobalAccess(a, i, WRITE, in_loop=True) for a in writes]
+    arrays = {a: 4 for a in list(reads) + list(writes) + ["OUT"]}
+    accesses.append(GlobalAccess("OUT", BX * BDX + TX, WRITE))
+    kernel = Kernel(
+        name=name,
+        block=block,
+        arrays=arrays,
+        accesses=accesses,
+        loop=LoopSpec(param("trip")),
+        insts_per_thread=insts,
+    )
+    prog = Program(name)
+    span = grid.x * block.x * trip  # elements actually touched
+    for a in list(reads) + list(writes):
+        prog.malloc_managed(a, span, 4)
+    prog.malloc_managed("OUT", grid.x * block.x, 4)
+    args = {a: a for a in arrays}
+    prog.launch(kernel, grid, args, {param("trip"): trip})
+    return prog
+
+
+def build_scalarprod(scale: Scale) -> Program:
+    """ScalarProd (SDK): dot products with a grid-stride loop."""
+    return _grid_stride(
+        "scalarprod", scale, 1 << 20, 256, 512, reads=("A", "B"), writes=(), insts=12
+    )
+
+
+def build_blk(scale: Scale) -> Program:
+    """BlackScholes (SDK): option pricing over strided option batches.
+
+    472 threadblocks: not congruent to 0 mod 16, so the grid-stride jump is
+    *not* accidentally preserved by page round-robin -- the misalignment
+    case of paper Figure 3.
+    """
+    return _grid_stride(
+        "blk",
+        scale,
+        1 << 19,
+        128,
+        472,
+        reads=("S", "X", "T"),
+        writes=("CALL", "PUT"),
+        insts=48,
+    )
+
+
+def build_histo_final(scale: Scale) -> Program:
+    """Parboil histo's final merge: strided reads of partial histograms."""
+    return _grid_stride(
+        "histo_final", scale, 1 << 19, 512, 128, reads=("PARTIALS",), writes=(), insts=10
+    )
+
+
+def build_reduction_k6(scale: Scale) -> Program:
+    """SDK reduction kernel 6: grid-stride tree reduction."""
+    return _grid_stride(
+        "reduction_k6", scale, 1 << 20, 256, 256, reads=("IN",), writes=(), insts=10
+    )
+
+
+def build_hotspot3d(scale: Scale) -> Program:
+    """Hotspot3D (Rodinia): each thread walks the z-axis (NL, y/plane stride)."""
+    block = Dim2(64, 4)
+    gx = scale.div(4, by=scale.grid, minimum=2)
+    gy = scale.div(32, by=scale.grid)
+    width = gx * block.x
+    height = gy * block.y
+    nz = 8
+    w2 = width + 2
+    plane = w2 * (height + 2)
+    r = BY * block.y + TY + 1
+    c = BX * block.x + TX + 1
+    center = (M + 1) * plane + r * w2 + c
+    accesses = [
+        GlobalAccess("TIN", center, READ, in_loop=True),
+        GlobalAccess("TIN", center - w2, READ, in_loop=True),
+        GlobalAccess("TIN", center + w2, READ, in_loop=True),
+        GlobalAccess("TIN", center - plane, READ, in_loop=True),
+        GlobalAccess("TIN", center + plane, READ, in_loop=True),
+        GlobalAccess("P", r * w2 + c + M * plane, READ, in_loop=True),
+        GlobalAccess("TOUT", center, WRITE, in_loop=True),
+    ]
+    kernel = Kernel(
+        name="hotspot3d",
+        block=block,
+        arrays={"TIN": 4, "P": 4, "TOUT": 4},
+        accesses=accesses,
+        loop=LoopSpec(param("nz")),
+        insts_per_thread=30,
+    )
+    prog = Program("hotspot3d")
+    vol = plane * (nz + 2)
+    prog.malloc_managed("TIN", vol, 4)
+    prog.malloc_managed("P", vol, 4)
+    prog.malloc_managed("TOUT", vol, 4)
+    prog.launch(
+        kernel, Dim2(gx, gy), {"TIN": "TIN", "P": "P", "TOUT": "TOUT"}, {param("nz"): nz}
+    )
+    return prog

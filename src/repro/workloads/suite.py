@@ -1,0 +1,104 @@
+"""The workload registry: all 27 benchmarks of paper Table IV."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.compiler.classify import LocalityType
+from repro.errors import WorkloadError
+from repro.workloads import gemm, graphs, irregular, regular
+from repro.workloads.base import Workload, WorkloadClass
+
+__all__ = ["all_workloads", "get_workload", "workload_names", "workloads_by_class"]
+
+_NL = WorkloadClass.NL
+_RCL = WorkloadClass.RCL
+_ITL = WorkloadClass.ITL
+_UNC = WorkloadClass.UNCLASSIFIED
+
+L = LocalityType
+
+_SUITE: List[Workload] = [
+    # ------------------------------------------------------- NL
+    Workload("vecadd", _NL, L.NO_LOCALITY, "Align-aware", regular.build_vecadd,
+             "C = A + B (SDK)"),
+    Workload("srad", _NL, L.NO_LOCALITY, "Align-aware", regular.build_srad,
+             "2-D diffusion stencil (Rodinia)"),
+    Workload("hs", _NL, L.NO_LOCALITY, "Align-aware", regular.build_hs,
+             "HotSpot 2-D stencil (Rodinia)"),
+    Workload("scalarprod", _NL, L.NO_LOCALITY, "Align-aware", regular.build_scalarprod,
+             "dot products, grid-stride (SDK), x-stride"),
+    Workload("blk", _NL, L.NO_LOCALITY, "Align-aware", regular.build_blk,
+             "BlackScholes (SDK), x-stride"),
+    Workload("histo_final", _NL, L.NO_LOCALITY, "Align-aware", regular.build_histo_final,
+             "histogram final merge (Parboil), x-stride"),
+    Workload("reduction_k6", _NL, L.NO_LOCALITY, "Align-aware", regular.build_reduction_k6,
+             "reduction kernel 6 (SDK), x-stride"),
+    Workload("hotspot3d", _NL, L.NO_LOCALITY, "Align-aware", regular.build_hotspot3d,
+             "3-D stencil (Rodinia), plane stride"),
+    # ------------------------------------------------------- RCL
+    Workload("conv", _RCL, L.ROW_SHARED_H, "Row-sched", gemm.build_conv,
+             "separable row convolution (SDK)"),
+    Workload("histo_main", _RCL, L.COL_SHARED_V, "Col-sched", gemm.build_histo_main,
+             "histogram main kernel (Parboil)"),
+    Workload("fwt_k2", _RCL, L.COL_SHARED_H, "Col-sched", gemm.build_fwt_k2,
+             "fast Walsh transform kernel 2 (SDK)"),
+    Workload("sq_gemm", _RCL, L.ROW_SHARED_H, "Row-sched", gemm.build_sq_gemm,
+             "square sgemm (SDK/Parboil)"),
+    Workload("alexnet_fc2", _RCL, L.COL_SHARED_V, "Col-sched", gemm.build_alexnet_fc2,
+             "AlexNet FC-2 GEMM"),
+    Workload("vggnet_fc2", _RCL, L.COL_SHARED_V, "Col-sched", gemm.build_vggnet_fc2,
+             "VGGNet FC-2 GEMM"),
+    Workload("resnet50_fc", _RCL, L.COL_SHARED_V, "Col-sched", gemm.build_resnet50_fc,
+             "ResNet-50 FC GEMM"),
+    Workload("lstm1", _RCL, L.COL_SHARED_V, "Col-sched", gemm.build_lstm1,
+             "LSTM gate GEMM, layer 1"),
+    Workload("lstm2", _RCL, L.COL_SHARED_V, "Col-sched", gemm.build_lstm2,
+             "LSTM gate GEMM, layer 2"),
+    Workload("tra", _RCL, L.ROW_SHARED_H, "Row-sched", gemm.build_tra,
+             "matrix transpose (SDK)"),
+    # ------------------------------------------------------- ITL
+    Workload("pagerank", _ITL, L.INTRA_THREAD, "Kernel-wide", graphs.build_pagerank,
+             "PageRank on synthetic CSR (Pannotia)"),
+    Workload("bfs_relax", _ITL, L.INTRA_THREAD, "Kernel-wide", graphs.build_bfs_relax,
+             "BFS relaxation (Lonestar)"),
+    Workload("sssp", _ITL, L.INTRA_THREAD, "Kernel-wide", graphs.build_sssp,
+             "SSSP (Pannotia)"),
+    Workload("random_loc", _ITL, L.INTRA_THREAD, "Kernel-wide", irregular.build_random_loc,
+             "random-location walks (Young et al.)"),
+    Workload("kmeans_notex", _ITL, L.INTRA_THREAD, "Kernel-wide", irregular.build_kmeans_notex,
+             "k-means, no texture (Rodinia)"),
+    Workload("spmv_jds", _ITL, L.INTRA_THREAD, "Kernel-wide", graphs.build_spmv_jds,
+             "SpMV JDS (Parboil)"),
+    # ------------------------------------------------------- unclassified
+    Workload("btree", _UNC, L.UNCLASSIFIED, "Kernel-wide", irregular.build_btree,
+             "B+tree lookups (Rodinia)"),
+    Workload("lbm", _UNC, L.UNCLASSIFIED, "Kernel-wide", irregular.build_lbm,
+             "LBM lattice propagation (Parboil)"),
+    Workload("streamcluster", _UNC, L.UNCLASSIFIED, "Kernel-wide",
+             irregular.build_streamcluster, "StreamCluster (Parboil)"),
+]
+
+_BY_NAME: Dict[str, Workload] = {w.name: w for w in _SUITE}
+
+
+def all_workloads() -> List[Workload]:
+    """The full 27-workload suite, in Table-IV order."""
+    return list(_SUITE)
+
+
+def workload_names() -> List[str]:
+    return [w.name for w in _SUITE]
+
+
+def get_workload(name: str) -> Workload:
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload {name!r}; choose from {workload_names()}"
+        ) from None
+
+
+def workloads_by_class(cls: WorkloadClass) -> List[Workload]:
+    return [w for w in _SUITE if w.cls is cls]

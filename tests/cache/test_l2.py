@@ -1,0 +1,116 @@
+"""Tests and properties for the sectored LRU cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.l2 import SectoredCache
+from repro.errors import SimulationError
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        c = SectoredCache(4, 2)
+        assert not c.access(10)
+        assert c.access(10)
+        assert c.hit_rate == 0.5
+
+    def test_bypass_does_not_fill(self):
+        c = SectoredCache(4, 2)
+        assert not c.access(10, insert_on_miss=False)
+        assert not c.access(10, insert_on_miss=False)
+
+    def test_contains_no_stats(self):
+        c = SectoredCache(4, 2)
+        c.access(10)
+        before = c.accesses
+        assert c.contains(10)
+        assert not c.contains(11)
+        assert c.accesses == before
+
+    def test_flush(self):
+        c = SectoredCache(4, 2)
+        c.access(10)
+        c.flush()
+        assert not c.contains(10)
+        assert c.occupancy == 0
+
+    def test_capacity(self):
+        assert SectoredCache(8, 4).capacity == 32
+
+    def test_invalid_geometry(self):
+        with pytest.raises(SimulationError):
+            SectoredCache(0, 2)
+
+    def test_reset_stats(self):
+        c = SectoredCache(4, 2)
+        c.access(1)
+        c.reset_stats()
+        assert c.accesses == 0 and c.hits == 0
+
+
+class TestLRU:
+    def test_lru_eviction_order(self):
+        c = SectoredCache(1, 2)  # one set, two ways
+        c.access(0)
+        c.access(1)
+        c.access(0)  # 0 is now MRU
+        c.access(2)  # evicts 1 (LRU)
+        assert c.contains(0)
+        assert c.contains(2)
+        assert not c.contains(1)
+
+    def test_set_isolation(self):
+        c = SectoredCache(2, 1)
+        c.access(0)  # set 0
+        c.access(1)  # set 1
+        assert c.contains(0) and c.contains(1)  # different sets don't evict
+
+    def test_occupancy_bounded(self):
+        c = SectoredCache(2, 2)
+        for s in range(100):
+            c.access(s)
+        assert c.occupancy <= c.capacity
+
+    def test_resident_sectors_sorted(self):
+        c = SectoredCache(4, 4)
+        for s in (9, 3, 7):
+            c.access(s)
+        assert list(c.resident_sectors()) == [3, 7, 9]
+
+
+# ----------------------------------------------------------------------
+# Properties
+# ----------------------------------------------------------------------
+@settings(max_examples=100, deadline=None)
+@given(
+    sectors=st.lists(st.integers(0, 200), min_size=1, max_size=300),
+    num_sets=st.integers(1, 8),
+    assoc=st.integers(1, 8),
+)
+def test_occupancy_never_exceeds_capacity(sectors, num_sets, assoc):
+    c = SectoredCache(num_sets, assoc)
+    for s in sectors:
+        c.access(s)
+    assert c.occupancy <= c.capacity
+    for st_ in c._sets:
+        assert len(st_) <= assoc
+
+
+@settings(max_examples=100, deadline=None)
+@given(sectors=st.lists(st.integers(0, 50), min_size=1, max_size=200))
+def test_infinite_cache_hits_everything_after_first(sectors):
+    """With capacity >= distinct sectors, only cold misses occur."""
+    c = SectoredCache(1, 64)
+    for s in sectors:
+        c.access(s)
+    assert c.accesses - c.hits == len(set(sectors))
+
+
+@settings(max_examples=100, deadline=None)
+@given(sectors=st.lists(st.integers(0, 1000), min_size=1, max_size=200))
+def test_immediate_rereference_always_hits(sectors):
+    c = SectoredCache(4, 2)
+    for s in sectors:
+        c.access(s)
+        assert c.access(s)

@@ -1,0 +1,47 @@
+"""Tests for L2 traffic-class statistics."""
+
+from repro.cache.stats import L2Stats, TrafficClass
+
+
+def test_record_and_rates():
+    s = L2Stats()
+    s.record(TrafficClass.LOCAL_LOCAL, True)
+    s.record(TrafficClass.LOCAL_LOCAL, False)
+    s.record(TrafficClass.REMOTE_LOCAL, False)
+    assert s.hit_rate(TrafficClass.LOCAL_LOCAL) == 0.5
+    assert s.hit_rate(TrafficClass.REMOTE_LOCAL) == 0.0
+    assert s.total_accesses() == 3
+    assert s.overall_hit_rate() == 1 / 3
+
+
+def test_traffic_share():
+    s = L2Stats()
+    for _ in range(3):
+        s.record(TrafficClass.LOCAL_REMOTE, False)
+    s.record(TrafficClass.LOCAL_LOCAL, True)
+    assert s.traffic_share(TrafficClass.LOCAL_REMOTE) == 0.75
+
+
+def test_empty_rates_are_zero():
+    s = L2Stats()
+    assert s.overall_hit_rate() == 0.0
+    assert s.hit_rate(TrafficClass.LOCAL_LOCAL) == 0.0
+    assert s.traffic_share(TrafficClass.REMOTE_LOCAL) == 0.0
+
+
+def test_merge():
+    a, b = L2Stats(), L2Stats()
+    a.record(TrafficClass.LOCAL_LOCAL, True)
+    b.record(TrafficClass.LOCAL_LOCAL, False)
+    b.record(TrafficClass.REMOTE_LOCAL, True)
+    a.merge(b)
+    assert a.total_accesses() == 3
+    assert a.hits[TrafficClass.LOCAL_LOCAL] == 1
+    assert a.hits[TrafficClass.REMOTE_LOCAL] == 1
+
+
+def test_insertion_policy_flags():
+    from repro.cache.insertion import CachePolicy
+
+    assert CachePolicy.RTWICE.insert_at_home
+    assert not CachePolicy.RONCE.insert_at_home

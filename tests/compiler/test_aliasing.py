@@ -1,0 +1,41 @@
+"""Tests for malloc->argument alias binding."""
+
+from repro.compiler.aliasing import bind_program
+from repro.kir.expr import BDX, BX, TX
+from repro.kir.kernel import Dim2, GlobalAccess, Kernel
+from repro.kir.program import Program
+
+
+def _program(two_launches=False):
+    prog = Program("p")
+    prog.malloc_managed("X", 1024, 4)
+    prog.malloc_managed("Y", 1024, 4)
+    k = Kernel("k", Dim2(64), {"A": 4}, [GlobalAccess("A", BX * BDX + TX)])
+    prog.launch(k, Dim2(2), {"A": "X"})
+    if two_launches:
+        prog.launch(k, Dim2(2), {"A": "Y"})
+    return prog
+
+
+def test_unambiguous_binding_resolves():
+    binding = bind_program(_program())
+    assert binding.is_resolved("k", "A")
+    assert binding.malloc_pc("k", "A") == 0x400
+
+
+def test_ambiguous_binding_unresolved():
+    binding = bind_program(_program(two_launches=True))
+    assert not binding.is_resolved("k", "A")
+    assert binding.malloc_pc("k", "A") is None
+
+
+def test_opaque_forces_unresolved():
+    binding = bind_program(_program(), opaque={"X"})
+    assert not binding.is_resolved("k", "A")
+
+
+def test_allocation_for_always_known():
+    prog = _program()
+    binding = bind_program(prog, opaque={"X"})
+    launch = prog.launches[0]
+    assert binding.allocation_for(launch, "A").name == "X"

@@ -1,0 +1,160 @@
+"""Tests for Algorithm 1 (paper Table II) -- the core contribution."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.classify import (
+    LocalityType,
+    Motion,
+    Sharing,
+    classify_access,
+)
+from repro.kir.expr import BDX, BDY, BX, BY, GDX, GDY, M, TX, TY, Expr, param
+from repro.kir.kernel import Dim2, GlobalAccess, Kernel, LoopSpec, data_var
+
+LOOP = LoopSpec(param("trip"))
+B2 = Dim2(16, 16)
+B1 = Dim2(128)
+
+
+def classify(index, block=B2, loop=LOOP, in_loop=True):
+    acc = GlobalAccess("X", index, in_loop=in_loop and loop is not None)
+    kernel = Kernel("k", block, {"X": 4}, [acc], loop=loop)
+    return classify_access(kernel, acc)
+
+
+class TestNoLocality:
+    def test_vecadd_like(self):
+        c = classify(BX * BDX + TX, block=B1, loop=None, in_loop=False)
+        assert c.locality is LocalityType.NO_LOCALITY
+
+    def test_grid_stride_loop(self):
+        c = classify(BX * BDX + TX + M * GDX * BDX, block=B1)
+        assert c.locality is LocalityType.NO_LOCALITY
+        assert c.stride == GDX * BDX
+
+    def test_2d_tile(self):
+        c = classify((BY * 16 + TY) * GDX * BDX + BX * 16 + TX, loop=None, in_loop=False)
+        assert c.locality is LocalityType.NO_LOCALITY
+
+    def test_2d_needs_both_block_ids(self):
+        # invariant depends on by only -> NOT no-locality in a 2D grid
+        c = classify((BY * 16 + TY) * 1024 + M * 16 + TX)
+        assert c.locality is not LocalityType.NO_LOCALITY
+
+    def test_plane_stride(self):
+        plane = 4420
+        c = classify((BY * 4 + TY) * 130 + BX * 64 + TX + M * plane)
+        assert c.locality is LocalityType.NO_LOCALITY
+        assert c.stride == Expr.from_const(plane)
+
+
+class TestRowColumnLocality:
+    def test_gemm_a_row_shared_h(self):
+        c = classify((BY * 16 + TY) * 1024 + M * 16 + TX)
+        assert c.locality is LocalityType.ROW_SHARED_H
+        assert c.sharing is Sharing.GRID_ROWS
+        assert c.motion is Motion.HORIZONTAL
+        assert c.table_row == 2
+
+    def test_gemm_b_col_shared_v(self):
+        c = classify((M * 16 + TY) * GDX * BDX + BX * 16 + TX)
+        assert c.locality is LocalityType.COL_SHARED_V
+        assert c.sharing is Sharing.GRID_COLS
+        assert c.motion is Motion.VERTICAL
+        assert c.table_row == 5
+
+    def test_col_shared_h(self):
+        c = classify((BX * 16 + TX) * 2048 + M * 16 + TY)
+        assert c.locality is LocalityType.COL_SHARED_H
+        assert c.table_row == 3
+
+    def test_row_shared_v(self):
+        c = classify(BY * 16 + TY + M * GDX * BDX)
+        assert c.locality is LocalityType.ROW_SHARED_V
+        assert c.table_row == 4
+
+    def test_no_motion_defaults_horizontal(self):
+        c = classify((BY * 16 + TY) * 512 + TX, loop=None, in_loop=False)
+        assert c.locality is LocalityType.ROW_SHARED_H
+        assert c.motion is Motion.HORIZONTAL
+
+    def test_is_rcl_flag(self):
+        assert LocalityType.ROW_SHARED_H.is_rcl
+        assert LocalityType.COL_SHARED_V.is_rcl
+        assert not LocalityType.NO_LOCALITY.is_rcl
+        assert not LocalityType.INTRA_THREAD.is_rcl
+
+
+class TestIntraThread:
+    def test_pure_m(self):
+        c = classify(data_var("base") + M, block=B1)
+        assert c.locality is LocalityType.INTRA_THREAD
+
+    def test_affine_itl(self):
+        # kmeans: features[tid * F + m]
+        c = classify((BX * BDX + TX) * 16 + M, block=B1)
+        assert c.locality is LocalityType.INTRA_THREAD
+
+    def test_scaled_m_is_not_itl(self):
+        c = classify(BX * BDX + TX + M * 2, block=B1)
+        assert c.locality is LocalityType.NO_LOCALITY
+
+
+class TestUnclassified:
+    def test_data_dependent_gather(self):
+        c = classify(data_var("y"), block=B1, loop=None, in_loop=False)
+        assert c.locality is LocalityType.UNCLASSIFIED
+
+    def test_nonlinear_in_m(self):
+        c = classify(BX * BDX + TX + M * M * 4, block=B1)
+        assert c.locality is LocalityType.UNCLASSIFIED
+
+    def test_invariant_without_block_ids(self):
+        c = classify(Expr.from_var(TX) * 4, block=B1, loop=None, in_loop=False)
+        assert c.locality is LocalityType.UNCLASSIFIED
+
+
+class TestStrideExtraction:
+    def test_stride_reported_in_elements(self):
+        c = classify(BX * BDX + TX + M * 4096, block=B1)
+        assert c.stride == Expr.from_const(4096)
+
+    def test_zero_stride_for_no_loop(self):
+        c = classify(BX * BDX + TX, block=B1, loop=None, in_loop=False)
+        assert c.stride == Expr.from_const(0)
+
+
+# ----------------------------------------------------------------------
+# Property-based: classification invariances
+# ----------------------------------------------------------------------
+@settings(max_examples=100, deadline=None)
+@given(offset=st.integers(-1000, 1000))
+def test_constant_offsets_never_change_class(offset):
+    """Adding a constant (array base shift) must not change the class."""
+    shapes = [
+        BX * BDX + TX + M * GDX * BDX,
+        (BY * 16 + TY) * 1024 + M * 16 + TX,
+        (M * 16 + TY) * GDX * BDX + BX * 16 + TX,
+        data_var("b") + M,
+    ]
+    for index in shapes:
+        base = classify(index, block=B2)
+        shifted = classify(index + offset, block=B2)
+        assert shifted.locality is base.locality
+
+
+@settings(max_examples=100, deadline=None)
+@given(scale=st.integers(2, 64))
+def test_positive_scaling_preserves_rcl_class(scale):
+    """Scaling the whole index (element-size changes) keeps RCL classes."""
+    index = (BY * 16 + TY) * 1024 + M * 16 + TX
+    assert classify(index * scale).locality is LocalityType.ROW_SHARED_H
+
+
+@settings(max_examples=60, deadline=None)
+@given(k=st.integers(1, 512))
+def test_any_nonunit_stride_is_no_locality(k):
+    c = classify(BX * BDX + TX + M * (k + 1), block=B1)
+    assert c.locality is LocalityType.NO_LOCALITY

@@ -1,0 +1,41 @@
+"""Tests for loop-variant/invariant splitting."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.groups import split_loop_groups
+from repro.kir.expr import BDX, BX, BY, GDX, M, TX, TY, Expr
+
+
+def test_pure_invariant():
+    groups = split_loop_groups(BY * 16 + TX)
+    assert groups.variant.is_zero
+    assert not groups.has_motion
+
+
+def test_pure_variant():
+    groups = split_loop_groups(M * GDX * BDX)
+    assert groups.invariant.is_zero
+    assert groups.has_motion
+
+
+def test_mixed():
+    index = (BY * 16 + TY) * 1024 + M * 16 + TX
+    groups = split_loop_groups(index)
+    assert groups.variant == M * 16
+    assert groups.invariant == (BY * 16 + TY) * 1024 + TX
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    a=st.integers(-50, 50),
+    b=st.integers(-50, 50),
+    c=st.integers(-50, 50),
+)
+def test_split_is_exact_partition(a, b, c):
+    index = BX * a + M * b + Expr.from_const(c)
+    groups = split_loop_groups(index)
+    assert groups.variant + groups.invariant == index
+    assert not groups.invariant.depends_on(M)
+    if b != 0:
+        assert groups.variant.depends_on(M)

@@ -1,0 +1,53 @@
+"""Tests for the locality table structure."""
+
+import pytest
+
+from repro.compiler.classify import AccessClassification, LocalityType
+from repro.compiler.locality_table import LocalityRow, LocalityTable
+from repro.errors import CompilationError
+
+
+def _row(kernel="k", arg="A", pc=0x400, locality=LocalityType.NO_LOCALITY):
+    return LocalityRow(
+        kernel=kernel,
+        arg=arg,
+        malloc_pc=pc,
+        element_size=4,
+        classification=AccessClassification(locality=locality),
+        site_classifications=(AccessClassification(locality=locality),),
+        read_weight=1.0,
+        write_weight=0.0,
+    )
+
+
+def test_lookup():
+    table = LocalityTable([_row(arg="A"), _row(arg="B")])
+    assert table.lookup("k", "A").arg == "A"
+    assert len(table) == 2
+
+
+def test_missing_lookup_raises():
+    table = LocalityTable([_row()])
+    with pytest.raises(CompilationError):
+        table.lookup("k", "missing")
+
+
+def test_duplicate_rows_rejected():
+    with pytest.raises(CompilationError):
+        LocalityTable([_row(), _row()])
+
+
+def test_rows_for_kernel():
+    table = LocalityTable([_row(kernel="k1"), _row(kernel="k2", arg="B")])
+    assert len(table.rows_for_kernel("k1")) == 1
+
+
+def test_contains_and_iter():
+    table = LocalityTable([_row()])
+    assert ("k", "A") in table
+    assert [r.arg for r in table] == ["A"]
+
+
+def test_render_handles_unresolved_pc():
+    table = LocalityTable([_row(pc=None)])
+    assert "-" in table.render()

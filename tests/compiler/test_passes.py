@@ -1,0 +1,93 @@
+"""Tests for end-to-end compilation and classification merging."""
+
+import pytest
+
+from repro.compiler.classify import AccessClassification, LocalityType
+from repro.compiler.passes import compile_program, merge_classifications
+from repro.errors import CompilationError
+from repro.kir.expr import BDX, BX, M, TX, param
+from repro.kir.kernel import AccessMode, Dim2, GlobalAccess, Kernel, LoopSpec
+from repro.kir.program import Program
+
+from tests.conftest import make_gemm_program
+
+
+def _cls(locality):
+    return AccessClassification(locality=locality)
+
+
+class TestMerge:
+    def test_rcl_beats_nl(self):
+        merged = merge_classifications(
+            [(_cls(LocalityType.NO_LOCALITY), 10.0), (_cls(LocalityType.ROW_SHARED_H), 1.0)]
+        )
+        assert merged.locality is LocalityType.ROW_SHARED_H
+
+    def test_nl_beats_itl(self):
+        merged = merge_classifications(
+            [(_cls(LocalityType.INTRA_THREAD), 5.0), (_cls(LocalityType.NO_LOCALITY), 1.0)]
+        )
+        assert merged.locality is LocalityType.NO_LOCALITY
+
+    def test_weight_breaks_ties(self):
+        merged = merge_classifications(
+            [(_cls(LocalityType.ROW_SHARED_H), 1.0), (_cls(LocalityType.COL_SHARED_V), 3.0)]
+        )
+        assert merged.locality is LocalityType.COL_SHARED_V
+
+    def test_empty_rejected(self):
+        with pytest.raises(CompilationError):
+            merge_classifications([])
+
+
+class TestCompileProgram:
+    def test_gemm_rows(self):
+        compiled = compile_program(make_gemm_program())
+        table = compiled.locality_table
+        assert table.lookup("sgemm", "A").classification.locality is LocalityType.ROW_SHARED_H
+        assert table.lookup("sgemm", "B").classification.locality is LocalityType.COL_SHARED_V
+        assert table.lookup("sgemm", "C").classification.locality is LocalityType.NO_LOCALITY
+
+    def test_malloc_pcs_bound(self):
+        compiled = compile_program(make_gemm_program())
+        pcs = {compiled.row("sgemm", a).malloc_pc for a in "ABC"}
+        assert None not in pcs
+        assert len(pcs) == 3
+
+    def test_opaque_allocation_loses_binding(self):
+        prog = make_gemm_program()
+        compiled = compile_program(prog, opaque_allocations={"B"})
+        assert compiled.row("sgemm", "B").malloc_pc is None
+        assert compiled.row("sgemm", "A").malloc_pc is not None
+
+    def test_read_write_weights(self):
+        compiled = compile_program(make_gemm_program())
+        row_c = compiled.row("sgemm", "C")
+        assert row_c.write_weight > 0
+        assert row_c.read_weight == 0
+
+    def test_table_render_contains_rows(self):
+        compiled = compile_program(make_gemm_program())
+        text = compiled.locality_table.render()
+        assert "sgemm/A" in text and "RCL-row-h" in text
+
+    def test_conflicting_kernel_names_rejected(self):
+        prog = Program("p")
+        prog.malloc_managed("A", 1024, 4)
+        k1 = Kernel("dup", Dim2(64), {"A": 4}, [GlobalAccess("A", BX * BDX + TX)])
+        k2 = Kernel("dup", Dim2(32), {"A": 4}, [GlobalAccess("A", BX * BDX + TX)])
+        prog.launch(k1, Dim2(2), {"A": "A"})
+        prog.launch(k2, Dim2(2), {"A": "A"})
+        with pytest.raises(CompilationError):
+            compile_program(prog)
+
+    def test_ambiguous_binding_is_unresolved(self):
+        """One kernel arg bound to different allocations across launches."""
+        prog = Program("p")
+        prog.malloc_managed("A1", 1024, 4)
+        prog.malloc_managed("A2", 1024, 4)
+        k = Kernel("k", Dim2(64), {"A": 4}, [GlobalAccess("A", BX * BDX + TX)])
+        prog.launch(k, Dim2(2), {"A": "A1"})
+        prog.launch(k, Dim2(2), {"A": "A2"})
+        compiled = compile_program(prog)
+        assert compiled.row("k", "A").malloc_pc is None

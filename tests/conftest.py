@@ -1,0 +1,114 @@
+"""Shared fixtures: small systems and reference programs."""
+
+import pytest
+
+from repro.compiler import compile_program
+from repro.kir.expr import BDX, BX, GDX, M, TX, TY, BY, param
+from repro.kir.kernel import AccessMode, Dim2, GlobalAccess, Kernel, LoopSpec
+from repro.kir.program import Program
+from repro.topology import (
+    SystemConfig,
+    SystemTopology,
+    bench_hierarchical,
+    bench_monolithic,
+)
+from repro.topology.config import CacheConfig, TopologyKind
+
+
+@pytest.fixture
+def hier_config() -> SystemConfig:
+    """A tiny 2 GPU x 2 chiplet hierarchical system for fast tests."""
+    return SystemConfig(
+        name="test-hier-2x2",
+        kind=TopologyKind.HIERARCHICAL,
+        num_gpus=2,
+        chiplets_per_gpu=2,
+        sms_per_node=2,
+        l2=CacheConfig(size=16 * 1024),
+        page_size=512,
+    )
+
+
+@pytest.fixture
+def hier_topology(hier_config) -> SystemTopology:
+    return SystemTopology(hier_config)
+
+
+@pytest.fixture
+def bench_config() -> SystemConfig:
+    return bench_hierarchical()
+
+
+@pytest.fixture
+def bench_topology(bench_config) -> SystemTopology:
+    return SystemTopology(bench_config)
+
+
+@pytest.fixture
+def mono_config() -> SystemConfig:
+    return bench_monolithic()
+
+
+def make_gemm_program(side: int = 64, tile: int = 16) -> Program:
+    """The Figure-6 matrix multiply at a configurable (small) size."""
+    row = BY * tile + TY
+    col = BX * tile + TX
+    width = GDX * BDX
+    kernel = Kernel(
+        name="sgemm",
+        block=Dim2(tile, tile),
+        arrays={"A": 4, "B": 4, "C": 4},
+        accesses=[
+            GlobalAccess("A", row * side + M * tile + TX, AccessMode.READ, in_loop=True),
+            GlobalAccess("B", (M * tile + TY) * width + col, AccessMode.READ, in_loop=True),
+            GlobalAccess("C", row * width + col, AccessMode.WRITE),
+        ],
+        loop=LoopSpec(param("ktiles")),
+        insts_per_thread=40,
+    )
+    prog = Program("gemm_test")
+    for nm in ("A", "B", "C"):
+        prog.malloc_managed(nm, side * side, 4)
+    prog.launch(
+        kernel,
+        Dim2(side // tile, side // tile),
+        {"A": "A", "B": "B", "C": "C"},
+        {param("ktiles"): side // tile},
+    )
+    return prog
+
+
+def make_vecadd_program(n: int = 1 << 14, block_x: int = 64) -> Program:
+    """Simple loop-less NL program."""
+    i = BX * BDX + TX
+    kernel = Kernel(
+        name="vecadd",
+        block=Dim2(block_x),
+        arrays={"A": 4, "B": 4, "C": 4},
+        accesses=[
+            GlobalAccess("A", i, AccessMode.READ),
+            GlobalAccess("B", i, AccessMode.READ),
+            GlobalAccess("C", i, AccessMode.WRITE),
+        ],
+        insts_per_thread=8,
+    )
+    prog = Program("vecadd_test")
+    for nm in ("A", "B", "C"):
+        prog.malloc_managed(nm, n, 4)
+    prog.launch(kernel, Dim2(n // block_x), {"A": "A", "B": "B", "C": "C"})
+    return prog
+
+
+@pytest.fixture
+def gemm_program() -> Program:
+    return make_gemm_program()
+
+
+@pytest.fixture
+def gemm_compiled(gemm_program):
+    return compile_program(gemm_program)
+
+
+@pytest.fixture
+def vecadd_program() -> Program:
+    return make_vecadd_program()

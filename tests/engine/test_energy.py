@@ -1,0 +1,66 @@
+"""Tests for the data-movement energy model."""
+
+import pytest
+
+from repro.compiler.passes import compile_program
+from repro.engine.energy import EnergyBreakdown, EnergyConfig, kernel_energy, run_energy
+from repro.engine.metrics import KernelMetrics
+from repro.engine.simulator import simulate
+from repro.strategies import CODAStrategy, LADMStrategy
+from repro.topology.system import Channel
+
+from tests.conftest import make_gemm_program
+
+
+class TestBreakdown:
+    def test_total_sums_components(self):
+        e = EnergyBreakdown(dram_j=1, l2_j=2, xbar_j=3, ring_j=4, inter_gpu_j=5)
+        assert e.total_j == 15
+        assert e.interconnect_j == 9
+
+    def test_add(self):
+        a = EnergyBreakdown(dram_j=1)
+        a.add(EnergyBreakdown(dram_j=2, ring_j=3))
+        assert a.dram_j == 3 and a.ring_j == 3
+
+    def test_as_dict_keys(self):
+        d = EnergyBreakdown().as_dict()
+        assert set(d) == {"dram", "l2", "xbar", "ring", "inter_gpu", "total"}
+
+
+class TestKernelEnergy:
+    def test_dram_energy(self):
+        m = KernelMetrics(kernel="k", launch_index=0, num_nodes=4)
+        m.dram_bytes_per_node[0] = 1000
+        e = kernel_energy(m, EnergyConfig(dram_pj_per_byte=10))
+        assert e.dram_j == pytest.approx(1000 * 10 * 1e-12)
+
+    def test_channel_energy_classified(self):
+        m = KernelMetrics(kernel="k", launch_index=0, num_nodes=4)
+        m.channel_bytes[(Channel.RING, 0)] = 100
+        m.channel_bytes[(Channel.GPU_EGRESS, 0)] = 100
+        m.channel_bytes[(Channel.GPU_INGRESS, 1)] = 100  # free (egress pays)
+        cfg = EnergyConfig(ring_pj_per_byte=1, inter_gpu_pj_per_byte=2)
+        e = kernel_energy(m, cfg)
+        assert e.ring_j == pytest.approx(100e-12)
+        assert e.inter_gpu_j == pytest.approx(200e-12)
+
+
+class TestEndToEnd:
+    def test_ladm_saves_interconnect_energy(self, bench_config):
+        """The paper's energy argument: less inter-chip movement = fewer J,
+        even if runtime ties."""
+        program = make_gemm_program(side=128)
+        compiled = compile_program(program)
+        hcoda = simulate(program, CODAStrategy(True), bench_config, compiled=compiled)
+        ladm = simulate(program, LADMStrategy("crb"), bench_config, compiled=compiled)
+        e_hcoda = run_energy(hcoda)
+        e_ladm = run_energy(ladm)
+        assert e_ladm.interconnect_j < e_hcoda.interconnect_j
+        assert e_ladm.total_j < e_hcoda.total_j
+
+    def test_energy_positive(self, bench_config, vecadd_program):
+        run = simulate(vecadd_program, CODAStrategy(True), bench_config)
+        e = run_energy(run)
+        assert e.total_j > 0
+        assert e.dram_j > 0

@@ -1,0 +1,67 @@
+"""Tests for metrics containers."""
+
+import numpy as np
+
+from repro.cache.stats import TrafficClass
+from repro.engine.metrics import KernelMetrics, RunResult
+from repro.topology.system import Channel
+
+
+def _metrics(time_s=1.0, off=100, total=1000):
+    m = KernelMetrics(kernel="k", launch_index=0, num_nodes=4)
+    m.time_s = time_s
+    m.off_node_bytes = off
+    m.l2_request_bytes = total
+    m.l2_requests = total // 32
+    m.l2_misses = 10
+    m.warp_insts_per_node[:] = 250.0
+    return m
+
+
+class TestKernelMetrics:
+    def test_off_node_fraction(self):
+        assert _metrics().off_node_fraction == 0.1
+
+    def test_mpki(self):
+        m = _metrics()
+        assert m.mpki == 1000.0 * 10 / 1000.0
+
+    def test_add_channel_bytes_accumulates(self):
+        m = _metrics()
+        m.add_channel_bytes((Channel.RING, 0), 10)
+        m.add_channel_bytes((Channel.RING, 0), 5)
+        assert m.channel_bytes[(Channel.RING, 0)] == 15
+
+    def test_aggregate_l2(self):
+        m = _metrics()
+        m.l2_stats[0].record(TrafficClass.LOCAL_LOCAL, True)
+        m.l2_stats[1].record(TrafficClass.LOCAL_LOCAL, False)
+        agg = m.aggregate_l2()
+        assert agg.total_accesses() == 2
+        assert agg.overall_hit_rate() == 0.5
+
+
+class TestRunResult:
+    def _run(self, times):
+        return RunResult(
+            program="p",
+            strategy="s",
+            system="sys",
+            kernels=[_metrics(time_s=t) for t in times],
+        )
+
+    def test_total_time_sums_kernels(self):
+        assert self._run([1.0, 2.0]).total_time_s == 3.0
+
+    def test_speedup_over(self):
+        fast = self._run([1.0])
+        slow = self._run([2.0])
+        assert fast.speedup_over(slow) == 2.0
+        assert slow.speedup_over(fast) == 0.5
+
+    def test_off_node_fraction_weighted(self):
+        run = self._run([1.0, 1.0])
+        assert run.off_node_fraction == 0.1
+
+    def test_summary_mentions_strategy(self):
+        assert "s" in self._run([1.0]).summary()

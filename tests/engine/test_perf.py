@@ -1,0 +1,78 @@
+"""Tests for the bottleneck performance model."""
+
+import numpy as np
+import pytest
+
+from repro.engine.metrics import KernelMetrics
+from repro.engine.perf import FAULT_CONCURRENCY, apply_perf_model, kernel_time
+from repro.topology.config import paper_hierarchical
+from repro.topology.system import Channel, SystemTopology
+
+
+@pytest.fixture
+def topo():
+    return SystemTopology(paper_hierarchical())
+
+
+def metrics(num_nodes=16, **overrides):
+    m = KernelMetrics(kernel="k", launch_index=0, num_nodes=num_nodes)
+    for key, value in overrides.items():
+        setattr(m, key, value)
+    return m
+
+
+class TestKernelTime:
+    def test_compute_bound(self, topo):
+        m = metrics()
+        m.warp_insts_per_node[0] = 1e9
+        t, breakdown = kernel_time(m, topo, 0.0)
+        cfg = topo.config
+        expected = 1e9 / (cfg.ipc_per_sm * cfg.sms_per_node * cfg.clock_hz)
+        assert t == pytest.approx(expected)
+        assert breakdown["compute"] == pytest.approx(expected)
+
+    def test_dram_bound(self, topo):
+        m = metrics()
+        m.dram_bytes_per_node[3] = int(180e9)  # one second of DRAM traffic
+        t, breakdown = kernel_time(m, topo, 0.0)
+        assert t == pytest.approx(1.0)
+        assert breakdown["dram"] == pytest.approx(1.0)
+
+    def test_worst_node_dominates(self, topo):
+        balanced = metrics()
+        balanced.dram_bytes_per_node[:] = int(1e9)
+        skewed = metrics()
+        skewed.dram_bytes_per_node[0] = int(16e9)
+        t_bal, _ = kernel_time(balanced, topo, 0.0)
+        t_skew, _ = kernel_time(skewed, topo, 0.0)
+        assert t_skew == pytest.approx(16 * t_bal)
+
+    def test_link_bound(self, topo):
+        m = metrics()
+        m.channel_bytes[(Channel.GPU_EGRESS, 0)] = int(180e9)
+        t, breakdown = kernel_time(m, topo, 0.0)
+        assert t == pytest.approx(1.0)
+        assert breakdown["interconnect"] == pytest.approx(1.0)
+
+    def test_fault_charge_is_additive(self, topo):
+        m = metrics()
+        m.dram_bytes_per_node[0] = int(180e9)
+        m.faults = 1000
+        t, breakdown = kernel_time(m, topo, 25e-6)
+        assert t == pytest.approx(1.0 + 1000 * 25e-6 / FAULT_CONCURRENCY)
+
+    def test_max_not_sum(self, topo):
+        m = metrics()
+        m.dram_bytes_per_node[0] = int(90e9)  # 0.5 s
+        m.channel_bytes[(Channel.GPU_EGRESS, 0)] = int(45e9)  # 0.25 s
+        t, _ = kernel_time(m, topo, 0.0)
+        assert t == pytest.approx(0.5)
+
+
+class TestApply:
+    def test_apply_fills_fields(self, topo):
+        m = metrics()
+        m.dram_bytes_per_node[0] = int(1e9)
+        apply_perf_model(m, topo, 0.0)
+        assert m.time_s > 0
+        assert m.time_breakdown["total"] == pytest.approx(m.time_s)

@@ -1,0 +1,68 @@
+"""Tests for execution-plan structures."""
+
+import numpy as np
+import pytest
+
+from repro.cache.insertion import CachePolicy
+from repro.engine.plan import ExecutionPlan, LaunchPlan
+from repro.errors import SimulationError
+from repro.kir.expr import BDX, BX, TX
+from repro.kir.kernel import Dim2, GlobalAccess, Kernel
+from repro.kir.program import Program
+from repro.memory.address_space import AddressSpace
+from repro.memory.page_table import PageTable
+
+
+def _launch():
+    prog = Program("p")
+    prog.malloc_managed("A", 1024, 4)
+    k = Kernel("k", Dim2(64), {"A": 4}, [GlobalAccess("A", BX * BDX + TX)])
+    launch = prog.launch(k, Dim2(4), {"A": "A"})
+    return prog, launch
+
+
+class TestLaunchPlan:
+    def test_valid(self):
+        _, launch = _launch()
+        lp = LaunchPlan(launch=launch, tb_nodes=np.zeros(4, dtype=np.int32))
+        assert lp.tb_nodes.shape == (4,)
+
+    def test_wrong_assignment_count(self):
+        _, launch = _launch()
+        with pytest.raises(SimulationError):
+            LaunchPlan(launch=launch, tb_nodes=np.zeros(3, dtype=np.int32))
+
+    def test_policy_defaults_to_rtwice(self):
+        _, launch = _launch()
+        lp = LaunchPlan(
+            launch=launch,
+            tb_nodes=np.zeros(4, dtype=np.int32),
+            cache_policy={"A": CachePolicy.RONCE},
+        )
+        assert lp.policy_for("A") is CachePolicy.RONCE
+        assert lp.policy_for("other") is CachePolicy.RTWICE
+
+
+class TestExecutionPlan:
+    def test_requires_launches(self):
+        prog, _ = _launch()
+        space = AddressSpace(prog, 512)
+        with pytest.raises(SimulationError):
+            ExecutionPlan(
+                space=space,
+                page_table=PageTable(space, 4),
+                launches=[],
+                strategy_name="x",
+            )
+
+    def test_default_costs_zero(self):
+        prog, launch = _launch()
+        space = AddressSpace(prog, 512)
+        plan = ExecutionPlan(
+            space=space,
+            page_table=PageTable(space, 4),
+            launches=[LaunchPlan(launch=launch, tb_nodes=np.zeros(4, dtype=np.int32))],
+            strategy_name="x",
+        )
+        assert plan.fault_cost_s == 0.0
+        assert plan.setup_time_s == 0.0

@@ -1,0 +1,63 @@
+"""Tests for run reports and JSON serialisation."""
+
+import json
+
+import pytest
+
+from repro.compiler.passes import compile_program
+from repro.engine.report import render_report, run_to_dict, run_to_json
+from repro.engine.simulator import simulate
+from repro.strategies import CODAStrategy
+
+from tests.conftest import make_gemm_program
+
+
+@pytest.fixture(scope="module")
+def run():
+    from repro.topology.config import bench_hierarchical
+
+    program = make_gemm_program(side=64)
+    return simulate(program, CODAStrategy(True), bench_hierarchical())
+
+
+class TestRender:
+    def test_mentions_everything(self, run):
+        text = render_report(run)
+        assert "H-CODA" in text
+        assert "sgemm" in text
+        assert "LOCAL-REMOTE" in text
+        assert "DRAM bytes/node" in text
+        assert "energy" in text or "data movement" in text
+
+
+class TestDict:
+    def test_json_roundtrip(self, run):
+        data = json.loads(run_to_json(run))
+        assert data["strategy"] == "H-CODA"
+        assert data["total_time_s"] > 0
+        assert 0 <= data["off_node_fraction"] <= 1
+
+    def test_traffic_classes_complete(self, run):
+        data = run_to_dict(run)
+        assert set(data["traffic_classes"]) == {
+            "LOCAL-LOCAL",
+            "LOCAL-REMOTE",
+            "REMOTE-LOCAL",
+        }
+        for entry in data["traffic_classes"].values():
+            assert 0 <= entry["share"] <= 1
+            assert 0 <= entry["hit_rate"] <= 1
+
+    def test_kernels_serialised(self, run):
+        data = run_to_dict(run)
+        assert len(data["kernels"]) == 1
+        k = data["kernels"][0]
+        assert k["kernel"] == "sgemm"
+        assert len(k["dram_bytes_per_node"]) == 16
+
+    def test_everything_json_safe(self, run):
+        json.dumps(run_to_dict(run))  # raises on numpy leftovers
+
+    def test_energy_components(self, run):
+        data = run_to_dict(run)
+        assert data["energy_j"]["total"] > 0

@@ -1,0 +1,144 @@
+"""Integration-level tests of the simulator core."""
+
+import numpy as np
+import pytest
+
+from repro.cache.stats import TrafficClass
+from repro.compiler.passes import compile_program
+from repro.engine.simulator import Simulator, _wave_order, simulate
+from repro.strategies import (
+    BatchFTStrategy,
+    KernelWideStrategy,
+    LADMStrategy,
+    MonolithicStrategy,
+    RRStrategy,
+)
+from repro.topology.config import bench_monolithic
+
+from tests.conftest import make_gemm_program, make_vecadd_program
+
+
+class TestWaveOrder:
+    def test_is_permutation(self):
+        nodes = np.array([0, 0, 1, 1, 2, 2, 3, 3], dtype=np.int32)
+        order = _wave_order(nodes, 4)
+        assert sorted(order.tolist()) == list(range(8))
+
+    def test_interleaves_nodes(self):
+        nodes = np.array([0, 0, 1, 1], dtype=np.int32)
+        order = _wave_order(nodes, 2)
+        # first wave contains one TB of each node
+        first_wave_nodes = {int(nodes[t]) for t in order[:2]}
+        assert first_wave_nodes == {0, 1}
+
+    def test_rotation_changes_wave_leader(self):
+        nodes = np.array([0, 1, 0, 1], dtype=np.int32)
+        order = _wave_order(nodes, 2).tolist()
+        leaders = [int(nodes[order[0]]), int(nodes[order[2]])]
+        assert leaders == [0, 1]
+
+    def test_preserves_per_node_order(self):
+        nodes = np.array([0, 1, 0, 1, 0, 1], dtype=np.int32)
+        order = _wave_order(nodes, 2)
+        node0 = [t for t in order.tolist() if nodes[t] == 0]
+        assert node0 == sorted(node0)
+
+
+class TestConservation:
+    """Traffic-accounting invariants that must hold for any run."""
+
+    @pytest.fixture
+    def run(self, hier_config):
+        prog = make_gemm_program(side=64)
+        return simulate(prog, RRStrategy(), hier_config)
+
+    def test_requests_match_bytes(self, run):
+        for k in run.kernels:
+            assert k.l2_request_bytes == k.l2_requests * 32
+
+    def test_requester_accesses_equal_requests(self, run):
+        for k in run.kernels:
+            agg = k.aggregate_l2()
+            requester = (
+                agg.accesses[TrafficClass.LOCAL_LOCAL]
+                + agg.accesses[TrafficClass.LOCAL_REMOTE]
+            )
+            assert requester == k.l2_requests
+
+    def test_remote_local_equals_local_remote_misses(self, run):
+        """Every LOCAL-REMOTE miss arrives at some home as REMOTE-LOCAL."""
+        for k in run.kernels:
+            agg = k.aggregate_l2()
+            lr_misses = (
+                agg.accesses[TrafficClass.LOCAL_REMOTE]
+                - agg.hits[TrafficClass.LOCAL_REMOTE]
+            )
+            assert agg.accesses[TrafficClass.REMOTE_LOCAL] == lr_misses
+
+    def test_off_node_bytes_match_remote_accesses(self, run):
+        for k in run.kernels:
+            agg = k.aggregate_l2()
+            assert k.off_node_bytes == agg.accesses[TrafficClass.REMOTE_LOCAL] * 32
+
+    def test_dram_bounded_by_misses(self, run):
+        for k in run.kernels:
+            assert k.dram_bytes_per_node.sum() <= k.l2_request_bytes
+
+    def test_inter_gpu_subset_of_off_node(self, run):
+        for k in run.kernels:
+            assert 0 <= k.inter_gpu_bytes <= k.off_node_bytes
+
+
+class TestMonolithic:
+    def test_no_off_node_traffic(self, gemm_program):
+        run = simulate(gemm_program, MonolithicStrategy(), bench_monolithic())
+        assert run.total_off_node_bytes == 0
+        assert run.off_node_fraction == 0.0
+
+    def test_no_faults(self, gemm_program):
+        run = simulate(gemm_program, MonolithicStrategy(), bench_monolithic())
+        assert run.total_faults == 0
+
+
+class TestFirstTouch:
+    def test_faults_counted(self, hier_config, vecadd_program):
+        run = simulate(vecadd_program, BatchFTStrategy(optimal=True), hier_config)
+        assert run.total_faults > 0
+
+    def test_fault_cost_slows_nonoptimal(self, hier_config, vecadd_program):
+        compiled = compile_program(vecadd_program)
+        optimal = simulate(
+            vecadd_program, BatchFTStrategy(optimal=True), hier_config, compiled=compiled
+        )
+        charged = simulate(
+            vecadd_program, BatchFTStrategy(optimal=False), hier_config, compiled=compiled
+        )
+        assert charged.total_time_s > optimal.total_time_s
+        assert charged.total_faults == optimal.total_faults
+
+    def test_faults_bounded_by_touched_pages(self, hier_config, vecadd_program):
+        run = simulate(vecadd_program, BatchFTStrategy(optimal=True), hier_config)
+        space_pages = sum(
+            -(-a.size_bytes // hier_config.page_size)
+            for a in vecadd_program.allocations.values()
+        )
+        assert run.total_faults <= space_pages + len(vecadd_program.allocations)
+
+
+class TestDeterminism:
+    def test_same_run_twice_identical(self, hier_config, gemm_program):
+        compiled = compile_program(gemm_program)
+        a = simulate(gemm_program, LADMStrategy("crb"), hier_config, compiled=compiled)
+        b = simulate(gemm_program, LADMStrategy("crb"), hier_config, compiled=compiled)
+        assert a.total_time_s == b.total_time_s
+        assert a.total_off_node_bytes == b.total_off_node_bytes
+        assert a.mpki == b.mpki
+
+
+class TestRemoteCachingFlag:
+    def test_disabling_remote_caching_increases_traffic(self, hier_config, gemm_program):
+        compiled = compile_program(gemm_program)
+        on = simulate(gemm_program, KernelWideStrategy(), hier_config, compiled=compiled)
+        off_cfg = hier_config.with_(remote_caching=False)
+        off = simulate(gemm_program, KernelWideStrategy(), off_cfg, compiled=compiled)
+        assert off.total_off_node_bytes >= on.total_off_node_bytes

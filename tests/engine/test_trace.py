@@ -1,0 +1,138 @@
+"""Tests for trace generation from kernel IR."""
+
+import numpy as np
+import pytest
+
+from repro.engine.trace import launch_tracer, trace_threadblock
+from repro.kir.expr import BDX, BX, BY, GDX, M, TX, TY, param
+from repro.kir.kernel import (
+    AccessMode,
+    Dim2,
+    GlobalAccess,
+    IndirectAccess,
+    Kernel,
+    LoopSpec,
+    data_var,
+)
+from repro.kir.program import Program
+from repro.memory.address_space import AddressSpace
+
+from tests.conftest import make_gemm_program, make_vecadd_program
+
+
+def _space(prog, page=512):
+    return AddressSpace(prog, page)
+
+
+class TestAffineTracing:
+    def test_vecadd_tb0_sectors(self):
+        prog = make_vecadd_program(n=1024, block_x=64)
+        space = _space(prog)
+        trace = trace_threadblock(prog.launches[0], space, tb=0)
+        assert len(trace.iterations) == 1
+        reqs = trace.iterations[0]
+        # three arrays; 64 threads x 4B = 256B = 8 sectors each
+        assert len(reqs) == 3
+        for sr in reqs:
+            assert sr.sectors.size == 8
+            assert np.all(np.diff(sr.sectors) == 1)  # contiguous
+
+    def test_different_tbs_disjoint_sectors(self):
+        prog = make_vecadd_program(n=1024, block_x=64)
+        space = _space(prog)
+        t0 = trace_threadblock(prog.launches[0], space, 0)
+        t1 = trace_threadblock(prog.launches[0], space, 1)
+        s0 = set(t0.iterations[0][0].sectors.tolist())
+        s1 = set(t1.iterations[0][0].sectors.tolist())
+        assert not (s0 & s1)
+
+    def test_gemm_iterations(self):
+        prog = make_gemm_program(side=64)
+        space = _space(prog)
+        launch = prog.launches[0]
+        trace = trace_threadblock(launch, space, tb=0)
+        assert len(trace.iterations) == launch.trip_count() == 4
+        # once-sites (C write) appear only at iteration 0
+        arrays_m0 = {sr.array for sr in trace.iterations[0]}
+        arrays_m1 = {sr.array for sr in trace.iterations[1]}
+        assert "C" in arrays_m0
+        assert "C" not in arrays_m1
+
+    def test_pages_aligned_with_sectors(self):
+        prog = make_vecadd_program(n=1024, block_x=64)
+        space = _space(prog)
+        trace = trace_threadblock(prog.launches[0], space, 0)
+        for sr in trace.iterations[0]:
+            expected = (sr.sectors * 32) // space.page_size - space.first_page
+            assert (sr.pages == expected).all()
+
+    def test_coalescing_dedups_sectors(self):
+        """Threads hitting the same sector coalesce to one request."""
+        prog = Program("bcast")
+        prog.malloc_managed("A", 1024, 4)
+        k = Kernel("bcast", Dim2(64), {"A": 4}, [GlobalAccess("A", BX)])
+        prog.launch(k, Dim2(4), {"A": "A"})
+        trace = trace_threadblock(prog.launches[0], _space(prog), 2)
+        assert trace.iterations[0][0].sectors.size == 1
+
+
+class TestProviderTracing:
+    def test_provider_overrides_expression(self):
+        prog = Program("gather")
+        prog.malloc_managed("X", 4096, 4)
+
+        def provider(ctx):
+            return (ctx.linear_tid * 13) % 512
+
+        k = Kernel(
+            "gather",
+            Dim2(32),
+            {"X": 4},
+            [IndirectAccess("X", data_var("i"), provider)],
+        )
+        prog.launch(k, Dim2(2), {"X": "X"})
+        trace = trace_threadblock(prog.launches[0], _space(prog), 1)
+        sectors = trace.iterations[0][0].sectors
+        tids = np.arange(32, 64)
+        expected_elems = (tids * 13) % 512
+        ext = _space(prog).extent("X")
+        expected = np.unique((ext.base + expected_elems * 4) // 32)
+        assert (sectors == expected).all()
+
+    def test_provider_receives_iteration(self):
+        seen = []
+
+        def provider(ctx):
+            seen.append(ctx.m)
+            return np.zeros(ctx.num_threads, dtype=np.int64)
+
+        prog = Program("p")
+        prog.malloc_managed("X", 64, 4)
+        k = Kernel(
+            "k",
+            Dim2(32),
+            {"X": 4},
+            [IndirectAccess("X", data_var("i"), provider, in_loop=True)],
+            loop=LoopSpec(3),
+        )
+        prog.launch(k, Dim2(1), {"X": "X"})
+        trace_threadblock(prog.launches[0], _space(prog), 0)
+        assert seen == [0, 1, 2]
+
+
+class TestTracerReuse:
+    def test_iteration_requests_match_trace_tb(self):
+        prog = make_gemm_program(side=64)
+        space = _space(prog)
+        tracer = launch_tracer(prog.launches[0], space)
+        full = tracer.trace_tb(5)
+        for m, iteration in enumerate(full.iterations):
+            again = tracer.iteration_requests(5, m)
+            assert len(again) == len(iteration)
+            for a, b in zip(again, iteration):
+                assert (a.sectors == b.sectors).all()
+
+    def test_total_requests_positive(self):
+        prog = make_gemm_program(side=64)
+        tracer = launch_tracer(prog.launches[0], _space(prog))
+        assert tracer.trace_tb(0).total_requests() > 0

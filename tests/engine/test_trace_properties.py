@@ -1,0 +1,88 @@
+"""Property tests for trace generation: determinism and structure."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.trace import launch_tracer
+from repro.kir.expr import BDX, BX, GDX, M, TX
+from repro.kir.kernel import AccessMode, Dim2, GlobalAccess, Kernel, LoopSpec
+from repro.kir.program import Program
+from repro.memory.address_space import AddressSpace
+
+
+def _make(n_blocks, block_x, stride_mult, trip):
+    prog = Program("p")
+    n = n_blocks * block_x * max(1, trip) * max(1, stride_mult)
+    prog.malloc_managed("A", n, 4)
+    index = BX * BDX + TX
+    loop = None
+    if trip > 1:
+        index = index + M * stride_mult * GDX * BDX
+        loop = LoopSpec(trip)
+    k = Kernel(
+        "k",
+        Dim2(block_x),
+        {"A": 4},
+        [GlobalAccess("A", index, AccessMode.READ, in_loop=trip > 1)],
+        loop=loop,
+    )
+    launch = prog.launch(k, Dim2(n_blocks), {"A": "A"})
+    space = AddressSpace(prog, 512)
+    return launch, space
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n_blocks=st.integers(1, 12),
+    block_x=st.sampled_from([32, 64, 128]),
+    stride_mult=st.integers(1, 3),
+    trip=st.integers(1, 4),
+)
+def test_trace_is_deterministic(n_blocks, block_x, stride_mult, trip):
+    launch, space = _make(n_blocks, block_x, stride_mult, trip)
+    t1 = launch_tracer(launch, space)
+    t2 = launch_tracer(launch, space)
+    for tb in range(launch.num_threadblocks):
+        a = t1.trace_tb(tb)
+        b = t2.trace_tb(tb)
+        for ia, ib in zip(a.iterations, b.iterations):
+            assert len(ia) == len(ib)
+            for sa, sb in zip(ia, ib):
+                assert (sa.sectors == sb.sectors).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n_blocks=st.integers(1, 12),
+    block_x=st.sampled_from([32, 64, 128]),
+    trip=st.integers(1, 4),
+)
+def test_sectors_sorted_unique_and_in_bounds(n_blocks, block_x, trip):
+    launch, space = _make(n_blocks, block_x, 1, trip)
+    tracer = launch_tracer(launch, space)
+    ext = space.extent("A")
+    lo = ext.base // 32
+    hi = (ext.end - 1) // 32
+    for tb in range(launch.num_threadblocks):
+        for iteration in tracer.trace_tb(tb).iterations:
+            for sr in iteration:
+                s = sr.sectors
+                assert (np.diff(s) > 0).all()  # sorted + unique
+                assert s.min() >= lo and s.max() <= hi
+
+
+@settings(max_examples=30, deadline=None)
+@given(n_blocks=st.integers(1, 8), block_x=st.sampled_from([32, 64]))
+def test_grid_coverage_is_complete(n_blocks, block_x):
+    """Union of all TBs' sectors covers the array exactly once (no loop)."""
+    launch, space = _make(n_blocks, block_x, 1, 1)
+    tracer = launch_tracer(launch, space)
+    seen = []
+    for tb in range(launch.num_threadblocks):
+        for iteration in tracer.trace_tb(tb).iterations:
+            for sr in iteration:
+                seen.extend(sr.sectors.tolist())
+    elems = n_blocks * block_x
+    expected_sectors = elems * 4 // 32
+    assert len(seen) == len(set(seen)) == expected_sectors

@@ -1,0 +1,34 @@
+"""Rendering tests for the Figure-9 result object."""
+
+import pytest
+
+from repro.experiments.fig9 import run_fig9
+from repro.workloads.base import TEST
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_fig9(TEST, workload_names=["vecadd", "srad"])
+
+
+def test_render_bars(result):
+    text = result.render_bars("LADM")
+    assert "srad" in text
+    assert "|" in text and "#" in text
+
+
+def test_bars_scale_to_peak(result):
+    text = result.render_bars("Monolithic")
+    # The longest bar belongs to the largest speedup.
+    lines = [l for l in text.splitlines() if "|" in l]
+    lengths = {l.split()[0]: l.count("#") for l in lines}
+    perf = result.normalized_performance()
+    best = max(perf, key=lambda w: perf[w]["Monolithic"])
+    assert lengths[best] == max(lengths.values())
+
+
+def test_geomean_between_min_and_max(result):
+    perf = result.normalized_performance()
+    values = [perf[w]["LADM"] for w in perf]
+    g = result.geomean_speedup("LADM")
+    assert min(values) <= g <= max(values)

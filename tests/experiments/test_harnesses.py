@@ -1,0 +1,128 @@
+"""Tests for the experiment harnesses (structure + fast sanity runs)."""
+
+import pytest
+
+from repro.experiments.fig4 import FIG4_STRATEGIES, fig4_configs, run_fig4
+from repro.experiments.fig9 import FIG9_STRATEGIES, run_fig9
+from repro.experiments.fig11 import run_fig11
+from repro.experiments.runner import geomean, run_matrix, scale_by_name, strategy_by_name
+from repro.experiments.table1 import PAPER_EXPECTATION, PATTERNS
+from repro.experiments.table2 import canonical_accesses, run_table2
+from repro.experiments.table4 import run_table4
+from repro.workloads.base import TEST
+from repro.workloads.suite import get_workload
+
+
+class TestRunner:
+    def test_strategy_by_name_all(self):
+        for name in (
+            "Baseline-RR",
+            "Batch+FT",
+            "Batch+FT-optimal",
+            "Kernel-wide",
+            "CODA",
+            "H-CODA",
+            "LASP+RTWICE",
+            "LASP+RONCE",
+            "LADM",
+            "Monolithic",
+        ):
+            assert strategy_by_name(name).name == name
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            strategy_by_name("nope")
+
+    def test_scale_by_name(self):
+        assert scale_by_name("test").name == "test"
+        assert scale_by_name("bench").name == "bench"
+        with pytest.raises(ValueError):
+            scale_by_name("huge")
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([]) == 0.0
+
+    def test_run_matrix_shares_compilation(self, bench_config):
+        workload = get_workload("vecadd")
+        matrix = run_matrix(
+            [workload], [("H-CODA", bench_config), ("LADM", bench_config)], TEST
+        )
+        assert matrix.get("vecadd", "H-CODA").strategy == "H-CODA"
+        assert set(matrix.results["vecadd"]) == {"H-CODA", "LADM"}
+
+
+class TestTable2:
+    def test_all_seven_rows(self):
+        assert len(canonical_accesses()) == 7
+
+    def test_exact_match(self):
+        result = run_table2()
+        assert result.all_match
+        assert "MISMATCH" not in result.render()
+
+
+class TestTable1Static:
+    def test_patterns_cover_expectations(self):
+        assert set(PATTERNS) == set(PAPER_EXPECTATION)
+
+    def test_paper_says_ladm_captures_everything(self):
+        for pattern in PAPER_EXPECTATION:
+            assert PAPER_EXPECTATION[pattern]["LADM"]
+
+
+class TestFig9Small:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig9(TEST, workload_names=["vecadd", "scalarprod"])
+
+    def test_strategies_present(self, result):
+        perf = result.normalized_performance()
+        assert set(perf["vecadd"]) == set(FIG9_STRATEGIES)
+
+    def test_hcoda_normalises_to_one(self, result):
+        perf = result.normalized_performance()
+        for w in perf:
+            assert perf[w]["H-CODA"] == pytest.approx(1.0)
+
+    def test_renders(self, result):
+        assert "GEOMEAN" in result.render()
+        assert "MEAN" in result.render_traffic()
+
+    def test_traffic_reduction_positive(self, result):
+        assert result.ladm_traffic_reduction() > 1.0
+
+
+class TestFig4Structure:
+    def test_configs_exist(self):
+        systems, mono = fig4_configs()
+        assert len(systems) == 5
+        assert mono.num_nodes == 1
+        # equal aggregate SMs
+        for cfg in systems.values():
+            assert cfg.total_sms == mono.total_sms
+
+    def test_single_system_run(self):
+        result = run_fig4(
+            TEST, workload_names=["vecadd"], systems=["xbar-180GB/s"]
+        )
+        values = result.normalized["xbar-180GB/s"]
+        assert set(values) == set(FIG4_STRATEGIES)
+        for v in values.values():
+            assert 0 < v <= 1.5
+
+
+class TestTable4Fast:
+    def test_without_mpki(self):
+        result = run_table4(TEST, measure_mpki=False)
+        assert len(result.rows) == 27
+        assert result.all_localities_match
+        assert "Table IV" in result.render()
+
+
+class TestFig11Fast:
+    def test_case_study_shapes(self):
+        result = run_fig11(TEST)
+        assert set(result.cases) == {"random_loc", "sq_gemm"}
+        text = result.render()
+        assert "LOCAL-REMOTE" in text

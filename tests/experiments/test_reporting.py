@@ -1,0 +1,37 @@
+"""Tests for the text-rendering helpers."""
+
+from repro.experiments.reporting import bar, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "long_header"], [["x", "1"], ["yy", "22"]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert len(set(len(l.rstrip()) for l in lines[:2])) <= 2
+
+    def test_title(self):
+        text = format_table(["a"], [["1"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_non_string_cells(self):
+        text = format_table(["n"], [[42], [3.5]])
+        assert "42" in text and "3.5" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestBar:
+    def test_full(self):
+        assert bar(1.0, scale=1.0, width=10) == "#" * 10
+
+    def test_half(self):
+        assert bar(0.5, scale=1.0, width=10) == "#" * 5
+
+    def test_clamps_overflow(self):
+        assert bar(5.0, scale=1.0, width=10) == "#" * 10
+
+    def test_zero_scale(self):
+        assert bar(1.0, scale=0.0) == ""

@@ -1,0 +1,55 @@
+"""Every strategy must run every locality class without error, with sane
+invariants -- the cross-product smoke the release gate needs."""
+
+import pytest
+
+from repro.compiler.passes import compile_program
+from repro.engine.simulator import simulate
+from repro.experiments.runner import strategy_by_name
+from repro.strategies import LocalityDescriptorStrategy, ReactiveMigrationStrategy
+from repro.topology.config import bench_hierarchical
+from repro.workloads import TEST, get_workload
+
+# One representative per locality class.
+REPRESENTATIVES = ["vecadd", "scalarprod", "sq_gemm", "pagerank", "lbm"]
+STRATEGIES = [
+    "Baseline-RR",
+    "Batch+FT",
+    "Batch+FT-optimal",
+    "Kernel-wide",
+    "CODA",
+    "H-CODA",
+    "LASP+RTWICE",
+    "LASP+RONCE",
+    "LADM",
+]
+
+
+@pytest.fixture(scope="module")
+def compiled_cache():
+    cache = {}
+    for name in REPRESENTATIVES:
+        program = get_workload(name).program(TEST)
+        cache[name] = (program, compile_program(program))
+    return cache
+
+
+@pytest.mark.parametrize("workload", REPRESENTATIVES)
+@pytest.mark.parametrize("strategy_name", STRATEGIES)
+def test_cross_product(workload, strategy_name, compiled_cache):
+    program, compiled = compiled_cache[workload]
+    run = simulate(
+        program, strategy_by_name(strategy_name), bench_hierarchical(), compiled=compiled
+    )
+    assert run.total_time_s > 0
+    assert 0.0 <= run.off_node_fraction <= 1.0
+    assert run.total_faults >= 0
+
+
+@pytest.mark.parametrize("workload", ["vecadd", "sq_gemm"])
+def test_extension_strategies(workload, compiled_cache):
+    program, compiled = compiled_cache[workload]
+    config = bench_hierarchical()
+    for strategy in (ReactiveMigrationStrategy(), LocalityDescriptorStrategy()):
+        run = simulate(program, strategy, config, compiled=compiled)
+        assert run.total_time_s > 0

@@ -1,0 +1,46 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_parses(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "vecadd"])
+        assert args.strategy == ["H-CODA", "LADM", "Monolithic"]
+        assert args.scale == "test"
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_list_output(self, capsys):
+        main(["list"])
+        out = capsys.readouterr().out
+        assert "vecadd" in out and "LADM" in out
+
+    def test_classify_output(self, capsys):
+        main(["classify", "sq_gemm"])
+        out = capsys.readouterr().out
+        assert "RCL-row-h" in out and "RCL-col-v" in out
+
+    def test_run_output(self, capsys):
+        main(["run", "vecadd", "--strategy", "LADM"])
+        out = capsys.readouterr().out
+        assert "LADM" in out
+
+    def test_table2_forwarded(self, capsys):
+        main(["table2"])
+        out = capsys.readouterr().out
+        assert "all rows match Table II: True" in out
+
+    def test_unknown_workload_errors(self):
+        with pytest.raises(Exception):
+            main(["classify", "not_a_workload"])

@@ -1,0 +1,49 @@
+"""Tests for the CLI's detail/JSON output modes."""
+
+import json
+
+from repro.cli import main
+
+
+def test_run_detail(capsys):
+    main(["run", "vecadd", "--strategy", "LADM", "--detail"])
+    out = capsys.readouterr().out
+    assert "bottlenecks" in out
+    assert "traffic mix" in out
+
+
+def test_run_json(capsys):
+    main(["run", "vecadd", "--strategy", "H-CODA", "--json"])
+    out = capsys.readouterr().out
+    data = json.loads(out)
+    assert data["strategy"] == "H-CODA"
+    assert data["kernels"][0]["kernel"] == "vecadd"
+
+
+def test_errors_hierarchy():
+    """All package errors share the ReproError root (catchable as one)."""
+    import repro.errors as errors
+
+    roots = [
+        errors.ExpressionError,
+        errors.KernelIRError,
+        errors.CompilationError,
+        errors.TopologyError,
+        errors.MemoryError_,
+        errors.PlacementError,
+        errors.SchedulingError,
+        errors.SimulationError,
+        errors.WorkloadError,
+    ]
+    for cls in roots:
+        assert issubclass(cls, errors.ReproError)
+        assert issubclass(cls, Exception)
+
+
+def test_summary_command_registered():
+    from repro.cli import _EXPERIMENT_MAINS
+
+    assert "summary" in _EXPERIMENT_MAINS
+    for name in ("fig4", "fig9", "fig10", "fig11", "table1", "table2", "table4",
+                 "hw-validation", "ablations", "energy", "paging", "proactive"):
+        assert name in _EXPERIMENT_MAINS

@@ -1,0 +1,89 @@
+"""End-to-end integration: programs -> compile -> plan -> simulate."""
+
+import pytest
+
+from repro.compiler.passes import compile_program
+from repro.engine.simulator import simulate
+from repro.experiments.runner import strategy_by_name
+from repro.strategies import LADMStrategy, MonolithicStrategy
+from repro.topology.config import bench_hierarchical, bench_monolithic
+from repro.workloads import TEST, all_workloads
+
+STRATEGIES = ["Baseline-RR", "Kernel-wide", "H-CODA", "LADM"]
+
+
+@pytest.mark.parametrize("workload", all_workloads(), ids=lambda w: w.name)
+def test_every_workload_runs_under_ladm(workload):
+    program = workload.program(TEST)
+    run = simulate(program, LADMStrategy("crb"), bench_hierarchical())
+    assert run.total_time_s > 0
+    assert run.total_l2_request_bytes > 0
+    assert 0.0 <= run.off_node_fraction <= 1.0
+
+
+@pytest.mark.parametrize("strategy_name", STRATEGIES)
+def test_gemm_runs_under_every_strategy(strategy_name):
+    from tests.conftest import make_gemm_program
+
+    program = make_gemm_program(side=64)
+    run = simulate(program, strategy_by_name(strategy_name), bench_hierarchical())
+    assert run.strategy == strategy_name
+    assert run.total_time_s > 0
+
+
+class TestMultiKernelPrograms:
+    def _two_kernel_program(self):
+        from repro.kir.expr import BDX, BX, TX
+        from repro.kir.kernel import AccessMode, Dim2, GlobalAccess, Kernel
+        from repro.kir.program import Program
+
+        i = BX * BDX + TX
+        prog = Program("two_phase")
+        prog.malloc_managed("A", 8192, 4)
+        prog.malloc_managed("B", 8192, 4)
+        k1 = Kernel("produce", Dim2(64), {"A": 4}, [GlobalAccess("A", i, AccessMode.WRITE)])
+        k2 = Kernel(
+            "consume",
+            Dim2(64),
+            {"A": 4, "B": 4},
+            [GlobalAccess("A", i), GlobalAccess("B", i, AccessMode.WRITE)],
+        )
+        prog.launch(k1, Dim2(128), {"A": "A"})
+        prog.launch(k2, Dim2(128), {"A": "A", "B": "B"})
+        return prog
+
+    def test_both_kernels_simulated(self):
+        run = simulate(self._two_kernel_program(), LADMStrategy("crb"), bench_hierarchical())
+        assert len(run.kernels) == 2
+        assert {k.kernel for k in run.kernels} == {"produce", "consume"}
+
+    def test_flush_destroys_interkernel_locality(self):
+        """Multi-GPU flushes between kernels; the monolithic GPU does not
+        (paper Section V-A's third performance-gap reason)."""
+        program = self._two_kernel_program()
+        compiled = compile_program(program)
+        mono = simulate(program, MonolithicStrategy(), bench_monolithic(), compiled=compiled)
+        consume_mono = mono.kernels[1]
+        # A was written in kernel 1 and survives in the monolithic L2.
+        assert consume_mono.aggregate_l2().overall_hit_rate() > 0.4
+
+        no_flush = bench_monolithic().with_(flush_l2_between_kernels=True)
+        flushed = simulate(program, MonolithicStrategy(), no_flush, compiled=compiled)
+        assert (
+            flushed.kernels[1].aggregate_l2().overall_hit_rate()
+            < consume_mono.aggregate_l2().overall_hit_rate()
+        )
+
+
+class TestNormalisationSanity:
+    def test_monolithic_not_slower_than_ladm_on_regular_suite(self):
+        """The monolithic GPU bounds NUMA configurations for the regular
+        workloads (unclassified ones may beat it; paper Section V-A)."""
+        from repro.workloads import get_workload
+
+        for name in ("vecadd", "scalarprod", "sq_gemm"):
+            program = get_workload(name).program(TEST)
+            compiled = compile_program(program)
+            ladm = simulate(program, LADMStrategy("crb"), bench_hierarchical(), compiled=compiled)
+            mono = simulate(program, MonolithicStrategy(), bench_monolithic(), compiled=compiled)
+            assert mono.total_time_s <= ladm.total_time_s * 1.05

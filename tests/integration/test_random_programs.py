@@ -1,0 +1,132 @@
+"""Hypothesis-driven program fuzzing: the simulator's conservation
+invariants must survive arbitrary affine kernels under every strategy."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cache.stats import TrafficClass
+from repro.compiler.passes import compile_program
+from repro.engine.simulator import simulate
+from repro.experiments.runner import strategy_by_name
+from repro.kir.expr import BDX, BDY, BX, BY, GDX, M, TX, TY, Expr, param
+from repro.kir.kernel import AccessMode, Dim2, GlobalAccess, Kernel, LoopSpec
+from repro.kir.program import Program
+from repro.topology.config import CacheConfig, SystemConfig, TopologyKind
+
+TINY = SystemConfig(
+    name="fuzz-2x2",
+    kind=TopologyKind.HIERARCHICAL,
+    num_gpus=2,
+    chiplets_per_gpu=2,
+    sms_per_node=2,
+    l2=CacheConfig(size=8 * 1024),
+    page_size=512,
+    l1_filter_sectors=64,
+)
+
+
+@st.composite
+def affine_programs(draw):
+    """A random single-kernel program with bounded, in-range affine accesses."""
+    bdx = draw(st.sampled_from([32, 64]))
+    bdy = draw(st.sampled_from([1, 4]))
+    gdx = draw(st.integers(2, 6))
+    gdy = draw(st.integers(1, 4))
+    trip = draw(st.integers(1, 3))
+    use_loop = draw(st.booleans())
+
+    # Index shapes chosen from the paper's taxonomy, with small coefficients
+    # so the maximum index is easy to bound.
+    base_shapes = [
+        BX * bdx + TX + BY * bdy * gdx * bdx + TY * gdx * bdx,
+        (BY * bdy + TY) * (gdx * bdx) + BX * bdx + TX,
+        BX * bdx + TX,
+    ]
+    index = draw(st.sampled_from(base_shapes))
+    stride = draw(st.integers(0, 3)) * gdx * bdx
+    if use_loop and stride:
+        index = index + M * stride
+
+    num_arrays = draw(st.integers(1, 3))
+    arrays = {f"arr{i}": 4 for i in range(num_arrays)}
+    accesses = []
+    for i in range(num_arrays):
+        mode = AccessMode.WRITE if draw(st.booleans()) else AccessMode.READ
+        accesses.append(
+            GlobalAccess(f"arr{i}", index, mode, in_loop=use_loop)
+        )
+    kernel = Kernel(
+        "fuzz",
+        Dim2(bdx, bdy),
+        arrays,
+        accesses,
+        loop=LoopSpec(trip) if use_loop else None,
+        insts_per_thread=8,
+    )
+    # Generous bound: evaluate the max index over the last block/thread/m.
+    env = {
+        TX: bdx - 1,
+        TY: bdy - 1,
+        BX: gdx - 1,
+        BY: gdy - 1,
+        M: trip,
+    }
+    bound = 0
+    full_env = dict(env)
+    from repro.kir.expr import BDX as _BDX, BDY as _BDY, GDX as _GDX, GDY as _GDY
+
+    full_env[_BDX] = bdx
+    full_env[_BDY] = bdy
+    full_env[_GDX] = gdx
+    full_env[_GDY] = gdy
+    bound = index.evaluate(full_env) + 1
+
+    prog = Program("fuzz")
+    for name in arrays:
+        prog.malloc_managed(name, max(bound, 1), 4)
+    prog.launch(kernel, Dim2(gdx, gdy), {a: a for a in arrays})
+    return prog
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(prog=affine_programs(), strat=st.sampled_from(["Baseline-RR", "Kernel-wide", "H-CODA", "LADM"]))
+def test_conservation_invariants_hold(prog, strat):
+    compiled = compile_program(prog)
+    run = simulate(prog, strategy_by_name(strat), TINY, compiled=compiled)
+    for k in run.kernels:
+        agg = k.aggregate_l2()
+        requester = (
+            agg.accesses[TrafficClass.LOCAL_LOCAL]
+            + agg.accesses[TrafficClass.LOCAL_REMOTE]
+        )
+        assert requester == k.l2_requests
+        lr_misses = (
+            agg.accesses[TrafficClass.LOCAL_REMOTE]
+            - agg.hits[TrafficClass.LOCAL_REMOTE]
+        )
+        assert agg.accesses[TrafficClass.REMOTE_LOCAL] == lr_misses
+        assert k.off_node_bytes == lr_misses * 32
+        assert k.dram_bytes_per_node.sum() <= k.l2_request_bytes
+        assert k.time_s >= 0
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(prog=affine_programs())
+def test_ladm_never_classifies_affine_as_itl_wrongly(prog):
+    """Fuzzed affine kernels have no per-thread walks, so nothing should be
+    classified intra-thread (which would flip the cache policy)."""
+    from repro.compiler.classify import LocalityType
+
+    compiled = compile_program(prog)
+    for row in compiled.locality_table:
+        assert row.classification.locality is not LocalityType.INTRA_THREAD

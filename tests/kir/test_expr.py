@@ -1,0 +1,221 @@
+"""Unit and property tests for the symbolic polynomial algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ExpressionError
+from repro.kir.expr import (
+    BDX,
+    BX,
+    BY,
+    GDX,
+    M,
+    TX,
+    TY,
+    Expr,
+    Var,
+    VarKind,
+    const,
+    param,
+)
+
+VARS = [TX, TY, BX, BY, BDX, GDX, M]
+
+
+# ----------------------------------------------------------------------
+# Construction and basic identities
+# ----------------------------------------------------------------------
+class TestConstruction:
+    def test_const_value(self):
+        assert const(7).constant_value() == 7
+
+    def test_zero_is_zero(self):
+        assert const(0).is_zero
+        assert (const(3) - 3).is_zero
+
+    def test_var_is_not_constant(self):
+        assert not Expr.from_var(TX).is_constant
+
+    def test_constant_value_raises_on_nonconstant(self):
+        with pytest.raises(ExpressionError):
+            (TX + 1).constant_value()
+
+    def test_coerce_rejects_junk(self):
+        with pytest.raises(ExpressionError):
+            Expr.coerce("nope")
+
+    def test_var_equality_by_name(self):
+        assert Var("tx", VarKind.THREAD) == TX
+        assert Var("tx", VarKind.PARAM) == TX  # kind does not affect identity
+
+    def test_repr_of_zero(self):
+        assert repr(const(0)) == "0"
+
+
+class TestArithmetic:
+    def test_add_commutes(self):
+        assert TX + BY == BY + TX
+
+    def test_mul_distributes(self):
+        left = (TX + BY) * 3
+        assert left == TX * 3 + BY * 3
+
+    def test_sub_self_is_zero(self):
+        e = TX * 5 + BY * BDX
+        assert (e - e).is_zero
+
+    def test_polynomial_product(self):
+        e = (TX + 1) * (TX - 1)
+        env = {TX: 7}
+        assert e.evaluate(env) == 48
+
+    def test_rsub(self):
+        assert (10 - Expr.from_var(TX)).evaluate({TX: 4}) == 6
+
+    def test_neg_var(self):
+        assert (-TX).evaluate({TX: 3}) == -3
+
+
+# ----------------------------------------------------------------------
+# Dependence and splitting
+# ----------------------------------------------------------------------
+class TestDependence:
+    def test_depends_on(self):
+        e = BY * BDX + TX
+        assert e.depends_on(BY)
+        assert e.depends_on(TX)
+        assert not e.depends_on(M)
+
+    def test_depends_on_kind(self):
+        e = BY * BDX + TX
+        assert e.depends_on_kind(VarKind.BLOCK)
+        assert not e.depends_on_kind(VarKind.INDUCTION)
+
+    def test_split_by_m(self):
+        e = BY * 16 + M * GDX * BDX + TX
+        variant, invariant = e.split_by(M)
+        assert variant == M * GDX * BDX
+        assert invariant == BY * 16 + TX
+
+    def test_split_sum_reconstructs(self):
+        e = M * M * 3 + M * TX + BY
+        variant, invariant = e.split_by(M)
+        assert variant + invariant == e
+
+    def test_variables(self):
+        e = BY * BDX + TX * 2
+        assert e.variables() == frozenset({BY, BDX, TX})
+
+
+class TestDivision:
+    def test_div_by_var(self):
+        e = M * GDX * BDX * 4
+        assert e.div_by_var(M) == GDX * BDX * 4
+
+    def test_div_reduces_power(self):
+        e = M * M * 5
+        assert e.div_by_var(M) == M * 5
+
+    def test_div_raises_when_not_divisible(self):
+        with pytest.raises(ExpressionError):
+            (M + TX).div_by_var(M)
+
+
+class TestSubstitution:
+    def test_backward_substitution(self):
+        width = param("W")
+        row = BY * 16 + TY
+        e = row * width
+        resolved = e.subst({width: GDX * BDX})
+        assert resolved == (BY * 16 + TY) * GDX * BDX
+
+    def test_subst_to_constant(self):
+        e = TX * 4 + 1
+        assert e.subst({TX: 5}).constant_value() == 21
+
+    def test_subst_power(self):
+        e = TX * TX
+        assert e.subst({TX: BY + 1}) == (BY + 1) * (BY + 1)
+
+
+class TestEvaluation:
+    def test_evaluate_requires_bindings(self):
+        with pytest.raises(ExpressionError):
+            (TX + BY).evaluate({TX: 1})
+
+    def test_evaluate_vectorized_matches_scalar(self):
+        e = BY * 16 + TY * 4 + TX
+        tx = np.arange(8)
+        out = e.evaluate_vectorized({BY: 3, TY: 2, TX: tx})
+        expected = [e.evaluate({BY: 3, TY: 2, TX: int(t)}) for t in tx]
+        assert list(out) == expected
+
+    def test_evaluate_vectorized_zero_expr(self):
+        assert const(0).evaluate_vectorized({}) == 0
+
+
+# ----------------------------------------------------------------------
+# Property-based: ring axioms and split/eval coherence
+# ----------------------------------------------------------------------
+@st.composite
+def exprs(draw, max_terms: int = 4):
+    e = Expr.from_const(draw(st.integers(-8, 8)))
+    for _ in range(draw(st.integers(0, max_terms))):
+        coeff = draw(st.integers(-16, 16))
+        v1 = draw(st.sampled_from(VARS))
+        v2 = draw(st.sampled_from(VARS + [None]))
+        term = Expr.from_var(v1) * coeff
+        if v2 is not None:
+            term = term * v2
+        e = e + term
+    return e
+
+
+def _env(draw_ints):
+    return dict(zip(VARS, draw_ints))
+
+
+env_strategy = st.lists(st.integers(-20, 20), min_size=len(VARS), max_size=len(VARS)).map(_env)
+
+
+@settings(max_examples=200, deadline=None)
+@given(a=exprs(), b=exprs(), env=env_strategy)
+def test_add_homomorphism(a, b, env):
+    assert (a + b).evaluate(env) == a.evaluate(env) + b.evaluate(env)
+
+
+@settings(max_examples=200, deadline=None)
+@given(a=exprs(), b=exprs(), env=env_strategy)
+def test_mul_homomorphism(a, b, env):
+    assert (a * b).evaluate(env) == a.evaluate(env) * b.evaluate(env)
+
+
+@settings(max_examples=200, deadline=None)
+@given(a=exprs(), b=exprs(), c=exprs())
+def test_distributivity(a, b, c):
+    assert a * (b + c) == a * b + a * c
+
+
+@settings(max_examples=200, deadline=None)
+@given(e=exprs(), env=env_strategy)
+def test_split_reconstructs_and_partitions(e, env):
+    variant, invariant = e.split_by(M)
+    assert variant + invariant == e
+    assert not invariant.depends_on(M)
+    assert (variant + invariant).evaluate(env) == e.evaluate(env)
+
+
+@settings(max_examples=200, deadline=None)
+@given(e=exprs(), env=env_strategy)
+def test_div_by_m_inverts_multiplication(e, env):
+    assert (e * M).div_by_var(M) == e
+
+
+@settings(max_examples=100, deadline=None)
+@given(e=exprs(), env=env_strategy)
+def test_hash_consistent_with_eq(e, env):
+    clone = e + 0
+    assert clone == e
+    assert hash(clone) == hash(e)

@@ -1,0 +1,110 @@
+"""Unit tests for kernel IR structures."""
+
+import pytest
+
+from repro.errors import KernelIRError
+from repro.kir.expr import BDX, BX, M, TX, param
+from repro.kir.kernel import (
+    AccessMode,
+    Dim2,
+    GlobalAccess,
+    IndirectAccess,
+    Kernel,
+    LoopSpec,
+    data_var,
+)
+
+
+class TestDim2:
+    def test_count(self):
+        assert Dim2(16, 16).count == 256
+
+    def test_1d_default(self):
+        d = Dim2(128)
+        assert d.y == 1
+        assert not d.is_2d
+
+    def test_rejects_zero(self):
+        with pytest.raises(KernelIRError):
+            Dim2(0, 4)
+
+    def test_iter(self):
+        assert tuple(Dim2(3, 5)) == (3, 5)
+
+
+class TestGlobalAccess:
+    def test_coerces_index(self):
+        acc = GlobalAccess("A", TX)
+        assert not acc.index.is_zero
+
+    def test_rejects_nonpositive_weight(self):
+        with pytest.raises(KernelIRError):
+            GlobalAccess("A", TX, weight=0)
+
+    def test_indirect_is_data_dependent(self):
+        acc = IndirectAccess("A", data_var("x"), provider=lambda ctx: None)
+        assert acc.is_data_dependent
+        assert not GlobalAccess("A", TX).is_data_dependent
+
+
+class TestLoopSpec:
+    def test_constant_trip(self):
+        assert LoopSpec(8).trip_count({}) == 8
+
+    def test_param_trip(self):
+        p = param("n")
+        assert LoopSpec(p).trip_count({p: 12}) == 12
+
+    def test_negative_trip_rejected(self):
+        p = param("n")
+        with pytest.raises(KernelIRError):
+            LoopSpec(p).trip_count({p: -1})
+
+
+class TestKernel:
+    def _kernel(self, **kwargs):
+        defaults = dict(
+            name="k",
+            block=Dim2(64),
+            arrays={"A": 4},
+            accesses=[GlobalAccess("A", BX * BDX + TX)],
+        )
+        defaults.update(kwargs)
+        return Kernel(**defaults)
+
+    def test_valid_kernel(self):
+        k = self._kernel()
+        assert k.accesses_to("A")
+        assert k.element_size("A") == 4
+
+    def test_rejects_undeclared_array(self):
+        with pytest.raises(KernelIRError):
+            self._kernel(accesses=[GlobalAccess("B", TX)])
+
+    def test_rejects_in_loop_without_loop(self):
+        with pytest.raises(KernelIRError):
+            self._kernel(accesses=[GlobalAccess("A", TX + M, in_loop=True)])
+
+    def test_in_loop_with_loop_ok(self):
+        k = self._kernel(
+            accesses=[GlobalAccess("A", TX + M, in_loop=True)], loop=LoopSpec(4)
+        )
+        assert k.has_loop
+
+    def test_rejects_empty_arrays(self):
+        with pytest.raises(KernelIRError):
+            Kernel("k", Dim2(32), {}, [])
+
+    def test_rejects_weird_element_size(self):
+        with pytest.raises(KernelIRError):
+            self._kernel(arrays={"A": 3})
+
+    def test_accesses_to_filters(self):
+        k = Kernel(
+            "k",
+            Dim2(32),
+            {"A": 4, "B": 8},
+            [GlobalAccess("A", TX), GlobalAccess("B", TX), GlobalAccess("A", TX + 1)],
+        )
+        assert len(k.accesses_to("A")) == 2
+        assert len(k.accesses_to("B")) == 1

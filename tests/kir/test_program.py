@@ -1,0 +1,102 @@
+"""Unit tests for program-level IR (allocations + launches)."""
+
+import pytest
+
+from repro.errors import KernelIRError
+from repro.kir.expr import BDX, BDY, BX, GDX, GDY, TX, param
+from repro.kir.kernel import Dim2, GlobalAccess, Kernel, LoopSpec
+from repro.kir.program import Program
+
+
+def simple_kernel(loop=None):
+    return Kernel(
+        "k",
+        Dim2(64),
+        {"A": 4},
+        [GlobalAccess("A", BX * BDX + TX, in_loop=loop is not None)],
+        loop=loop,
+    )
+
+
+class TestAllocation:
+    def test_malloc_assigns_increasing_pcs(self):
+        prog = Program("p")
+        a = prog.malloc_managed("A", 10, 4)
+        b = prog.malloc_managed("B", 10, 4)
+        assert b.malloc_pc > a.malloc_pc
+
+    def test_size_bytes(self):
+        prog = Program("p")
+        a = prog.malloc_managed("A", 10, 8)
+        assert a.size_bytes == 80
+
+    def test_duplicate_name_rejected(self):
+        prog = Program("p")
+        prog.malloc_managed("A", 10, 4)
+        with pytest.raises(KernelIRError):
+            prog.malloc_managed("A", 10, 4)
+
+    def test_zero_elements_rejected(self):
+        prog = Program("p")
+        with pytest.raises(KernelIRError):
+            prog.malloc_managed("A", 0, 4)
+
+
+class TestLaunch:
+    def test_launch_env_contains_dims(self):
+        prog = Program("p")
+        prog.malloc_managed("A", 1024, 4)
+        launch = prog.launch(simple_kernel(), Dim2(4, 2), {"A": "A"})
+        env = launch.launch_env()
+        assert env[GDX] == 4 and env[GDY] == 2
+        assert env[BDX] == 64 and env[BDY] == 1
+
+    def test_unknown_allocation_rejected(self):
+        prog = Program("p")
+        with pytest.raises(KernelIRError):
+            prog.launch(simple_kernel(), Dim2(1), {"A": "missing"})
+
+    def test_unbound_argument_rejected(self):
+        prog = Program("p")
+        prog.malloc_managed("A", 16, 4)
+        with pytest.raises(KernelIRError):
+            prog.launch(simple_kernel(), Dim2(1), {})
+
+    def test_trip_count_without_loop_is_one(self):
+        prog = Program("p")
+        prog.malloc_managed("A", 1024, 4)
+        launch = prog.launch(simple_kernel(), Dim2(2), {"A": "A"})
+        assert launch.trip_count() == 1
+
+    def test_trip_count_with_param(self):
+        p = param("n")
+        prog = Program("p")
+        prog.malloc_managed("A", 1024, 4)
+        launch = prog.launch(simple_kernel(LoopSpec(p)), Dim2(2), {"A": "A"}, {p: 5})
+        assert launch.trip_count() == 5
+
+    def test_num_threadblocks(self):
+        prog = Program("p")
+        prog.malloc_managed("A", 1024, 4)
+        launch = prog.launch(simple_kernel(), Dim2(4, 3), {"A": "A"})
+        assert launch.num_threadblocks == 12
+        assert launch.threads_per_block == 64
+
+
+class TestProgramQueries:
+    def test_allocation_for(self):
+        prog = Program("p")
+        prog.malloc_managed("X", 64, 4)
+        launch = prog.launch(simple_kernel(), Dim2(1), {"A": "X"})
+        assert prog.allocation_for(launch, "A").name == "X"
+
+    def test_total_footprint(self):
+        prog = Program("p")
+        prog.malloc_managed("A", 100, 4)
+        prog.malloc_managed("B", 50, 8)
+        assert prog.total_footprint_bytes() == 800
+
+    def test_missing_allocation_raises(self):
+        prog = Program("p")
+        with pytest.raises(KernelIRError):
+            prog.allocation("nope")

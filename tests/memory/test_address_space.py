@@ -1,0 +1,91 @@
+"""Tests for the managed address space."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryError_
+from repro.kir.program import Program
+from repro.memory.address_space import AddressSpace
+
+
+def _program():
+    prog = Program("p")
+    prog.malloc_managed("A", 1000, 4)  # 4000 B -> spans pages
+    prog.malloc_managed("B", 10, 8)
+    return prog
+
+
+class TestLayout:
+    def test_page_aligned_bases(self):
+        space = AddressSpace(_program(), page_size=4096)
+        for ext in space.extents().values():
+            assert ext.base % 4096 == 0
+
+    def test_extents_do_not_overlap(self):
+        space = AddressSpace(_program(), page_size=512)
+        exts = sorted(space.extents().values(), key=lambda e: e.base)
+        for a, b in zip(exts, exts[1:]):
+            assert a.end <= b.base
+
+    def test_page_range_covers_extent(self):
+        space = AddressSpace(_program(), page_size=512)
+        first, last = space.page_range("A")
+        assert (last - first) * 512 >= 4000
+
+    def test_num_pages_total(self):
+        space = AddressSpace(_program(), page_size=512)
+        total = 0
+        for name in ("A", "B"):
+            first, last = space.page_range(name)
+            total += last - first
+        assert space.num_pages == total
+
+    def test_owner_of_page(self):
+        space = AddressSpace(_program(), page_size=512)
+        first_a, last_a = space.page_range("A")
+        assert space.owner_of_page(first_a) == "A"
+        first_b, _ = space.page_range("B")
+        assert space.owner_of_page(first_b) == "B"
+
+    def test_power_of_two_pages_only(self):
+        with pytest.raises(MemoryError_):
+            AddressSpace(_program(), page_size=1000)
+
+    def test_missing_extent(self):
+        space = AddressSpace(_program(), page_size=512)
+        with pytest.raises(MemoryError_):
+            space.extent("missing")
+
+
+class TestTranslation:
+    def test_element_addresses(self):
+        space = AddressSpace(_program(), page_size=512)
+        ext = space.extent("A")
+        addrs = space.element_addresses("A", np.array([0, 1, 999]))
+        assert addrs[0] == ext.base
+        assert addrs[1] == ext.base + 4
+        assert addrs[2] == ext.base + 999 * 4
+
+    def test_out_of_bounds_rejected(self):
+        space = AddressSpace(_program(), page_size=512)
+        with pytest.raises(MemoryError_):
+            space.element_addresses("A", np.array([1000]))
+        with pytest.raises(MemoryError_):
+            space.element_addresses("A", np.array([-1]))
+
+    def test_pages_of_addresses(self):
+        space = AddressSpace(_program(), page_size=512)
+        ext = space.extent("A")
+        pages = space.pages_of_addresses(np.array([ext.base, ext.base + 512]))
+        assert pages[1] == pages[0] + 1
+        first, _ = space.page_range("A")
+        assert pages[0] == first
+
+    def test_sectors_of_addresses(self):
+        space = AddressSpace(_program(), page_size=512)
+        ext = space.extent("A")
+        sectors = space.sectors_of_addresses(
+            np.array([ext.base, ext.base + 31, ext.base + 32]), 32
+        )
+        assert sectors[0] == sectors[1]
+        assert sectors[2] == sectors[0] + 1

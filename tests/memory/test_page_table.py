@@ -1,0 +1,87 @@
+"""Tests for the page table and first-touch faulting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MemoryError_
+from repro.kir.program import Program
+from repro.memory.address_space import AddressSpace
+from repro.memory.page_table import FIRST_TOUCH_UNMAPPED, PageTable
+
+
+def _table(num_elems=1024, page=512, nodes=4):
+    prog = Program("p")
+    prog.malloc_managed("A", num_elems, 4)
+    space = AddressSpace(prog, page_size=page)
+    return space, PageTable(space, nodes)
+
+
+class TestMapping:
+    def test_map_allocation(self):
+        space, table = _table()
+        first, last = space.page_range("A")
+        homes = np.arange(last - first) % 4
+        table.map_allocation("A", homes)
+        assert table.mapped_fraction == 1.0
+        assert not table.has_unmapped
+
+    def test_wrong_length_rejected(self):
+        space, table = _table()
+        with pytest.raises(MemoryError_):
+            table.map_allocation("A", np.array([0]))
+
+    def test_out_of_range_home_rejected(self):
+        space, table = _table()
+        first, last = space.page_range("A")
+        with pytest.raises(MemoryError_):
+            table.map_allocation("A", np.full(last - first, 7))
+
+    def test_node_page_counts(self):
+        space, table = _table()
+        first, last = space.page_range("A")
+        table.map_allocation("A", np.zeros(last - first, dtype=np.int32))
+        counts = table.node_page_counts()
+        assert counts[0] == last - first
+        assert counts[1:].sum() == 0
+
+
+class TestFirstTouch:
+    def test_fault_assigns_toucher(self):
+        _, table = _table()
+        homes = table.homes_of_pages(np.array([0, 1]), toucher=2)
+        assert list(homes) == [2, 2]
+        assert table.fault_count == 2
+
+    def test_second_touch_no_fault(self):
+        _, table = _table()
+        table.homes_of_pages(np.array([0]), toucher=2)
+        homes = table.homes_of_pages(np.array([0]), toucher=3)
+        assert homes[0] == 2  # first toucher wins
+        assert table.fault_count == 1
+
+    def test_duplicates_in_batch_fault_once(self):
+        _, table = _table()
+        table.homes_of_pages(np.array([5, 5, 5]), toucher=1)
+        assert table.fault_count == 1
+
+    def test_map_all_unmapped(self):
+        _, table = _table()
+        table.homes_of_pages(np.array([0]), toucher=1)
+        table.map_all_unmapped_to(3)
+        assert not table.has_unmapped
+        assert table.home_of_page(0) == 1
+        assert table.home_of_page(1) == 3
+
+    def test_fast_path_after_full_mapping(self):
+        space, table = _table()
+        first, last = space.page_range("A")
+        table.map_allocation("A", np.ones(last - first, dtype=np.int32))
+        homes = table.homes_of_pages(np.arange(last - first), toucher=0)
+        assert (homes == 1).all()
+        assert table.fault_count == 0
+
+    def test_snapshot_is_copy(self):
+        _, table = _table()
+        snap = table.snapshot()
+        snap[:] = 9
+        assert table.home_of_page(0, toucher=1) == 1

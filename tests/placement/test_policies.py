@@ -1,0 +1,164 @@
+"""Tests and properties for page-placement policies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PlacementError
+from repro.memory.page_table import FIRST_TOUCH_UNMAPPED
+from repro.placement.policies import (
+    ChunkedPlacement,
+    FirstTouchPlacement,
+    FunctionPlacement,
+    InterleavePlacement,
+    PlacementContext,
+    SingleNodePlacement,
+    StridePeriodicPlacement,
+    stride_aware_granularity,
+)
+
+
+def ctx(nodes=4, page=512, order=None):
+    return PlacementContext(
+        num_nodes=nodes, page_size=page, node_order=order or list(range(nodes))
+    )
+
+
+class TestInterleave:
+    def test_unit_granularity(self):
+        homes = InterleavePlacement(1).homes(8, ctx())
+        assert list(homes) == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_coarse_granularity(self):
+        homes = InterleavePlacement(2).homes(8, ctx())
+        assert list(homes) == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_custom_node_order(self):
+        homes = InterleavePlacement(1).homes(4, ctx(order=[3, 2, 1, 0]))
+        assert list(homes) == [3, 2, 1, 0]
+
+    def test_rejects_zero_granularity(self):
+        with pytest.raises(PlacementError):
+            InterleavePlacement(0)
+
+
+class TestChunked:
+    def test_even_split(self):
+        homes = ChunkedPlacement().homes(8, ctx())
+        assert list(homes) == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_uneven_split_uses_all_nodes(self):
+        homes = ChunkedPlacement().homes(5, ctx())
+        assert set(homes.tolist()) == {0, 1, 2, 3}
+
+    def test_chunks_are_contiguous(self):
+        homes = ChunkedPlacement().homes(23, ctx(nodes=5)).tolist()
+        # once we leave a node we never come back
+        seen = []
+        for h in homes:
+            if not seen or seen[-1] != h:
+                seen.append(h)
+        assert seen == sorted(set(seen))
+
+    def test_empty(self):
+        assert ChunkedPlacement().homes(0, ctx()).size == 0
+
+
+class TestStridePeriodic:
+    def test_same_position_same_node(self):
+        """addr and addr + k*stride must land on the same node."""
+        page = 512
+        stride_pages = 8
+        policy = StridePeriodicPlacement(stride_pages * page, page)
+        homes = policy.homes(64, ctx(page=page))
+        for p in range(64 - stride_pages):
+            assert homes[p] == homes[p + stride_pages]
+
+    def test_period_split_across_nodes(self):
+        page = 512
+        policy = StridePeriodicPlacement(8 * page, page)
+        homes = policy.homes(8, ctx(nodes=4, page=page))
+        assert set(homes.tolist()) == {0, 1, 2, 3}
+
+    def test_rejects_nonpositive_stride(self):
+        with pytest.raises(PlacementError):
+            StridePeriodicPlacement(0, 512)
+
+
+class TestOthers:
+    def test_first_touch_all_unmapped(self):
+        homes = FirstTouchPlacement().homes(5, ctx())
+        assert (homes == FIRST_TOUCH_UNMAPPED).all()
+
+    def test_single_node(self):
+        homes = SingleNodePlacement(2).homes(5, ctx())
+        assert (homes == 2).all()
+
+    def test_single_node_out_of_range(self):
+        with pytest.raises(PlacementError):
+            SingleNodePlacement(9).homes(5, ctx())
+
+    def test_function_placement_validates_range(self):
+        bad = FunctionPlacement(lambda p, c: p * 100, "bad")
+        with pytest.raises(PlacementError):
+            bad.homes(4, ctx())
+
+    def test_context_validates_order(self):
+        with pytest.raises(PlacementError):
+            PlacementContext(num_nodes=2, page_size=512, node_order=[0, 0])
+
+
+class TestEquation1:
+    def test_paper_equation(self):
+        # stride 64 KB over 16 nodes with 4 KB pages -> 1 page
+        assert stride_aware_granularity(64 * 1024, 16, 4096) == 1
+        # stride 1 MB over 16 nodes with 4 KB pages -> 16 pages
+        assert stride_aware_granularity(1 << 20, 16, 4096) == 16
+
+    def test_clamps_to_one(self):
+        assert stride_aware_granularity(128, 16, 4096) == 1
+        assert stride_aware_granularity(0, 16, 4096) == 1
+
+
+# ----------------------------------------------------------------------
+# Properties
+# ----------------------------------------------------------------------
+@settings(max_examples=100, deadline=None)
+@given(
+    pages=st.integers(1, 500),
+    nodes=st.integers(1, 16),
+    granularity=st.integers(1, 16),
+)
+def test_interleave_covers_all_pages_and_balances(pages, nodes, granularity):
+    homes = InterleavePlacement(granularity).homes(
+        pages, ctx(nodes=nodes, order=list(range(nodes)))
+    )
+    assert homes.shape == (pages,)
+    assert homes.min() >= 0 and homes.max() < nodes
+    counts = np.bincount(homes, minlength=nodes)
+    assert counts.max() - counts.min() <= granularity
+
+
+@settings(max_examples=100, deadline=None)
+@given(pages=st.integers(1, 500), nodes=st.integers(1, 16))
+def test_chunked_balance(pages, nodes):
+    homes = ChunkedPlacement().homes(pages, ctx(nodes=nodes, order=list(range(nodes))))
+    counts = np.bincount(homes, minlength=nodes)
+    assert counts.max() - counts.min() <= 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    stride_pages=st.integers(1, 32),
+    nodes=st.integers(1, 16),
+    k=st.integers(1, 5),
+)
+def test_stride_periodic_invariant(stride_pages, nodes, k):
+    """The defining property: positions one stride apart share a node."""
+    page = 512
+    policy = StridePeriodicPlacement(stride_pages * page, page)
+    total = stride_pages * (k + 1)
+    homes = policy.homes(total, ctx(nodes=nodes, order=list(range(nodes)), page=page))
+    for p in range(total - stride_pages):
+        assert homes[p] == homes[p + stride_pages]

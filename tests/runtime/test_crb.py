@@ -1,0 +1,56 @@
+"""Tests for CRB cache-policy selection."""
+
+import pytest
+
+from repro.cache.insertion import CachePolicy
+from repro.compiler.classify import AccessClassification, LocalityType
+from repro.compiler.locality_table import LocalityRow
+from repro.runtime.crb import select_cache_policies
+
+
+def _row(arg="A", locality=LocalityType.ROW_SHARED_H):
+    return LocalityRow(
+        kernel="k",
+        arg=arg,
+        malloc_pc=0x400,
+        element_size=4,
+        classification=AccessClassification(locality=locality),
+        site_classifications=(),
+        read_weight=1.0,
+        write_weight=0.0,
+    )
+
+
+def test_crb_rtwice_for_rcl():
+    policies = select_cache_policies([_row()], LocalityType.ROW_SHARED_H, "crb")
+    assert policies["A"] is CachePolicy.RTWICE
+
+
+def test_crb_ronce_for_itl():
+    policies = select_cache_policies([_row()], LocalityType.INTRA_THREAD, "crb")
+    assert policies["A"] is CachePolicy.RONCE
+
+
+def test_crb_rtwice_for_unclassified():
+    policies = select_cache_policies([_row()], LocalityType.UNCLASSIFIED, "crb")
+    assert policies["A"] is CachePolicy.RTWICE
+
+
+def test_forced_modes():
+    rows = [_row("A"), _row("B")]
+    ronce = select_cache_policies(rows, LocalityType.ROW_SHARED_H, "ronce")
+    assert set(ronce.values()) == {CachePolicy.RONCE}
+    rtwice = select_cache_policies(rows, LocalityType.INTRA_THREAD, "rtwice")
+    assert set(rtwice.values()) == {CachePolicy.RTWICE}
+
+
+def test_arg_to_alloc_mapping():
+    policies = select_cache_policies(
+        [_row("A")], LocalityType.INTRA_THREAD, "crb", arg_to_alloc={"A": "buf0"}
+    )
+    assert policies == {"buf0": CachePolicy.RONCE}
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError):
+        select_cache_policies([_row()], LocalityType.INTRA_THREAD, "nope")

@@ -1,0 +1,86 @@
+"""Tests for launch-time datablock geometry."""
+
+import pytest
+
+from repro.kir.expr import BDX, BX, BY, GDX, M, TX, TY, param
+from repro.kir.kernel import Dim2, GlobalAccess, IndirectAccess, Kernel, LoopSpec, data_var
+from repro.kir.program import Program
+from repro.runtime.datablock import datablock_span_bytes, delta_along, eval_with_defaults
+from repro.kir.expr import BY as VAR_BY, BX as VAR_BX
+
+
+def _launch(index, block=Dim2(64), grid=Dim2(8), elem=4, loop=None, in_loop=False):
+    prog = Program("p")
+    prog.malloc_managed("A", 1 << 22, elem)
+    k = Kernel("k", block, {"A": elem}, [GlobalAccess("A", index, in_loop=in_loop)], loop=loop)
+    return prog.launch(k, grid, {"A": "A"})
+
+
+class TestSpan:
+    def test_contiguous_block(self):
+        launch = _launch(BX * BDX + TX)
+        site = launch.kernel.accesses[0]
+        assert datablock_span_bytes(launch, site) == 64 * 4
+
+    def test_strided_threads_span_wider(self):
+        launch = _launch((BX * BDX + TX) * 4)
+        site = launch.kernel.accesses[0]
+        # 64 threads, stride of 4 elements: span (63*4 + 1) * 4B
+        assert datablock_span_bytes(launch, site) == (63 * 4 + 1) * 4
+
+    def test_2d_tile_span(self):
+        launch = _launch(
+            (BY * 16 + TY) * 1024 + BX * 16 + TX,
+            block=Dim2(16, 16),
+            grid=Dim2(4, 4),
+        )
+        site = launch.kernel.accesses[0]
+        assert datablock_span_bytes(launch, site) == (15 * 1024 + 15 + 1) * 4
+
+    def test_provider_falls_back_to_block_count(self):
+        prog = Program("p")
+        prog.malloc_managed("A", 4096, 4)
+        k = Kernel(
+            "k",
+            Dim2(32),
+            {"A": 4},
+            [IndirectAccess("A", data_var("i"), lambda ctx: None)],
+        )
+        launch = prog.launch(k, Dim2(2), {"A": "A"})
+        assert datablock_span_bytes(launch, k.accesses[0]) == 32 * 4
+
+
+class TestDelta:
+    def test_delta_along_bx(self):
+        launch = _launch(BX * BDX + TX)
+        assert delta_along(launch.kernel.accesses[0], launch, VAR_BX) == 64
+
+    def test_delta_along_by_for_gemm_a(self):
+        launch = _launch(
+            (BY * 16 + TY) * 2048 + M * 16 + TX,
+            block=Dim2(16, 16),
+            grid=Dim2(4, 4),
+            loop=LoopSpec(4),
+            in_loop=True,
+        )
+        assert delta_along(launch.kernel.accesses[0], launch, VAR_BY) == 16 * 2048
+
+    def test_delta_is_absolute(self):
+        launch = _launch((0 - Expr_from(BX)) * 64 + TX)
+        assert delta_along(launch.kernel.accesses[0], launch, VAR_BX) == 64
+
+
+def Expr_from(v):
+    from repro.kir.expr import Expr
+
+    return Expr.from_var(v)
+
+
+class TestEvalDefaults:
+    def test_unknown_vars_default_zero(self):
+        expr = data_var("opaque") + BX * 4
+        assert eval_with_defaults(expr, {}, bx=2) == 8
+
+    def test_overrides_by_name(self):
+        expr = BX * 10 + TX
+        assert eval_with_defaults(expr, {}, bx=1, tx=5) == 15

@@ -1,0 +1,66 @@
+"""Tests for inter-kernel placement-disagreement detection."""
+
+from repro.compiler.passes import compile_program
+from repro.kir.expr import BDX, BX, BY, GDX, M, TX, TY, param
+from repro.kir.kernel import AccessMode, Dim2, GlobalAccess, Kernel, LoopSpec
+from repro.kir.program import Program
+from repro.runtime.interkernel import detect_disagreements
+
+
+def _agreeing_program():
+    """Two kernels that read A identically."""
+    i = BX * BDX + TX
+    prog = Program("agree")
+    prog.malloc_managed("A", 8192, 4)
+    for name in ("k1", "k2"):
+        k = Kernel(name, Dim2(64), {"A": 4}, [GlobalAccess("A", i)])
+        prog.launch(k, Dim2(128), {"A": "A"})
+    return prog
+
+
+def _disagreeing_program():
+    """Kernel 1 reads A row-shared; kernel 2 reads A column-shared."""
+    tile = 16
+    width = GDX * BDX
+    row = BY * tile + TY
+    col = BX * tile + TX
+    prog = Program("disagree")
+    prog.malloc_managed("A", 256 * 256, 4)
+    k1 = Kernel(
+        "rows",
+        Dim2(tile, tile),
+        {"A": 4},
+        [GlobalAccess("A", row * 256 + M * tile + TX, in_loop=True)],
+        loop=LoopSpec(param("t")),
+    )
+    k2 = Kernel(
+        "cols",
+        Dim2(tile, tile),
+        {"A": 4},
+        [GlobalAccess("A", (M * tile + TY) * width + col, in_loop=True)],
+        loop=LoopSpec(param("t")),
+    )
+    prog.launch(k1, Dim2(16, 16), {"A": "A"}, {param("t"): 4})
+    prog.launch(k2, Dim2(16, 16), {"A": "A"}, {param("t"): 4})
+    return prog
+
+
+def test_consistent_program_has_no_disagreements(bench_topology):
+    compiled = compile_program(_agreeing_program())
+    assert detect_disagreements(compiled, bench_topology) == []
+
+
+def test_conflicting_access_patterns_detected(bench_topology):
+    compiled = compile_program(_disagreeing_program())
+    found = detect_disagreements(compiled, bench_topology)
+    assert len(found) == 1
+    d = found[0]
+    assert d.allocation == "A"
+    assert d.first_launch == 0 and d.later_launch == 1
+    assert d.first_policy != d.later_policy
+
+
+def test_first_launch_policy_is_recorded(bench_topology):
+    compiled = compile_program(_disagreeing_program())
+    d = detect_disagreements(compiled, bench_topology)[0]
+    assert "row" in d.first_policy  # kernel 1's row-based placement wins

@@ -1,0 +1,169 @@
+"""Tests for LASP's scheduling and placement decisions."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.classify import LocalityType
+from repro.compiler.passes import compile_program
+from repro.kir.expr import BDX, BX, BY, GDX, M, TX, TY, param
+from repro.kir.kernel import Dim2, GlobalAccess, Kernel, LoopSpec
+from repro.kir.program import Program
+from repro.placement.policies import (
+    ChunkedPlacement,
+    FunctionPlacement,
+    InterleavePlacement,
+    PlacementContext,
+    StridePeriodicPlacement,
+)
+from repro.runtime.lasp import LASP
+from repro.sched.schedulers import (
+    BatchRRScheduler,
+    ExplicitScheduler,
+    KernelWideScheduler,
+    LineAxis,
+    LineBindingScheduler,
+)
+
+from tests.conftest import make_gemm_program, make_vecadd_program
+
+
+@pytest.fixture
+def lasp_for(bench_topology):
+    def factory(program, cache_mode="crb"):
+        compiled = compile_program(program)
+        return LASP(compiled, bench_topology), program.launches[0]
+
+    return factory
+
+
+class TestSchedulerSelection:
+    def test_gemm_picks_line_binding(self, lasp_for):
+        lasp, launch = lasp_for(make_gemm_program())
+        decision = lasp.decide(launch)
+        assert isinstance(decision.scheduler, LineBindingScheduler)
+
+    def test_vecadd_picks_aligned_batch(self, lasp_for):
+        lasp, launch = lasp_for(make_vecadd_program(block_x=64))
+        decision = lasp.decide(launch)
+        assert isinstance(decision.scheduler, BatchRRScheduler)
+        # 512-byte page / 256-byte datablock -> batch of 2 (Equation 2)
+        assert decision.scheduler.batch_size == 2
+
+    def test_strided_picks_explicit_alignment(self, lasp_for):
+        prog = Program("strided")
+        prog.malloc_managed("A", 1 << 20, 4)
+        k = Kernel(
+            "k",
+            Dim2(128),
+            {"A": 4},
+            [GlobalAccess("A", BX * BDX + TX + M * GDX * BDX, in_loop=True)],
+            loop=LoopSpec(8),
+        )
+        prog.launch(k, Dim2(64), {"A": "A"})
+        lasp, launch = lasp_for(prog)
+        decision = lasp.decide(launch)
+        assert isinstance(decision.scheduler, ExplicitScheduler)
+        assert decision.dominant_locality is LocalityType.NO_LOCALITY
+
+    def test_stencil_picks_kernel_wide(self, lasp_for):
+        from repro.workloads.regular import build_srad
+        from repro.workloads.base import TEST
+
+        prog = build_srad(TEST)
+        lasp, launch = lasp_for(prog)
+        decision = lasp.decide(launch)
+        assert isinstance(decision.scheduler, KernelWideScheduler)
+        assert "n=max" in decision.scheduler_desc
+
+    def test_itl_picks_kernel_wide(self, lasp_for):
+        from repro.workloads.irregular import build_kmeans_notex
+        from repro.workloads.base import TEST
+
+        prog = build_kmeans_notex(TEST)
+        lasp, launch = lasp_for(prog)
+        decision = lasp.decide(launch)
+        assert isinstance(decision.scheduler, KernelWideScheduler)
+        assert decision.dominant_locality is LocalityType.INTRA_THREAD
+
+
+class TestInputSizeAwareness:
+    def _gemm(self, m_rows, n_cols):
+        from repro.workloads.gemm import build_gemm
+
+        return build_gemm(f"g{m_rows}x{n_cols}", m_rows, 128, n_cols)
+
+    def test_wide_b_prefers_columns(self, lasp_for):
+        lasp, launch = lasp_for(self._gemm(32, 2048))
+        assert lasp.decide(launch).scheduler.axis is LineAxis.COLS
+
+    def test_tall_a_prefers_rows(self, lasp_for):
+        lasp, launch = lasp_for(self._gemm(2048, 64))
+        assert lasp.decide(launch).scheduler.axis is LineAxis.ROWS
+
+
+class TestPlacementConsistency:
+    """Placement must follow the scheduler so TBs find their data locally."""
+
+    def test_gemm_a_rows_land_with_their_threadblocks(self, lasp_for, bench_topology):
+        prog = make_gemm_program(side=256)
+        lasp, launch = lasp_for(prog)
+        decision = lasp.decide(launch)
+        assert decision.scheduler.axis is LineAxis.ROWS
+        placement = decision.placements["A"]
+        assert isinstance(placement, FunctionPlacement)
+
+        cfg = bench_topology.config
+        pctx = PlacementContext(
+            num_nodes=cfg.num_nodes,
+            page_size=cfg.page_size,
+            node_order=list(range(cfg.num_nodes)),
+        )
+        pages = (256 * 256 * 4) // cfg.page_size
+        homes = placement.homes(pages, pctx)
+        tb_nodes = decision.scheduler.assign(launch.grid, lasp.sched_ctx)
+        # The page holding row r of A must live where grid row r//16 runs.
+        elems_per_page = cfg.page_size // 4
+        for page in range(0, pages, 7):
+            row = (page * elems_per_page) // 256
+            grid_row = min(row // 16, launch.grid.y - 1)
+            tb = grid_row * launch.grid.x  # first TB of that grid row
+            assert homes[page] == tb_nodes[tb]
+
+    def test_unresolved_alias_falls_back_to_chunks(self, bench_topology):
+        prog = make_gemm_program()
+        compiled = compile_program(prog, opaque_allocations={"A"})
+        lasp = LASP(compiled, bench_topology)
+        decision = lasp.decide(prog.launches[0])
+        assert isinstance(decision.placements["A"], ChunkedPlacement)
+
+
+class TestCacheModes:
+    def test_crb_gives_rtwice_to_rcl(self, lasp_for):
+        lasp, launch = lasp_for(make_gemm_program())
+        decision = lasp.decide(launch)
+        from repro.cache.insertion import CachePolicy
+
+        assert all(p is CachePolicy.RTWICE for p in decision.cache_policy.values())
+
+    def test_crb_gives_ronce_to_itl(self, bench_topology):
+        from repro.workloads.irregular import build_kmeans_notex
+        from repro.workloads.base import TEST
+        from repro.cache.insertion import CachePolicy
+
+        prog = build_kmeans_notex(TEST)
+        compiled = compile_program(prog)
+        decision = LASP(compiled, bench_topology, cache_mode="crb").decide(
+            prog.launches[0]
+        )
+        assert all(p is CachePolicy.RONCE for p in decision.cache_policy.values())
+
+    def test_forced_modes(self, bench_topology):
+        from repro.cache.insertion import CachePolicy
+
+        prog = make_gemm_program()
+        compiled = compile_program(prog)
+        for mode, expected in (("rtwice", CachePolicy.RTWICE), ("ronce", CachePolicy.RONCE)):
+            decision = LASP(compiled, bench_topology, cache_mode=mode).decide(
+                prog.launches[0]
+            )
+            assert all(p is expected for p in decision.cache_policy.values())

@@ -1,0 +1,142 @@
+"""Detailed LASP behaviours: adjacency, stride alignment, first-use placement."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.passes import compile_program
+from repro.engine.simulator import simulate
+from repro.kir.expr import BDX, BX, BY, GDX, M, TX, TY, param
+from repro.kir.kernel import AccessMode, Dim2, GlobalAccess, Kernel, LoopSpec
+from repro.kir.program import Program
+from repro.runtime.lasp import LASP
+from repro.strategies import LADMStrategy
+
+
+def _compile(prog):
+    return compile_program(prog)
+
+
+class TestAdjacencyDetection:
+    def _kernel(self, accesses, block=Dim2(16, 16)):
+        prog = Program("p")
+        prog.malloc_managed("A", 1 << 20, 4)
+        arrays = {"A": 4}
+        k = Kernel("k", block, arrays, accesses)
+        prog.launch(k, Dim2(8, 8), {"A": "A"})
+        return prog
+
+    def test_neighbour_offsets_detected(self, bench_topology):
+        w = 1026
+        center = (BY * 16 + TY) * w + BX * 16 + TX + w + 1
+        prog = self._kernel(
+            [
+                GlobalAccess("A", center),
+                GlobalAccess("A", center + 1),
+            ]
+        )
+        lasp = LASP(_compile(prog), bench_topology)
+        assert lasp._has_adjacency(prog.launches[0])
+
+    def test_identical_sites_are_not_adjacency(self, bench_topology):
+        w = 1024
+        center = (BY * 16 + TY) * w + BX * 16 + TX
+        prog = self._kernel(
+            [
+                GlobalAccess("A", center, AccessMode.READ),
+                GlobalAccess("A", center, AccessMode.WRITE),
+            ]
+        )
+        lasp = LASP(_compile(prog), bench_topology)
+        assert not lasp._has_adjacency(prog.launches[0])
+
+    def test_thread_varying_difference_is_not_adjacency(self, bench_topology):
+        w = 1024
+        base = (BY * 16 + TY) * w + BX * 16 + TX
+        prog = self._kernel(
+            [
+                GlobalAccess("A", base),
+                GlobalAccess("A", base + TX),  # difference varies per thread
+            ]
+        )
+        lasp = LASP(_compile(prog), bench_topology)
+        assert not lasp._has_adjacency(prog.launches[0])
+
+
+class TestStrideAlignment:
+    """The defining property: a TB's strided accesses stay on its node."""
+
+    def test_strided_accesses_are_local(self, bench_config):
+        trip = 8
+        grid_x = 64
+        block = Dim2(128)
+        n = grid_x * block.x * trip
+        prog = Program("strided")
+        prog.malloc_managed("A", n, 4)
+        k = Kernel(
+            "k",
+            block,
+            {"A": 4},
+            [GlobalAccess("A", BX * BDX + TX + M * GDX * BDX, in_loop=True)],
+            loop=LoopSpec(trip),
+        )
+        prog.launch(k, Dim2(grid_x), {"A": "A"})
+        run = simulate(prog, LADMStrategy("crb"), bench_config)
+        assert run.off_node_fraction < 0.10
+
+    def test_misaligned_stride_still_mostly_local(self, bench_config):
+        """A stride not divisible by nodes*page must not break co-location
+        (the StridePeriodicPlacement property)."""
+        trip = 5
+        grid_x = 52  # deliberately awkward
+        block = Dim2(96)
+        n = grid_x * block.x * trip
+        prog = Program("awkward")
+        prog.malloc_managed("A", n, 4)
+        k = Kernel(
+            "k",
+            block,
+            {"A": 4},
+            [GlobalAccess("A", BX * BDX + TX + M * GDX * BDX, in_loop=True)],
+            loop=LoopSpec(trip),
+        )
+        prog.launch(k, Dim2(grid_x), {"A": "A"})
+        run = simulate(prog, LADMStrategy("crb"), bench_config)
+        assert run.off_node_fraction < 0.30
+
+
+class TestFirstUsePlacement:
+    def test_first_launch_wins(self, bench_topology):
+        """An allocation used by two kernels keeps the first kernel's
+        placement (paper Section III-D1 'timing of page placement')."""
+        tile = 16
+        width = GDX * BDX
+        row = BY * tile + TY
+        col = BX * tile + TX
+        prog = Program("two_uses")
+        prog.malloc_managed("A", 256 * 256, 4)
+        rows_k = Kernel(
+            "rows",
+            Dim2(tile, tile),
+            {"A": 4},
+            [GlobalAccess("A", row * 256 + M * tile + TX, in_loop=True)],
+            loop=LoopSpec(param("t")),
+        )
+        cols_k = Kernel(
+            "cols",
+            Dim2(tile, tile),
+            {"A": 4},
+            [GlobalAccess("A", (M * tile + TY) * width + col, in_loop=True)],
+            loop=LoopSpec(param("t")),
+        )
+        prog.launch(rows_k, Dim2(16, 16), {"A": "A"}, {param("t"): 2})
+        prog.launch(cols_k, Dim2(16, 16), {"A": "A"}, {param("t"): 2})
+        compiled = compile_program(prog)
+        strategy = LADMStrategy("crb")
+        plan = strategy.plan(compiled, bench_topology)
+
+        # Rebuild what the first launch alone would have produced.
+        solo = Program("solo")
+        solo.malloc_managed("A", 256 * 256, 4)
+        solo.launch(rows_k, Dim2(16, 16), {"A": "A"}, {param("t"): 2})
+        solo_plan = LADMStrategy("crb").plan(compile_program(solo), bench_topology)
+        assert (plan.page_table.snapshot() == solo_plan.page_table.snapshot()).all()

@@ -1,0 +1,114 @@
+"""Tests for the oversubscription paging models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.passes import compile_program
+from repro.errors import SimulationError
+from repro.memory.address_space import AddressSpace
+from repro.runtime.oversubscription import (
+    PagingSimulator,
+    PagingStats,
+    page_reference_stream,
+    predictable_pages,
+    proactive_paging_stats,
+    reactive_paging_stats,
+)
+
+from tests.conftest import make_gemm_program, make_vecadd_program
+
+
+class TestPagingSimulator:
+    def test_cold_misses_fault(self):
+        stats = PagingSimulator(10).replay([1, 2, 3])
+        assert stats.demand_faults == 3
+        assert stats.evictions == 0
+
+    def test_resident_pages_hit(self):
+        stats = PagingSimulator(10).replay([1, 1, 2, 1])
+        assert stats.demand_faults == 2
+        assert stats.references == 4
+
+    def test_capacity_eviction(self):
+        stats = PagingSimulator(2).replay([1, 2, 3, 1])
+        assert stats.evictions == 2
+        assert stats.demand_faults == 4  # 1 was evicted before its re-use
+
+    def test_lru_keeps_recent(self):
+        # capacity 2: [1,2], touch 1 (MRU), add 3 -> evict 2, touch 1 hits
+        stats = PagingSimulator(2).replay([1, 2, 1, 3, 1])
+        assert stats.demand_faults == 3
+
+    def test_prefetched_pages_hidden(self):
+        stats = PagingSimulator(10).replay([1, 2, 3], prefetched={1, 3})
+        assert stats.demand_faults == 1
+        assert stats.hidden_transfers == 2
+
+    def test_invalid_capacity(self):
+        with pytest.raises(SimulationError):
+            PagingSimulator(0)
+
+    def test_stall_time(self):
+        stats = PagingStats(demand_faults=64)
+        assert stats.stall_time_s(32e-6, concurrency=32) == pytest.approx(64e-6)
+
+    def test_total_time_overlap(self):
+        stats = PagingStats(demand_faults=0, hidden_transfers=100)
+        t = stats.total_time_s(1e-6, page_size=4096, host_bw=4096e5, base_time_s=1e-4)
+        # transfers: 100*4096/4.096e8 = 1 ms > base 0.1 ms -> transfer bound
+        assert t == pytest.approx(1e-3)
+
+
+class TestStreams:
+    def test_reference_stream_covers_allocations(self, vecadd_program):
+        compiled = compile_program(vecadd_program)
+        space = AddressSpace(vecadd_program, 512)
+        pages = set(page_reference_stream(compiled, space))
+        assert len(pages) == space.num_pages  # vecadd touches everything
+
+    def test_predictable_excludes_unclassified(self):
+        from repro.workloads.base import TEST
+        from repro.workloads.graphs import build_pagerank
+
+        program = build_pagerank(TEST)
+        compiled = compile_program(program)
+        space = AddressSpace(program, 512)
+        predictable = predictable_pages(compiled, space)
+        values_first, values_last = space.page_range("VALUES")
+        col_first, col_last = space.page_range("COL_IDX")
+        assert values_first not in predictable  # gather: unpredictable
+        assert col_first in predictable  # ITL walk: predictable
+
+    def test_proactive_never_worse(self, gemm_program):
+        compiled = compile_program(gemm_program)
+        space = AddressSpace(gemm_program, 512)
+        capacity = max(1, space.num_pages // 2)
+        reactive = reactive_paging_stats(compiled, space, capacity)
+        proactive = proactive_paging_stats(compiled, space, capacity)
+        assert proactive.demand_faults <= reactive.demand_faults
+        assert (
+            proactive.demand_faults + proactive.hidden_transfers
+            == reactive.demand_faults + reactive.hidden_transfers
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    refs=st.lists(st.integers(0, 30), min_size=1, max_size=200),
+    capacity=st.integers(1, 40),
+)
+def test_paging_invariants(refs, capacity):
+    stats = PagingSimulator(capacity).replay(refs)
+    assert stats.references == len(refs)
+    assert stats.demand_faults >= len(set(refs)) if capacity < len(set(refs)) else True
+    assert stats.demand_faults + stats.hidden_transfers >= len(set(refs))
+    assert stats.evictions <= stats.demand_faults + stats.hidden_transfers
+
+
+@settings(max_examples=60, deadline=None)
+@given(refs=st.lists(st.integers(0, 30), min_size=1, max_size=200))
+def test_infinite_capacity_faults_once_per_page(refs):
+    stats = PagingSimulator(1000).replay(refs)
+    assert stats.demand_faults == len(set(refs))
+    assert stats.evictions == 0

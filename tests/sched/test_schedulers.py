@@ -1,0 +1,151 @@
+"""Tests and properties for threadblock schedulers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SchedulingError
+from repro.kir.kernel import Dim2
+from repro.sched.schedulers import (
+    BatchRRScheduler,
+    ExplicitScheduler,
+    KernelWideScheduler,
+    LineAxis,
+    LineBindingScheduler,
+    SchedContext,
+    SingleNodeScheduler,
+    min_tb_batch,
+)
+
+
+def ctx(nodes=4, gpus=2, order=None):
+    return SchedContext(
+        num_nodes=nodes,
+        num_gpus=gpus,
+        chiplets_per_gpu=nodes // gpus,
+        node_order=order or list(range(nodes)),
+    )
+
+
+class TestBatchRR:
+    def test_unit_batch(self):
+        nodes = BatchRRScheduler(1).assign(Dim2(8), ctx())
+        assert list(nodes) == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_batch_of_two(self):
+        nodes = BatchRRScheduler(2).assign(Dim2(8), ctx())
+        assert list(nodes) == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_rejects_zero_batch(self):
+        with pytest.raises(SchedulingError):
+            BatchRRScheduler(0)
+
+
+class TestKernelWide:
+    def test_contiguous_chunks(self):
+        nodes = KernelWideScheduler().assign(Dim2(8), ctx())
+        assert list(nodes) == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_uneven_grid_uses_all_nodes(self):
+        nodes = KernelWideScheduler().assign(Dim2(5), ctx())
+        assert set(nodes.tolist()) == {0, 1, 2, 3}
+
+
+class TestLineBinding:
+    def test_row_binding_keeps_rows_together(self):
+        sched = LineBindingScheduler(LineAxis.ROWS)
+        grid = Dim2(4, 8)
+        nodes = sched.assign(grid, ctx())
+        arr = np.asarray(nodes).reshape(8, 4)
+        # each grid row on exactly one node
+        assert (arr == arr[:, :1]).all()
+
+    def test_col_binding_keeps_cols_together(self):
+        sched = LineBindingScheduler(LineAxis.COLS)
+        grid = Dim2(8, 4)
+        nodes = np.asarray(sched.assign(grid, ctx())).reshape(4, 8)
+        assert (nodes == nodes[:1, :]).all()
+
+    def test_lines_balanced_when_not_divisible(self):
+        sched = LineBindingScheduler(LineAxis.ROWS)
+        per_line = sched.line_to_node(30, ctx(nodes=16, gpus=4))
+        counts = np.bincount(per_line, minlength=16)
+        assert counts.max() - counts.min() <= 1
+
+    def test_contiguous_lines_same_gpu_first(self):
+        """Neighbouring lines land on the same or the next node (hierarchy
+        affinity through contiguous node ids)."""
+        sched = LineBindingScheduler(LineAxis.ROWS)
+        per_line = sched.line_to_node(32, ctx(nodes=16, gpus=4))
+        diffs = np.diff(per_line)
+        assert ((diffs == 0) | (diffs == 1)).all()
+
+
+class TestExplicitAndSingle:
+    def test_explicit_passthrough(self):
+        nodes = np.array([1, 0, 3, 2], dtype=np.int32)
+        out = ExplicitScheduler(nodes).assign(Dim2(4), ctx())
+        assert list(out) == [1, 0, 3, 2]
+
+    def test_explicit_validates_shape(self):
+        with pytest.raises(SchedulingError):
+            ExplicitScheduler(np.array([0, 1])).assign(Dim2(4), ctx())
+
+    def test_single_node(self):
+        out = SingleNodeScheduler(0).assign(Dim2(6), ctx(nodes=1, gpus=1))
+        assert (np.asarray(out) == 0).all()
+
+    def test_context_validation(self):
+        with pytest.raises(SchedulingError):
+            SchedContext(num_nodes=4, num_gpus=3, chiplets_per_gpu=1, node_order=[0, 1, 2, 3])
+
+
+class TestEquation2:
+    def test_paper_equation(self):
+        # 4 KB page / 512 B datablock -> 8 TBs per batch
+        assert min_tb_batch(4096, 512) == 8
+
+    def test_rounds_up(self):
+        assert min_tb_batch(4096, 3000) == 2
+
+    def test_clamps(self):
+        assert min_tb_batch(4096, 0) == 1
+        assert min_tb_batch(512, 4096) == 1
+
+
+# ----------------------------------------------------------------------
+# Properties: every scheduler covers the whole grid with valid nodes and
+# acceptable balance.
+# ----------------------------------------------------------------------
+scheduler_strategy = st.sampled_from(
+    [
+        BatchRRScheduler(1),
+        BatchRRScheduler(4),
+        KernelWideScheduler(),
+        LineBindingScheduler(LineAxis.ROWS),
+        LineBindingScheduler(LineAxis.COLS),
+    ]
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    sched=scheduler_strategy,
+    gx=st.integers(1, 40),
+    gy=st.integers(1, 40),
+)
+def test_every_tb_assigned_to_valid_node(sched, gx, gy):
+    grid = Dim2(gx, gy)
+    context = ctx(nodes=8, gpus=4)
+    nodes = sched.assign(grid, context)
+    assert nodes.shape == (grid.count,)
+    assert nodes.min() >= 0 and nodes.max() < 8
+
+
+@settings(max_examples=100, deadline=None)
+@given(gx=st.integers(8, 64), gy=st.integers(8, 64))
+def test_kernel_wide_balance(gx, gy):
+    nodes = KernelWideScheduler().assign(Dim2(gx, gy), ctx(nodes=8, gpus=4))
+    counts = np.bincount(nodes, minlength=8)
+    assert counts.max() - counts.min() <= 1

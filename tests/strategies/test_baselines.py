@@ -1,0 +1,117 @@
+"""Tests for the prior-work baseline strategies."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.passes import compile_program
+from repro.engine.simulator import Simulator
+from repro.memory.page_table import FIRST_TOUCH_UNMAPPED
+from repro.strategies import (
+    BatchFTStrategy,
+    CODAStrategy,
+    KernelWideStrategy,
+    MonolithicStrategy,
+    RRStrategy,
+)
+from repro.topology.config import bench_monolithic
+from repro.topology.system import SystemTopology
+
+from tests.conftest import make_gemm_program, make_vecadd_program
+
+
+def plan_for(strategy, program, topology):
+    compiled = compile_program(program)
+    return compiled, strategy.plan(compiled, topology)
+
+
+class TestRR:
+    def test_pages_interleaved(self, bench_topology, vecadd_program):
+        _, plan = plan_for(RRStrategy(), vecadd_program, bench_topology)
+        snap = plan.page_table.snapshot()
+        n = bench_topology.num_nodes
+        first, last = plan.space.page_range("A")
+        assert list(snap[first : first + n]) == list(range(n))
+
+    def test_tbs_round_robin(self, bench_topology, vecadd_program):
+        _, plan = plan_for(RRStrategy(), vecadd_program, bench_topology)
+        tb_nodes = plan.launches[0].tb_nodes
+        n = bench_topology.num_nodes
+        assert list(tb_nodes[:n]) == list(range(n))
+
+
+class TestBatchFT:
+    def test_pages_start_unmapped(self, bench_topology, vecadd_program):
+        _, plan = plan_for(BatchFTStrategy(), vecadd_program, bench_topology)
+        assert plan.page_table.has_unmapped
+        assert (plan.page_table.snapshot() == FIRST_TOUCH_UNMAPPED).all()
+
+    def test_static_batches(self, bench_topology, vecadd_program):
+        _, plan = plan_for(BatchFTStrategy(batch_size=8), vecadd_program, bench_topology)
+        tb_nodes = plan.launches[0].tb_nodes
+        assert (tb_nodes[:8] == tb_nodes[0]).all()
+        assert tb_nodes[8] != tb_nodes[0]
+
+    def test_fault_cost_only_when_not_optimal(self, bench_topology, vecadd_program):
+        _, optimal = plan_for(BatchFTStrategy(optimal=True), vecadd_program, bench_topology)
+        _, charged = plan_for(BatchFTStrategy(optimal=False), vecadd_program, bench_topology)
+        assert optimal.fault_cost_s == 0.0
+        assert charged.fault_cost_s == bench_topology.config.page_fault_cost_s
+
+
+class TestKernelWide:
+    def test_contiguous_grid_chunks(self, bench_topology, vecadd_program):
+        _, plan = plan_for(KernelWideStrategy(), vecadd_program, bench_topology)
+        tb_nodes = plan.launches[0].tb_nodes
+        assert (np.diff(tb_nodes) >= 0).all()  # monotone: contiguous chunks
+        assert tb_nodes[-1] == bench_topology.num_nodes - 1
+
+    def test_contiguous_data_chunks(self, bench_topology, vecadd_program):
+        _, plan = plan_for(KernelWideStrategy(), vecadd_program, bench_topology)
+        snap = plan.page_table.snapshot()
+        first, last = plan.space.page_range("A")
+        assert (np.diff(snap[first:last]) >= 0).all()
+
+
+class TestCODA:
+    def test_batch_is_page_aligned(self, bench_topology):
+        prog = make_vecadd_program(block_x=64)  # 256 B datablock, 512 B page
+        compiled = compile_program(prog)
+        plan = CODAStrategy(True).plan(compiled, SystemTopology(bench_topology.config))
+        tb_nodes = plan.launches[0].tb_nodes
+        assert tb_nodes[0] == tb_nodes[1]  # two TBs share a page -> same node
+        assert tb_nodes[2] != tb_nodes[1]
+
+    def test_hierarchical_vs_flat_node_order(self, bench_topology):
+        hier = CODAStrategy(hierarchical=True).node_order(bench_topology)
+        flat = CODAStrategy(hierarchical=False).node_order(bench_topology)
+        assert hier == sorted(hier)
+        assert flat != hier
+        assert sorted(flat) == hier
+
+    def test_names(self):
+        assert CODAStrategy(True).name == "H-CODA"
+        assert CODAStrategy(False).name == "CODA"
+
+
+class TestMonolithic:
+    def test_everything_on_node_zero(self, gemm_program):
+        topo = SystemTopology(bench_monolithic())
+        _, plan = plan_for(MonolithicStrategy(), gemm_program, topo)
+        assert (plan.launches[0].tb_nodes == 0).all()
+        assert (plan.page_table.snapshot() == 0).all()
+
+
+class TestPlanCompleteness:
+    @pytest.mark.parametrize(
+        "strategy",
+        [RRStrategy(), KernelWideStrategy(), CODAStrategy(True)],
+        ids=lambda s: s.name,
+    )
+    def test_every_page_placed(self, strategy, bench_topology, gemm_program):
+        _, plan = plan_for(strategy, gemm_program, bench_topology)
+        snap = plan.page_table.snapshot()
+        assert (snap != FIRST_TOUCH_UNMAPPED).all()
+
+    def test_every_launch_planned(self, bench_topology, gemm_program):
+        _, plan = plan_for(RRStrategy(), gemm_program, bench_topology)
+        assert len(plan.launches) == len(gemm_program.launches)

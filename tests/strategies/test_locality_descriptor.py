@@ -1,0 +1,99 @@
+"""Tests for the Locality-Descriptor-style baseline."""
+
+import pytest
+
+from repro.cache.insertion import CachePolicy
+from repro.compiler.passes import compile_program
+from repro.engine.simulator import simulate
+from repro.strategies import (
+    LADMStrategy,
+    LocalityAnnotation,
+    LocalityDescriptorStrategy,
+    PlacementHint,
+    SchedulerHint,
+)
+
+from tests.conftest import make_gemm_program, make_vecadd_program
+
+
+class TestUnannotated:
+    def test_falls_back_to_default_rr(self, bench_topology, vecadd_program):
+        compiled = compile_program(vecadd_program)
+        plan = LocalityDescriptorStrategy().plan(compiled, bench_topology)
+        assert plan.launches[0].scheduler_desc == "unannotated-default"
+
+    def test_matches_baseline_traffic(self, bench_config, vecadd_program):
+        from repro.strategies import RRStrategy
+
+        compiled = compile_program(vecadd_program)
+        ld = simulate(
+            vecadd_program, LocalityDescriptorStrategy(), bench_config, compiled=compiled
+        )
+        rr = simulate(vecadd_program, RRStrategy(), bench_config, compiled=compiled)
+        assert ld.total_off_node_bytes == rr.total_off_node_bytes
+
+
+class TestAnnotated:
+    def _expert_gemm_annotation(self, side):
+        return LocalityAnnotation(
+            scheduler=SchedulerHint.ROW_BIND,
+            placements={
+                "A": PlacementHint.CHUNK,  # rows of A travel with grid rows
+                "C": PlacementHint.CHUNK,
+                "B": PlacementHint.INTERLEAVE,
+            },
+        )
+
+    def test_expert_annotation_matches_ladm_neighbourhood(self, bench_config):
+        """A correct hand annotation should land near LADM's automatic
+        decision (the paper's point: LADM gets this without the APIs)."""
+        program = make_gemm_program(side=128)
+        compiled = compile_program(program)
+        ld_strategy = LocalityDescriptorStrategy(
+            {"sgemm": self._expert_gemm_annotation(128)}
+        )
+        ld = simulate(program, ld_strategy, bench_config, compiled=compiled)
+        ladm = simulate(program, LADMStrategy("crb"), bench_config, compiled=compiled)
+        assert ld.off_node_fraction <= 2.0 * max(ladm.off_node_fraction, 0.05)
+
+    def test_cache_policy_applied(self, bench_topology, vecadd_program):
+        compiled = compile_program(vecadd_program)
+        strategy = LocalityDescriptorStrategy(
+            {
+                "vecadd": LocalityAnnotation(
+                    scheduler=SchedulerHint.BATCH_RR,
+                    cache_policy=CachePolicy.RONCE,
+                )
+            }
+        )
+        plan = strategy.plan(compiled, bench_topology)
+        assert all(
+            p is CachePolicy.RONCE for p in plan.launches[0].cache_policy.values()
+        )
+
+    @pytest.mark.parametrize(
+        "hint,expected",
+        [
+            (SchedulerHint.ROW_BIND, "row-binding"),
+            (SchedulerHint.COL_BIND, "col-binding"),
+            (SchedulerHint.CHUNK, "kernel-wide"),
+            (SchedulerHint.BATCH_RR, "batch-rr(b=8)"),
+        ],
+    )
+    def test_scheduler_hints(self, hint, expected):
+        ann = LocalityAnnotation(scheduler=hint)
+        assert ann.build_scheduler().describe() == expected
+
+    def test_stride_hint_requires_stride_bytes(self):
+        ann = LocalityAnnotation(
+            scheduler=SchedulerHint.BATCH_RR,
+            placements={"A": PlacementHint.STRIDE},
+        )
+        # Missing stride -> safe fallback to interleave
+        assert "interleave" in ann.build_placement("A", 512).describe()
+        ann2 = LocalityAnnotation(
+            scheduler=SchedulerHint.BATCH_RR,
+            placements={"A": PlacementHint.STRIDE},
+            stride_bytes={"A": 8192},
+        )
+        assert "stride" in ann2.build_placement("A", 512).describe()

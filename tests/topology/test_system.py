@@ -1,0 +1,102 @@
+"""Tests for node hierarchy and route accounting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.topology.config import paper_hierarchical
+from repro.topology.system import Channel, LinkClass, SystemTopology
+
+
+@pytest.fixture
+def topo():
+    return SystemTopology(paper_hierarchical())
+
+
+class TestHierarchy:
+    def test_gpu_of(self, topo):
+        assert topo.gpu_of(0) == 0
+        assert topo.gpu_of(3) == 0
+        assert topo.gpu_of(4) == 1
+        assert topo.gpu_of(15) == 3
+
+    def test_chiplet_of(self, topo):
+        assert topo.chiplet_of(5) == 1
+
+    def test_nodes_of_gpu(self, topo):
+        assert topo.nodes_of_gpu(2) == [8, 9, 10, 11]
+
+    def test_node_of_roundtrip(self, topo):
+        for node in topo.nodes:
+            assert topo.node_of(topo.gpu_of(node), topo.chiplet_of(node)) == node
+
+    def test_out_of_range(self, topo):
+        with pytest.raises(TopologyError):
+            topo.gpu_of(16)
+        with pytest.raises(TopologyError):
+            topo.nodes_of_gpu(4)
+
+
+class TestLinkClass:
+    def test_local(self, topo):
+        assert topo.link_class(3, 3) is LinkClass.LOCAL
+
+    def test_intra_gpu(self, topo):
+        assert topo.link_class(0, 3) is LinkClass.INTRA_GPU
+
+    def test_inter_gpu(self, topo):
+        assert topo.link_class(0, 4) is LinkClass.INTER_GPU
+
+
+class TestRoutes:
+    def test_local_route_is_free(self, topo):
+        assert topo.route_channels(2, 2) == []
+
+    def test_intra_gpu_rides_ring(self, topo):
+        charges = topo.route_channels(0, 1)
+        assert charges == [(Channel.RING, 0)]
+
+    def test_inter_gpu_rides_both_rings_and_links(self, topo):
+        charges = dict()
+        for ch, key in topo.route_channels(0, 5):
+            charges.setdefault(ch, []).append(key)
+        assert set(charges[Channel.RING]) == {0, 1}
+        assert charges[Channel.GPU_EGRESS] == [0]
+        assert charges[Channel.GPU_INGRESS] == [1]
+
+    def test_channel_bandwidths(self, topo):
+        cfg = topo.config
+        assert topo.channel_bandwidth(Channel.DRAM) == cfg.mem_bw_per_node
+        assert topo.channel_bandwidth(Channel.RING) == cfg.ring_bw_per_gpu
+        assert topo.channel_bandwidth(Channel.GPU_EGRESS) == cfg.inter_gpu_link_bw
+        assert topo.channel_bandwidth(Channel.XBAR) == cfg.intra_node_bw
+
+    def test_all_channels_enumeration(self, topo):
+        channels = list(topo.all_channels())
+        assert (Channel.DRAM, 0) in channels
+        assert (Channel.RING, 3) in channels
+        assert len([c for c in channels if c[0] is Channel.DRAM]) == 16
+
+
+@settings(max_examples=100, deadline=None)
+@given(src=st.integers(0, 15), dst=st.integers(0, 15))
+def test_route_symmetry_in_cost(src, dst):
+    """Forward and reverse routes charge the same number of channels."""
+    topo = SystemTopology(paper_hierarchical())
+    assert len(topo.route_channels(src, dst)) == len(topo.route_channels(dst, src))
+
+
+@settings(max_examples=100, deadline=None)
+@given(src=st.integers(0, 15), dst=st.integers(0, 15))
+def test_route_matches_link_class(src, dst):
+    topo = SystemTopology(paper_hierarchical())
+    charges = topo.route_channels(src, dst)
+    link = topo.link_class(src, dst)
+    if link is LinkClass.LOCAL:
+        assert charges == []
+    elif link is LinkClass.INTRA_GPU:
+        assert all(ch is Channel.RING for ch, _ in charges)
+    else:
+        kinds = {ch for ch, _ in charges}
+        assert Channel.GPU_EGRESS in kinds and Channel.GPU_INGRESS in kinds

@@ -1,0 +1,61 @@
+"""Tests for the synthetic CSR generator and graph workloads."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.graphs import make_csr
+
+
+class TestMakeCSR:
+    def test_structure(self):
+        row_ptr, col_idx = make_csr(1000, 8, seed=1)
+        assert row_ptr.size == 1001
+        assert row_ptr[0] == 0
+        assert row_ptr[-1] == col_idx.size
+        assert (np.diff(row_ptr) >= 1).all()
+
+    def test_targets_in_range(self):
+        row_ptr, col_idx = make_csr(500, 4, seed=2)
+        assert col_idx.min() >= 0
+        assert col_idx.max() < 500
+
+    def test_deterministic(self):
+        a = make_csr(300, 6, seed=7)
+        b = make_csr(300, 6, seed=7)
+        assert (a[0] == b[0]).all() and (a[1] == b[1]).all()
+
+    def test_seed_changes_graph(self):
+        a = make_csr(300, 6, seed=7)
+        b = make_csr(300, 6, seed=8)
+        assert a[1].size != b[1].size or not (a[1] == b[1]).all()
+
+    def test_locality_skew(self):
+        """Most edges stay near their source (community structure)."""
+        v = 100_000
+        row_ptr, col_idx = make_csr(v, 4, seed=3, locality=0.9, window=1024)
+        src = np.repeat(np.arange(v), np.diff(row_ptr))
+        dist = np.minimum((col_idx - src) % v, (src - col_idx) % v)
+        near = (dist <= 1024).mean()
+        assert near > 0.8
+
+    def test_average_degree_approximate(self):
+        row_ptr, _ = make_csr(10_000, 8, seed=4)
+        avg = row_ptr[-1] / 10_000
+        assert 4 < avg < 16
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    v=st.integers(10, 2000),
+    deg=st.integers(1, 16),
+    seed=st.integers(0, 1000),
+)
+def test_csr_always_wellformed(v, deg, seed):
+    row_ptr, col_idx = make_csr(v, deg, seed=seed)
+    assert row_ptr[0] == 0
+    assert (np.diff(row_ptr) > 0).all()
+    assert row_ptr[-1] == col_idx.size
+    if col_idx.size:
+        assert 0 <= col_idx.min() and col_idx.max() < v

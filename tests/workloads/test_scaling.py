@@ -1,0 +1,31 @@
+"""Scaling-profile invariants across the whole suite."""
+
+import pytest
+
+from repro.workloads import BENCH, TEST, all_workloads
+
+
+@pytest.mark.parametrize("workload", all_workloads(), ids=lambda w: w.name)
+class TestScaleRelations:
+    def test_test_scale_is_smaller(self, workload):
+        test_prog = workload.program(TEST)
+        bench_prog = workload.program(BENCH)
+        assert (
+            test_prog.total_footprint_bytes() <= bench_prog.total_footprint_bytes()
+        )
+        assert (
+            test_prog.launches[0].num_threadblocks
+            <= bench_prog.launches[0].num_threadblocks
+        )
+
+    def test_block_shape_is_scale_invariant(self, workload):
+        """Table IV's TB dims are architectural, not input-dependent."""
+        t = workload.program(TEST).launches[0].kernel.block
+        b = workload.program(BENCH).launches[0].kernel.block
+        assert (t.x, t.y) == (b.x, b.y)
+
+    def test_builders_are_deterministic(self, workload):
+        a = workload.program(TEST)
+        b = workload.program(TEST)
+        assert a.total_footprint_bytes() == b.total_footprint_bytes()
+        assert a.launches[0].grid.count == b.launches[0].grid.count

@@ -1,0 +1,56 @@
+"""Tests for the workload registry and builders."""
+
+import pytest
+
+from repro.compiler.passes import compile_program
+from repro.errors import WorkloadError
+from repro.runtime.lasp import LASP
+from repro.workloads import (
+    TEST,
+    WorkloadClass,
+    all_workloads,
+    get_workload,
+    workload_names,
+    workloads_by_class,
+)
+
+
+class TestRegistry:
+    def test_suite_has_27_workloads(self):
+        assert len(all_workloads()) == 27
+
+    def test_class_split_matches_paper(self):
+        # Table IV: 8 NL, 10 RCL, 6 ITL, 3 unclassified
+        assert len(workloads_by_class(WorkloadClass.NL)) == 8
+        assert len(workloads_by_class(WorkloadClass.RCL)) == 10
+        assert len(workloads_by_class(WorkloadClass.ITL)) == 6
+        assert len(workloads_by_class(WorkloadClass.UNCLASSIFIED)) == 3
+
+    def test_names_unique(self):
+        names = workload_names()
+        assert len(names) == len(set(names))
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(WorkloadError):
+            get_workload("nope")
+
+    def test_get_by_name(self):
+        assert get_workload("sq_gemm").cls is WorkloadClass.RCL
+
+
+@pytest.mark.parametrize("workload", all_workloads(), ids=lambda w: w.name)
+class TestEveryWorkload:
+    def test_builds_and_compiles(self, workload):
+        program = workload.program(TEST)
+        compiled = compile_program(program)
+        assert len(compiled.locality_table) > 0
+
+    def test_dominant_locality_matches_table4(self, workload, bench_topology):
+        program = workload.program(TEST)
+        compiled = compile_program(program)
+        decision = LASP(compiled, bench_topology).decide(program.launches[0])
+        assert decision.dominant_locality is workload.expected_locality
+
+    def test_grid_spans_the_machine(self, workload):
+        program = workload.program(TEST)
+        assert program.launches[0].num_threadblocks >= 16
