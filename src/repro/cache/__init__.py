@@ -7,8 +7,9 @@ policy decides whether remote-homed data is cached twice (RTWICE, at home and
 requester) or once (RONCE, requester only) -- paper Section III-E, Figure 8.
 """
 
+from repro.cache.array_lru import ArrayLRU
 from repro.cache.insertion import CachePolicy
 from repro.cache.l2 import SectoredCache
 from repro.cache.stats import L2Stats, TrafficClass
 
-__all__ = ["SectoredCache", "CachePolicy", "TrafficClass", "L2Stats"]
+__all__ = ["ArrayLRU", "SectoredCache", "CachePolicy", "TrafficClass", "L2Stats"]

@@ -1,0 +1,195 @@
+"""An array-backed, batch-oriented, set-associative LRU cache.
+
+This is the vectorised twin of :class:`repro.cache.l2.SectoredCache`.  Where
+``SectoredCache`` keeps one ``OrderedDict`` per set and pays a Python
+round-trip per sector, :class:`ArrayLRU` stores the whole cache as two
+``(num_sets, assoc)`` matrices -- resident sector tags and last-use stamps --
+and services a whole batch of probes per call.
+
+Equivalence with the ``OrderedDict`` model is exact, not approximate:
+
+* LRU order *is* last-use order.  A strictly increasing stamp per access
+  reproduces ``move_to_end`` (hit refresh) and end-insertion (fill), and the
+  victim with the minimum stamp is precisely ``popitem(last=False)``.
+* Empty ways carry stamp 0 while real stamps start at 1, so fills take free
+  ways before any eviction happens, as the dict model does implicitly.
+* Within one batch, accesses that collide on a set are processed in batch
+  order in successive *rounds* (one access per set per round), preserving the
+  per-set sequential semantics the simulator's results depend on.
+
+The parity is enforced by property tests driving random access streams
+through both implementations (``tests/cache/test_array_lru.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["ArrayLRU"]
+
+_EMPTY = -1
+
+
+class ArrayLRU:
+    """Set-associative LRU over sector ids, batched numpy implementation."""
+
+    __slots__ = ("num_sets", "assoc", "tags", "stamp", "clock", "accesses", "hits")
+
+    def __init__(self, num_sets: int, assoc: int):
+        if num_sets < 1 or assoc < 1:
+            raise SimulationError("cache needs >= 1 set and >= 1 way")
+        self.num_sets = num_sets
+        self.assoc = assoc
+        self.tags = np.full((num_sets, assoc), _EMPTY, dtype=np.int64)
+        self.stamp = np.zeros((num_sets, assoc), dtype=np.int64)
+        self.clock = 0  # stamps handed out so far; next access gets clock+1
+        self.accesses = 0
+        self.hits = 0
+
+    # ------------------------------------------------------------------
+    # Batched probing (the simulator hot path)
+    # ------------------------------------------------------------------
+    def probe_batch(
+        self,
+        sectors: np.ndarray,
+        sets: np.ndarray,
+        insert: np.ndarray,
+    ) -> np.ndarray:
+        """Probe a sequence of sectors, in order; returns the hit mask.
+
+        ``sets`` must be ``sector % num_sets`` (precomputed by the caller so
+        replayed traces don't redo the modulo); ``insert`` is a per-access
+        fill-on-miss mask (``False`` models RONCE's home-side bypass and the
+        no-remote-caching requester bypass).  State updates are equivalent to
+        probing the sectors one at a time against an ``OrderedDict`` LRU.
+
+        Accesses colliding on a set are split into rounds (the k-th access of
+        a set goes to round k) so each round touches every set at most once
+        and can be processed with pure gather/scatter; within a set the
+        original batch order is preserved, which keeps LRU state bit-exact
+        with the sequential model.  Round ids come from one stable argsort of
+        the set ids, not a per-round ``np.unique`` scan; batches with no
+        collisions (the common case for per-threadblock streams) take a
+        single-round fast path.
+        """
+        n = sectors.size
+        if n == 0:
+            return np.empty(0, dtype=bool)
+        base = self.clock + 1
+        self.clock += n
+        tags, stamp = self.tags, self.stamp
+        nrounds = 1
+        if n > 1:
+            order = np.argsort(sets, kind="stable")
+            ss = sets[order]
+            newgrp = np.empty(n, dtype=bool)
+            newgrp[0] = True
+            np.not_equal(ss[1:], ss[:-1], out=newgrp[1:])
+            idx = np.arange(n, dtype=np.int64)
+            # occurrence rank of each access within its set group
+            occ = idx - np.maximum.accumulate(np.where(newgrp, idx, 0))
+            nrounds = int(occ[-1] if newgrp.all() else occ.max()) + 1
+        if nrounds == 1:
+            rows = tags[sets]
+            eq = rows == sectors[:, None]
+            hit_mask = eq.any(axis=1)
+            if hit_mask.any():
+                hs = np.nonzero(hit_mask)[0]
+                ways = eq[hs].argmax(axis=1)
+                stamp[sets[hs], ways] = base + hs
+            fill = ~hit_mask
+            fill &= insert
+            if fill.any():
+                fs = np.nonzero(fill)[0]
+                fsets = sets[fs]
+                victims = stamp[fsets].argmin(axis=1)
+                tags[fsets, victims] = sectors[fs]
+                stamp[fsets, victims] = base + fs
+        else:
+            hit_mask = np.empty(n, dtype=bool)
+            # Partition into rounds once: stable argsort of the round ids
+            # groups members per round (each member's set is unique within a
+            # round, so intra-round order is irrelevant).  This avoids an
+            # O(n) ``rounds == r`` scan per round.
+            rord = np.argsort(occ, kind="stable")
+            sel_all = order[rord]
+            bounds = np.zeros(nrounds + 1, dtype=np.int64)
+            np.cumsum(np.bincount(occ, minlength=nrounds), out=bounds[1:])
+            for r in range(nrounds):
+                sel = sel_all[bounds[r] : bounds[r + 1]]
+                ssets = sets[sel]
+                rows = tags[ssets]
+                eq = rows == sectors[sel][:, None]
+                hit = eq.any(axis=1)
+                hit_mask[sel] = hit
+                if hit.any():
+                    hsel = sel[hit]
+                    ways = eq[hit].argmax(axis=1)
+                    stamp[ssets[hit], ways] = base + hsel
+                fill = ~hit & insert[sel]
+                if fill.any():
+                    fsel = sel[fill]
+                    fsets = sets[fsel]
+                    victims = stamp[fsets].argmin(axis=1)
+                    tags[fsets, victims] = sectors[fsel]
+                    stamp[fsets, victims] = base + fsel
+        self.accesses += n
+        self.hits += int(hit_mask.sum())
+        return hit_mask
+
+    # ------------------------------------------------------------------
+    # Scalar API (drop-in parity with SectoredCache, used by tests)
+    # ------------------------------------------------------------------
+    def access(self, sector: int, insert_on_miss: bool = True) -> bool:
+        """Probe one sector; on a miss optionally fill it.  Returns hit?"""
+        hit = self.probe_batch(
+            np.array([sector], dtype=np.int64),
+            np.array([sector % self.num_sets], dtype=np.int64),
+            np.array([insert_on_miss]),
+        )
+        return bool(hit[0])
+
+    def contains(self, sector: int) -> bool:
+        """Presence check without LRU update or stats."""
+        return bool((self.tags[sector % self.num_sets] == sector).any())
+
+    def flush(self) -> None:
+        """Invalidate everything (kernel-boundary coherence)."""
+        self.tags.fill(_EMPTY)
+        self.stamp.fill(0)
+
+    def reset_stats(self) -> None:
+        self.accesses = 0
+        self.hits = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def occupancy(self) -> int:
+        return int((self.tags != _EMPTY).sum())
+
+    @property
+    def capacity(self) -> int:
+        return self.num_sets * self.assoc
+
+    def resident_sectors(self) -> np.ndarray:
+        """All currently-cached sector ids (diagnostics/tests)."""
+        present = self.tags[self.tags != _EMPTY]
+        return np.sort(present)
+
+    def lru_order(self, set_index: int) -> np.ndarray:
+        """Resident sectors of one set, oldest first (tests/diagnostics)."""
+        occupied = self.tags[set_index] != _EMPTY
+        order = np.argsort(self.stamp[set_index][occupied], kind="stable")
+        return self.tags[set_index][occupied][order]
+
+    def __repr__(self) -> str:
+        return (
+            f"ArrayLRU(sets={self.num_sets}, ways={self.assoc}, "
+            f"occ={self.occupancy}/{self.capacity})"
+        )

@@ -85,7 +85,9 @@ def _cmd_run(args) -> None:
     for name in args.strategy:
         strategy = strategy_by_name(name)
         config = mono if name == "Monolithic" else hier
-        run = simulate(program, strategy, config, compiled=compiled)
+        run = simulate(
+            program, strategy, config, compiled=compiled, engine=args.engine
+        )
         if args.json:
             print(run_to_json(run))
         elif args.detail:
@@ -119,6 +121,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--detail", action="store_true", help="per-kernel diagnostic report"
     )
     p_run.add_argument("--json", action="store_true", help="machine-readable output")
+    p_run.add_argument(
+        "--engine",
+        default=None,
+        choices=["vector", "legacy"],
+        help="simulation engine (default: REPRO_ENGINE or 'vector')",
+    )
 
     for name in _EXPERIMENT_MAINS:
         sub.add_parser(name, help=f"regenerate {name} (forwards remaining args)")

@@ -9,13 +9,18 @@ and converts the demands into time with an analytical bottleneck model.
 
 from repro.engine.plan import ExecutionPlan, LaunchPlan
 from repro.engine.metrics import KernelMetrics, RunResult
-from repro.engine.simulator import Simulator, simulate
+from repro.engine.simulator import ENGINES, Simulator, simulate
+from repro.engine.trace_cache import LaunchTrace, TraceCache, default_trace_cache
 
 __all__ = [
+    "ENGINES",
     "ExecutionPlan",
     "LaunchPlan",
     "KernelMetrics",
+    "LaunchTrace",
     "RunResult",
     "Simulator",
+    "TraceCache",
+    "default_trace_cache",
     "simulate",
 ]

@@ -70,6 +70,39 @@ class KernelMetrics:
         insts = self.total_warp_insts
         return 1000.0 * self.l2_misses / insts if insts else 0.0
 
+    def snapshot(self) -> dict:
+        """Every reported metric as plain comparable Python values.
+
+        The canonical form for engine parity checks: two engines agree iff
+        their snapshots compare equal (dict order and numpy identity do not
+        matter; values are exact ints/floats, never rounded).
+        """
+        return {
+            "kernel": self.kernel,
+            "launch_index": self.launch_index,
+            "warp_insts_per_node": self.warp_insts_per_node.tolist(),
+            "dram_bytes_per_node": self.dram_bytes_per_node.tolist(),
+            "channel_bytes": sorted(
+                (str(chan), node, v)
+                for (chan, node), v in self.channel_bytes.items()
+            ),
+            "l2_stats": [
+                {
+                    "accesses": sorted((c.name, v) for c, v in s.accesses.items()),
+                    "hits": sorted((c.name, v) for c, v in s.hits.items()),
+                }
+                for s in self.l2_stats
+            ],
+            "l2_requests": self.l2_requests,
+            "l2_request_bytes": self.l2_request_bytes,
+            "l2_misses": self.l2_misses,
+            "off_node_bytes": self.off_node_bytes,
+            "inter_gpu_bytes": self.inter_gpu_bytes,
+            "faults": self.faults,
+            "time_s": self.time_s,
+            "time_breakdown": dict(sorted(self.time_breakdown.items())),
+        }
+
 
 @dataclass
 class RunResult:
@@ -120,6 +153,10 @@ class RunResult:
         for k in self.kernels:
             total.merge(k.aggregate_l2())
         return total
+
+    def snapshot(self) -> List[dict]:
+        """Per-kernel :meth:`KernelMetrics.snapshot`, for parity checks."""
+        return [k.snapshot() for k in self.kernels]
 
     def speedup_over(self, other: "RunResult") -> float:
         """How much faster this run is than ``other`` (same program)."""

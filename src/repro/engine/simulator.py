@@ -20,11 +20,14 @@ once per launch.
 
 from __future__ import annotations
 
+import os
+import time
 from collections import OrderedDict
 from typing import List, Optional
 
 import numpy as np
 
+from repro.cache.array_lru import ArrayLRU
 from repro.cache.l2 import SectoredCache
 from repro.cache.stats import TrafficClass
 from repro.compiler.passes import CompiledProgram, compile_program
@@ -32,12 +35,18 @@ from repro.engine.metrics import KernelMetrics, RunResult
 from repro.engine.perf import apply_perf_model
 from repro.engine.plan import ExecutionPlan, LaunchPlan
 from repro.engine.trace import launch_tracer
+from repro.engine.trace_cache import TraceCache, default_trace_cache
+from repro.engine.vector_walk import walk_launch
 from repro.errors import SimulationError
 from repro.kir.program import Program
 from repro.topology.config import SystemConfig
 from repro.topology.system import Channel, LinkClass, SystemTopology
 
-__all__ = ["Simulator", "simulate"]
+__all__ = ["Simulator", "simulate", "ENGINES"]
+
+#: Supported engine names: the vectorised batch walk (default) and the
+#: per-sector reference walk it must stay bit-exact with.
+ENGINES = ("vector", "legacy")
 
 # Integer codes for the traffic-class accumulators (see cache.stats).
 _LL, _LR, _RL = 0, 1, 2
@@ -56,32 +65,62 @@ def _wave_order(tb_nodes: np.ndarray, num_nodes: int) -> np.ndarray:
     wins first-touch races on pages that every node reads (shared matrices
     would otherwise all fault to node 0, which real concurrent dispatch does
     not produce).
+
+    A threadblock that is the ``w``-th of its node is dispatched in wave
+    ``w`` at rotated position ``(node - w) mod num_nodes``, so the order is
+    one stable sort on that key pair.  Unlike the former wave-scan loop this
+    never visits drained nodes: a kernel-wide plan putting nearly every TB
+    on one node costs O(TBs log TBs), not O(waves x nodes).
     """
-    per_node: list = [[] for _ in range(num_nodes)]
-    for tb, node in enumerate(tb_nodes.tolist()):
-        per_node[node].append(tb)
-    order = []
-    cursors = [0] * num_nodes
-    remaining = tb_nodes.size
-    wave = 0
-    while remaining:
-        for i in range(num_nodes):
-            node = (wave + i) % num_nodes
-            c = cursors[node]
-            if c < len(per_node[node]):
-                order.append(per_node[node][c])
-                cursors[node] = c + 1
-                remaining -= 1
-        wave += 1
-    return np.asarray(order, dtype=np.int64)
+    tb_nodes = np.asarray(tb_nodes, dtype=np.int64)
+    ntb = tb_nodes.size
+    if ntb == 0:
+        return np.empty(0, dtype=np.int64)
+    by_node = np.argsort(tb_nodes, kind="stable")
+    counts = np.bincount(tb_nodes, minlength=num_nodes)
+    starts = np.zeros(num_nodes, dtype=np.int64)
+    np.cumsum(counts[:-1], out=starts[1:])
+    wave = np.empty(ntb, dtype=np.int64)
+    wave[by_node] = np.arange(ntb, dtype=np.int64) - starts[tb_nodes[by_node]]
+    rotated_pos = (tb_nodes - wave) % num_nodes
+    return np.lexsort((rotated_pos, wave)).astype(np.int64)
 
 
 class Simulator:
-    """Executes programs on one simulated system configuration."""
+    """Executes programs on one simulated system configuration.
 
-    def __init__(self, config: SystemConfig):
+    ``engine`` selects the memory-walk implementation: ``"vector"`` (the
+    batched numpy engine, default) or ``"legacy"`` (the per-sector reference
+    walk).  The two are bit-exact on every reported metric; the reference
+    stays selectable for parity tests and debugging.  The default may be
+    overridden with the ``REPRO_ENGINE`` environment variable.
+
+    ``trace_cache`` shares traced sector streams across runs (the vector
+    engine only); by default the process-wide cache is used so sweeping many
+    strategies over one program traces each launch once.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        engine: Optional[str] = None,
+        trace_cache: Optional[TraceCache] = None,
+    ):
+        if engine is None:
+            engine = os.environ.get("REPRO_ENGINE", "vector")
+        if engine not in ENGINES:
+            raise SimulationError(
+                f"unknown engine {engine!r}; choose from {ENGINES}"
+            )
         self.config = config
         self.topology = SystemTopology(config)
+        self.engine = engine
+        self.trace_cache = trace_cache
+        #: wall-clock seconds per stage, accumulated across run() calls
+        self.stage_times = {"trace": 0.0, "walk": 0.0, "finalize": 0.0}
+
+    def reset_stage_times(self) -> None:
+        self.stage_times = {"trace": 0.0, "walk": 0.0, "finalize": 0.0}
 
     # ------------------------------------------------------------------
     def run(
@@ -92,9 +131,14 @@ class Simulator:
     ) -> RunResult:
         cfg = self.config
         num_nodes = cfg.num_nodes
-        l2s = [
-            SectoredCache(cfg.l2.num_sets, cfg.l2.assoc) for _ in range(num_nodes)
-        ]
+        if self.engine == "vector":
+            # One fused cache: node n's slice is sets [n*num_sets, (n+1)*num_sets).
+            l2s = [ArrayLRU(num_nodes * cfg.l2.num_sets, cfg.l2.assoc)]
+        else:
+            l2s = [
+                SectoredCache(cfg.l2.num_sets, cfg.l2.assoc)
+                for _ in range(num_nodes)
+            ]
 
         if len(plan.launches) != len(compiled.program.launches):
             raise SimulationError("plan does not cover every launch of the program")
@@ -109,7 +153,12 @@ class Simulator:
             if cfg.flush_l2_between_kernels:
                 for cache in l2s:
                     cache.flush()
-            metrics = self._run_launch(launch_index, lp, plan, l2s, page_counts)
+            if self.engine == "vector":
+                metrics = self._run_launch_vector(
+                    launch_index, lp, plan, compiled, l2s[0], page_counts
+                )
+            else:
+                metrics = self._run_launch(launch_index, lp, plan, l2s, page_counts)
             apply_perf_model(metrics, self.topology, plan.fault_cost_s)
             kernels.append(metrics)
 
@@ -125,6 +174,35 @@ class Simulator:
             notes=dict(plan.notes),
             page_access_counts=page_counts,
         )
+
+    # ------------------------------------------------------------------
+    def _run_launch_vector(
+        self,
+        launch_index: int,
+        lp: LaunchPlan,
+        plan: ExecutionPlan,
+        compiled: CompiledProgram,
+        l2: ArrayLRU,
+        page_counts=None,
+    ) -> KernelMetrics:
+        """Vectorised launch execution: cached trace + batched array walk."""
+        cfg = self.config
+        cache = self.trace_cache if self.trace_cache is not None else default_trace_cache()
+        t0 = time.perf_counter()
+        launch_key = (compiled.program, launch_index)
+        trace = cache.get(lp.launch, launch_key, plan.space, cfg.l2.sector_bytes)
+        t1 = time.perf_counter()
+        order = _wave_order(lp.tb_nodes, cfg.num_nodes)
+        metrics, xbar, dram, transfers, stats = walk_launch(
+            cfg, launch_index, lp, plan, l2, trace, order, page_counts
+        )
+        t2 = time.perf_counter()
+        self._finalize(metrics, xbar, dram, transfers, stats)
+        t3 = time.perf_counter()
+        self.stage_times["trace"] += t1 - t0
+        self.stage_times["walk"] += t2 - t1
+        self.stage_times["finalize"] += t3 - t2
+        return metrics
 
     # ------------------------------------------------------------------
     def _run_launch(
@@ -146,6 +224,8 @@ class Simulator:
         )
         faults_before = page_table.fault_count
 
+        walk_start = time.perf_counter()
+        trace_time = 0.0
         tracer = launch_tracer(launch, plan.space, sector_bytes)
         warps_per_tb = -(-kernel.block.count // cfg.warp_size)
         insts_per_tb = warps_per_tb * kernel.insts_per_thread * tracer.trip
@@ -190,7 +270,10 @@ class Simulator:
                 l1 = l1_filters[tb]
                 local_sets = l2_sets[node]
                 node_stats = stats_acc[node]
-                for sr in tracer.iteration_requests(tb, m):
+                t_tr = time.perf_counter()
+                reqs = tracer.iteration_requests(tb, m)
+                trace_time += time.perf_counter() - t_tr
+                for sr in reqs:
                     homes = page_table.homes_of_pages(sr.pages, toucher=node)
                     if page_counts is not None:
                         np.add.at(page_counts[node], sr.pages, 1)
@@ -236,7 +319,12 @@ class Simulator:
                     xbar_requests[node] += n_req
 
         metrics.faults = page_table.fault_count - faults_before
+        fin_start = time.perf_counter()
         self._finalize(metrics, xbar_requests, dram_requests, transfers, stats_acc)
+        fin_end = time.perf_counter()
+        self.stage_times["trace"] += trace_time
+        self.stage_times["walk"] += (fin_start - walk_start) - trace_time
+        self.stage_times["finalize"] += fin_end - fin_start
         return metrics
 
     # ------------------------------------------------------------------
@@ -292,14 +380,17 @@ def simulate(
     strategy,
     config: SystemConfig,
     compiled: Optional[CompiledProgram] = None,
+    engine: Optional[str] = None,
+    trace_cache: Optional[TraceCache] = None,
 ) -> RunResult:
     """Compile, plan and run a program in one call.
 
     ``strategy`` is any object with ``plan(compiled, topology) ->
-    ExecutionPlan`` (see :mod:`repro.strategies`).
+    ExecutionPlan`` (see :mod:`repro.strategies`).  ``engine`` and
+    ``trace_cache`` are forwarded to :class:`Simulator`.
     """
     if compiled is None:
         compiled = compile_program(program)
-    sim = Simulator(config)
+    sim = Simulator(config, engine=engine, trace_cache=trace_cache)
     plan = strategy.plan(compiled, sim.topology)
     return sim.run(compiled, plan)

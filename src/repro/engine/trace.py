@@ -17,6 +17,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from repro.errors import SimulationError
 from repro.kir.expr import BX, BY, M, TX, TY, Var
 from repro.kir.kernel import AccessMode, GlobalAccess
 from repro.kir.program import KernelLaunch
@@ -112,6 +113,68 @@ class _LaunchTracer:
     def trace_tb(self, tb: int) -> TBTrace:
         iterations = [self.iteration_requests(tb, m) for m in range(self.trip)]
         return TBTrace(tb=tb, iterations=iterations)
+
+    # ------------------------------------------------------------------
+    # Batched (all-threadblock) evaluation, used by the trace cache
+    # ------------------------------------------------------------------
+    @property
+    def num_threadblocks(self) -> int:
+        return self.launch.num_threadblocks
+
+    @property
+    def cacheable(self) -> bool:
+        """Whether every access site may be traced once and replayed.
+
+        Affine sites are pure functions of the launch; data-dependent
+        providers are required to be deterministic functions of their
+        :class:`TraceCtx` (see class docstring), so they are replayable too
+        *for the same launch object*.  A provider can opt out of caching --
+        e.g. because it samples external state -- by setting a
+        ``trace_cacheable = False`` attribute on the callable.
+        """
+        return all(
+            getattr(site.provider, "trace_cacheable", True)
+            for site in self.launch.kernel.accesses
+            if site.provider is not None
+        )
+
+    def site_sectors_all_tbs(self, site: GlobalAccess, m: int):
+        """Per-TB sorted-unique sector ids of one affine site at iteration ``m``.
+
+        Evaluates the index expression for *every* threadblock in one
+        broadcast (threadblocks down the rows, threads across the columns)
+        instead of one Python round-trip per TB.  Returns ``(sectors,
+        counts)`` where ``sectors`` concatenates each TB's sorted unique
+        sector ids in TB order and ``counts[tb]`` is each TB's contribution.
+        Data-dependent sites must go through :meth:`_site_requests`.
+        """
+        if site.provider is not None:
+            raise SimulationError(
+                "site_sectors_all_tbs cannot evaluate data-dependent sites"
+            )
+        launch = self.launch
+        ntb = launch.num_threadblocks
+        gdx = launch.grid.x
+        tbs = np.arange(ntb, dtype=np.int64)
+        env = dict(self._base_env)
+        env[TX] = self._tx[None, :]
+        env[TY] = self._ty[None, :]
+        env[BX] = (tbs % gdx)[:, None]
+        env[BY] = (tbs // gdx)[:, None]
+        env[M] = m
+        elements = np.asarray(site.index.evaluate_vectorized(env), dtype=np.int64)
+        elements = np.broadcast_to(elements, (ntb, self._tx.size))
+        alloc_name = launch.args[site.array]
+        addresses = self.space.element_addresses(alloc_name, elements.reshape(-1))
+        sectors = (addresses // self.sector_bytes).reshape(ntb, -1)
+        # Row-wise sort + dedup: equivalent to np.unique per row, without the
+        # per-row Python loop.
+        sectors = np.sort(sectors, axis=1)
+        keep = np.empty(sectors.shape, dtype=bool)
+        keep[:, 0] = True
+        keep[:, 1:] = sectors[:, 1:] != sectors[:, :-1]
+        counts = keep.sum(axis=1)
+        return sectors[keep], counts
 
     def _site_requests(
         self, site: GlobalAccess, tb: int, bx: int, by: int, m: int

@@ -1,0 +1,421 @@
+"""The vectorised memory-walk engine.
+
+This module replays a flattened :class:`~repro.engine.trace_cache.LaunchTrace`
+through the NUMA L2 hierarchy using array kernels instead of the legacy
+per-sector Python loop.  The decomposition keeps results bit-exact with the
+legacy walk (same byte counts, hit rates, traffic-class splits, LRU state):
+
+1.  **First-touch faults resolve up front.**  Which node wins a first-touch
+    race is a pure function of the (statically known) walk order -- iteration
+    major, rotated wave order -- never of cache state, so every fault of the
+    launch is resolved with one vectorised pass before the walk begins.
+2.  **The per-TB L1 filter is precomputed.**  It is an always-insert
+    fully-associative LRU over each TB's own stream, so its hit/miss outcome
+    is strategy-independent and comes with the cached trace
+    (:meth:`LaunchTrace.survivors`).
+3.  **All per-node L2 slices live in one global :class:`ArrayLRU`** whose set
+    index is ``node * num_sets + (sector % num_sets)``.  Node slices never
+    share a set, so this is state-identical to separate caches, and an L2
+    access only interacts with earlier accesses to the *same global set*.
+4.  **Free/sync decomposition per iteration.**  Remote-homed misses inject
+    fills into their home node's sets at a cache-state-dependent moment, so
+    only sets that *might receive a fill this iteration* (the hot footprint,
+    ``unique`` of the remote accesses' home sets) need sequential treatment.
+    Every access whose requester set is outside that footprint is *free*:
+    its set sees nothing but position-ordered requester traffic, so all free
+    accesses of the iteration fuse into one :meth:`ArrayLRU.probe_batch`
+    call.  The rest -- sync accesses plus the home-side fills of free misses
+    -- merge into a single position-ordered event stream replayed by one
+    scalar loop over ``OrderedDict`` views of just the hot sets.
+5.  **Fully-local launches collapse to one probe call.**  When a launch has
+    no remotely-homed survivor at all there are no fills, per-set stream
+    order is the only constraint, and ``probe_batch`` preserves it -- so the
+    whole launch (all iterations, wave order) becomes a single batch.
+    Monolithic configurations take this path for the entire run.
+
+Accumulators that do not depend on cache state (crossbar request counts,
+warp instructions, page-access profiles, per-block local-sector counts) are
+computed launch-wide with ``bincount``/fancy indexing instead of inside the
+walk.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+import numpy as np
+
+from repro.cache.array_lru import ArrayLRU
+from repro.engine.metrics import KernelMetrics
+from repro.engine.plan import ExecutionPlan, LaunchPlan
+from repro.engine.trace_cache import LaunchTrace
+
+__all__ = ["walk_launch"]
+
+# Traffic-class codes shared with the legacy engine (see simulator module).
+_LL, _LR, _RL = 0, 1, 2
+
+
+def _concat_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Concatenate ``[arange(s, s+l) for s, l in zip(starts, lengths)]``."""
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    bases = np.repeat(starts, lengths)
+    prefix = np.zeros(lengths.size, dtype=np.int64)
+    np.cumsum(lengths[:-1], out=prefix[1:])
+    return bases + (np.arange(total, dtype=np.int64) - np.repeat(prefix, lengths))
+
+
+def walk_launch(
+    config,
+    launch_index: int,
+    lp: LaunchPlan,
+    plan: ExecutionPlan,
+    l2: ArrayLRU,
+    trace: LaunchTrace,
+    order: np.ndarray,
+    page_counts: Optional[np.ndarray] = None,
+) -> tuple:
+    """Walk one launch's cached trace; returns raw accumulators.
+
+    ``l2`` is the fused global cache (``num_nodes * num_sets`` sets).
+    Returns ``(metrics, xbar_requests, dram_requests, transfers, stats_acc)``
+    in the same shapes the legacy walk produces, for a shared finalize step.
+    """
+    num_nodes = config.num_nodes
+    num_sets = config.l2.num_sets
+    remote_caching = config.remote_caching
+    launch = lp.launch
+    kernel = launch.kernel
+    page_table = plan.page_table
+    ntb = trace.num_threadblocks
+    trip = trace.trip
+
+    metrics = KernelMetrics(
+        kernel=kernel.name, launch_index=launch_index, num_nodes=num_nodes
+    )
+    faults_before = page_table.fault_count
+
+    tb_nodes = np.asarray(lp.tb_nodes, dtype=np.int64)
+    warps_per_tb = -(-kernel.block.count // config.warp_size)
+    insts_per_tb = warps_per_tb * kernel.insts_per_thread * trip
+    # Accumulate per-TB like the legacy loop (repeated float addition), so
+    # the perf model sees bit-identical totals.
+    for node in tb_nodes.tolist():
+        metrics.warp_insts_per_node[node] += insts_per_tb
+
+    lengths = np.diff(trace.offsets)
+    block_tb = np.repeat(np.arange(ntb, dtype=np.int64), trip)
+    tb_per_sector = np.repeat(block_tb, lengths)
+
+    # ------------------------------------------------------------------
+    # Stage 1: resolve every first-touch fault of the launch up front.
+    # ------------------------------------------------------------------
+    if page_table.has_unmapped and trace.total_sectors:
+        pos_in_order = np.empty(ntb, dtype=np.int64)
+        pos_in_order[order] = np.arange(ntb)
+        shifts = (np.arange(trip, dtype=np.int64) * 7) % max(1, ntb)
+        # step of block (tb, m) in the global walk = m * ntb + rotated pos
+        block_steps = (
+            np.arange(trip, dtype=np.int64)[None, :] * ntb
+            + (pos_in_order[:, None] - shifts[None, :]) % ntb
+        ).reshape(-1)
+        sector_steps = np.repeat(block_steps, lengths)
+        touch_order = np.argsort(sector_steps, kind="stable")
+        page_table.resolve_first_touch(
+            trace.pages[touch_order], tb_nodes[tb_per_sector[touch_order]]
+        )
+    homes = page_table.homes_of_pages(trace.pages, toucher=0)
+
+    # ------------------------------------------------------------------
+    # Stage 2: launch-wide, order-independent accumulators.
+    # ------------------------------------------------------------------
+    if page_counts is not None and trace.total_sectors:
+        node_per_sector = tb_nodes[tb_per_sector]
+        for node in range(num_nodes):
+            sel = node_per_sector == node
+            if sel.any():
+                np.add.at(page_counts[node], trace.pages[sel], 1)
+
+    l1_capacity = config.l1_filter_sectors
+    soff, ssec, ssets, ssite = trace.survivor_layout(l1_capacity, num_sets)
+    mask = trace.survivors(l1_capacity)
+    shome = np.asarray(homes, dtype=np.int64)[mask]
+    s_tb = tb_per_sector[mask]
+    s_node = tb_nodes[s_tb]
+    slocal = shome == s_node
+
+    insert_at_home = np.array(
+        [lp.policy_for(name).insert_at_home for name in trace.site_arrays],
+        dtype=bool,
+    )
+    if insert_at_home.size:
+        sins = insert_at_home[ssite]
+    else:
+        sins = np.empty(0, dtype=bool)
+
+    # Global set indices: requester-side (own node's slice) and home-side.
+    greq = s_node * num_sets + ssets
+    ghome = shome * num_sets + ssets
+    if remote_caching:
+        req_ins = np.ones(ssec.size, dtype=bool)
+    else:
+        req_ins = slocal
+
+    xbar_requests = np.bincount(s_node, minlength=num_nodes).astype(np.int64)
+    dram_requests = np.zeros(num_nodes, dtype=np.int64)
+    transfers = np.zeros((num_nodes, num_nodes), dtype=np.int64)
+    stats_acc = np.zeros((num_nodes, 3, 2), dtype=np.int64)
+
+    slengths = np.diff(soff)
+
+    # ------------------------------------------------------------------
+    # Fully-local launch fast path.  When no access is remotely homed, no
+    # L2 set ever sees traffic from more than one node, so per-set order --
+    # which probe_batch preserves -- is the only ordering that matters and
+    # the entire launch collapses into one fused probe in walk order.
+    # Every Monolithic run takes this path.
+    # ------------------------------------------------------------------
+    if ssec.size and slocal.all():
+        chunks = []
+        for m in range(trip):
+            shift = (m * 7) % max(1, ntb)
+            rotated = np.concatenate((order[shift:], order[:shift]))
+            blocks = rotated * trip + m
+            chunks.append(_concat_ranges(soff[blocks], slengths[blocks]))
+        w = np.concatenate(chunks)
+        hitw = l2.probe_batch(ssec[w], greq[w], req_ins[w])
+        code = s_node[w] * 2 + hitw
+        c = np.bincount(code, minlength=num_nodes * 2).reshape(num_nodes, 2)
+        stats_acc[:, _LL, 0] += c[:, 0]
+        stats_acc[:, _LL, 1] += c[:, 1]
+        dram_requests += c[:, 0]
+        metrics.faults = page_table.fault_count - faults_before
+        return metrics, xbar_requests, dram_requests, transfers, stats_acc
+
+    # ------------------------------------------------------------------
+    # Stage 3: the ordered walk.
+    #
+    # Per iteration, a requester access is *free* when its global set
+    # receives no home-side fill this iteration: that set then sees only
+    # requester traffic from one node's threadblocks, in a statically known
+    # order, so every free access of the iteration fuses into one
+    # position-ordered probe regardless of which threadblock issued it.
+    # Only *sync* accesses (requester probes of sets on the iteration's
+    # home-fill footprint) and the home fills themselves need
+    # per-threadblock interleaving.  Those run at legacy speed: the hot
+    # sets' array state is materialised into ``OrderedDict``s for the
+    # iteration, every sync/home access is a couple of dict operations in
+    # exact walk order (free requester misses inject their home fills at
+    # the issuing TB's stream position), and the dicts are written back as
+    # tag/stamp rows at iteration end.  A fully-local iteration (and every
+    # Monolithic iteration) has no home fills at all and becomes a single
+    # probe call.
+    # ------------------------------------------------------------------
+    probe = l2.probe_batch
+    tags, stamp = l2.tags, l2.stamp
+    assoc = l2.assoc
+    hot = np.zeros(num_nodes * num_sets, dtype=bool)
+    # Per-set OrderedDicts for the scalar path, indexed by global set id.
+    dset = [None] * (num_nodes * num_sets)
+    # Python-int accumulators for the scalar per-TB path (folded at the end).
+    ll_miss = [0] * num_nodes
+    ll_hit = [0] * num_nodes
+    lr_miss = [0] * num_nodes
+    lr_hit = [0] * num_nodes
+    rl_miss = [0] * num_nodes
+    rl_hit = [0] * num_nodes
+    dram_py = [0] * num_nodes
+    transfers_py = [[0] * num_nodes for _ in range(num_nodes)]
+
+    for m in range(trip):
+        shift = (m * 7) % max(1, ntb)
+        rotated = np.concatenate((order[shift:], order[:shift]))
+        blocks = rotated * trip + m
+        blens = slengths[blocks]
+        idx = _concat_ranges(soff[blocks], blens)
+        if idx.size == 0:
+            continue
+        rem = ~slocal[idx]
+        hot_sets = None
+        freem = None
+        if rem.any():
+            hot_sets = np.unique(ghome[idx[rem]])
+            hot[hot_sets] = True
+            freem = ~hot[greq[idx]]
+            hot[hot_sets] = False
+
+        # ---- fused free probe (position order) -------------------------
+        ev_idx = None  # scalar events, in stream-position order
+        ev_fill = None  # per-event home-fill-only flag (None: all requester)
+        fidx = idx if freem is None else idx[freem]
+        if fidx.size:
+            fhit = probe(ssec[fidx], greq[fidx], req_ins[fidx])
+            floc = slocal[fidx]
+            code = s_node[fidx] * 4 + floc * 2 + fhit
+            c = np.bincount(code, minlength=num_nodes * 4).reshape(num_nodes, 4)
+            stats_acc[:, _LL, 0] += c[:, 2]
+            stats_acc[:, _LL, 1] += c[:, 3]
+            stats_acc[:, _LR, 0] += c[:, 0]
+            stats_acc[:, _LR, 1] += c[:, 1]
+            dram_requests += c[:, 2]
+            if hot_sets is not None:
+                sidx = idx[~freem]
+                fm = ~(floc | fhit)
+                if fm.any():
+                    # Merge sync requester accesses with the home fills of
+                    # free misses on their stream positions so every fill
+                    # lands exactly where the issuing TB put it.
+                    p0 = np.nonzero(~freem)[0]
+                    p1 = np.nonzero(freem)[0][fm]
+                    o = np.argsort(np.concatenate((p0, p1)), kind="stable")
+                    ev_idx = np.concatenate((sidx, fidx[fm]))[o]
+                    ev_fill = np.concatenate(
+                        (np.zeros(sidx.size, dtype=bool), np.ones(p1.size, dtype=bool))
+                    )[o]
+                else:
+                    ev_idx = sidx
+        elif hot_sets is not None:
+            # Every access of the iteration is sync (all requester sets sit
+            # on the home-fill footprint): the whole stream runs scalar, in
+            # exact walk order.
+            ev_idx = idx
+        if ev_idx is None or ev_idx.size == 0:
+            continue
+        mat_sets = hot_sets
+
+        # ---- materialise the touched sets as OrderedDicts --------------
+        mlist = mat_sets.tolist()
+        st = stamp[mat_sets]
+        ordr = np.argsort(st, axis=1, kind="stable")
+        otags = np.take_along_axis(tags[mat_sets], ordr, axis=1).tolist()
+        ost = np.take_along_axis(st, ordr, axis=1).tolist()
+        for gs, trow, srow in zip(mlist, otags, ost):
+            d = OrderedDict()
+            for t, sv in zip(trow, srow):
+                if sv > 0:  # stamp > 0 <=> occupied way; rows sort oldest first
+                    d[t] = None
+            dset[gs] = d
+
+        # ---- scalar pass over the ordered event stream -----------------
+        e_sec = ssec[ev_idx].tolist()
+        e_loc = slocal[ev_idx].tolist()
+        e_hset = ghome[ev_idx].tolist()
+        e_home = shome[ev_idx].tolist()
+        e_hins = sins[ev_idx].tolist()
+        e_node = s_node[ev_idx].tolist()
+        if ev_fill is None:
+            e_gs = greq[ev_idx].tolist()
+            e_rins = req_ins[ev_idx].tolist()
+            for sec, gs, loc, hset, h, hins, rins, node in zip(
+                e_sec, e_gs, e_loc, e_hset, e_home, e_hins, e_rins, e_node
+            ):
+                d = dset[gs]
+                if sec in d:
+                    d.move_to_end(sec)
+                    if loc:
+                        ll_hit[node] += 1
+                    else:
+                        lr_hit[node] += 1
+                else:
+                    if rins:
+                        d[sec] = None
+                        if len(d) > assoc:
+                            d.popitem(last=False)
+                    if loc:
+                        ll_miss[node] += 1
+                        dram_py[node] += 1
+                    else:
+                        lr_miss[node] += 1
+                        transfers_py[h][node] += 1
+                        hd = dset[hset]
+                        if sec in hd:
+                            hd.move_to_end(sec)
+                            rl_hit[h] += 1
+                        else:
+                            rl_miss[h] += 1
+                            dram_py[h] += 1
+                            if hins:
+                                hd[sec] = None
+                                if len(hd) > assoc:
+                                    hd.popitem(last=False)
+        else:
+            e_gs = np.where(ev_fill, ghome[ev_idx], greq[ev_idx]).tolist()
+            e_rins = req_ins[ev_idx].tolist()
+            e_f = ev_fill.tolist()
+            for sec, fill, gs, loc, hset, h, hins, rins, node in zip(
+                e_sec, e_f, e_gs, e_loc, e_hset, e_home, e_hins, e_rins, e_node
+            ):
+                if fill:
+                    # Home fill of a free requester miss (probed above).
+                    transfers_py[h][node] += 1
+                    hd = dset[gs]
+                    if sec in hd:
+                        hd.move_to_end(sec)
+                        rl_hit[h] += 1
+                    else:
+                        rl_miss[h] += 1
+                        dram_py[h] += 1
+                        if hins:
+                            hd[sec] = None
+                            if len(hd) > assoc:
+                                hd.popitem(last=False)
+                    continue
+                d = dset[gs]
+                if sec in d:
+                    d.move_to_end(sec)
+                    if loc:
+                        ll_hit[node] += 1
+                    else:
+                        lr_hit[node] += 1
+                else:
+                    if rins:
+                        d[sec] = None
+                        if len(d) > assoc:
+                            d.popitem(last=False)
+                    if loc:
+                        ll_miss[node] += 1
+                        dram_py[node] += 1
+                    else:
+                        lr_miss[node] += 1
+                        transfers_py[h][node] += 1
+                        hd = dset[hset]
+                        if sec in hd:
+                            hd.move_to_end(sec)
+                            rl_hit[h] += 1
+                        else:
+                            rl_miss[h] += 1
+                            dram_py[h] += 1
+                            if hins:
+                                hd[sec] = None
+                                if len(hd) > assoc:
+                                    hd.popitem(last=False)
+
+        # ---- write touched-set dicts back as tag/stamp rows ------------
+        clock = l2.clock
+        new_tags = []
+        new_stamps = []
+        for gs in mlist:
+            keys = list(dset[gs])
+            ln = len(keys)
+            new_tags.append(keys + [-1] * (assoc - ln))
+            new_stamps.append(list(range(clock + 1, clock + 1 + ln)) + [0] * (assoc - ln))
+            clock += ln
+        l2.clock = clock
+        tags[mat_sets] = np.array(new_tags, dtype=np.int64)
+        stamp[mat_sets] = np.array(new_stamps, dtype=np.int64)
+
+    # Fold the scalar accumulators into the numpy ones.
+    stats_acc[:, _LL, 0] += ll_miss
+    stats_acc[:, _LL, 1] += ll_hit
+    stats_acc[:, _LR, 0] += lr_miss
+    stats_acc[:, _LR, 1] += lr_hit
+    stats_acc[:, _RL, 0] += rl_miss
+    stats_acc[:, _RL, 1] += rl_hit
+    dram_requests += dram_py
+    transfers += transfers_py
+
+    metrics.faults = page_table.fault_count - faults_before
+    return metrics, xbar_requests, dram_requests, transfers, stats_acc

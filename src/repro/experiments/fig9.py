@@ -109,8 +109,13 @@ def run_fig9(
     scale: Scale,
     workload_names: Optional[Sequence[str]] = None,
     verbose: bool = False,
+    parallel: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> Fig9Result:
-    """Run the Figure 9/10 sweep at the given scale."""
+    """Run the Figure 9/10 sweep at the given scale.
+
+    ``parallel``/``engine`` are forwarded to :func:`run_matrix`.
+    """
     if workload_names:
         workloads = [get_workload(n) for n in workload_names]
     else:
@@ -120,7 +125,10 @@ def run_fig9(
     strategies = [
         (name, mono if name == "Monolithic" else hier) for name in FIG9_STRATEGIES
     ]
-    matrix = run_matrix(workloads, strategies, scale, verbose=verbose)
+    matrix = run_matrix(
+        workloads, strategies, scale, verbose=verbose,
+        parallel=parallel, engine=engine,
+    )
     return Fig9Result(matrix=matrix)
 
 
@@ -128,8 +136,19 @@ def main(argv: Optional[List[str]] = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", default="bench", choices=["bench", "test"])
     parser.add_argument("--workloads", nargs="*", default=None)
+    parser.add_argument(
+        "--parallel", type=int, default=None, metavar="N",
+        help="distribute workloads over N worker processes",
+    )
+    parser.add_argument(
+        "--engine", default=None, choices=["vector", "legacy"],
+        help="simulation engine (default: REPRO_ENGINE or 'vector')",
+    )
     args = parser.parse_args(argv)
-    result = run_fig9(scale_by_name(args.scale), args.workloads, verbose=True)
+    result = run_fig9(
+        scale_by_name(args.scale), args.workloads, verbose=True,
+        parallel=args.parallel, engine=args.engine,
+    )
     print()
     print(result.render())
     print()

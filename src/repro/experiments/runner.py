@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 import math
+import multiprocessing
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.compiler.passes import compile_program
 from repro.engine.metrics import RunResult
@@ -20,7 +21,7 @@ from repro.strategies import (
 from repro.topology.config import SystemConfig
 from repro.workloads.base import BENCH, TEST, Scale, Workload
 
-__all__ = ["strategy_by_name", "run_matrix", "MatrixResult", "scale_by_name"]
+__all__ = ["strategy_by_name", "run_matrix", "MatrixResult", "scale_by_name", "geomean"]
 
 
 def strategy_by_name(name: str):
@@ -76,11 +77,54 @@ class MatrixResult:
 
 
 def geomean(values: Iterable[float]) -> float:
-    """Geometric mean of positive values (the paper's summary statistic)."""
-    vals = [v for v in values if v > 0]
+    """Geometric mean (the paper's summary statistic).
+
+    An empty input yields 0.0 (nothing to summarise).  Non-positive values
+    are an error: silently dropping them skews the mean of whatever ratio is
+    being summarised, so callers must filter (and justify) them explicitly.
+    """
+    vals = list(values)
     if not vals:
         return 0.0
+    bad = [v for v in vals if v <= 0]
+    if bad:
+        raise ValueError(
+            f"geomean is undefined for non-positive values: {bad[:5]!r}"
+        )
     return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def _run_workload(
+    workload: Workload,
+    strategies: Sequence[Tuple[str, SystemConfig]],
+    scale: Scale,
+    engine: Optional[str],
+    verbose: bool,
+) -> Dict[str, RunResult]:
+    """All strategies of one workload; the unit of parallel distribution.
+
+    The program is built and compiled once and shared across strategies (the
+    static analysis is strategy-independent); with the vectorised engine the
+    process-wide trace cache makes every strategy after the first replay the
+    same trace.
+    """
+    program = workload.program(scale)
+    compiled = compile_program(program)
+    per_strategy: Dict[str, RunResult] = {}
+    for strat_name, config in strategies:
+        strategy = strategy_by_name(strat_name)
+        result = simulate(
+            program, strategy, config, compiled=compiled, engine=engine
+        )
+        per_strategy[strat_name] = result
+        if verbose:
+            print(f"  {workload.name:<14} {result.summary()}")
+    return per_strategy
+
+
+def _pool_worker(args: tuple) -> Tuple[str, Dict[str, RunResult]]:
+    workload, strategies, scale, engine = args
+    return workload.name, _run_workload(workload, strategies, scale, engine, False)
 
 
 def run_matrix(
@@ -88,22 +132,33 @@ def run_matrix(
     strategies: Sequence[Tuple[str, SystemConfig]],
     scale: Scale,
     verbose: bool = False,
+    parallel: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> MatrixResult:
     """Run every workload under every (strategy name, system) pair.
 
-    Programs are built and compiled once per workload and shared across
-    strategies (the static analysis is strategy-independent).
+    ``parallel=N`` distributes whole workloads over a fork-based process
+    pool of ``N`` workers (each worker keeps its own trace cache, so a
+    workload's strategies still share one trace).  Results are merged in
+    the caller's workload order, so the returned matrix is identical to a
+    sequential run -- simulations are deterministic and workloads are
+    independent.  ``engine`` is forwarded to :func:`simulate` (``"vector"``,
+    ``"legacy"``, or ``None`` for the session default).
     """
     matrix = MatrixResult(scale=scale.name)
-    for workload in workloads:
-        program = workload.program(scale)
-        compiled = compile_program(program)
-        per_strategy: Dict[str, RunResult] = {}
-        for strat_name, config in strategies:
-            strategy = strategy_by_name(strat_name)
-            result = simulate(program, strategy, config, compiled=compiled)
-            per_strategy[strat_name] = result
+    if parallel and parallel > 1 and len(workloads) > 1:
+        jobs = [(w, tuple(strategies), scale, engine) for w in workloads]
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(min(parallel, len(jobs))) as pool:
+            by_name = dict(pool.imap_unordered(_pool_worker, jobs))
+        for workload in workloads:  # deterministic merge: input order
+            matrix.results[workload.name] = by_name[workload.name]
             if verbose:
-                print(f"  {workload.name:<14} {result.summary()}")
-        matrix.results[workload.name] = per_strategy
+                for result in by_name[workload.name].values():
+                    print(f"  {workload.name:<14} {result.summary()}")
+        return matrix
+    for workload in workloads:
+        matrix.results[workload.name] = _run_workload(
+            workload, strategies, scale, engine, verbose
+        )
     return matrix

@@ -88,6 +88,33 @@ class PageTable:
             homes = self._home[pages]
         return homes
 
+    def resolve_first_touch(
+        self, pages: np.ndarray, touchers: np.ndarray
+    ) -> None:
+        """Fault in a whole ordered touch stream at once (vectorised engine).
+
+        ``pages[i]`` is touched by node ``touchers[i]``; earlier entries win
+        first-touch races, matching a sequential walk that calls
+        :meth:`homes_of_pages` in the same order.  Already-mapped pages are
+        ignored.  This lets the vectorised engine resolve every fault of a
+        launch up front -- the winner of each page is a pure function of the
+        (statically known) walk order, not of cache state.
+        """
+        pages = np.asarray(pages, dtype=np.int64)
+        if self._unmapped == 0 or pages.size == 0:
+            return
+        unmapped = self._home[pages] == FIRST_TOUCH_UNMAPPED
+        if not unmapped.any():
+            return
+        pg = pages[unmapped]
+        tc = np.asarray(touchers, dtype=np.int32)[unmapped]
+        # np.unique keeps the first occurrence per page; the stream is in
+        # touch order, so that first occurrence is the race winner.
+        winners, first_idx = np.unique(pg, return_index=True)
+        self._home[winners] = tc[first_idx]
+        self.fault_count += int(winners.size)
+        self._unmapped -= int(winners.size)
+
     def home_of_page(self, page: int, toucher: int = 0) -> int:
         return int(self.homes_of_pages(np.array([page]), toucher)[0])
 

@@ -43,6 +43,39 @@ class TestWaveOrder:
         node0 = [t for t in order.tolist() if nodes[t] == 0]
         assert node0 == sorted(node0)
 
+    def test_skewed_placement_skips_drained_nodes(self):
+        """A kernel-wide plan puts ~all TBs on one node; waves must not
+        re-visit the drained ones (the old wave-scan was O(waves x nodes))."""
+        nodes = np.array([3] + [1] * 1000, dtype=np.int32)
+        order = _wave_order(nodes, 4)
+        assert sorted(order.tolist()) == list(range(1001))
+        # wave 0 holds one TB per occupied node: node 1's first and node 3's
+        first_two = {int(nodes[t]) for t in order[:2]}
+        assert first_two == {1, 3}
+        # after node 3 drains, the remaining order is node 1's dispatch order
+        tail = order.tolist()[2:]
+        assert tail == sorted(tail)
+
+    def test_matches_wave_scan_reference(self):
+        """The lexsort formulation equals the literal wave-by-wave scan."""
+        rng = np.random.default_rng(7)
+        for num_nodes in (1, 2, 5):
+            for ntb in (0, 1, 17, 64):
+                nodes = rng.integers(0, num_nodes, size=ntb).astype(np.int64)
+                # reference: rotate the starting node each wave, skip empties
+                queues = [
+                    [t for t in range(ntb) if nodes[t] == n]
+                    for n in range(num_nodes)
+                ]
+                ref, wave = [], 0
+                while any(queues):
+                    for k in range(num_nodes):
+                        q = queues[(k + wave) % num_nodes]
+                        if q:
+                            ref.append(q.pop(0))
+                    wave += 1
+                assert _wave_order(nodes, num_nodes).tolist() == ref
+
 
 class TestConservation:
     """Traffic-accounting invariants that must hold for any run."""

@@ -1,0 +1,63 @@
+"""run_matrix parallel distribution and geomean input validation."""
+
+import pytest
+
+from repro.experiments.runner import geomean, run_matrix
+from repro.topology.config import bench_hierarchical, bench_monolithic
+from repro.workloads.base import TEST
+from repro.workloads.suite import get_workload
+
+
+class TestGeomean:
+    def test_plain(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([2.0]) == pytest.approx(2.0)
+
+    def test_empty_is_zero(self):
+        assert geomean([]) == 0.0
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="non-positive"):
+            geomean([1.0, 0.0, 4.0])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-positive"):
+            geomean([-1.0])
+
+    def test_accepts_generator(self):
+        assert geomean(x for x in (2.0, 8.0)) == pytest.approx(4.0)
+
+
+class TestParallelMatrix:
+    def test_parallel_matches_sequential(self):
+        """Process-pool distribution is invisible in the results."""
+        workloads = [get_workload(n) for n in ("vecadd", "scalarprod", "conv")]
+        strategies = [
+            ("H-CODA", bench_hierarchical()),
+            ("Monolithic", bench_monolithic()),
+        ]
+        seq = run_matrix(workloads, strategies, TEST)
+        par = run_matrix(workloads, strategies, TEST, parallel=2)
+        assert list(par.results) == list(seq.results)  # caller's order
+        for wname in seq.results:
+            for sname in seq.results[wname]:
+                a = seq.get(wname, sname)
+                b = par.get(wname, sname)
+                assert a.snapshot() == b.snapshot(), f"{wname}/{sname}"
+
+    def test_parallel_one_worker_stays_sequential(self):
+        """parallel=1 (or a single workload) avoids pool overhead."""
+        workloads = [get_workload("vecadd")]
+        strategies = [("H-CODA", bench_hierarchical())]
+        res = run_matrix(workloads, strategies, TEST, parallel=8)
+        assert set(res.results) == {"vecadd"}
+
+    def test_engine_forwarded(self):
+        workloads = [get_workload("vecadd")]
+        strategies = [("H-CODA", bench_hierarchical())]
+        legacy = run_matrix(workloads, strategies, TEST, engine="legacy")
+        vector = run_matrix(workloads, strategies, TEST, engine="vector")
+        assert (
+            legacy.get("vecadd", "H-CODA").snapshot()
+            == vector.get("vecadd", "H-CODA").snapshot()
+        )
