@@ -1,0 +1,54 @@
+"""Static analysis over the KIR: verify the compiler's Table-II claims.
+
+Three passes plus a diagnostics engine (see ``docs/locality_lint.md``):
+
+* :mod:`repro.analysis.oracle` -- enumeration oracle cross-checking
+  ``classify_access`` against concretely derived sharing/motion/stride,
+* :mod:`repro.analysis.safety` -- bounds, write-write races, degenerate
+  expressions,
+* :mod:`repro.analysis.placement_check` -- locality table vs. LASP runtime
+  drift,
+
+driven by :mod:`repro.analysis.lint` (the ``repro lint`` subcommand).
+"""
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    LintReport,
+    Provenance,
+    Severity,
+    apply_suppressions,
+    site_labels,
+)
+from repro.analysis.lint import (
+    collect_programs,
+    default_topology,
+    lint_program,
+    lint_workloads,
+)
+from repro.analysis.oracle import OracleResult, cross_check_access, oracle_classify
+from repro.analysis.placement_check import (
+    check_launch_placement,
+    check_program_placement,
+)
+from repro.analysis.safety import check_launch_safety, check_program_safety
+
+__all__ = [
+    "Diagnostic",
+    "LintReport",
+    "Provenance",
+    "Severity",
+    "apply_suppressions",
+    "site_labels",
+    "collect_programs",
+    "default_topology",
+    "lint_program",
+    "lint_workloads",
+    "OracleResult",
+    "cross_check_access",
+    "oracle_classify",
+    "check_launch_placement",
+    "check_program_placement",
+    "check_launch_safety",
+    "check_program_safety",
+]

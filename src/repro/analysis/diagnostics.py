@@ -1,0 +1,171 @@
+"""Structured diagnostics for the static-analysis subsystem.
+
+Every lint pass emits :class:`Diagnostic` records instead of printing: a
+rule id from the catalogue (docs/locality_lint.md), a severity, a stable
+``file:kernel:access`` provenance, a message and an optional fix hint.
+:class:`LintReport` collects them, applies suppressions, renders them in a
+deterministic order (so CI output diffs cleanly) and maps severities to
+exit codes for ``repro lint --strict``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Severity",
+    "Provenance",
+    "Diagnostic",
+    "LintReport",
+    "apply_suppressions",
+    "site_labels",
+]
+
+
+def site_labels(accesses) -> List[str]:
+    """Stable per-site labels: ``array[k]`` with k the per-array ordinal.
+
+    Access sites have no names of their own; numbering them within their
+    array (in declaration order, which is static) gives every diagnostic a
+    provenance that survives unrelated edits to other arrays' sites.
+    """
+    counts: dict = {}
+    labels: List[str] = []
+    for acc in accesses:
+        k = counts.get(acc.array, 0)
+        counts[acc.array] = k + 1
+        labels.append(f"{acc.array}[{k}]")
+    return labels
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity; ``--strict`` fails on WARNING and above."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """Where a diagnostic points: ``file:kernel:access``.
+
+    ``file`` is the program/workload name or the path of the example that
+    built it; ``access`` is ``array[site]`` for a specific access site,
+    ``array`` for per-argument findings, or ``-`` for kernel/launch-level
+    findings.  All components are static, so the rendered string is stable
+    across runs (CI can diff lint output textually).
+    """
+
+    file: str
+    kernel: str
+    access: str = "-"
+
+    def render(self) -> str:
+        return f"{self.file}:{self.kernel}:{self.access}"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of a lint pass."""
+
+    rule: str
+    severity: Severity
+    provenance: Provenance
+    message: str
+    hint: str = ""
+
+    def render(self) -> str:
+        text = (
+            f"{self.provenance.render()} {self.severity.name} "
+            f"{self.rule}: {self.message}"
+        )
+        if self.hint:
+            text += f" [hint: {self.hint}]"
+        return text
+
+    @property
+    def sort_key(self) -> Tuple[str, str, str, str]:
+        return (
+            self.provenance.file,
+            self.provenance.kernel,
+            self.provenance.access,
+            self.rule,
+        )
+
+
+def _matches(spec: str, diag: Diagnostic) -> bool:
+    """A suppression spec is ``RULE`` or ``RULE@provenance-prefix``."""
+    if "@" in spec:
+        rule, _, prefix = spec.partition("@")
+        return diag.rule == rule and diag.provenance.render().startswith(prefix)
+    return diag.rule == spec
+
+
+def apply_suppressions(
+    diagnostics: Iterable[Diagnostic], suppress: Sequence[str]
+) -> Tuple[List[Diagnostic], int]:
+    """Split diagnostics into (kept, number suppressed)."""
+    kept: List[Diagnostic] = []
+    suppressed = 0
+    for diag in diagnostics:
+        if any(_matches(spec, diag) for spec in suppress):
+            suppressed += 1
+        else:
+            kept.append(diag)
+    return kept, suppressed
+
+
+@dataclass
+class LintReport:
+    """All diagnostics of one lint run, in deterministic order."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    suppressed: int = 0
+    programs: int = 0
+
+    def __post_init__(self) -> None:
+        self.diagnostics = sorted(self.diagnostics, key=lambda d: d.sort_key)
+
+    def extend(self, other: "LintReport") -> None:
+        self.diagnostics = sorted(
+            self.diagnostics + other.diagnostics, key=lambda d: d.sort_key
+        )
+        self.suppressed += other.suppressed
+        self.programs += other.programs
+
+    def by_severity(self, severity: Severity) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is severity]
+
+    def by_rule(self, rule: str) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.rule == rule]
+
+    @property
+    def rules(self) -> List[str]:
+        return [d.rule for d in self.diagnostics]
+
+    @property
+    def worst(self) -> Optional[Severity]:
+        if not self.diagnostics:
+            return None
+        return max(d.severity for d in self.diagnostics)
+
+    def exit_code(self, strict: bool = False) -> int:
+        """0 unless ``strict`` and any finding is WARNING or worse."""
+        if strict and self.worst is not None and self.worst >= Severity.WARNING:
+            return 1
+        return 0
+
+    def render(self) -> str:
+        lines = [d.render() for d in self.diagnostics]
+        errors = len(self.by_severity(Severity.ERROR))
+        warnings = len(self.by_severity(Severity.WARNING))
+        infos = len(self.by_severity(Severity.INFO))
+        lines.append(
+            f"lint: {errors} error(s), {warnings} warning(s), {infos} note(s) "
+            f"across {self.programs} program(s)"
+            + (f"; {self.suppressed} suppressed" if self.suppressed else "")
+        )
+        return "\n".join(lines)

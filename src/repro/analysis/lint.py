@@ -1,0 +1,190 @@
+"""Lint driver: run every analysis pass over whole programs.
+
+``lint_program`` compiles a :class:`Program`, then runs
+
+1. the classification oracle cross-check (plus **TABLE-STALE**: the
+   locality table's stored per-site classification no longer matches what
+   ``classify_access`` derives from the index today -- a stale table
+   shipped in the binary),
+2. the safety passes (bounds, races, degenerate expressions),
+3. the placement-consistency pass (table vs. runtime drift),
+
+and returns one :class:`LintReport`.  ``lint_workloads`` maps it over the
+built-in suite and ``collect_programs`` pulls lintable programs out of
+example scripts (any module-level zero-argument ``build_*`` function that
+returns a Program).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import inspect
+import sys
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    LintReport,
+    Provenance,
+    Severity,
+    apply_suppressions,
+    site_labels,
+)
+from repro.analysis.oracle import cross_check_access
+from repro.analysis.placement_check import check_program_placement
+from repro.analysis.safety import check_program_safety
+from repro.compiler.classify import classify_access
+from repro.compiler.passes import CompiledProgram, compile_program
+from repro.kir.program import Program
+from repro.topology.config import bench_hierarchical
+from repro.topology.system import SystemTopology
+
+__all__ = [
+    "lint_program",
+    "lint_workloads",
+    "collect_programs",
+    "default_topology",
+]
+
+
+def default_topology() -> SystemTopology:
+    """The reference topology lint decisions are checked against."""
+    return SystemTopology(bench_hierarchical())
+
+
+def _oracle_diagnostics(
+    name: str, compiled: CompiledProgram
+) -> List[Diagnostic]:
+    diags: List[Diagnostic] = []
+    seen = set()
+    for launch in compiled.program.launches:
+        kernel = launch.kernel
+        labels = site_labels(kernel.accesses)
+        # Per-argument cursor into the locality row's site_classifications
+        # (stored in per-argument access order by the compiler).
+        cursor = {arg: 0 for arg in kernel.arrays}
+        for i, access in enumerate(kernel.accesses):
+            row = compiled.locality_table.lookup(kernel.name, access.array)
+            j = cursor[access.array]
+            cursor[access.array] += 1
+            claimed = row.site_classifications[j]
+            prov = Provenance(name, kernel.name, labels[i])
+            fresh = classify_access(kernel, access)
+            if claimed != fresh:
+                diags.append(
+                    Diagnostic(
+                        rule="TABLE-STALE",
+                        severity=Severity.ERROR,
+                        provenance=prov,
+                        message=(
+                            f"locality table stores {claimed!r} but "
+                            f"classify_access now derives {fresh!r}"
+                        ),
+                        hint="recompile the program; the embedded table is "
+                        "out of date",
+                    )
+                )
+            for diag in cross_check_access(kernel, access, launch, claimed, prov):
+                key = (diag.rule, diag.provenance.render(), diag.message)
+                if key not in seen:
+                    seen.add(key)
+                    diags.append(diag)
+    return diags
+
+
+def lint_program(
+    program: Program,
+    name: Optional[str] = None,
+    topology: Optional[SystemTopology] = None,
+    suppress: Sequence[str] = (),
+    compiled: Optional[CompiledProgram] = None,
+) -> LintReport:
+    """Run all analysis passes over one program."""
+    name = name or program.name
+    topology = topology or default_topology()
+    compiled = compiled or compile_program(program)
+
+    diags: List[Diagnostic] = []
+    diags.extend(_oracle_diagnostics(name, compiled))
+    safety = check_program_safety(program)
+    placement = check_program_placement(compiled, topology)
+    # Safety/placement provenances carry program.name; rewrite to the
+    # caller-visible name (e.g. the example file path) for stable output.
+    for diag in safety + placement:
+        if diag.provenance.file != name:
+            diag = Diagnostic(
+                rule=diag.rule,
+                severity=diag.severity,
+                provenance=Provenance(
+                    name, diag.provenance.kernel, diag.provenance.access
+                ),
+                message=diag.message,
+                hint=diag.hint,
+            )
+        diags.append(diag)
+
+    kept, suppressed = apply_suppressions(diags, suppress)
+    return LintReport(diagnostics=kept, suppressed=suppressed, programs=1)
+
+
+def lint_workloads(
+    names: Optional[Iterable[str]] = None,
+    scale: str = "test",
+    topology: Optional[SystemTopology] = None,
+    suppress: Sequence[str] = (),
+) -> LintReport:
+    """Lint built-in workloads (all of them when ``names`` is None)."""
+    from repro.experiments.runner import scale_by_name
+    from repro.workloads.suite import all_workloads, get_workload
+
+    topology = topology or default_topology()
+    workloads = (
+        [get_workload(n) for n in names] if names is not None else all_workloads()
+    )
+    report = LintReport()
+    for workload in workloads:
+        program = workload.program(scale_by_name(scale))
+        report.extend(
+            lint_program(
+                program, name=workload.name, topology=topology, suppress=suppress
+            )
+        )
+    return report
+
+
+def collect_programs(path: str) -> List[Tuple[str, Program]]:
+    """Lintable programs defined by a Python file.
+
+    Imports the file and calls every module-level ``build_*`` function whose
+    parameters all have defaults; the ones that return a :class:`Program`
+    are linted under the name ``<path>!<function>``.  Builders requiring
+    arguments (e.g. a scale object) are skipped -- the CLI cannot guess
+    their inputs.
+    """
+    spec = importlib.util.spec_from_file_location(f"_lint_{abs(hash(path))}", path)
+    if spec is None or spec.loader is None:
+        raise ImportError(f"cannot import {path!r}")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(spec.name, None)
+
+    out: List[Tuple[str, Program]] = []
+    for attr in sorted(vars(module)):
+        fn = getattr(module, attr)
+        if not (attr.startswith("build_") and callable(fn)):
+            continue
+        if getattr(fn, "__module__", None) != module.__name__:
+            continue  # imported from elsewhere; linted at its own source
+        try:
+            params = inspect.signature(fn).parameters.values()
+        except (TypeError, ValueError):
+            continue
+        if any(p.default is inspect.Parameter.empty for p in params):
+            continue
+        result = fn()
+        if isinstance(result, Program):
+            out.append((f"{path}!{attr}", result))
+    return out

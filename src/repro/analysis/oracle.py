@@ -1,0 +1,453 @@
+"""The classification oracle: concrete enumeration vs. Algorithm 1.
+
+``classify_access`` (repro.compiler.classify) decides a Table-II row from
+the *syntactic shape* of an index polynomial.  This module independently
+derives the same facts by brute force: it evaluates the index over small
+concrete bound assignments (probe grids, the kernel's block, a few loop
+iterations) and reads sharing, motion and stride directly off the resulting
+element sets.
+
+* **sharing** -- partition the probe grid's threadblocks by their
+  iteration-0 footprint (the set of elements they touch at ``m == 0``).  If
+  the partition groups blocks exactly by ``by`` the access is row-shared;
+  by ``bx``, column-shared; all singletons, no locality; one class,
+  broadcast (Table II has no row for that -- unclassified is correct).
+* **stride** -- the measured per-thread delta ``index(m+1) - index(m)``.
+  Constant across iterations means the loop-variant group is linear in
+  ``m``; a delta of exactly 1 everywhere is intra-thread locality.
+* **motion** -- Table II calls motion *vertical* when the stride contains
+  ``gridDim.x`` (it skips whole data rows).  The concrete rendering: the
+  measured stride changes between two probes that differ only in ``gdx``.
+
+``cross_check_access`` diffs a claimed :class:`AccessClassification`
+against the oracle and emits ORACLE-* diagnostics on disagreement, plus the
+missed-locality lint (claimed unclassified, oracle found a Table-II type).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.diagnostics import Diagnostic, Provenance, Severity
+from repro.compiler.classify import (
+    AccessClassification,
+    LocalityType,
+    Motion,
+    Sharing,
+)
+from repro.kir.expr import BDX, BDY, BX, BY, GDX, GDY, M, TX, TY, Expr, Var
+from repro.kir.kernel import GlobalAccess, Kernel
+from repro.kir.program import KernelLaunch
+
+__all__ = ["OracleResult", "oracle_classify", "cross_check_access"]
+
+#: Prime variables every launch binds; anything else in an index must be a
+#: launch parameter or the access is data-dependent.
+_CANONICAL = {"tx", "ty", "bx", "by", "bdx", "bdy", "gdx", "gdy", "m"}
+
+#: Probe grids.  2-D probes need gdx, gdy >= 2 to discriminate row sharing
+#: from column sharing from unique starts, and different gdx values between
+#: probes for the motion test.  Probes are deliberately independent of the
+#: launch grid: a (1, N) launch of a row-shared kernel still probes with
+#: gdx >= 2, which is what lets the oracle tell row sharing apart from
+#: "every block unique".
+_PROBES_2D = ((3, 2), (2, 3))
+_PROBES_1D = ((4, 1), (6, 1))
+
+#: Outer-loop iterations enumerated per probe (needs >= 2 for deltas).
+_PROBE_TRIP = 3
+
+
+@dataclass(frozen=True)
+class OracleResult:
+    """What concrete enumeration derived for one access site."""
+
+    classifiable: bool
+    locality: Optional[LocalityType] = None
+    sharing: Optional[Sharing] = None
+    motion: Optional[Motion] = None
+    #: measured per-thread stride when it is one constant; None when the
+    #: stride varies per thread/block or the index is nonlinear in m
+    stride: Optional[int] = None
+    #: True when the per-thread delta is constant across iterations
+    linear_in_m: bool = True
+    broadcast: bool = False
+    reason: str = ""
+
+
+def _two_d(kernel: Kernel, index: Expr) -> bool:
+    """Mirror of the classifier's dimensionality rule (Table II "Dims")."""
+    if kernel.block.is_2d:
+        return True
+    return any(v.name in ("ty", "by", "bdy", "gdy") for v in index.variables())
+
+
+def _unbound_vars(index: Expr, params: Mapping[Var, int]) -> List[str]:
+    bound = {v.name for v in params}
+    return sorted(
+        v.name for v in index.variables() if v.name not in _CANONICAL and v.name not in bound
+    )
+
+
+def _probe_values(
+    kernel: Kernel,
+    index: Expr,
+    params: Mapping[Var, int],
+    gdx: int,
+    gdy: int,
+    trip: int,
+) -> np.ndarray:
+    """Index values, shape ``(trip, num_blocks, num_threads)``."""
+    bdx, bdy = kernel.block.x, kernel.block.y
+    lin = np.arange(kernel.block.count, dtype=np.int64)
+    tbs = np.arange(gdx * gdy, dtype=np.int64)
+    env: Dict[Var, object] = {v: 0 for v in index.variables()}
+    env.update(params)
+    env.update({BDX: bdx, BDY: bdy, GDX: gdx, GDY: gdy})
+    env[TX] = (lin % bdx)[None, None, :]
+    env[TY] = (lin // bdx)[None, None, :]
+    env[BX] = (tbs % gdx)[None, :, None]
+    env[BY] = (tbs // gdx)[None, :, None]
+    env[M] = np.arange(trip, dtype=np.int64)[:, None, None]
+    values = np.asarray(index.evaluate_vectorized(env), dtype=np.int64)
+    return np.broadcast_to(values, (trip, tbs.size, lin.size))
+
+
+@dataclass(frozen=True)
+class _ProbeFacts:
+    """Derived facts of one probe grid."""
+
+    gdx: int
+    gdy: int
+    partition: str  # "unique" | "rows" | "cols" | "broadcast" | "irregular"
+    linear_in_m: bool
+    stride: Optional[int]  # single constant stride, if there is one
+    deltas: Optional[np.ndarray]  # (blocks, threads) per-thread delta, if linear
+
+
+def _partition_kind(values0: np.ndarray, gdx: int, gdy: int) -> str:
+    """Classify the footprint partition of the probe grid's blocks."""
+    footprints = [frozenset(np.unique(values0[tb])) for tb in range(gdx * gdy)]
+    groups: Dict[frozenset, List[int]] = {}
+    for tb, fp in enumerate(footprints):
+        groups.setdefault(fp, []).append(tb)
+    if len(groups) == gdx * gdy:
+        return "unique"
+    if len(groups) == 1:
+        return "broadcast"
+    by_of = lambda tb: tb // gdx  # noqa: E731
+    bx_of = lambda tb: tb % gdx  # noqa: E731
+    if len(groups) == gdy and all(
+        len({by_of(tb) for tb in tbs}) == 1 for tbs in groups.values()
+    ):
+        return "rows"
+    if len(groups) == gdx and all(
+        len({bx_of(tb) for tb in tbs}) == 1 for tbs in groups.values()
+    ):
+        return "cols"
+    return "irregular"
+
+
+def _probe(
+    kernel: Kernel,
+    access: GlobalAccess,
+    params: Mapping[Var, int],
+    gdx: int,
+    gdy: int,
+) -> _ProbeFacts:
+    moves = kernel.has_loop and access.index.depends_on(M)
+    trip = _PROBE_TRIP if moves else 1
+    values = _probe_values(kernel, access.index, params, gdx, gdy, trip)
+    partition = _partition_kind(values[0], gdx, gdy)
+    if not moves:
+        return _ProbeFacts(gdx, gdy, partition, True, 0, None)
+    deltas = np.diff(values, axis=0)
+    linear = bool((deltas == deltas[0]) .all())
+    if not linear:
+        return _ProbeFacts(gdx, gdy, partition, False, None, None)
+    per_thread = deltas[0]
+    stride = int(per_thread.flat[0])
+    uniform = bool((per_thread == stride).all())
+    return _ProbeFacts(
+        gdx, gdy, partition, True, stride if uniform else None, per_thread
+    )
+
+
+def oracle_classify(
+    kernel: Kernel, access: GlobalAccess, launch: KernelLaunch
+) -> OracleResult:
+    """Derive the Table-II classification of one access by enumeration.
+
+    Returns ``classifiable=False`` for data-dependent accesses (provider,
+    or index variables unbound at launch) -- the oracle refuses, exactly as
+    the static analysis should.
+    """
+    if access.provider is not None:
+        return OracleResult(classifiable=False, reason="data-dependent provider")
+    params = dict(launch.params)
+    unbound = _unbound_vars(access.index, params)
+    if unbound:
+        return OracleResult(
+            classifiable=False, reason=f"unbound variables {unbound}"
+        )
+
+    probes_dims = _PROBES_2D if _two_d(kernel, access.index) else _PROBES_1D
+    probes = [_probe(kernel, access, params, gx, gy) for gx, gy in probes_dims]
+
+    if any(not p.linear_in_m for p in probes):
+        return OracleResult(
+            classifiable=True,
+            locality=LocalityType.UNCLASSIFIED,
+            linear_in_m=False,
+            reason="index is nonlinear in the induction variable",
+        )
+
+    # ITL: every thread advances by exactly one element per iteration.
+    if all(p.stride == 1 for p in probes):
+        return OracleResult(
+            classifiable=True,
+            locality=LocalityType.INTRA_THREAD,
+            stride=1,
+            reason="per-thread stride is exactly 1",
+        )
+
+    kinds = {p.partition for p in probes}
+    if kinds != {probes[0].partition}:
+        return OracleResult(
+            classifiable=True,
+            locality=LocalityType.UNCLASSIFIED,
+            reason="sharing structure changes with the grid shape",
+        )
+    kind = probes[0].partition
+    stride = probes[0].stride if len({p.stride for p in probes}) == 1 else None
+
+    if kind == "unique":
+        return OracleResult(
+            classifiable=True,
+            locality=LocalityType.NO_LOCALITY,
+            stride=stride,
+            reason="every threadblock starts on a distinct datablock",
+        )
+    if kind == "broadcast":
+        return OracleResult(
+            classifiable=True,
+            locality=LocalityType.UNCLASSIFIED,
+            broadcast=True,
+            reason="all threadblocks share one datablock (broadcast); "
+            "Table II has no row for this",
+        )
+    if kind == "irregular":
+        return OracleResult(
+            classifiable=True,
+            locality=LocalityType.UNCLASSIFIED,
+            reason="threadblock sharing is neither by grid row nor by grid "
+            "column",
+        )
+
+    sharing = Sharing.GRID_ROWS if kind == "rows" else Sharing.GRID_COLS
+    # Motion: vertical iff the measured stride depends on gdx (probes differ
+    # only in grid shape).  A zero/absent stride defaults to horizontal,
+    # matching the classifier's fixed-datablock convention.
+    strides = [p.stride for p in probes]
+    vertical = any(s != strides[0] for s in strides) or any(
+        s is None for s in strides
+    )
+    motion = Motion.VERTICAL if vertical else Motion.HORIZONTAL
+    locality = {
+        (Sharing.GRID_ROWS, Motion.HORIZONTAL): LocalityType.ROW_SHARED_H,
+        (Sharing.GRID_COLS, Motion.HORIZONTAL): LocalityType.COL_SHARED_H,
+        (Sharing.GRID_ROWS, Motion.VERTICAL): LocalityType.ROW_SHARED_V,
+        (Sharing.GRID_COLS, Motion.VERTICAL): LocalityType.COL_SHARED_V,
+    }[(sharing, motion)]
+    return OracleResult(
+        classifiable=True,
+        locality=locality,
+        sharing=sharing,
+        motion=motion,
+        stride=None if vertical else stride,
+        reason=f"grid {kind} share their start datablock",
+    )
+
+
+# ----------------------------------------------------------------------
+# Cross-checking a claimed classification against the oracle
+# ----------------------------------------------------------------------
+def _stride_mismatch(
+    kernel: Kernel,
+    access: GlobalAccess,
+    params: Mapping[Var, int],
+    claimed_stride: Expr,
+) -> Optional[str]:
+    """Compare the claimed stride expression against measured deltas.
+
+    The claimed stride may legitimately depend on block/thread variables
+    (e.g. ``1 + bx``), so it is evaluated pointwise over every probe and
+    compared against the measured per-thread delta at that point.
+    """
+    for gdx, gdy in _PROBES_2D if _two_d(kernel, access.index) else _PROBES_1D:
+        facts = _probe(kernel, access, params, gdx, gdy)
+        if facts.deltas is None and facts.linear_in_m:
+            measured: object = 0  # loop-less or m-free index: stride is 0
+        elif facts.deltas is None:
+            return "index is nonlinear in m, stride is undefined"
+        else:
+            measured = facts.deltas
+        bdx, bdy = kernel.block.x, kernel.block.y
+        lin = np.arange(kernel.block.count, dtype=np.int64)
+        tbs = np.arange(gdx * gdy, dtype=np.int64)
+        env: Dict[Var, object] = {v: 0 for v in claimed_stride.variables()}
+        env.update(params)
+        env.update({BDX: bdx, BDY: bdy, GDX: gdx, GDY: gdy})
+        env[TX] = (lin % bdx)[None, :]
+        env[TY] = (lin // bdx)[None, :]
+        env[BX] = (tbs % gdx)[:, None]
+        env[BY] = (tbs // gdx)[:, None]
+        claimed = np.asarray(
+            claimed_stride.evaluate_vectorized(env), dtype=np.int64
+        )
+        if not np.array_equal(
+            np.broadcast_to(claimed, (tbs.size, lin.size)),
+            np.broadcast_to(np.asarray(measured), (tbs.size, lin.size)),
+        ):
+            sample_claimed = int(np.asarray(claimed).flat[0])
+            sample_measured = int(np.asarray(measured).flat[0])
+            return (
+                f"claimed stride {claimed_stride} = {sample_claimed} but "
+                f"measured delta is {sample_measured} "
+                f"(probe grid {gdx}x{gdy})"
+            )
+    return None
+
+
+def cross_check_access(
+    kernel: Kernel,
+    access: GlobalAccess,
+    launch: KernelLaunch,
+    claimed: AccessClassification,
+    provenance: Provenance,
+) -> List[Diagnostic]:
+    """Diff a claimed classification against the enumeration oracle."""
+    oracle = oracle_classify(kernel, access, launch)
+    if not oracle.classifiable:
+        return []  # data-dependent: nothing concrete to check against
+    diags: List[Diagnostic] = []
+
+    if claimed.locality is not oracle.locality:
+        if (
+            claimed.locality is LocalityType.UNCLASSIFIED
+            and oracle.locality is not LocalityType.UNCLASSIFIED
+        ):
+            diags.append(
+                Diagnostic(
+                    rule="ORACLE-MISSED",
+                    severity=Severity.WARNING,
+                    provenance=provenance,
+                    message=(
+                        f"classifier refused this access but enumeration finds "
+                        f"{oracle.locality.value} ({oracle.reason})"
+                    ),
+                    hint="rewrite the index in canonical tiled form so "
+                    "Algorithm 1 can see the locality",
+                )
+            )
+        elif claimed.locality.is_rcl and (
+            oracle.locality is not None and oracle.locality.is_rcl
+        ):
+            if claimed.sharing is not oracle.sharing:
+                diags.append(
+                    Diagnostic(
+                        rule="ORACLE-SHARING",
+                        severity=Severity.ERROR,
+                        provenance=provenance,
+                        message=(
+                            f"classifier says {claimed.sharing.value} share "
+                            f"but enumeration shows {oracle.sharing.value} "
+                            f"share ({oracle.reason})"
+                        ),
+                    )
+                )
+            else:
+                diags.append(
+                    Diagnostic(
+                        rule="ORACLE-MOTION",
+                        severity=Severity.ERROR,
+                        provenance=provenance,
+                        message=(
+                            f"classifier says {claimed.motion.value} motion "
+                            f"but measured stride indicates "
+                            f"{oracle.motion.value} motion"
+                        ),
+                    )
+                )
+        else:
+            claimed_name = claimed.locality.value
+            oracle_name = oracle.locality.value if oracle.locality else "?"
+            diags.append(
+                Diagnostic(
+                    rule="ORACLE-LOCALITY",
+                    severity=Severity.ERROR,
+                    provenance=provenance,
+                    message=(
+                        f"classifier says {claimed_name} but enumeration "
+                        f"derives {oracle_name}: {oracle.reason}"
+                    ),
+                )
+            )
+        return diags
+
+    # Same locality type: check sharing/motion detail and the stride.
+    if claimed.locality.is_rcl:
+        if claimed.sharing is not oracle.sharing:
+            diags.append(
+                Diagnostic(
+                    rule="ORACLE-SHARING",
+                    severity=Severity.ERROR,
+                    provenance=provenance,
+                    message=(
+                        f"sharing axis disagrees: classifier "
+                        f"{claimed.sharing}, oracle {oracle.sharing}"
+                    ),
+                )
+            )
+        if claimed.motion is not oracle.motion:
+            diags.append(
+                Diagnostic(
+                    rule="ORACLE-MOTION",
+                    severity=Severity.ERROR,
+                    provenance=provenance,
+                    message=(
+                        f"motion disagrees: classifier {claimed.motion}, "
+                        f"oracle {oracle.motion}"
+                    ),
+                )
+            )
+    if oracle.broadcast:
+        diags.append(
+            Diagnostic(
+                rule="ORACLE-BROADCAST",
+                severity=Severity.INFO,
+                provenance=provenance,
+                message=(
+                    "access is uniformly shared by every threadblock "
+                    "(broadcast); unclassified is the correct Table-II row"
+                ),
+                hint="small shared tables rely on the L2; no action needed",
+            )
+        )
+    if claimed.stride is not None and oracle.linear_in_m:
+        mismatch = _stride_mismatch(
+            kernel, access, dict(launch.params), claimed.stride
+        )
+        if mismatch:
+            diags.append(
+                Diagnostic(
+                    rule="ORACLE-STRIDE",
+                    severity=Severity.ERROR,
+                    provenance=provenance,
+                    message=mismatch,
+                )
+            )
+    return diags

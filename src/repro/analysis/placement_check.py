@@ -1,0 +1,319 @@
+"""Placement-consistency pass: does the runtime obey the locality table?
+
+The LASP runtime turns locality-table rows into a scheduler, per-allocation
+placements and a cache policy (Table II's right-hand columns).  This pass
+re-derives that mapping *independently* from the same rows -- a from-scratch
+transcription of the Table-II policy spec, deliberately not calling into
+``LASP``'s private helpers -- and diffs it against what
+:func:`repro.runtime.lasp.decide_launch` actually returns.  Any difference
+is table/runtime drift: either the table changed under the runtime, or the
+runtime's policy code no longer implements the paper's mapping.
+
+Rules: **LASP-SCHED** (scheduler family/parameter drift), **LASP-PLACE**
+(per-argument placement family drift), **LASP-CACHE** (CRB insertion-policy
+drift), **LASP-FALLBACK** (informational: alias binding failed, the default
+policy is in effect -- the paper's Section III-A fallback path).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, Provenance, Severity
+from repro.cache.insertion import CachePolicy
+from repro.compiler.classify import LocalityType, Motion, Sharing
+from repro.compiler.locality_table import LocalityRow
+from repro.compiler.passes import CompiledProgram
+from repro.kir.expr import BX, BY
+from repro.kir.kernel import GlobalAccess, Kernel
+from repro.kir.program import KernelLaunch
+from repro.placement.policies import (
+    ChunkedPlacement,
+    FunctionPlacement,
+    InterleavePlacement,
+    StridePeriodicPlacement,
+)
+from repro.runtime.datablock import (
+    datablock_span_bytes,
+    delta_along,
+    eval_with_defaults,
+)
+from repro.runtime.lasp import decide_launch
+from repro.sched.schedulers import (
+    BatchRRScheduler,
+    ExplicitScheduler,
+    KernelWideScheduler,
+    LineAxis,
+    LineBindingScheduler,
+    min_tb_batch,
+)
+from repro.topology.system import SystemTopology
+
+__all__ = ["check_launch_placement", "check_program_placement"]
+
+
+def _hot_site(kernel: Kernel, arg: str) -> GlobalAccess:
+    return max(kernel.accesses_to(arg), key=lambda s: s.weight)
+
+
+def _stride_bytes(launch: KernelLaunch, row: LocalityRow) -> int:
+    stride = row.classification.stride
+    if stride is None or stride.is_zero:
+        return 0
+    return abs(eval_with_defaults(stride, launch.launch_env())) * row.element_size
+
+
+def _has_adjacency(launch: KernelLaunch) -> bool:
+    """Two affine sites on one array at a fixed nonzero offset (stencil)."""
+    env = launch.launch_env()
+    kernel = launch.kernel
+    for arg in kernel.arrays:
+        sites = [s for s in kernel.accesses_to(arg) if s.provider is None]
+        for i in range(len(sites)):
+            for j in range(i + 1, len(sites)):
+                diff = sites[i].index - sites[j].index
+                if {v.name for v in diff.variables()} - {"bdx", "bdy", "gdx", "gdy"}:
+                    continue
+                if eval_with_defaults(diff, env) != 0:
+                    return True
+    return False
+
+
+def _line_family(
+    launch: KernelLaunch,
+    row: LocalityRow,
+    arg: str,
+    axis: LineAxis,
+    use_mod: bool,
+    num_nodes: int,
+    page_size: int,
+) -> str:
+    """Expected family of a line-following placement, or its fallback.
+
+    Page-granularity placement can only follow the binding's line map when
+    one node's strip of lines spans at least a page; below that the runtime
+    must fall back to kernel-wide chunks.
+    """
+    site = _hot_site(launch.kernel, arg)
+    line_var, num_lines = (BY, launch.grid.y) if axis is LineAxis.ROWS else (BX, launch.grid.x)
+    delta = delta_along(site, launch, line_var)
+    if delta <= 0 or num_lines <= 0:
+        return "kernel-wide-chunks"
+    strip = delta * row.element_size * math.ceil(num_lines / num_nodes)
+    if strip < page_size:
+        return "kernel-wide-chunks"
+    return "col-based" if use_mod else "row-based"
+
+
+def _placement_family(policy) -> str:
+    if isinstance(policy, StridePeriodicPlacement):
+        return "stride-periodic"
+    if isinstance(policy, InterleavePlacement):
+        return "interleave"
+    if isinstance(policy, ChunkedPlacement):
+        return "kernel-wide-chunks"
+    if isinstance(policy, FunctionPlacement):
+        return policy.label.partition("(")[0]
+    return policy.describe()
+
+
+def _expected_scheduler(
+    launch: KernelLaunch,
+    rows: Mapping[str, LocalityRow],
+    sizes: Mapping[str, int],
+    page_size: int,
+    dominant: LocalityType,
+) -> Tuple[str, Optional[str], Optional[int]]:
+    """(family, axis, batch) per the Table-II policy columns."""
+    usable = {a: r for a, r in rows.items() if r.malloc_pc is not None}
+    rcl = [a for a, r in usable.items() if r.classification.locality.is_rcl]
+    nl = [
+        a
+        for a, r in usable.items()
+        if r.classification.locality is LocalityType.NO_LOCALITY
+    ]
+    if rcl:
+        winner = max(rcl, key=lambda a: sizes[a])
+        sharing = rows[winner].classification.sharing
+        axis = "rows" if sharing is Sharing.GRID_ROWS else "cols"
+        return "line", axis, None
+    if dominant is LocalityType.NO_LOCALITY and nl:
+        winner = max(nl, key=lambda a: sizes[a])
+        if _stride_bytes(launch, rows[winner]) > 0:
+            return "explicit-align", None, None
+        if _has_adjacency(launch):
+            return "kernel-wide", None, None
+        db = max(1, datablock_span_bytes(launch, _hot_site(launch.kernel, winner)))
+        return "batch-rr", None, min_tb_batch(page_size, db)
+    return "kernel-wide", None, None
+
+
+def _actual_scheduler(decision) -> Tuple[str, Optional[str], Optional[int]]:
+    sched = decision.scheduler
+    if isinstance(sched, LineBindingScheduler):
+        return "line", sched.axis.value, None
+    if isinstance(sched, ExplicitScheduler):
+        family = "explicit-align" if sched.label.startswith("align-aware") else "explicit"
+        return family, None, None
+    if isinstance(sched, BatchRRScheduler):
+        return "batch-rr", None, sched.batch_size
+    if isinstance(sched, KernelWideScheduler):
+        return "kernel-wide", None, None
+    return type(sched).__name__, None, None
+
+
+def check_launch_placement(
+    compiled: CompiledProgram,
+    topology: SystemTopology,
+    launch: KernelLaunch,
+    cache_mode: str = "crb",
+) -> List[Diagnostic]:
+    """Diff LASP's actual decision for one launch against the table."""
+    kernel = launch.kernel
+    program = compiled.program
+    cfg = topology.config
+    num_nodes, page_size = cfg.num_nodes, cfg.page_size
+
+    rows: Dict[str, LocalityRow] = {}
+    sizes: Dict[str, int] = {}
+    for arg in kernel.arrays:
+        rows[arg] = compiled.locality_table.lookup(kernel.name, arg)
+        sizes[arg] = program.allocation(launch.args[arg]).size_bytes
+
+    usable = {a: r for a, r in rows.items() if r.malloc_pc is not None}
+    if usable:
+        dominant = max(usable, key=lambda a: sizes[a])
+        expected_dominant = rows[dominant].classification.locality
+    else:
+        expected_dominant = LocalityType.UNCLASSIFIED
+
+    decision = decide_launch(compiled, topology, launch, cache_mode=cache_mode)
+    diags: List[Diagnostic] = []
+    kprov = Provenance(program.name, kernel.name)
+
+    # -- scheduler ----------------------------------------------------
+    expected = _expected_scheduler(launch, rows, sizes, page_size, expected_dominant)
+    actual = _actual_scheduler(decision)
+    if expected != actual:
+        diags.append(
+            Diagnostic(
+                rule="LASP-SCHED",
+                severity=Severity.ERROR,
+                provenance=kprov,
+                message=(
+                    f"locality table implies scheduler "
+                    f"{expected[0]}(axis={expected[1]}, batch={expected[2]}) "
+                    f"but the runtime chose {decision.scheduler_desc!r}"
+                ),
+                hint="the table and lasp.py disagree; re-run the compiler "
+                "or fix the policy mapping",
+            )
+        )
+
+    # -- placements ---------------------------------------------------
+    binding_axis = expected[1] if expected[0] == "line" else None
+    axis_enum = {"rows": LineAxis.ROWS, "cols": LineAxis.COLS}.get(binding_axis or "")
+    expected_by_alloc: Dict[str, Tuple[str, str]] = {}  # alloc -> (arg, family)
+    for arg, row in rows.items():
+        alloc = launch.args[arg]
+        if row.malloc_pc is None:
+            diags.append(
+                Diagnostic(
+                    rule="LASP-FALLBACK",
+                    severity=Severity.INFO,
+                    provenance=Provenance(program.name, kernel.name, arg),
+                    message=(
+                        f"alias binding for {arg!r} is opaque or ambiguous; "
+                        "the default (kernel-wide-chunks) policy applies"
+                    ),
+                )
+            )
+            expected_by_alloc[alloc] = (arg, "kernel-wide-chunks")
+            continue
+        loc = row.classification.locality
+        if loc.is_rcl:
+            cls = row.classification
+            axis = LineAxis.ROWS if cls.sharing is Sharing.GRID_ROWS else LineAxis.COLS
+            family = _line_family(
+                launch, row, arg, axis,
+                use_mod=cls.motion is Motion.VERTICAL,
+                num_nodes=num_nodes, page_size=page_size,
+            )
+        elif loc is LocalityType.NO_LOCALITY:
+            if axis_enum is not None:
+                family = _line_family(
+                    launch, row, arg, axis_enum,
+                    use_mod=axis_enum is LineAxis.COLS,
+                    num_nodes=num_nodes, page_size=page_size,
+                )
+            elif expected[0] == "kernel-wide":
+                family = "kernel-wide-chunks"
+            else:
+                stride = _stride_bytes(launch, row)
+                if stride > 0 and -(-stride // num_nodes) >= page_size:
+                    family = "stride-periodic"
+                else:
+                    family = "interleave"
+        else:
+            family = "kernel-wide-chunks"
+        expected_by_alloc[alloc] = (arg, family)
+
+    for alloc, (arg, family) in expected_by_alloc.items():
+        actual_family = _placement_family(decision.placements[alloc])
+        if actual_family != family:
+            diags.append(
+                Diagnostic(
+                    rule="LASP-PLACE",
+                    severity=Severity.ERROR,
+                    provenance=Provenance(program.name, kernel.name, arg),
+                    message=(
+                        f"locality table implies {family!r} placement for "
+                        f"{arg!r} (alloc {alloc!r}) but the runtime chose "
+                        f"{decision.placements[alloc].describe()!r}"
+                    ),
+                )
+            )
+
+    # -- cache policy -------------------------------------------------
+    if cache_mode == "crb":
+        want = (
+            CachePolicy.RONCE
+            if expected_dominant is LocalityType.INTRA_THREAD
+            else CachePolicy.RTWICE
+        )
+    else:
+        want = CachePolicy.RONCE if cache_mode == "ronce" else CachePolicy.RTWICE
+    for alloc, got in sorted(decision.cache_policy.items()):
+        if got is not want:
+            diags.append(
+                Diagnostic(
+                    rule="LASP-CACHE",
+                    severity=Severity.ERROR,
+                    provenance=Provenance(program.name, kernel.name, alloc),
+                    message=(
+                        f"dominant locality {expected_dominant.value} implies "
+                        f"{want.name} insertion but the runtime chose {got.name}"
+                    ),
+                )
+            )
+    return diags
+
+
+def check_program_placement(
+    compiled: CompiledProgram,
+    topology: SystemTopology,
+    cache_mode: str = "crb",
+) -> List[Diagnostic]:
+    """Placement-consistency diagnostics over every launch, deduplicated."""
+    seen = set()
+    out: List[Diagnostic] = []
+    for launch in compiled.program.launches:
+        for diag in check_launch_placement(
+            compiled, topology, launch, cache_mode=cache_mode
+        ):
+            key = (diag.rule, diag.provenance.render(), diag.message)
+            if key not in seen:
+                seen.add(key)
+                out.append(diag)
+    return out

@@ -1,0 +1,333 @@
+"""Safety passes: bounds, write-write races, degenerate expressions.
+
+These passes check properties the classifier never looks at but every
+simulation (and the real machine) depends on:
+
+* **SAFE-OOB** -- the index can leave the bound allocation.  For indexes
+  that are multilinear in the iteration variables (tx, ty, bx, by, m) the
+  extreme values occur at domain corners, so at most 2^5 evaluations give
+  the exact min/max; anything else falls back to full enumeration when the
+  iteration domain is small, or is skipped with a note (**SAFE-SKIP**).
+* **SAFE-RACE** -- two different threadblocks write the same element of one
+  allocation without atomics.  The threadblock scheduler gives no ordering
+  between blocks, so such writes are racy on real hardware and
+  nondeterministic in any faithful simulation.  Grouping is by *allocation*
+  (through the launch's argument bindings), so two kernel arguments aliasing
+  one buffer are caught too.  Atomic sites (``GlobalAccess.atomic``) are
+  exempt.
+* **SAFE-STRIDE0 / SAFE-DEADLOOP / SAFE-LOOPVAR / SAFE-UNBOUND** --
+  degenerate shapes that are almost always authoring bugs: an in-loop write
+  that never moves, a loop no access depends on, an index using ``m``
+  outside the loop (the trace executes it once, at m = 0), and an affine
+  index with variables nothing binds.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Provenance,
+    Severity,
+    site_labels,
+)
+from repro.kir.expr import BX, BY, M, TX, TY, Expr, Var
+from repro.kir.kernel import AccessMode, GlobalAccess, Kernel
+from repro.kir.program import KernelLaunch, Program
+
+__all__ = ["check_launch_safety", "check_program_safety"]
+
+_CANONICAL = {"tx", "ty", "bx", "by", "bdx", "bdy", "gdx", "gdy", "m"}
+
+#: Full-enumeration ceiling for non-multilinear bounds checks.
+_ENUM_LIMIT = 1 << 20
+
+#: Race-pass proxy caps: a racy pattern repeats, so a bounded prefix of the
+#: grid/loop is enough to witness it without tracing a BENCH-scale launch.
+_RACE_MAX_BLOCKS = 1024
+_RACE_MAX_TRIP = 8
+
+
+def _unbound(index: Expr, launch: KernelLaunch) -> List[str]:
+    bound = {v.name for v in launch.params}
+    return sorted(
+        v.name
+        for v in index.variables()
+        if v.name not in _CANONICAL and v.name not in bound
+    )
+
+
+def _iter_ranges(
+    kernel: Kernel, launch: KernelLaunch, site: GlobalAccess
+) -> Dict[Var, Tuple[int, int]]:
+    """Inclusive [lo, hi] range of each iteration variable for one site."""
+    trip = launch.trip_count() if site.in_loop else 1
+    return {
+        TX: (0, kernel.block.x - 1),
+        TY: (0, kernel.block.y - 1),
+        BX: (0, launch.grid.x - 1),
+        BY: (0, launch.grid.y - 1),
+        M: (0, trip - 1),
+    }
+
+
+def _is_multilinear(index: Expr, varying: Iterable[Var]) -> bool:
+    names = {v.name for v in varying}
+    for mono in index.terms():
+        for v, power in mono:
+            if v.name in names and power > 1:
+                return False
+    return True
+
+
+def _index_extremes(
+    kernel: Kernel, launch: KernelLaunch, site: GlobalAccess
+) -> Optional[Tuple[int, int]]:
+    """Exact (min, max) of the index over the launch domain, or None.
+
+    None means the domain was too large to enumerate a non-multilinear
+    index (the caller emits SAFE-SKIP).
+    """
+    ranges = _iter_ranges(kernel, launch, site)
+    varying = [v for v in site.index.variables() if v in ranges]
+    fixed = dict(launch.launch_env())
+
+    if _is_multilinear(site.index, varying):
+        lo = hi = None
+        for corner in itertools.product(*(ranges[v] for v in varying)):
+            env = dict(fixed)
+            env.update(zip(varying, corner))
+            value = site.index.evaluate(env)
+            lo = value if lo is None else min(lo, value)
+            hi = value if hi is None else max(hi, value)
+        if lo is None:  # constant index
+            value = site.index.evaluate(fixed)
+            lo = hi = value
+        return lo, hi
+
+    domain = 1
+    for v in varying:
+        domain *= ranges[v][1] - ranges[v][0] + 1
+    if domain > _ENUM_LIMIT:
+        return None
+    env: Dict[Var, object] = dict(fixed)
+    grids = np.meshgrid(
+        *(np.arange(ranges[v][0], ranges[v][1] + 1, dtype=np.int64) for v in varying),
+        indexing="ij",
+    )
+    env.update(zip(varying, grids))
+    values = np.asarray(site.index.evaluate_vectorized(env), dtype=np.int64)
+    return int(values.min()), int(values.max())
+
+
+def _site_elements(
+    kernel: Kernel, launch: KernelLaunch, site: GlobalAccess, num_blocks: int
+) -> np.ndarray:
+    """Elements written per block: shape ``(num_blocks, trip * threads)``."""
+    trip = min(launch.trip_count(), _RACE_MAX_TRIP) if site.in_loop else 1
+    bdx = kernel.block.x
+    lin = np.arange(kernel.block.count, dtype=np.int64)
+    tbs = np.arange(num_blocks, dtype=np.int64)
+    env: Dict[Var, object] = {v: 0 for v in site.index.variables()}
+    env.update(launch.launch_env())
+    env[TX] = (lin % bdx)[None, None, :]
+    env[TY] = (lin // bdx)[None, None, :]
+    env[BX] = (tbs % launch.grid.x)[None, :, None]
+    env[BY] = (tbs // launch.grid.x)[None, :, None]
+    env[M] = np.arange(trip, dtype=np.int64)[:, None, None]
+    values = np.asarray(site.index.evaluate_vectorized(env), dtype=np.int64)
+    values = np.broadcast_to(values, (trip, num_blocks, lin.size))
+    return values.transpose(1, 0, 2).reshape(num_blocks, -1)
+
+
+def _check_races(
+    program_name: str,
+    launch: KernelLaunch,
+    labels: Sequence[str],
+) -> List[Diagnostic]:
+    kernel = launch.kernel
+    if launch.num_threadblocks < 2:
+        return []
+    num_blocks = min(launch.num_threadblocks, _RACE_MAX_BLOCKS)
+
+    # allocation name -> [(site index, site)]
+    writers: Dict[str, List[Tuple[int, GlobalAccess]]] = {}
+    for i, site in enumerate(kernel.accesses):
+        if site.mode is not AccessMode.WRITE or site.atomic:
+            continue
+        if site.provider is not None or _unbound(site.index, launch):
+            continue  # data-dependent / unevaluable: nothing to enumerate
+        writers.setdefault(launch.args[site.array], []).append((i, site))
+
+    diags: List[Diagnostic] = []
+    for alloc_name, sites in sorted(writers.items()):
+        per_site = [
+            _site_elements(kernel, launch, site, num_blocks) for _, site in sites
+        ]
+        all_elems = np.concatenate(per_site, axis=1)
+        uniques = [np.unique(all_elems[b]) for b in range(num_blocks)]
+        elems = np.concatenate(uniques)
+        owners = np.repeat(
+            np.arange(num_blocks, dtype=np.int64),
+            [u.size for u in uniques],
+        )
+        order = np.argsort(elems, kind="stable")
+        e, o = elems[order], owners[order]
+        dup = np.flatnonzero((e[1:] == e[:-1]) & (o[1:] != o[:-1]))
+        if dup.size == 0:
+            continue
+        k = int(dup[0])
+        site_names = ", ".join(labels[i] for i, _ in sites)
+        diags.append(
+            Diagnostic(
+                rule="SAFE-RACE",
+                severity=Severity.ERROR,
+                provenance=Provenance(program_name, kernel.name, alloc_name),
+                message=(
+                    f"threadblocks {int(o[k])} and {int(o[k + 1])} both write "
+                    f"element {int(e[k])} of allocation {alloc_name!r} "
+                    f"without atomics (write sites: {site_names})"
+                ),
+                hint="mark the site atomic=True if the hardware serialises "
+                "it, or make the written ranges disjoint per block",
+            )
+        )
+    return diags
+
+
+def check_launch_safety(program: Program, launch: KernelLaunch) -> List[Diagnostic]:
+    """All safety diagnostics of one launch."""
+    kernel = launch.kernel
+    labels = site_labels(kernel.accesses)
+    diags: List[Diagnostic] = []
+
+    for i, site in enumerate(kernel.accesses):
+        prov = Provenance(program.name, kernel.name, labels[i])
+        if site.provider is not None:
+            continue  # concrete elements come from the provider at trace time
+        unbound = _unbound(site.index, launch)
+        if unbound:
+            diags.append(
+                Diagnostic(
+                    rule="SAFE-UNBOUND",
+                    severity=Severity.ERROR,
+                    provenance=prov,
+                    message=(
+                        f"index {site.index} uses variables {unbound} that "
+                        "this launch never binds"
+                    ),
+                    hint="bind them in launch params, or attach a provider "
+                    "for data-dependent terms",
+                )
+            )
+            continue
+        if site.index.depends_on(M) and not site.in_loop:
+            diags.append(
+                Diagnostic(
+                    rule="SAFE-LOOPVAR",
+                    severity=Severity.ERROR,
+                    provenance=prov,
+                    message=(
+                        "index depends on the induction variable m but the "
+                        "site is not in the loop; it executes once at m=0 "
+                        "and the m term is dead"
+                    ),
+                    hint="set in_loop=True or drop m from the index",
+                )
+            )
+        if (
+            site.in_loop
+            and site.mode is AccessMode.WRITE
+            and not site.index.depends_on(M)
+            and launch.trip_count() > 1
+        ):
+            diags.append(
+                Diagnostic(
+                    rule="SAFE-STRIDE0",
+                    severity=Severity.WARNING,
+                    provenance=prov,
+                    message=(
+                        "in-loop write with loop-invariant index: every "
+                        "iteration overwrites the same elements"
+                    ),
+                    hint="hoist the write out of the loop (in_loop=False) or "
+                    "give the index an m term",
+                )
+            )
+
+        alloc = program.allocation(launch.args[site.array])
+        extremes = _index_extremes(kernel, launch, site)
+        if extremes is None:
+            diags.append(
+                Diagnostic(
+                    rule="SAFE-SKIP",
+                    severity=Severity.INFO,
+                    provenance=prov,
+                    message=(
+                        "bounds check skipped: index is not multilinear and "
+                        "the iteration domain is too large to enumerate"
+                    ),
+                )
+            )
+        else:
+            lo, hi = extremes
+            if lo < 0 or hi >= alloc.num_elements:
+                diags.append(
+                    Diagnostic(
+                        rule="SAFE-OOB",
+                        severity=Severity.ERROR,
+                        provenance=prov,
+                        message=(
+                            f"index range [{lo}, {hi}] leaves allocation "
+                            f"{alloc.name!r} (0..{alloc.num_elements - 1})"
+                        ),
+                        hint="grow the allocation or clamp the index "
+                        "expression",
+                    )
+                )
+
+    if kernel.has_loop and launch.trip_count() > 1:
+        advancing = any(
+            site.in_loop
+            and (site.provider is not None or site.index.depends_on(M))
+            for site in kernel.accesses
+        )
+        if not advancing:
+            diags.append(
+                Diagnostic(
+                    rule="SAFE-DEADLOOP",
+                    severity=Severity.WARNING,
+                    provenance=Provenance(program.name, kernel.name),
+                    message=(
+                        f"loop runs {launch.trip_count()} iterations but no "
+                        "in-loop access depends on m: every iteration "
+                        "touches the same memory"
+                    ),
+                    hint="drop the loop or make an in-loop index depend on m",
+                )
+            )
+
+    diags.extend(_check_races(program.name, launch, labels))
+    return diags
+
+
+def check_program_safety(program: Program) -> List[Diagnostic]:
+    """Safety diagnostics over every launch, deduplicated.
+
+    A kernel launched several times with identical bindings would repeat
+    its diagnostics verbatim; only distinct findings are kept.
+    """
+    seen: Set[Tuple[str, str, str]] = set()
+    out: List[Diagnostic] = []
+    for launch in program.launches:
+        for diag in check_launch_safety(program, launch):
+            key = (diag.rule, diag.provenance.render(), diag.message)
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append(diag)
+    return out

@@ -5,6 +5,7 @@ repository's extensions::
 
     python -m repro list                      # workloads and strategies
     python -m repro classify sq_gemm          # show the locality table
+    python -m repro lint --strict             # static-analysis lint
     python -m repro run sq_gemm --strategy LADM H-CODA
     python -m repro fig4 | fig9 | fig10 | fig11
     python -m repro table1 | table2 | table4
@@ -97,6 +98,40 @@ def _cmd_run(args) -> None:
             print(run.summary())
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis.lint import (
+        collect_programs,
+        default_topology,
+        lint_program,
+        lint_workloads,
+    )
+    from repro.workloads.suite import all_workloads
+
+    known = {w.name for w in all_workloads()}
+    workload_names = [t for t in args.targets if t in known]
+    paths = [t for t in args.targets if t not in known]
+    bad = [p for p in paths if not p.endswith(".py")]
+    if bad:
+        raise SystemExit(f"unknown lint targets {bad}: not workloads, not .py files")
+
+    topology = default_topology()
+    report = lint_workloads(
+        names=workload_names or (None if not paths else []),
+        scale=args.scale,
+        topology=topology,
+        suppress=args.suppress,
+    )
+    for path in paths:
+        for name, program in collect_programs(path):
+            report.extend(
+                lint_program(
+                    program, name=name, topology=topology, suppress=args.suppress
+                )
+            )
+    print(report.render())
+    return report.exit_code(strict=args.strict)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -110,6 +145,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_classify = sub.add_parser("classify", help="show a workload's locality table")
     p_classify.add_argument("workload")
     p_classify.add_argument("--scale", default="test", choices=["bench", "test"])
+
+    p_lint = sub.add_parser(
+        "lint", help="static-analysis lint over workloads / example programs"
+    )
+    p_lint.add_argument(
+        "targets",
+        nargs="*",
+        help="workload names and/or .py files (default: the whole suite)",
+    )
+    p_lint.add_argument("--scale", default="test", choices=["bench", "test"])
+    p_lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 on any warning-or-worse diagnostic",
+    )
+    p_lint.add_argument(
+        "--suppress",
+        action="append",
+        default=[],
+        metavar="RULE[@PREFIX]",
+        help="drop diagnostics by rule id, optionally scoped to a "
+        "file:kernel:access prefix (repeatable)",
+    )
 
     p_run = sub.add_parser("run", help="simulate one workload under strategies")
     p_run.add_argument("workload")
@@ -144,6 +202,10 @@ def main(argv: Optional[List[str]] = None) -> None:
         _cmd_list(args)
     elif args.command == "classify":
         _cmd_classify(args)
+    elif args.command == "lint":
+        code = _cmd_lint(args)
+        if code:
+            raise SystemExit(code)
     elif args.command == "run":
         _cmd_run(args)
 

@@ -98,6 +98,7 @@ class GlobalAccess:
     in_loop: bool = False
     provider: Optional[Provider] = None
     weight: float = 1.0  # relative dynamic frequency of this site
+    atomic: bool = False  # hardware-atomic RMW; exempt from write-race lint
 
     def __post_init__(self) -> None:
         if not isinstance(self.index, Expr):
@@ -117,6 +118,7 @@ def IndirectAccess(
     mode: AccessMode = AccessMode.READ,
     in_loop: bool = False,
     weight: float = 1.0,
+    atomic: bool = False,
 ) -> GlobalAccess:
     """Convenience constructor for a data-dependent access.
 
@@ -131,6 +133,7 @@ def IndirectAccess(
         in_loop=in_loop,
         provider=provider,
         weight=weight,
+        atomic=atomic,
     )
 
 

@@ -58,7 +58,7 @@ from repro.sched.schedulers import (
 )
 from repro.topology.system import SystemTopology
 
-__all__ = ["LASP", "LaunchDecision"]
+__all__ = ["LASP", "LaunchDecision", "decide_launch"]
 
 
 @dataclass
@@ -72,6 +72,21 @@ class LaunchDecision:
     cache_policy: Dict[str, CachePolicy]  # allocation name -> policy
     dominant_locality: LocalityType
     batch_size: Optional[int] = None
+
+
+def decide_launch(
+    compiled: CompiledProgram,
+    topology: SystemTopology,
+    launch: KernelLaunch,
+    cache_mode: str = "crb",
+) -> LaunchDecision:
+    """Pure entry point: LASP's decision for one launch.
+
+    A plain function of (compiled program, topology, launch) with no engine
+    state attached, so static checkers can re-derive and diff the decision
+    without running a simulation.
+    """
+    return LASP(compiled, topology, cache_mode=cache_mode).decide(launch)
 
 
 class LASP:

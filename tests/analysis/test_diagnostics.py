@@ -1,0 +1,101 @@
+"""Tests for the diagnostics engine: rendering, suppression, exit codes."""
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    LintReport,
+    Provenance,
+    Severity,
+    apply_suppressions,
+    site_labels,
+)
+from repro.kir.expr import BX, TX
+from repro.kir.kernel import AccessMode, GlobalAccess
+
+
+def diag(rule="SAFE-OOB", sev=Severity.ERROR, file="p", kernel="k", access="A[0]",
+         message="boom", hint=""):
+    return Diagnostic(rule, sev, Provenance(file, kernel, access), message, hint)
+
+
+class TestRendering:
+    def test_provenance_is_file_kernel_access(self):
+        assert Provenance("vecadd", "vecadd", "A[0]").render() == "vecadd:vecadd:A[0]"
+        assert Provenance("p", "k").render() == "p:k:-"
+
+    def test_diagnostic_render_contains_all_fields(self):
+        d = diag(hint="fix it")
+        text = d.render()
+        assert text == "p:k:A[0] ERROR SAFE-OOB: boom [hint: fix it]"
+
+    def test_render_without_hint_has_no_bracket(self):
+        assert "[hint" not in diag().render()
+
+    def test_severity_ordering(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+
+
+class TestSiteLabels:
+    def test_per_array_ordinals(self):
+        accesses = [
+            GlobalAccess("A", TX, AccessMode.READ),
+            GlobalAccess("B", TX, AccessMode.READ),
+            GlobalAccess("A", BX, AccessMode.WRITE),
+        ]
+        assert site_labels(accesses) == ["A[0]", "B[0]", "A[1]"]
+
+
+class TestSuppression:
+    def test_by_rule(self):
+        kept, n = apply_suppressions([diag(), diag(rule="SAFE-RACE")], ["SAFE-OOB"])
+        assert n == 1 and [d.rule for d in kept] == ["SAFE-RACE"]
+
+    def test_by_rule_and_prefix(self):
+        d1 = diag(file="vecadd")
+        d2 = diag(file="sq_gemm")
+        kept, n = apply_suppressions([d1, d2], ["SAFE-OOB@vecadd"])
+        assert n == 1 and kept == [d2]
+
+    def test_prefix_mismatch_keeps(self):
+        kept, n = apply_suppressions([diag(file="vecadd")], ["SAFE-OOB@conv"])
+        assert n == 0 and len(kept) == 1
+
+
+class TestReport:
+    def test_sorted_deterministically(self):
+        d1 = diag(file="b")
+        d2 = diag(file="a")
+        report = LintReport(diagnostics=[d1, d2], programs=2)
+        assert report.diagnostics == [d2, d1]
+
+    def test_exit_codes(self):
+        clean = LintReport(diagnostics=[diag(sev=Severity.INFO)], programs=1)
+        assert clean.exit_code(strict=False) == 0
+        assert clean.exit_code(strict=True) == 0
+        warn = LintReport(diagnostics=[diag(sev=Severity.WARNING)], programs=1)
+        assert warn.exit_code(strict=False) == 0
+        assert warn.exit_code(strict=True) == 1
+        err = LintReport(diagnostics=[diag(sev=Severity.ERROR)], programs=1)
+        assert err.exit_code(strict=True) == 1
+
+    def test_summary_line(self):
+        report = LintReport(
+            diagnostics=[diag(), diag(rule="X", sev=Severity.WARNING),
+                         diag(rule="Y", sev=Severity.INFO)],
+            suppressed=2,
+            programs=3,
+        )
+        assert report.render().splitlines()[-1] == (
+            "lint: 1 error(s), 1 warning(s), 1 note(s) across 3 program(s)"
+            "; 2 suppressed"
+        )
+
+    def test_extend_merges_and_resorts(self):
+        a = LintReport(diagnostics=[diag(file="b")], programs=1)
+        b = LintReport(diagnostics=[diag(file="a")], suppressed=1, programs=1)
+        a.extend(b)
+        assert a.programs == 2 and a.suppressed == 1
+        assert [d.provenance.file for d in a.diagnostics] == ["a", "b"]
+
+    def test_empty_report_is_clean(self):
+        report = LintReport()
+        assert report.worst is None and report.exit_code(strict=True) == 0

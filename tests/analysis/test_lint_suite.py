@@ -1,0 +1,103 @@
+"""The built-in workload suite must lint clean, and the fixes the lint
+originally surfaced must stay fixed (regression tests)."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.diagnostics import Severity
+from repro.analysis.lint import collect_programs, default_topology, lint_workloads
+from repro.analysis.safety import check_program_safety
+from repro.experiments.runner import scale_by_name
+from repro.kir.kernel import Dim2, Kernel
+from repro.kir.program import Program
+from repro.workloads.suite import all_workloads, get_workload
+
+
+@pytest.fixture(scope="module")
+def suite_report():
+    return lint_workloads(scale="test")
+
+
+class TestSuiteClean:
+    def test_strict_exit_zero(self, suite_report):
+        assert suite_report.exit_code(strict=True) == 0, suite_report.render()
+
+    def test_no_warning_or_worse(self, suite_report):
+        bad = [d for d in suite_report.diagnostics
+               if d.severity >= Severity.WARNING]
+        assert bad == [], [d.render() for d in bad]
+
+    def test_covers_whole_suite(self, suite_report):
+        assert suite_report.programs == len(all_workloads())
+
+    def test_known_broadcast_notes_only(self, suite_report):
+        # The only findings on the suite are the two legitimate broadcast
+        # tables (conv's filter, histo's bin array) -- INFO, not failures.
+        assert set(suite_report.rules) <= {"ORACLE-BROADCAST"}
+        files = sorted(d.provenance.file for d in suite_report.diagnostics)
+        assert files == ["conv", "histo_main"]
+
+
+class TestHistoAtomicRegression:
+    """`repro lint` originally flagged histo_main's BINS write as an
+    inter-block race; the fix records Parboil's atomicAdd semantics on the
+    site.  Guard both directions."""
+
+    def histo_program(self):
+        return get_workload("histo_main").program(scale_by_name("test"))
+
+    def test_bins_write_is_marked_atomic(self):
+        program = self.histo_program()
+        kernel = program.launches[0].kernel
+        bins = [a for a in kernel.accesses if a.array == "BINS"]
+        assert bins and all(a.atomic for a in bins)
+
+    def test_histo_has_no_race_diagnostics(self):
+        assert [d for d in check_program_safety(self.histo_program())
+                if d.rule == "SAFE-RACE"] == []
+
+    def test_dropping_atomic_reintroduces_the_race(self):
+        program = self.histo_program()
+        launch = program.launches[0]
+        kernel = launch.kernel
+        stripped = dataclasses.replace(
+            kernel,
+            accesses=[
+                dataclasses.replace(a, atomic=False) for a in kernel.accesses
+            ],
+        )
+        buggy = Program("histo_noatomic")
+        for alloc in program.allocations.values():
+            buggy.malloc_managed(alloc.name, alloc.num_elements,
+                                 alloc.element_size)
+        buggy.launch(stripped, launch.grid, dict(launch.args),
+                     dict(launch.params))
+        rules = [d.rule for d in check_program_safety(buggy)]
+        assert "SAFE-RACE" in rules
+
+
+class TestCollectPrograms:
+    def test_examples_are_collected_and_clean(self):
+        import pathlib
+
+        path = str(pathlib.Path(__file__).resolve().parents[2]
+                   / "examples" / "quickstart.py")
+        programs = collect_programs(path)
+        assert programs, "quickstart example should expose a build_* program"
+        for name, program in programs:
+            assert name.startswith(f"{path}!build_")
+            assert isinstance(program, Program)
+
+    def test_builders_requiring_arguments_are_skipped(self, tmp_path):
+        path = tmp_path / "needs_args.py"
+        path.write_text(
+            "def build_thing(scale):\n"
+            "    raise AssertionError('must not be called')\n"
+        )
+        assert collect_programs(str(path)) == []
+
+    def test_non_program_builders_are_ignored(self, tmp_path):
+        path = tmp_path / "not_a_program.py"
+        path.write_text("def build_number():\n    return 42\n")
+        assert collect_programs(str(path)) == []

@@ -1,0 +1,162 @@
+"""Tests for the enumeration oracle and the classifier cross-check."""
+
+import pytest
+
+from repro.analysis.diagnostics import Provenance, Severity
+from repro.analysis.oracle import cross_check_access, oracle_classify
+from repro.compiler.classify import (
+    AccessClassification,
+    LocalityType,
+    Motion,
+    Sharing,
+    classify_access,
+)
+from repro.kir.expr import BDX, BX, BY, GDX, M, TX, TY, Expr, param
+from repro.kir.kernel import (
+    AccessMode,
+    Dim2,
+    GlobalAccess,
+    IndirectAccess,
+    Kernel,
+    LoopSpec,
+    data_var,
+)
+from repro.kir.program import KernelLaunch
+
+T = param("trip")
+PROV = Provenance("test", "k", "A[0]")
+
+
+def make(index, block=Dim2(16, 16), loop=True, in_loop=True, grid=Dim2(4, 4),
+         params=None, provider=None):
+    access = GlobalAccess("A", index, AccessMode.READ, in_loop=in_loop and loop,
+                          provider=provider)
+    kernel = Kernel(
+        name="k", block=block, arrays={"A": 4}, accesses=[access],
+        loop=LoopSpec(T) if loop else None,
+    )
+    launch = KernelLaunch(
+        kernel=kernel, grid=grid, args={"A": "A"},
+        params={T: 4, **(params or {})} if loop else (params or {}),
+    )
+    return kernel, access, launch
+
+
+class TestOracleClassify:
+    def test_gemm_a_is_row_shared_h(self):
+        # A[row*WIDTH + m*TILE + tx]: a grid row shares, constant stride.
+        k, a, l = make((BY * 16 + TY) * 4096 + M * 16 + TX)
+        res = oracle_classify(k, a, l)
+        assert res.locality is LocalityType.ROW_SHARED_H
+        assert res.sharing is Sharing.GRID_ROWS
+        assert res.motion is Motion.HORIZONTAL
+        assert res.stride == 16
+
+    def test_gemm_b_is_col_shared_v(self):
+        # B[(m*TILE + ty)*gridWidth + col]: stride contains gridDim.x.
+        k, a, l = make((M * 16 + TY) * (GDX * BDX) + BX * 16 + TX)
+        res = oracle_classify(k, a, l)
+        assert res.locality is LocalityType.COL_SHARED_V
+        assert res.sharing is Sharing.GRID_COLS
+        assert res.motion is Motion.VERTICAL
+
+    def test_vecadd_is_no_locality(self):
+        k, a, l = make(BX * BDX + TX, block=Dim2(64), loop=False, grid=Dim2(8))
+        res = oracle_classify(k, a, l)
+        assert res.locality is LocalityType.NO_LOCALITY
+
+    def test_pure_m_advance_is_itl(self):
+        k, a, l = make((BX * BDX + TX) * 64 + M, block=Dim2(64), grid=Dim2(8))
+        res = oracle_classify(k, a, l)
+        assert res.locality is LocalityType.INTRA_THREAD
+        assert res.stride == 1
+
+    def test_broadcast_is_unclassified_with_flag(self):
+        k, a, l = make(Expr.coerce(TX), block=Dim2(64), loop=False, grid=Dim2(8))
+        res = oracle_classify(k, a, l)
+        assert res.locality is LocalityType.UNCLASSIFIED
+        assert res.broadcast
+
+    def test_nonlinear_in_m_is_unclassified(self):
+        k, a, l = make(BX * BDX + TX + M * M)
+        res = oracle_classify(k, a, l)
+        assert res.locality is LocalityType.UNCLASSIFIED
+        assert not res.linear_in_m
+
+    def test_provider_site_is_not_classifiable(self):
+        k, a, l = make(data_var("data") + M, provider=lambda ctx: [0])
+        res = oracle_classify(k, a, l)
+        assert not res.classifiable
+
+    def test_unbound_param_is_not_classifiable(self):
+        k, a, l = make(param("mystery") * BX + TX, loop=False)
+        res = oracle_classify(k, a, l)
+        assert not res.classifiable
+
+
+class TestCrossCheck:
+    def check(self, kernel, access, launch, claimed=None):
+        claimed = claimed or classify_access(kernel, access)
+        return cross_check_access(kernel, access, launch, claimed, PROV)
+
+    def test_agreement_yields_nothing(self):
+        k, a, l = make((BY * 16 + TY) * 4096 + M * 16 + TX)
+        assert self.check(k, a, l) == []
+
+    def test_forced_disagreement_diagonal_index(self):
+        # (bx+by)*bdx + tx: Algorithm 1 sees bx AND by and says no-locality,
+        # but anti-diagonal blocks share identical footprints -- the
+        # classifier's claim is concretely refutable.
+        k, a, l = make((BX + BY) * BDX + TX, loop=False)
+        claimed = classify_access(k, a)
+        assert claimed.locality is LocalityType.NO_LOCALITY
+        diags = self.check(k, a, l, claimed)
+        assert [d.rule for d in diags] == ["ORACLE-LOCALITY"]
+        assert diags[0].severity is Severity.ERROR
+
+    def test_missed_locality_is_warning(self):
+        k, a, l = make((BY * 16 + TY) * 4096 + M * 16 + TX)
+        diags = self.check(
+            k, a, l, AccessClassification(locality=LocalityType.UNCLASSIFIED)
+        )
+        assert [d.rule for d in diags] == ["ORACLE-MISSED"]
+        assert diags[0].severity is Severity.WARNING
+
+    def test_wrong_stride_is_flagged(self):
+        k, a, l = make(BX * BDX + TX + M * 64, block=Dim2(64), grid=Dim2(8))
+        good = classify_access(k, a)
+        assert good.stride == Expr.from_const(64)
+        doctored = AccessClassification(
+            locality=good.locality, sharing=good.sharing,
+            motion=good.motion, stride=Expr.from_const(32),
+        )
+        diags = self.check(k, a, l, doctored)
+        assert [d.rule for d in diags] == ["ORACLE-STRIDE"]
+
+    def test_wrong_motion_is_flagged(self):
+        k, a, l = make((M * 16 + TY) * (GDX * BDX) + BX * 16 + TX)
+        doctored = AccessClassification(
+            locality=LocalityType.COL_SHARED_H, sharing=Sharing.GRID_COLS,
+            motion=Motion.HORIZONTAL, stride=Expr.from_const(16),
+        )
+        rules = [d.rule for d in self.check(k, a, l, doctored)]
+        assert rules == ["ORACLE-MOTION"]
+
+    def test_wrong_sharing_axis_is_flagged(self):
+        k, a, l = make((BY * 16 + TY) * 4096 + M * 16 + TX)
+        doctored = AccessClassification(
+            locality=LocalityType.COL_SHARED_H, sharing=Sharing.GRID_COLS,
+            motion=Motion.HORIZONTAL, stride=Expr.from_const(16),
+        )
+        rules = [d.rule for d in self.check(k, a, l, doctored)]
+        assert rules == ["ORACLE-SHARING"]
+
+    def test_broadcast_note_is_info_only(self):
+        k, a, l = make(Expr.coerce(TX), block=Dim2(64), loop=False, grid=Dim2(8))
+        diags = self.check(k, a, l)
+        assert [d.rule for d in diags] == ["ORACLE-BROADCAST"]
+        assert diags[0].severity is Severity.INFO
+
+    def test_provider_site_is_skipped(self):
+        k, a, l = make(data_var("data") + M, provider=lambda ctx: [0])
+        assert self.check(k, a, l) == []

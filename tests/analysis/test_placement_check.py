@@ -1,0 +1,97 @@
+"""Tests for the placement-consistency pass (locality table vs. runtime).
+
+Drift cannot be provoked by doctoring the table (both sides read the same
+table), so runtime drift is simulated by stubbing the pass's view of
+``decide_launch`` with decisions a broken runtime would emit.
+"""
+
+import pytest
+
+import repro.analysis.placement_check as pc
+from repro.analysis.diagnostics import Severity
+from repro.cache.insertion import CachePolicy
+from repro.compiler.passes import compile_program
+from repro.placement.policies import InterleavePlacement
+from repro.runtime.lasp import decide_launch
+from repro.sched.schedulers import KernelWideScheduler
+from tests.conftest import make_gemm_program, make_vecadd_program
+
+
+def check_all(compiled, topology, **kw):
+    out = []
+    for launch in compiled.program.launches:
+        out.extend(pc.check_launch_placement(compiled, topology, launch, **kw))
+    return out
+
+
+class TestConsistent:
+    def test_gemm_is_consistent(self, gemm_compiled, bench_topology):
+        assert check_all(gemm_compiled, bench_topology) == []
+
+    def test_vecadd_is_consistent(self, bench_topology):
+        compiled = compile_program(make_vecadd_program())
+        assert check_all(compiled, bench_topology) == []
+
+    def test_forced_cache_modes_are_consistent(self, gemm_compiled, bench_topology):
+        assert check_all(gemm_compiled, bench_topology, cache_mode="ronce") == []
+        assert check_all(gemm_compiled, bench_topology, cache_mode="rtwice") == []
+
+
+class TestDrift:
+    def test_scheduler_drift_is_flagged(self, gemm_compiled, bench_topology,
+                                        monkeypatch):
+        def broken(compiled, topology, launch, cache_mode="crb"):
+            d = decide_launch(compiled, topology, launch, cache_mode)
+            d.scheduler = KernelWideScheduler()
+            d.scheduler_desc = d.scheduler.describe()
+            return d
+
+        monkeypatch.setattr(pc, "decide_launch", broken)
+        diags = check_all(gemm_compiled, bench_topology)
+        assert [d.rule for d in diags] == ["LASP-SCHED"]
+        assert diags[0].severity is Severity.ERROR
+        assert "line" in diags[0].message
+
+    def test_placement_drift_is_flagged(self, gemm_compiled, bench_topology,
+                                        monkeypatch):
+        def broken(compiled, topology, launch, cache_mode="crb"):
+            d = decide_launch(compiled, topology, launch, cache_mode)
+            d.placements = {a: InterleavePlacement(1) for a in d.placements}
+            return d
+
+        monkeypatch.setattr(pc, "decide_launch", broken)
+        diags = check_all(gemm_compiled, bench_topology)
+        rules = {d.rule for d in diags}
+        assert rules == {"LASP-PLACE"}
+        assert len(diags) == 3  # one per argument (A, B, C)
+
+    def test_cache_drift_is_flagged(self, gemm_compiled, bench_topology,
+                                    monkeypatch):
+        def broken(compiled, topology, launch, cache_mode="crb"):
+            d = decide_launch(compiled, topology, launch, cache_mode)
+            d.cache_policy = {a: CachePolicy.RONCE for a in d.cache_policy}
+            return d
+
+        monkeypatch.setattr(pc, "decide_launch", broken)
+        diags = check_all(gemm_compiled, bench_topology)
+        assert {d.rule for d in diags} == {"LASP-CACHE"}
+        assert all("RTWICE" in d.message for d in diags)
+
+
+class TestFallback:
+    def test_opaque_allocation_notes_fallback(self, bench_topology):
+        program = make_gemm_program()
+        compiled = compile_program(program, opaque_allocations={"A"})
+        diags = check_all(compiled, bench_topology)
+        assert [d.rule for d in diags] == ["LASP-FALLBACK"]
+        assert diags[0].severity is Severity.INFO
+        assert diags[0].provenance.access == "A"
+
+    def test_program_level_dedupes_repeated_launches(self, bench_topology):
+        program = make_gemm_program()
+        first = program.launches[0]
+        program.launch(first.kernel, first.grid, dict(first.args),
+                       dict(first.params))
+        compiled = compile_program(program, opaque_allocations={"A"})
+        diags = pc.check_program_placement(compiled, bench_topology)
+        assert [d.rule for d in diags] == ["LASP-FALLBACK"]

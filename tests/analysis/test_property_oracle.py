@@ -1,0 +1,101 @@
+"""Property test: on randomly generated affine index expressions,
+``classify_access`` must agree with the enumeration oracle.
+
+Hypothesis-style seeded loop (no external dependency): each seed draws a
+Table-II family, random block dims, strides, pitches and constants, builds
+the canonical tiled expression for that family, and asserts the cross-check
+produces no warning-or-worse diagnostic.  Families cover both horizontal
+(literal pitch) and vertical (``gdx*bdx`` pitch) motion, intra-thread
+advance, plain no-locality and broadcast.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.diagnostics import Provenance, Severity
+from repro.analysis.oracle import cross_check_access, oracle_classify
+from repro.compiler.classify import LocalityType, classify_access
+from repro.kir.expr import BDX, BDY, BX, BY, GDX, M, TX, TY, Expr, param
+from repro.kir.kernel import AccessMode, Dim2, GlobalAccess, Kernel, LoopSpec
+from repro.kir.program import KernelLaunch
+
+T = param("trip")
+PROV = Provenance("prop", "k", "A[0]")
+
+#: 2-D block shapes (rows/cols families need a true 2-D launch).
+BLOCKS_2D = [(16, 16), (32, 4), (8, 8)]
+BLOCKS_1D = [(64, 1), (128, 1), (32, 1)]
+
+
+def build_case(rng: random.Random):
+    """One random (kernel, access, launch, expected locality family)."""
+    family = rng.choice(
+        ["nl", "rows_h", "rows_v", "cols_h", "cols_v", "itl", "broadcast"]
+    )
+    c = rng.randrange(0, 8)  # constant offset, harmless everywhere
+    s = rng.choice([1, 2, 4, 16])  # stride scale
+    trip = rng.choice([2, 3, 5])
+
+    if family in ("nl", "itl", "broadcast"):
+        bdx, bdy = rng.choice(BLOCKS_1D)
+        grid = Dim2(rng.choice([4, 8]), 1)
+    else:
+        bdx, bdy = rng.choice(BLOCKS_2D)
+        grid = Dim2(rng.choice([2, 4]), rng.choice([2, 4]))
+    block = Dim2(bdx, bdy)
+
+    # A pitch safely wider than any row footprint (avoids accidental
+    # cross-row collisions the classifier could never see).
+    lit_pitch = 1 << 16
+    row = BY * bdy + TY
+    col = BX * bdx + TX
+
+    if family == "nl":
+        # stride 1 would *be* intra-thread locality; NL needs a real jump
+        s = max(2, s)
+        index = col * (trip * s + 1) + M * s + c
+        expected = LocalityType.NO_LOCALITY
+    elif family == "rows_h":
+        index = row * lit_pitch + M * s * bdx + TX + c
+        expected = LocalityType.ROW_SHARED_H
+    elif family == "rows_v":
+        index = row * lit_pitch + M * s * GDX * BDX + TX + c
+        expected = LocalityType.ROW_SHARED_V
+    elif family == "cols_h":
+        index = TY * lit_pitch + col + M * s * lit_pitch * bdy + c
+        expected = LocalityType.COL_SHARED_H
+    elif family == "cols_v":
+        index = (M * s * bdy + TY) * (GDX * BDX) + col + c
+        expected = LocalityType.COL_SHARED_V
+    elif family == "itl":
+        index = col * (trip + 1) + M + c
+        expected = LocalityType.INTRA_THREAD
+    else:  # broadcast
+        index = Expr.coerce(TX) + c
+        expected = LocalityType.UNCLASSIFIED
+
+    loop = family != "broadcast"
+    access = GlobalAccess("A", index, AccessMode.READ, in_loop=loop)
+    kernel = Kernel(name="k", block=block, arrays={"A": 4}, accesses=[access],
+                    loop=LoopSpec(T) if loop else None)
+    launch = KernelLaunch(kernel=kernel, grid=grid, args={"A": "A"},
+                          params={T: trip} if loop else {})
+    return kernel, access, launch, expected
+
+
+@pytest.mark.parametrize("seed", range(120))
+def test_classifier_agrees_with_oracle(seed):
+    rng = random.Random(seed)
+    kernel, access, launch, expected = build_case(rng)
+
+    claimed = classify_access(kernel, access)
+    assert claimed.locality is expected, f"seed {seed}: classifier diverged"
+
+    oracle = oracle_classify(kernel, access, launch)
+    assert oracle.classifiable, f"seed {seed}: oracle refused an affine index"
+    assert oracle.locality is expected, f"seed {seed}: oracle diverged"
+
+    diags = cross_check_access(kernel, access, launch, claimed, PROV)
+    bad = [d for d in diags if d.severity >= Severity.WARNING]
+    assert not bad, f"seed {seed}: {[d.render() for d in bad]}"

@@ -1,0 +1,195 @@
+"""Tests for the safety passes: seeded bugs must produce exactly the
+expected diagnostics, and the suite's legitimate patterns must not."""
+
+from repro.analysis.diagnostics import Severity
+from repro.analysis.safety import check_launch_safety, check_program_safety
+from repro.kir.expr import BDX, BX, BY, GDX, M, TX, TY, param
+from repro.kir.kernel import AccessMode, Dim2, GlobalAccess, Kernel, LoopSpec
+from repro.kir.program import Program
+
+T = param("trip")
+
+
+def one_kernel_program(accesses, *, block=Dim2(64), grid=Dim2(8), loop=None,
+                       allocs=None, params=None, name="prog"):
+    arrays = {a.array: 4 for a in accesses}
+    kernel = Kernel(name="k", block=block, arrays=arrays, accesses=accesses,
+                    loop=loop)
+    prog = Program(name)
+    for arr in arrays:
+        prog.malloc_managed(arr, (allocs or {}).get(arr, 1 << 20), 4)
+    prog.launch(kernel, grid, {a: a for a in arrays}, params or {})
+    return prog
+
+
+def rules_of(program):
+    return [d.rule for d in check_program_safety(program)]
+
+
+class TestBounds:
+    def test_in_bounds_is_clean(self):
+        prog = one_kernel_program(
+            [GlobalAccess("A", BX * BDX + TX, AccessMode.READ)],
+            allocs={"A": 8 * 64},
+        )
+        assert rules_of(prog) == []
+
+    def test_oob_read_is_error(self):
+        prog = one_kernel_program(
+            [GlobalAccess("A", BX * BDX + TX + 1, AccessMode.READ)],
+            allocs={"A": 8 * 64},
+        )
+        diags = check_program_safety(prog)
+        assert [d.rule for d in diags] == ["SAFE-OOB"]
+        assert diags[0].severity is Severity.ERROR
+        assert "[1, 512]" in diags[0].message
+
+    def test_negative_index_is_error(self):
+        prog = one_kernel_program(
+            [GlobalAccess("A", BX * BDX + TX - 1, AccessMode.READ)],
+            allocs={"A": 8 * 64},
+        )
+        assert rules_of(prog) == ["SAFE-OOB"]
+
+    def test_loop_extends_the_domain(self):
+        # In-bounds at m=0 but the last iteration runs off the end.
+        prog = one_kernel_program(
+            [GlobalAccess("A", BX * BDX + TX + M * 512, AccessMode.READ,
+                          in_loop=True)],
+            loop=LoopSpec(T), params={T: 4}, allocs={"A": 8 * 64},
+        )
+        assert "SAFE-OOB" in rules_of(prog)
+
+    def test_nonmultilinear_small_domain_is_enumerated(self):
+        # tx^2 peaks at 63^2 = 3969: exact even without corner logic.
+        prog = one_kernel_program(
+            [GlobalAccess("A", TX * TX, AccessMode.READ)],
+            grid=Dim2(2), allocs={"A": 3969},
+        )
+        assert rules_of(prog) == ["SAFE-OOB"]
+        prog_ok = one_kernel_program(
+            [GlobalAccess("A", TX * TX, AccessMode.READ)],
+            grid=Dim2(2), allocs={"A": 3970},
+        )
+        assert rules_of(prog_ok) == []
+
+    def test_nonmultilinear_huge_domain_is_skipped_with_note(self):
+        prog = one_kernel_program(
+            [GlobalAccess("A", TX * TX + BX * BX, AccessMode.READ)],
+            block=Dim2(1024), grid=Dim2(2048), allocs={"A": 1 << 22},
+        )
+        diags = check_program_safety(prog)
+        assert [d.rule for d in diags] == ["SAFE-SKIP"]
+        assert diags[0].severity is Severity.INFO
+
+
+class TestRaces:
+    def test_disjoint_writes_are_clean(self):
+        prog = one_kernel_program(
+            [GlobalAccess("A", BX * BDX + TX, AccessMode.WRITE)],
+            allocs={"A": 8 * 64},
+        )
+        assert rules_of(prog) == []
+
+    def test_racing_write_is_error(self):
+        prog = one_kernel_program(
+            [GlobalAccess("A", TX, AccessMode.WRITE)], allocs={"A": 64},
+        )
+        diags = check_program_safety(prog)
+        assert [d.rule for d in diags] == ["SAFE-RACE"]
+        assert "A[0]" in diags[0].message
+
+    def test_atomic_write_is_exempt(self):
+        prog = one_kernel_program(
+            [GlobalAccess("A", TX, AccessMode.WRITE, atomic=True)],
+            allocs={"A": 64},
+        )
+        assert rules_of(prog) == []
+
+    def test_cross_argument_alias_race(self):
+        # Two arguments, disjoint per-argument writes, but both bound to the
+        # same allocation: block 0's OUT1 write collides with block 1's OUT2.
+        k = Kernel(
+            name="k", block=Dim2(64),
+            arrays={"OUT1": 4, "OUT2": 4},
+            accesses=[
+                GlobalAccess("OUT1", BX * BDX + TX, AccessMode.WRITE),
+                GlobalAccess("OUT2", (BX + 1) * BDX + TX, AccessMode.WRITE),
+            ],
+        )
+        prog = Program("alias")
+        prog.malloc_managed("BUF", 1 << 16, 4)
+        prog.launch(k, Dim2(4), {"OUT1": "BUF", "OUT2": "BUF"})
+        diags = check_program_safety(prog)
+        assert [d.rule for d in diags] == ["SAFE-RACE"]
+        assert "OUT1[0]" in diags[0].message and "OUT2[0]" in diags[0].message
+
+    def test_single_block_cannot_race(self):
+        prog = one_kernel_program(
+            [GlobalAccess("A", TX, AccessMode.WRITE)],
+            grid=Dim2(1), allocs={"A": 64},
+        )
+        assert rules_of(prog) == []
+
+
+class TestDegenerate:
+    def test_stride0_in_loop_write_is_warning(self):
+        prog = one_kernel_program(
+            [GlobalAccess("A", BX * BDX + TX, AccessMode.WRITE, in_loop=True),
+             GlobalAccess("B", BX * BDX + TX + M, AccessMode.READ, in_loop=True)],
+            loop=LoopSpec(T), params={T: 4},
+        )
+        diags = check_program_safety(prog)
+        stride0 = [d for d in diags if d.rule == "SAFE-STRIDE0"]
+        assert len(stride0) == 1
+        assert stride0[0].severity is Severity.WARNING
+        assert stride0[0].provenance.access == "A[0]"
+
+    def test_dead_loop_is_warning(self):
+        prog = one_kernel_program(
+            [GlobalAccess("A", BX * BDX + TX, AccessMode.READ, in_loop=True)],
+            loop=LoopSpec(T), params={T: 4},
+        )
+        assert "SAFE-DEADLOOP" in rules_of(prog)
+
+    def test_live_loop_is_clean(self):
+        prog = one_kernel_program(
+            [GlobalAccess("A", (BX * BDX + TX) * 4 + M, AccessMode.READ,
+                          in_loop=True)],
+            loop=LoopSpec(T), params={T: 4},
+        )
+        assert rules_of(prog) == []
+
+    def test_m_outside_loop_is_error(self):
+        prog = one_kernel_program(
+            [GlobalAccess("A", BX * BDX + TX + M * 4, AccessMode.READ),
+             GlobalAccess("B", BX * BDX + TX + M, AccessMode.READ,
+                          in_loop=True)],
+            loop=LoopSpec(T), params={T: 4},
+        )
+        assert "SAFE-LOOPVAR" in rules_of(prog)
+
+    def test_unbound_variable_is_error(self):
+        prog = one_kernel_program(
+            [GlobalAccess("A", BX * param("width") + TX, AccessMode.READ)],
+        )
+        diags = check_program_safety(prog)
+        assert [d.rule for d in diags] == ["SAFE-UNBOUND"]
+        assert "width" in diags[0].message
+
+
+class TestDeduplication:
+    def test_repeated_launches_report_once(self):
+        prog = one_kernel_program(
+            [GlobalAccess("A", TX, AccessMode.WRITE)], allocs={"A": 64},
+        )
+        kernel = prog.launches[0].kernel
+        prog.launch(kernel, Dim2(8), {"A": "A"})
+        assert rules_of(prog) == ["SAFE-RACE"]
+
+    def test_check_launch_safety_is_per_launch(self):
+        prog = one_kernel_program(
+            [GlobalAccess("A", TX, AccessMode.WRITE)], allocs={"A": 64},
+        )
+        diags = check_launch_safety(prog, prog.launches[0])
+        assert [d.rule for d in diags] == ["SAFE-RACE"]

@@ -1,0 +1,215 @@
+"""End-to-end Table-II matrix: expression -> classification -> LASP policy
+-> CRB insertion policy, one case per row of the paper's Table II, plus the
+AliasBinding opaque/ambiguous fallback paths.
+
+Each case builds a one-kernel program around the row's canonical index
+shape, compiles it, runs the pure ``decide_launch`` and checks every layer
+of the pipeline -- then lints it, proving the whole matrix is
+oracle-consistent too.
+"""
+
+import pytest
+
+from repro.analysis.diagnostics import Severity
+from repro.analysis.lint import lint_program
+from repro.cache.insertion import CachePolicy
+from repro.compiler.classify import LocalityType, classify_access
+from repro.compiler.passes import compile_program
+from repro.kir.expr import BDX, BX, BY, GDX, M, TX, TY, param
+from repro.kir.kernel import (
+    AccessMode,
+    Dim2,
+    GlobalAccess,
+    IndirectAccess,
+    Kernel,
+    LoopSpec,
+    data_var,
+)
+from repro.kir.program import Program
+from repro.placement.policies import (
+    ChunkedPlacement,
+    FunctionPlacement,
+    InterleavePlacement,
+)
+from repro.runtime.lasp import decide_launch
+from repro.sched.schedulers import (
+    BatchRRScheduler,
+    KernelWideScheduler,
+    LineBindingScheduler,
+)
+
+T = param("trip")
+W = 4096  # literal data-row pitch
+
+
+def program_of(index, *, block, grid, alloc, loop=False, trip=4,
+               provider=None, name="case"):
+    access = GlobalAccess("A", index, AccessMode.READ, in_loop=loop,
+                          provider=provider)
+    kernel = Kernel(name="k", block=block, arrays={"A": 4}, accesses=[access],
+                    loop=LoopSpec(T) if loop else None)
+    prog = Program(name)
+    prog.malloc_managed("A", alloc, 4)
+    prog.launch(kernel, grid, {"A": "A"}, {T: trip} if loop else {})
+    return prog
+
+
+# (table row, builder, expected locality, scheduler check, placement check,
+#  expected cache policy)
+CASES = [
+    (
+        "row1-NL",
+        1,
+        lambda: program_of(BX * BDX + TX, block=Dim2(64), grid=Dim2(8),
+                           alloc=8 * 64),
+        LocalityType.NO_LOCALITY,
+        lambda s: isinstance(s, BatchRRScheduler),
+        lambda p: isinstance(p, InterleavePlacement),
+        CachePolicy.RTWICE,
+    ),
+    (
+        "row2-RCL-row-h",
+        2,
+        lambda: program_of((BY * 16 + TY) * W + M * 16 + TX,
+                           block=Dim2(16, 16), grid=Dim2(4, 4),
+                           alloc=64 * W, loop=True),
+        LocalityType.ROW_SHARED_H,
+        lambda s: isinstance(s, LineBindingScheduler)
+        and s.describe() == "row-binding",
+        lambda p: isinstance(p, FunctionPlacement)
+        and p.label.startswith("row-based"),
+        CachePolicy.RTWICE,
+    ),
+    (
+        "row3-RCL-col-h",
+        3,
+        lambda: program_of(TY * W + BX * 16 + TX + M * W * 16,
+                           block=Dim2(16, 16), grid=Dim2(4, 4),
+                           alloc=64 * W, loop=True),
+        LocalityType.COL_SHARED_H,
+        lambda s: isinstance(s, LineBindingScheduler)
+        and s.describe() == "col-binding",
+        # a node's column strip is narrower than a page here: the runtime
+        # must take the documented kernel-wide fallback
+        lambda p: isinstance(p, ChunkedPlacement),
+        CachePolicy.RTWICE,
+    ),
+    (
+        "row4-RCL-row-v",
+        4,
+        lambda: program_of((BY * 16 + TY) * (1 << 16) + M * GDX * BDX * 4 + TX,
+                           block=Dim2(16, 16), grid=Dim2(4, 4),
+                           alloc=64 * (1 << 16) + 2048, loop=True),
+        LocalityType.ROW_SHARED_V,
+        lambda s: isinstance(s, LineBindingScheduler)
+        and s.describe() == "row-binding",
+        lambda p: isinstance(p, FunctionPlacement)
+        and p.label.startswith("col-based"),
+        CachePolicy.RTWICE,
+    ),
+    (
+        "row5-RCL-col-v",
+        5,
+        lambda: program_of((M * 2 + TY) * (GDX * BDX) + BX * 128 + TX,
+                           block=Dim2(128, 2), grid=Dim2(4, 2),
+                           alloc=1 << 13, loop=True),
+        LocalityType.COL_SHARED_V,
+        lambda s: isinstance(s, LineBindingScheduler)
+        and s.describe() == "col-binding",
+        lambda p: isinstance(p, FunctionPlacement)
+        and p.label.startswith("col-based"),
+        CachePolicy.RTWICE,
+    ),
+    (
+        "row6-ITL",
+        6,
+        lambda: program_of((BX * BDX + TX) * 4 + M, block=Dim2(64),
+                           grid=Dim2(8), alloc=4 * 8 * 64, loop=True),
+        LocalityType.INTRA_THREAD,
+        lambda s: isinstance(s, KernelWideScheduler),
+        lambda p: isinstance(p, ChunkedPlacement),
+        CachePolicy.RONCE,
+    ),
+    (
+        "row7-unclassified",
+        7,
+        lambda: program_of(data_var("d"), block=Dim2(64), grid=Dim2(8),
+                           alloc=8 * 64,
+                           provider=lambda ctx: ctx.linear_tid % 512),
+        LocalityType.UNCLASSIFIED,
+        lambda s: isinstance(s, KernelWideScheduler),
+        lambda p: isinstance(p, ChunkedPlacement),
+        CachePolicy.RTWICE,
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "label,row_no,build,locality,sched_ok,place_ok,cache",
+    CASES,
+    ids=[c[0] for c in CASES],
+)
+def test_table2_row_end_to_end(label, row_no, build, locality, sched_ok,
+                               place_ok, cache, hier_topology):
+    program = build()
+    launch = program.launches[0]
+    kernel = launch.kernel
+
+    # expression -> classification
+    cls = classify_access(kernel, kernel.accesses[0])
+    assert cls.locality is locality
+    assert cls.table_row == row_no
+
+    # classification -> LASP scheduler + placement
+    compiled = compile_program(program)
+    decision = decide_launch(compiled, hier_topology, launch)
+    assert decision.dominant_locality is locality
+    assert sched_ok(decision.scheduler), decision.scheduler_desc
+    assert place_ok(decision.placements["A"]), decision.placement_desc
+
+    # classification -> CRB insertion policy
+    assert decision.cache_policy["A"] is cache
+
+    # and the whole row is oracle- and drift-clean
+    report = lint_program(program, topology=hier_topology)
+    assert report.exit_code(strict=True) == 0, report.render()
+
+
+class TestAliasFallback:
+    def test_opaque_allocation_falls_back_to_default(self, hier_topology):
+        program = CASES[1][2]()  # the RCL-row-h case
+        compiled = compile_program(program, opaque_allocations={"A"})
+        assert compiled.row("k", "A").malloc_pc is None
+        decision = decide_launch(compiled, hier_topology, program.launches[0])
+        # without the binding the runtime must not trust the RCL row
+        assert isinstance(decision.scheduler, KernelWideScheduler)
+        assert isinstance(decision.placements["A"], ChunkedPlacement)
+        assert decision.dominant_locality is LocalityType.UNCLASSIFIED
+        assert decision.cache_policy["A"] is CachePolicy.RTWICE
+        report = lint_program(program, topology=hier_topology,
+                              compiled=compiled)
+        assert report.by_rule("LASP-FALLBACK")
+        assert report.exit_code(strict=True) == 0, report.render()
+
+    def test_ambiguous_binding_falls_back_to_default(self, hier_topology):
+        # The same kernel argument bound to two different allocations across
+        # launches: alias analysis cannot name one MallocPC.
+        index = (BY * 16 + TY) * W + M * 16 + TX
+        access = GlobalAccess("A", index, AccessMode.READ, in_loop=True)
+        kernel = Kernel(name="k", block=Dim2(16, 16), arrays={"A": 4},
+                        accesses=[access], loop=LoopSpec(T))
+        prog = Program("ambiguous")
+        prog.malloc_managed("A1", 64 * W, 4)
+        prog.malloc_managed("A2", 64 * W, 4)
+        prog.launch(kernel, Dim2(4, 4), {"A": "A1"}, {T: 4})
+        prog.launch(kernel, Dim2(4, 4), {"A": "A2"}, {T: 4})
+        compiled = compile_program(prog)
+        assert compiled.row("k", "A").malloc_pc is None
+        for launch in prog.launches:
+            decision = decide_launch(compiled, hier_topology, launch)
+            assert isinstance(decision.scheduler, KernelWideScheduler)
+            alloc = launch.args["A"]
+            assert isinstance(decision.placements[alloc], ChunkedPlacement)
+        report = lint_program(prog, topology=hier_topology, compiled=compiled)
+        assert report.by_rule("LASP-FALLBACK")
+        assert report.exit_code(strict=True) == 0, report.render()
