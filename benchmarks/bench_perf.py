@@ -1,199 +1,26 @@
 #!/usr/bin/env python
-"""Engine performance benchmark: vectorised walk vs legacy reference.
+"""Engine performance benchmark -- thin wrapper.
 
-Times a Figure-9 style subset (8 workloads x 4 strategies) under both
-engines and writes ``BENCH_perf.json`` with per-stage wall-clock times
-(trace, walk, finalize).  The vector engine shares one trace cache per
-workload, so each (workload, scale) traces once and replays across
-strategies; the legacy engine re-traces per strategy, exactly as it did
-before the vector engine existed.
+The implementation lives in :mod:`repro.experiments.benchperf` so the CLI
+(``python -m repro bench``) and this script share one code path.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_perf.py              # full (bench scale)
     PYTHONPATH=src python benchmarks/bench_perf.py --smoke      # CI: small + parity
-
-``--smoke`` runs a reduced subset at test scale and additionally asserts
-the two engines are bit-exact on every reported metric (exit code 1 on
-any mismatch), so CI catches both perf plumbing rot and parity rot.
 """
 
-from __future__ import annotations
-
-import argparse
-import json
-import platform
 import sys
-import time
-from typing import Dict, List, Optional, Tuple
 
-import numpy as np
-
-from repro.compiler.passes import compile_program
-from repro.engine.simulator import Simulator
-from repro.engine.trace_cache import TraceCache
-from repro.experiments.runner import strategy_by_name
-from repro.topology.config import SystemConfig, bench_hierarchical, bench_monolithic
-from repro.workloads.base import BENCH, TEST
-from repro.workloads.suite import get_workload
-
-STAGES = ("trace", "walk", "finalize")
-
-#: Figure-9 subset: dense GEMM-shaped layers, recurrent cells, a streaming
-#: reduction and a transpose -- the mix the paper sweeps, heavy enough for
-#: stable timing.
-WORKLOADS = [
-    "conv",
-    "lstm1",
-    "lstm2",
-    "alexnet_fc2",
-    "vggnet_fc2",
-    "resnet50_fc",
-    "scalarprod",
-    "tra",
-]
-SMOKE_WORKLOADS = ["conv", "scalarprod", "tra"]
-
-STRATEGIES = ["Batch+FT", "H-CODA", "LADM", "Monolithic"]
-
-
-def _configs() -> Dict[str, SystemConfig]:
-    return {"hier": bench_hierarchical(), "mono": bench_monolithic()}
-
-
-def _run_engine(
-    engine: str,
-    compiled,
-    strategies: List[str],
-    keep_results: bool,
-) -> Tuple[Dict[str, float], Optional[Dict[str, list]]]:
-    """All strategies of one compiled workload under one engine.
-
-    Returns accumulated stage times (plus ``total`` wall-clock including
-    planning) and, if requested, per-strategy metric snapshots.
-    """
-    cfgs = _configs()
-    cache = TraceCache() if engine == "vector" else None
-    times = {s: 0.0 for s in STAGES}
-    snaps: Optional[Dict[str, list]] = {} if keep_results else None
-    t0 = time.perf_counter()
-    for name in strategies:
-        cfg = cfgs["mono"] if name == "Monolithic" else cfgs["hier"]
-        sim = Simulator(cfg, engine=engine, trace_cache=cache)
-        plan = strategy_by_name(name).plan(compiled, sim.topology)
-        result = sim.run(compiled, plan)
-        for s in STAGES:
-            times[s] += sim.stage_times[s]
-        if snaps is not None:
-            snaps[name] = result.snapshot()
-    times["total"] = time.perf_counter() - t0
-    return times, snaps
-
-
-def run_bench(
-    workload_names: List[str],
-    scale,
-    check_parity: bool,
-    verbose: bool = True,
-) -> dict:
-    per_workload: Dict[str, dict] = {}
-    mismatches: List[str] = []
-    for wname in workload_names:
-        program = get_workload(wname).program(scale)
-        compiled = compile_program(program)
-        legacy_t, legacy_snaps = _run_engine(
-            "legacy", compiled, STRATEGIES, check_parity
-        )
-        vector_t, vector_snaps = _run_engine(
-            "vector", compiled, STRATEGIES, check_parity
-        )
-        speedup = legacy_t["total"] / vector_t["total"] if vector_t["total"] else 0.0
-        per_workload[wname] = {
-            "legacy": legacy_t,
-            "vector": vector_t,
-            "speedup": speedup,
-        }
-        if check_parity:
-            for name in STRATEGIES:
-                if legacy_snaps[name] != vector_snaps[name]:
-                    mismatches.append(f"{wname}/{name}")
-        if verbose:
-            flag = ""
-            if check_parity:
-                bad = [m for m in mismatches if m.startswith(wname + "/")]
-                flag = "  PARITY-MISMATCH" if bad else "  parity-ok"
-            print(
-                f"{wname:<14} legacy={legacy_t['total']:7.2f}s "
-                f"vector={vector_t['total']:7.2f}s "
-                f"speedup={speedup:5.2f}x{flag}",
-                flush=True,
-            )
-
-    totals = {
-        eng: {
-            s: sum(per_workload[w][eng][s] for w in per_workload)
-            for s in STAGES + ("total",)
-        }
-        for eng in ("legacy", "vector")
-    }
-    overall = (
-        totals["legacy"]["total"] / totals["vector"]["total"]
-        if totals["vector"]["total"]
-        else 0.0
-    )
-    return {
-        "meta": {
-            "scale": scale.name,
-            "workloads": workload_names,
-            "strategies": STRATEGIES,
-            "stages": list(STAGES),
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "note": (
-                "legacy re-traces per strategy; vector shares one trace "
-                "cache per workload, so its trace stage is paid once"
-            ),
-        },
-        "per_workload": per_workload,
-        "totals": totals,
-        "overall_speedup": overall,
-        "parity_checked": check_parity,
-        "parity_mismatches": mismatches,
-    }
-
-
-def main(argv: Optional[List[str]] = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
-    parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="small subset at test scale + bit-exact parity assertion",
-    )
-    parser.add_argument("--scale", default=None, choices=["bench", "test"])
-    parser.add_argument("--workloads", nargs="*", default=None)
-    parser.add_argument("--output", default="BENCH_perf.json")
-    args = parser.parse_args(argv)
-
-    if args.smoke:
-        scale = TEST if args.scale in (None, "test") else BENCH
-        names = args.workloads or SMOKE_WORKLOADS
-    else:
-        scale = BENCH if args.scale in (None, "bench") else TEST
-        names = args.workloads or WORKLOADS
-
-    report = run_bench(names, scale, check_parity=args.smoke)
-    with open(args.output, "w") as fh:
-        json.dump(report, fh, indent=2)
-    print(
-        f"\noverall: legacy {report['totals']['legacy']['total']:.2f}s, "
-        f"vector {report['totals']['vector']['total']:.2f}s "
-        f"-> {report['overall_speedup']:.2f}x  (wrote {args.output})"
-    )
-    if report["parity_mismatches"]:
-        print(f"PARITY FAILURES: {report['parity_mismatches']}", file=sys.stderr)
-        return 1
-    return 0
-
+from repro.experiments.benchperf import (  # noqa: F401  (re-exported API)
+    SMOKE_WORKLOADS,
+    STAGES,
+    STRATEGIES,
+    WORKLOADS,
+    check_gate,
+    main,
+    run_bench,
+)
 
 if __name__ == "__main__":
     sys.exit(main())

@@ -10,6 +10,7 @@ repository's extensions::
     python -m repro fig4 | fig9 | fig10 | fig11
     python -m repro table1 | table2 | table4
     python -m repro hw-validation | ablations | energy | paging | proactive
+    python -m repro bench [--smoke] [--gate FILE]   # engine perf benchmark
 """
 
 from __future__ import annotations
@@ -22,6 +23,7 @@ from repro.compiler.passes import compile_program
 from repro.engine.simulator import simulate
 from repro.experiments import (
     ablations,
+    benchperf,
     energy,
     fig4,
     fig9,
@@ -43,6 +45,7 @@ from repro.workloads.suite import all_workloads, get_workload
 __all__ = ["main"]
 
 _EXPERIMENT_MAINS = {
+    "bench": benchperf.main,
     "fig4": fig4.main,
     "fig9": fig9.main,
     "fig10": fig10.main,
@@ -187,7 +190,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     for name in _EXPERIMENT_MAINS:
-        sub.add_parser(name, help=f"regenerate {name} (forwards remaining args)")
+        if name == "bench":
+            sub.add_parser(
+                name, help="engine perf benchmark (forwards remaining args)"
+            )
+        else:
+            sub.add_parser(name, help=f"regenerate {name} (forwards remaining args)")
     return parser
 
 
@@ -195,7 +203,9 @@ def main(argv: Optional[List[str]] = None) -> None:
     argv = list(sys.argv[1:] if argv is None else argv)
     # Experiment commands forward their own flags to the experiment parser.
     if argv and argv[0] in _EXPERIMENT_MAINS:
-        _EXPERIMENT_MAINS[argv[0]](argv[1:])
+        code = _EXPERIMENT_MAINS[argv[0]](argv[1:])
+        if code:  # bench returns a gate/parity exit status
+            raise SystemExit(code)
         return
     args = build_parser().parse_args(argv)
     if args.command == "list":

@@ -37,6 +37,7 @@ from repro.engine.plan import ExecutionPlan, LaunchPlan
 from repro.engine.trace import launch_tracer
 from repro.engine.trace_cache import TraceCache, default_trace_cache
 from repro.engine.vector_walk import walk_launch
+from repro.engine.walk_memo import WalkMemo, default_walk_memo, eligible, memo_enabled
 from repro.errors import SimulationError
 from repro.kir.program import Program
 from repro.topology.config import SystemConfig
@@ -97,14 +98,33 @@ class Simulator:
 
     ``trace_cache`` shares traced sector streams across runs (the vector
     engine only); by default the process-wide cache is used so sweeping many
-    strategies over one program traces each launch once.
+    strategies over one program traces each launch once.  ``walk_memo``
+    likewise shares memoised launch-walk results (see
+    :mod:`repro.engine.walk_memo`); pass ``None`` for the process-wide memo,
+    which ``REPRO_WALK_MEMO=0`` disables.
     """
+
+    #: zero-valued template for the walk telemetry counters
+    _COUNTER_KEYS = (
+        "free_accesses",
+        "sync_elements",
+        "sync_events",
+        "spec_events",
+        "spec_rounds",
+        "spec_mispredicts",
+        "sync_scalar",
+        "sync_fallbacks",
+        "memo_hits",
+        "memo_misses",
+        "memo_ineligible",
+    )
 
     def __init__(
         self,
         config: SystemConfig,
         engine: Optional[str] = None,
         trace_cache: Optional[TraceCache] = None,
+        walk_memo: Optional[WalkMemo] = None,
     ):
         if engine is None:
             engine = os.environ.get("REPRO_ENGINE", "vector")
@@ -116,11 +136,31 @@ class Simulator:
         self.topology = SystemTopology(config)
         self.engine = engine
         self.trace_cache = trace_cache
-        #: wall-clock seconds per stage, accumulated across run() calls
-        self.stage_times = {"trace": 0.0, "walk": 0.0, "finalize": 0.0}
+        self.walk_memo = walk_memo
+        #: wall-clock seconds per stage, accumulated across run() calls.
+        #: ``walk_free``/``walk_sync`` are sub-splits of ``walk`` (vector
+        #: engine only; their sum is <= walk, the rest is stream setup).
+        self.stage_times = self._fresh_stage_times()
+        #: speculation/memoisation telemetry, accumulated across run() calls
+        self.walk_counters = dict.fromkeys(self._COUNTER_KEYS, 0)
+        #: per-launch telemetry records ({kernel, launch_index, memo, ...})
+        self.walk_log: List[dict] = []
+
+    @staticmethod
+    def _fresh_stage_times() -> dict:
+        return {
+            "trace": 0.0,
+            "walk": 0.0,
+            "finalize": 0.0,
+            "walk_free": 0.0,
+            "walk_sync": 0.0,
+        }
 
     def reset_stage_times(self) -> None:
-        self.stage_times = {"trace": 0.0, "walk": 0.0, "finalize": 0.0}
+        """Zero stage times and walk telemetry (counters + per-launch log)."""
+        self.stage_times = self._fresh_stage_times()
+        self.walk_counters = dict.fromkeys(self._COUNTER_KEYS, 0)
+        self.walk_log = []
 
     # ------------------------------------------------------------------
     def run(
@@ -185,7 +225,12 @@ class Simulator:
         l2: ArrayLRU,
         page_counts=None,
     ) -> KernelMetrics:
-        """Vectorised launch execution: cached trace + batched array walk."""
+        """Vectorised launch execution: cached trace + batched array walk.
+
+        Eligible launches (see :func:`repro.engine.walk_memo.eligible`)
+        first consult the walk memo; a hit skips the walk entirely and
+        replays the stored accumulators through the normal finalize path.
+        """
         cfg = self.config
         cache = self.trace_cache if self.trace_cache is not None else default_trace_cache()
         t0 = time.perf_counter()
@@ -193,8 +238,43 @@ class Simulator:
         trace = cache.get(lp.launch, launch_key, plan.space, cfg.l2.sector_bytes)
         t1 = time.perf_counter()
         order = _wave_order(lp.tb_nodes, cfg.num_nodes)
-        metrics, xbar, dram, transfers, stats = walk_launch(
-            cfg, launch_index, lp, plan, l2, trace, order, page_counts
+
+        counters = self.walk_counters
+        before = {
+            k: counters[k]
+            for k in ("sync_elements", "spec_events", "spec_mispredicts", "spec_rounds")
+        }
+        memo = self.walk_memo
+        if memo is None and memo_enabled():
+            memo = default_walk_memo()
+        key = None
+        homes = None
+        memo_status = "ineligible"
+        if memo is not None and eligible(cfg, plan, page_counts):
+            homes = plan.page_table.homes_of_pages(trace.pages, toucher=0)
+            key = memo.make_key(trace, lp, cfg, homes)
+            cached = memo.get(key)
+            if cached is not None:
+                metrics, xbar, dram, transfers, stats = cached
+                memo_status = "hit"
+            else:
+                memo_status = "miss"
+        if memo_status != "hit":
+            metrics, xbar, dram, transfers, stats = walk_launch(
+                cfg, launch_index, lp, plan, l2, trace, order, page_counts,
+                homes=homes, timers=self.stage_times, counters=counters,
+            )
+            if key is not None:
+                memo.put(key, metrics, xbar, dram, transfers, stats)
+        counters["memo_" + ("ineligible" if memo_status == "ineligible" else
+                            ("hits" if memo_status == "hit" else "misses"))] += 1
+        self.walk_log.append(
+            {
+                "kernel": metrics.kernel,
+                "launch_index": launch_index,
+                "memo": memo_status,
+                **{k: counters[k] - before[k] for k in before},
+            }
         )
         t2 = time.perf_counter()
         self._finalize(metrics, xbar, dram, transfers, stats)

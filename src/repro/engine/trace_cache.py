@@ -152,7 +152,13 @@ class LaunchTrace:
         sec = self.sectors
         # Stable (tb, sector) grouping: equal keys keep stream order, so the
         # predecessor inside a run is the previous reference of that sector.
-        perm = np.lexsort((sec, tbids))
+        # A fused single key sorts ~3x faster than a two-key lexsort; fall
+        # back to lexsort only if the key product would overflow int64.
+        smax = int(sec.max()) if n else 0
+        if self.num_threadblocks * trip * (smax + 1) < (1 << 62):
+            perm = np.argsort(tbids * (smax + 1) + sec, kind="stable")
+        else:
+            perm = np.lexsort((sec, tbids))
         ps, pt = sec[perm], tbids[perm]
         same = np.zeros(n, dtype=bool)
         same[1:] = (ps[1:] == ps[:-1]) & (pt[1:] == pt[:-1])
@@ -167,12 +173,23 @@ class LaunchTrace:
                 # Pathological reuse pattern: exact-count windows would cost
                 # more than replaying the filter sequentially.
                 return self._compute_survivors_sequential(capacity)
-            for i in ambiguous.tolist():
-                a = prev[i]
-                # Distinct sectors in the window = references whose own
-                # previous occurrence predates the window (first-in-window).
-                if int(np.count_nonzero(prev[a + 1 : i] <= a)) >= capacity:
-                    miss[i] = True
+            # Distinct sectors in a window = references whose own previous
+            # occurrence predates the window (first-in-window).  Gather all
+            # windows into one flat stream tagged with their query id and
+            # count first-in-window refs with a single compare + bincount.
+            starts = prev[ambiguous] + 1
+            lens = win[ambiguous]
+            prefix = np.zeros(lens.size, dtype=np.int64)
+            np.cumsum(lens[:-1], out=prefix[1:])
+            reps = np.repeat(np.arange(lens.size, dtype=np.int64), lens)
+            flat = (
+                starts[reps]
+                + np.arange(int(lens.sum()), dtype=np.int64)
+                - prefix[reps]
+            )
+            first_in = prev[flat] <= prev[ambiguous][reps]
+            cnt = np.bincount(reps[first_in], minlength=lens.size)
+            miss[ambiguous[cnt >= capacity]] = True
         return miss
 
     def _compute_survivors_sequential(self, capacity: int) -> np.ndarray:

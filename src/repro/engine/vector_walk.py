@@ -20,14 +20,28 @@ legacy walk (same byte counts, hit rates, traffic-class splits, LRU state):
 4.  **Free/sync decomposition per iteration.**  Remote-homed misses inject
     fills into their home node's sets at a cache-state-dependent moment, so
     only sets that *might receive a fill this iteration* (the hot footprint,
-    ``unique`` of the remote accesses' home sets) need sequential treatment.
+    ``unique`` of the remote accesses' home sets) need ordered treatment.
     Every access whose requester set is outside that footprint is *free*:
     its set sees nothing but position-ordered requester traffic, so all free
     accesses of the iteration fuse into one :meth:`ArrayLRU.probe_batch`
-    call.  The rest -- sync accesses plus the home-side fills of free misses
-    -- merge into a single position-ordered event stream replayed by one
-    scalar loop over ``OrderedDict`` views of just the hot sets.
-5.  **Fully-local launches collapse to one probe call.**  When a launch has
+    call.
+5.  **Speculative fill resolution for the sync stream.**  The rest -- sync
+    accesses plus the home-side fills of free misses -- forms a
+    position-ordered event stream whose only data-dependent part is *whether
+    a sync remote requester's home fill happens* (it does iff the requester
+    probe misses).  :func:`replay_sync_stream` speculates every such probe
+    misses, materialises the full candidate event stream, replays it per-set
+    with :meth:`ArrayLRU.replay_segments` (batched gather/scatter in stamp
+    arithmetic), then verifies the speculated misses against the actual hit
+    masks and repairs only the mispredicted sets -- restore the set's rows
+    from a snapshot, drop/add the affected fills, replay that set's
+    substream again -- in a bounded fixpoint loop.  The loop's fixpoint is
+    unique and equals the sequential execution (presence at stream position
+    ``p`` depends only on set states strictly before ``p``, so assignments
+    cannot disagree at their earliest difference); a round cap with an exact
+    scalar fallback bounds the pathological case.  See
+    ``docs/simulator_model.md`` section 3c.
+6.  **Fully-local launches collapse to one probe call.**  When a launch has
     no remotely-homed survivor at all there are no fills, per-set stream
     order is the only constraint, and ``probe_batch`` preserves it -- so the
     whole launch (all iterations, wave order) becomes a single batch.
@@ -41,7 +55,8 @@ walk.
 
 from __future__ import annotations
 
-from collections import OrderedDict
+import os
+import time
 from typing import Optional
 
 import numpy as np
@@ -51,10 +66,30 @@ from repro.engine.metrics import KernelMetrics
 from repro.engine.plan import ExecutionPlan, LaunchPlan
 from repro.engine.trace_cache import LaunchTrace
 
-__all__ = ["walk_launch"]
+__all__ = ["walk_launch", "replay_sync_stream"]
 
 # Traffic-class codes shared with the legacy engine (see simulator module).
 _LL, _LR, _RL = 0, 1, 2
+
+#: Below this many sync elements the scalar dict replay beats kernel setup.
+_SCALAR_MAX_ELEMENTS = 64
+#: Longest per-set substream (in events) the segmented kernel accepts before
+#: handing the stream to the scalar path.  The segmented replay pays ~25us
+#: per round (= per event of its deepest set) regardless of round width --
+#: and speculation repair re-runs mispredicted sets' rounds on top -- while
+#: the dict replay costs ~0.5us per event, so the array path only wins
+#: while the stream is wide relative to its depth; per-stream A/B timing on
+#: the bench workloads puts the crossover near depth = K/80-95 (see
+#: BENCH_perf.json).
+_SEGMENT_DEPTH_DIVISOR = 96
+#: Repair rounds before the speculative loop falls back to the exact scalar
+#: replay.  Convergence normally takes 1-3 rounds (see docs 3c); the cap only
+#: bounds adversarial flip chains.
+_REPAIR_ROUND_CAP = 32
+
+#: ``REPRO_SYNC_REPLAY=array|scalar`` pins the replay path (parity testing /
+#: CI gates); unset or empty keeps the size heuristic.
+_FORCED_MODE = os.environ.get("REPRO_SYNC_REPLAY") or None
 
 
 def _concat_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
@@ -68,6 +103,359 @@ def _concat_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
     return bases + (np.arange(total, dtype=np.int64) - np.repeat(prefix, lengths))
 
 
+# ----------------------------------------------------------------------
+# The sync stream: speculative fill resolution
+# ----------------------------------------------------------------------
+def replay_sync_stream(
+    l2: ArrayLRU,
+    num_nodes: int,
+    sec: np.ndarray,
+    is_fill: np.ndarray,
+    local: np.ndarray,
+    node: np.ndarray,
+    home: np.ndarray,
+    req_set: np.ndarray,
+    home_set: np.ndarray,
+    req_ins: np.ndarray,
+    home_ins: np.ndarray,
+    stats_acc: np.ndarray,
+    dram_requests: np.ndarray,
+    transfers: np.ndarray,
+    counters: Optional[dict] = None,
+    mode: Optional[str] = None,
+) -> tuple:
+    """Replay one position-ordered sync stream against the fused L2.
+
+    Each element is either a requester access (``is_fill`` False: probe
+    ``req_set``; on a miss insert per ``req_ins``, and -- when remote -- probe
+    ``home_set`` inserting per ``home_ins``) or a home-fill-only event
+    (``is_fill`` True: the already-resolved fill of a *free* remote miss,
+    probing ``home_set`` only).  Elements apply in array order, which must be
+    stream-position order; ``local`` must be False wherever ``is_fill`` is
+    set.
+
+    Stats land in ``stats_acc``/``dram_requests``/``transfers`` exactly as
+    the legacy walk counts them.  Returns element-aligned masks
+    ``(req_hit, home_present, home_hit)`` -- the parity surface for the
+    property tests.
+
+    ``mode`` forces a path: ``"array"`` (speculative segmented replay),
+    ``"scalar"`` (OrderedDict reference), or None for the size heuristic.
+    """
+    K = sec.size
+    if K == 0:
+        empty = np.empty(0, dtype=bool)
+        return empty, empty.copy(), empty.copy()
+    if counters is not None:
+        counters["sync_elements"] += K
+
+    if mode is None:
+        mode = _FORCED_MODE
+    if mode is None:
+        mode = "array"
+        if K < _SCALAR_MAX_ELEMENTS:
+            mode = "scalar"
+        elif not (req_ins.all() and home_ins.all()):
+            # Skewed streams (one set swallowing most events) would make the
+            # segmented kernel's round loop as long as the stream itself.
+            # All-insert streams are exempt: replay_segments resolves them
+            # through ArrayLRU's stack-property path, which has no round
+            # loop, so set skew costs them nothing.
+            gs_all = np.concatenate((req_set[~is_fill], home_set[is_fill | ~local]))
+            depth = int(np.bincount(gs_all).max()) if gs_all.size else 0
+            if depth > max(_SCALAR_MAX_ELEMENTS, K // _SEGMENT_DEPTH_DIVISOR):
+                mode = "scalar"
+
+    if mode == "array":
+        out = _replay_sync_array(
+            l2, sec, is_fill, local, node, home,
+            req_set, home_set, req_ins, home_ins, counters,
+        )
+    else:
+        if counters is not None:
+            counters["sync_scalar"] += 1
+        out = _replay_sync_scalar(
+            l2, sec, is_fill, local,
+            req_set, home_set, req_ins, home_ins,
+        )
+    req_hit, home_present, home_hit = out
+    _accumulate_sync_stats(
+        num_nodes, is_fill, local, node, home,
+        req_hit, home_present, home_hit,
+        stats_acc, dram_requests, transfers,
+    )
+    return out
+
+
+def _replay_sync_array(
+    l2: ArrayLRU,
+    sec: np.ndarray,
+    is_fill: np.ndarray,
+    local: np.ndarray,
+    node: np.ndarray,
+    home: np.ndarray,
+    req_set: np.ndarray,
+    home_set: np.ndarray,
+    req_ins: np.ndarray,
+    home_ins: np.ndarray,
+    counters: Optional[dict],
+) -> tuple:
+    """Speculative segmented replay (see module docstring, point 5)."""
+    K = sec.size
+    reqm = ~is_fill
+    # Home-side events exist for fills (always) and for remote requester
+    # accesses (speculatively: present iff the requester probe misses).
+    has_home = is_fill | (reqm & ~local)
+
+    # Candidate event stream: element k's requester event at key 2k, its
+    # home event at key 2k+1 -- one argsort yields global position order.
+    r_elems = np.nonzero(reqm)[0]
+    h_elems = np.nonzero(has_home)[0]
+    e_elem = np.concatenate((r_elems, h_elems))
+    e_home = np.zeros(e_elem.size, dtype=bool)
+    e_home[r_elems.size:] = True
+    e_key = np.concatenate((2 * r_elems, 2 * h_elems + 1))
+    order = np.argsort(e_key, kind="stable")
+    e_elem = e_elem[order]
+    e_home = e_home[order]
+    E = e_elem.size
+
+    gs = np.where(e_home, home_set[e_elem], req_set[e_elem])
+    ins = np.where(e_home, home_ins[e_elem], req_ins[e_elem])
+    esec = sec[e_elem]
+    spec = e_home & ~is_fill[e_elem]
+    spec_idx = np.nonzero(spec)[0]
+    # Parent requester event of each speculative fill: the event with key
+    # 2*elem.  Keys are unique and sorted, so searchsorted locates it.
+    parent = np.searchsorted(e_key[order], 2 * e_elem[spec_idx])
+
+    touched = np.unique(gs)
+    saved = l2.save_rows(touched)
+    present = np.ones(E, dtype=bool)
+    hit = np.zeros(E, dtype=bool)
+    if counters is not None:
+        counters["sync_events"] += E
+        counters["spec_events"] += int(spec_idx.size)
+
+    rounds = 0
+    converged = False
+    active: Optional[np.ndarray] = None  # None: first round, all sets
+    while rounds < _REPAIR_ROUND_CAP:
+        rounds += 1
+        if active is None:
+            selidx = np.nonzero(present)[0]
+        else:
+            # Restore only the mispredicted sets and replay their (repaired)
+            # substreams; every other set's state and outcomes stand.
+            rows = np.searchsorted(touched, active)
+            l2.tags[active] = saved[0][rows]
+            l2.stamp[active] = saved[1][rows]
+            mark = np.zeros(l2.num_sets, dtype=bool)
+            mark[active] = True
+            selidx = np.nonzero(mark[gs] & present)[0]
+        hit[selidx] = l2.replay_segments(esec[selidx], gs[selidx], ins[selidx])
+        new_present = ~hit[parent]
+        flipped = spec_idx[new_present != present[spec_idx]]
+        if flipped.size == 0:
+            converged = True
+            break
+        if counters is not None:
+            counters["spec_mispredicts"] += int(flipped.size)
+        present[spec_idx] = new_present
+        active = np.unique(gs[flipped])
+    if counters is not None:
+        counters["spec_rounds"] += rounds
+
+    if not converged:
+        # Adversarial flip chain: restore everything and run the exact
+        # scalar replay from the snapshot.  Always terminates, still
+        # bit-exact.
+        if counters is not None:
+            counters["sync_fallbacks"] += 1
+        l2.restore_rows(touched, saved)
+        return _replay_sync_scalar(
+            l2, sec, is_fill, local, req_set, home_set, req_ins, home_ins
+        )
+
+    req_hit = np.zeros(K, dtype=bool)
+    home_present = np.zeros(K, dtype=bool)
+    home_hit = np.zeros(K, dtype=bool)
+    re = ~e_home
+    req_hit[e_elem[re]] = hit[re]
+    he = e_home & present
+    home_present[e_elem[he]] = True
+    home_hit[e_elem[he]] = hit[he]
+    return req_hit, home_present, home_hit
+
+
+def _replay_sync_scalar(
+    l2: ArrayLRU,
+    sec: np.ndarray,
+    is_fill: np.ndarray,
+    local: np.ndarray,
+    req_set: np.ndarray,
+    home_set: np.ndarray,
+    req_ins: np.ndarray,
+    home_ins: np.ndarray,
+) -> tuple:
+    """Exact OrderedDict replay of one sync stream (fallback and oracle).
+
+    Materialises every touched set's array rows as an ``OrderedDict``, runs
+    the per-element reference walk, and writes tag/stamp rows back.  This is
+    the legacy engine's set model operation for operation, so parity with
+    the dict-based reference walk is structural.
+    """
+    K = sec.size
+    assoc = l2.assoc
+    tags, stamp = l2.tags, l2.stamp
+    reqm = ~is_fill
+    # Flag-scatter instead of np.unique: marking a bitmap over the fused set
+    # space and reading back the set indices skips the O(K log K) sort.
+    mark = np.zeros(l2.num_sets, dtype=bool)
+    mark[req_set[reqm]] = True
+    mark[home_set[is_fill | (reqm & ~local)]] = True
+    touched = np.nonzero(mark)[0]
+
+    # ---- materialise the touched sets as insertion-ordered dicts ----
+    # (a plain dict is insertion-ordered; pop+reinsert is the refresh and
+    # popping the first key is the eviction, both faster than OrderedDict)
+    mlist = touched.tolist()
+    st = stamp[touched]
+    ordr = np.argsort(st, axis=1, kind="stable")
+    otags = np.take_along_axis(tags[touched], ordr, axis=1).tolist()
+    ost = np.take_along_axis(st, ordr, axis=1).tolist()
+    dset = {}
+    for gset, trow, srow in zip(mlist, otags, ost):
+        d = {}
+        for t, sv in zip(trow, srow):
+            if sv > 0:  # stamp > 0 <=> occupied way; rows sort oldest first
+                d[t] = True  # truthy value so pop() doubles as the hit test
+        dset[gset] = d
+
+    # Outcome indices collect in plain lists (one append beats three numpy
+    # scalar stores per element) and scatter once at the end.
+    rh_idx: list = []
+    hp_idx: list = []
+    hh_idx: list = []
+    rh_append = rh_idx.append
+    hp_append = hp_idx.append
+    hh_append = hh_idx.append
+    nxt = next
+
+    # The four per-element flags pack into one int (fill | local<<1 |
+    # req_ins<<2 | home_ins<<3): a 4-list zip unpacks measurably faster
+    # than a 7-list one at these stream lengths.
+    code = (
+        is_fill.astype(np.int64)
+        + 2 * local.astype(np.int64)
+        + 4 * req_ins.astype(np.int64)
+        + 8 * home_ins.astype(np.int64)
+    )
+
+    # ---- scalar pass over the ordered element stream ---------------
+    # d.pop(s, False) is hit-test and recency-removal in one dict op;
+    # hits reinsert at the MRU end, exactly move_to_end.
+    for k, (s, c, rs, hs) in enumerate(
+        zip(sec.tolist(), code.tolist(), req_set.tolist(), home_set.tolist())
+    ):
+        if c & 1:  # home-fill-only event
+            hp_append(k)
+            hd = dset[hs]
+            if hd.pop(s, False):
+                hd[s] = True
+                hh_append(k)
+            elif c & 8:
+                hd[s] = True
+                if len(hd) > assoc:
+                    del hd[nxt(iter(hd))]
+            continue
+        d = dset[rs]
+        if d.pop(s, False):
+            d[s] = True
+            rh_append(k)
+            continue
+        if c & 4:
+            d[s] = True
+            if len(d) > assoc:
+                del d[nxt(iter(d))]
+        if c & 2:  # local requester: no home side
+            continue
+        hp_append(k)
+        hd = dset[hs]
+        if hd.pop(s, False):
+            hd[s] = True
+            hh_append(k)
+        elif c & 8:
+            hd[s] = True
+            if len(hd) > assoc:
+                del hd[nxt(iter(hd))]
+
+    req_hit = np.zeros(K, dtype=bool)
+    home_present = np.zeros(K, dtype=bool)
+    home_hit = np.zeros(K, dtype=bool)
+    req_hit[rh_idx] = True
+    home_present[hp_idx] = True
+    home_hit[hh_idx] = True
+
+    # ---- write touched-set dicts back as tag/stamp rows ------------
+    clock = l2.clock
+    new_tags = []
+    new_stamps = []
+    for gset in mlist:
+        keys = list(dset[gset])
+        ln = len(keys)
+        new_tags.append(keys + [-1] * (assoc - ln))
+        new_stamps.append(list(range(clock + 1, clock + 1 + ln)) + [0] * (assoc - ln))
+        clock += ln
+    l2.clock = clock
+    tags[touched] = np.array(new_tags, dtype=np.int64)
+    stamp[touched] = np.array(new_stamps, dtype=np.int64)
+    return req_hit, home_present, home_hit
+
+
+def _accumulate_sync_stats(
+    num_nodes: int,
+    is_fill: np.ndarray,
+    local: np.ndarray,
+    node: np.ndarray,
+    home: np.ndarray,
+    req_hit: np.ndarray,
+    home_present: np.ndarray,
+    home_hit: np.ndarray,
+    stats_acc: np.ndarray,
+    dram_requests: np.ndarray,
+    transfers: np.ndarray,
+) -> None:
+    """Fold one sync stream's outcome masks into the walk accumulators.
+
+    Shared by both replay paths so the accounting cannot diverge: requester
+    outcomes split LOCAL-LOCAL/LOCAL-REMOTE by locality (free-miss fills
+    were already counted by the fused free probe); every realised home-side
+    event is one interconnect transfer and a REMOTE-LOCAL access, missing
+    through to the home DRAM.
+    """
+    reqm = ~is_fill
+    if reqm.any():
+        code = node[reqm] * 4 + local[reqm] * 2 + req_hit[reqm]
+        c = np.bincount(code, minlength=num_nodes * 4).reshape(num_nodes, 4)
+        stats_acc[:, _LL, 0] += c[:, 2]
+        stats_acc[:, _LL, 1] += c[:, 3]
+        stats_acc[:, _LR, 0] += c[:, 0]
+        stats_acc[:, _LR, 1] += c[:, 1]
+        dram_requests += c[:, 2]
+    if home_present.any():
+        hp = home_present
+        np.add.at(transfers, (home[hp], node[hp]), 1)
+        code = home[hp] * 2 + home_hit[hp]
+        c = np.bincount(code, minlength=num_nodes * 2).reshape(num_nodes, 2)
+        stats_acc[:, _RL, 0] += c[:, 0]
+        stats_acc[:, _RL, 1] += c[:, 1]
+        dram_requests += c[:, 0]
+
+
+# ----------------------------------------------------------------------
+# The launch walk
+# ----------------------------------------------------------------------
 def walk_launch(
     config,
     launch_index: int,
@@ -77,12 +465,21 @@ def walk_launch(
     trace: LaunchTrace,
     order: np.ndarray,
     page_counts: Optional[np.ndarray] = None,
+    homes: Optional[np.ndarray] = None,
+    timers: Optional[dict] = None,
+    counters: Optional[dict] = None,
 ) -> tuple:
     """Walk one launch's cached trace; returns raw accumulators.
 
     ``l2`` is the fused global cache (``num_nodes * num_sets`` sets).
     Returns ``(metrics, xbar_requests, dram_requests, transfers, stats_acc)``
     in the same shapes the legacy walk produces, for a shared finalize step.
+
+    ``homes`` optionally passes the precomputed per-sector home nodes (the
+    walk-memo key derivation already gathered them); only valid when the
+    page table is fully mapped.  ``timers`` receives ``walk_free`` /
+    ``walk_sync`` wall-clock splits, ``counters`` the speculation telemetry
+    (see :class:`~repro.engine.simulator.Simulator.walk_counters`).
     """
     num_nodes = config.num_nodes
     num_sets = config.l2.num_sets
@@ -92,6 +489,9 @@ def walk_launch(
     page_table = plan.page_table
     ntb = trace.num_threadblocks
     trip = trace.trip
+    perf_counter = time.perf_counter
+    t_free = 0.0
+    t_sync = 0.0
 
     metrics = KernelMetrics(
         kernel=kernel.name, launch_index=launch_index, num_nodes=num_nodes
@@ -101,10 +501,12 @@ def walk_launch(
     tb_nodes = np.asarray(lp.tb_nodes, dtype=np.int64)
     warps_per_tb = -(-kernel.block.count // config.warp_size)
     insts_per_tb = warps_per_tb * kernel.insts_per_thread * trip
-    # Accumulate per-TB like the legacy loop (repeated float addition), so
-    # the perf model sees bit-identical totals.
-    for node in tb_nodes.tolist():
-        metrics.warp_insts_per_node[node] += insts_per_tb
+    # The legacy loop accumulates per-TB, but repeated float64 addition of
+    # one exact integer is exact while partial sums stay below 2**53, so
+    # count-times-value reproduces it bit-identically.
+    metrics.warp_insts_per_node += (
+        np.bincount(tb_nodes, minlength=num_nodes) * float(insts_per_tb)
+    )
 
     lengths = np.diff(trace.offsets)
     block_tb = np.repeat(np.arange(ntb, dtype=np.int64), trip)
@@ -114,20 +516,22 @@ def walk_launch(
     # Stage 1: resolve every first-touch fault of the launch up front.
     # ------------------------------------------------------------------
     if page_table.has_unmapped and trace.total_sectors:
-        pos_in_order = np.empty(ntb, dtype=np.int64)
-        pos_in_order[order] = np.arange(ntb)
-        shifts = (np.arange(trip, dtype=np.int64) * 7) % max(1, ntb)
-        # step of block (tb, m) in the global walk = m * ntb + rotated pos
-        block_steps = (
-            np.arange(trip, dtype=np.int64)[None, :] * ntb
-            + (pos_in_order[:, None] - shifts[None, :]) % ntb
-        ).reshape(-1)
-        sector_steps = np.repeat(block_steps, lengths)
-        touch_order = np.argsort(sector_steps, kind="stable")
+        # The walk visits block (tb, m) at step m * ntb + rotated position,
+        # so the first-touch stream is just the blocks' sector ranges
+        # concatenated in step order -- built directly instead of argsorting
+        # per-sector step keys (the sort dominated stage 1 on FT plans).
+        chunks = []
+        for m in range(trip):
+            shift = (m * 7) % max(1, ntb)
+            rotated = np.concatenate((order[shift:], order[:shift]))
+            blocks = rotated * trip + m
+            chunks.append(_concat_ranges(trace.offsets[blocks], lengths[blocks]))
+        touch_order = np.concatenate(chunks) if chunks else np.empty(0, np.int64)
         page_table.resolve_first_touch(
             trace.pages[touch_order], tb_nodes[tb_per_sector[touch_order]]
         )
-    homes = page_table.homes_of_pages(trace.pages, toucher=0)
+    if homes is None:
+        homes = page_table.homes_of_pages(trace.pages, toucher=0)
 
     # ------------------------------------------------------------------
     # Stage 2: launch-wide, order-independent accumulators.
@@ -186,13 +590,19 @@ def walk_launch(
             blocks = rotated * trip + m
             chunks.append(_concat_ranges(soff[blocks], slengths[blocks]))
         w = np.concatenate(chunks)
+        t0 = perf_counter()
         hitw = l2.probe_batch(ssec[w], greq[w], req_ins[w])
+        t_free += perf_counter() - t0
         code = s_node[w] * 2 + hitw
         c = np.bincount(code, minlength=num_nodes * 2).reshape(num_nodes, 2)
         stats_acc[:, _LL, 0] += c[:, 0]
         stats_acc[:, _LL, 1] += c[:, 1]
         dram_requests += c[:, 0]
         metrics.faults = page_table.fault_count - faults_before
+        if counters is not None:
+            counters["free_accesses"] += int(w.size)
+        if timers is not None:
+            timers["walk_free"] += t_free
         return metrics, xbar_requests, dram_requests, transfers, stats_acc
 
     # ------------------------------------------------------------------
@@ -205,30 +615,15 @@ def walk_launch(
     # position-ordered probe regardless of which threadblock issued it.
     # Only *sync* accesses (requester probes of sets on the iteration's
     # home-fill footprint) and the home fills themselves need
-    # per-threadblock interleaving.  Those run at legacy speed: the hot
-    # sets' array state is materialised into ``OrderedDict``s for the
-    # iteration, every sync/home access is a couple of dict operations in
-    # exact walk order (free requester misses inject their home fills at
-    # the issuing TB's stream position), and the dicts are written back as
-    # tag/stamp rows at iteration end.  A fully-local iteration (and every
+    # per-threadblock interleaving; they merge -- by stream position, free
+    # misses injecting their home fills at the issuing TB's position --
+    # into one event stream handed to the speculative segmented replay
+    # (:func:`replay_sync_stream`).  A fully-local iteration (and every
     # Monolithic iteration) has no home fills at all and becomes a single
     # probe call.
     # ------------------------------------------------------------------
     probe = l2.probe_batch
-    tags, stamp = l2.tags, l2.stamp
-    assoc = l2.assoc
     hot = np.zeros(num_nodes * num_sets, dtype=bool)
-    # Per-set OrderedDicts for the scalar path, indexed by global set id.
-    dset = [None] * (num_nodes * num_sets)
-    # Python-int accumulators for the scalar per-TB path (folded at the end).
-    ll_miss = [0] * num_nodes
-    ll_hit = [0] * num_nodes
-    lr_miss = [0] * num_nodes
-    lr_hit = [0] * num_nodes
-    rl_miss = [0] * num_nodes
-    rl_hit = [0] * num_nodes
-    dram_py = [0] * num_nodes
-    transfers_py = [[0] * num_nodes for _ in range(num_nodes)]
 
     for m in range(trip):
         shift = (m * 7) % max(1, ntb)
@@ -239,20 +634,25 @@ def walk_launch(
         if idx.size == 0:
             continue
         rem = ~slocal[idx]
-        hot_sets = None
+        has_hot = False
         freem = None
         if rem.any():
-            hot_sets = np.unique(ghome[idx[rem]])
-            hot[hot_sets] = True
+            # Mark/probe/unmark the iteration's home-fill footprint in place;
+            # duplicate set ids just re-write the same flag (no unique/sort).
+            has_hot = True
+            hot_sel = ghome[idx[rem]]
+            hot[hot_sel] = True
             freem = ~hot[greq[idx]]
-            hot[hot_sets] = False
+            hot[hot_sel] = False
 
         # ---- fused free probe (position order) -------------------------
-        ev_idx = None  # scalar events, in stream-position order
-        ev_fill = None  # per-event home-fill-only flag (None: all requester)
+        ev_idx = None  # sync elements, in stream-position order
+        ev_fill = None  # per-element home-fill-only flag (None: all requester)
         fidx = idx if freem is None else idx[freem]
         if fidx.size:
+            t0 = perf_counter()
             fhit = probe(ssec[fidx], greq[fidx], req_ins[fidx])
+            t_free += perf_counter() - t0
             floc = slocal[fidx]
             code = s_node[fidx] * 4 + floc * 2 + fhit
             c = np.bincount(code, minlength=num_nodes * 4).reshape(num_nodes, 4)
@@ -261,7 +661,9 @@ def walk_launch(
             stats_acc[:, _LR, 0] += c[:, 0]
             stats_acc[:, _LR, 1] += c[:, 1]
             dram_requests += c[:, 2]
-            if hot_sets is not None:
+            if counters is not None:
+                counters["free_accesses"] += int(fidx.size)
+            if has_hot:
                 sidx = idx[~freem]
                 fm = ~(floc | fhit)
                 if fm.any():
@@ -277,145 +679,39 @@ def walk_launch(
                     )[o]
                 else:
                     ev_idx = sidx
-        elif hot_sets is not None:
+        elif has_hot:
             # Every access of the iteration is sync (all requester sets sit
-            # on the home-fill footprint): the whole stream runs scalar, in
-            # exact walk order.
+            # on the home-fill footprint): the whole stream runs through the
+            # speculative replay, in exact walk order.
             ev_idx = idx
         if ev_idx is None or ev_idx.size == 0:
             continue
-        mat_sets = hot_sets
-
-        # ---- materialise the touched sets as OrderedDicts --------------
-        mlist = mat_sets.tolist()
-        st = stamp[mat_sets]
-        ordr = np.argsort(st, axis=1, kind="stable")
-        otags = np.take_along_axis(tags[mat_sets], ordr, axis=1).tolist()
-        ost = np.take_along_axis(st, ordr, axis=1).tolist()
-        for gs, trow, srow in zip(mlist, otags, ost):
-            d = OrderedDict()
-            for t, sv in zip(trow, srow):
-                if sv > 0:  # stamp > 0 <=> occupied way; rows sort oldest first
-                    d[t] = None
-            dset[gs] = d
-
-        # ---- scalar pass over the ordered event stream -----------------
-        e_sec = ssec[ev_idx].tolist()
-        e_loc = slocal[ev_idx].tolist()
-        e_hset = ghome[ev_idx].tolist()
-        e_home = shome[ev_idx].tolist()
-        e_hins = sins[ev_idx].tolist()
-        e_node = s_node[ev_idx].tolist()
         if ev_fill is None:
-            e_gs = greq[ev_idx].tolist()
-            e_rins = req_ins[ev_idx].tolist()
-            for sec, gs, loc, hset, h, hins, rins, node in zip(
-                e_sec, e_gs, e_loc, e_hset, e_home, e_hins, e_rins, e_node
-            ):
-                d = dset[gs]
-                if sec in d:
-                    d.move_to_end(sec)
-                    if loc:
-                        ll_hit[node] += 1
-                    else:
-                        lr_hit[node] += 1
-                else:
-                    if rins:
-                        d[sec] = None
-                        if len(d) > assoc:
-                            d.popitem(last=False)
-                    if loc:
-                        ll_miss[node] += 1
-                        dram_py[node] += 1
-                    else:
-                        lr_miss[node] += 1
-                        transfers_py[h][node] += 1
-                        hd = dset[hset]
-                        if sec in hd:
-                            hd.move_to_end(sec)
-                            rl_hit[h] += 1
-                        else:
-                            rl_miss[h] += 1
-                            dram_py[h] += 1
-                            if hins:
-                                hd[sec] = None
-                                if len(hd) > assoc:
-                                    hd.popitem(last=False)
-        else:
-            e_gs = np.where(ev_fill, ghome[ev_idx], greq[ev_idx]).tolist()
-            e_rins = req_ins[ev_idx].tolist()
-            e_f = ev_fill.tolist()
-            for sec, fill, gs, loc, hset, h, hins, rins, node in zip(
-                e_sec, e_f, e_gs, e_loc, e_hset, e_home, e_hins, e_rins, e_node
-            ):
-                if fill:
-                    # Home fill of a free requester miss (probed above).
-                    transfers_py[h][node] += 1
-                    hd = dset[gs]
-                    if sec in hd:
-                        hd.move_to_end(sec)
-                        rl_hit[h] += 1
-                    else:
-                        rl_miss[h] += 1
-                        dram_py[h] += 1
-                        if hins:
-                            hd[sec] = None
-                            if len(hd) > assoc:
-                                hd.popitem(last=False)
-                    continue
-                d = dset[gs]
-                if sec in d:
-                    d.move_to_end(sec)
-                    if loc:
-                        ll_hit[node] += 1
-                    else:
-                        lr_hit[node] += 1
-                else:
-                    if rins:
-                        d[sec] = None
-                        if len(d) > assoc:
-                            d.popitem(last=False)
-                    if loc:
-                        ll_miss[node] += 1
-                        dram_py[node] += 1
-                    else:
-                        lr_miss[node] += 1
-                        transfers_py[h][node] += 1
-                        hd = dset[hset]
-                        if sec in hd:
-                            hd.move_to_end(sec)
-                            rl_hit[h] += 1
-                        else:
-                            rl_miss[h] += 1
-                            dram_py[h] += 1
-                            if hins:
-                                hd[sec] = None
-                                if len(hd) > assoc:
-                                    hd.popitem(last=False)
+            ev_fill = np.zeros(ev_idx.size, dtype=bool)
 
-        # ---- write touched-set dicts back as tag/stamp rows ------------
-        clock = l2.clock
-        new_tags = []
-        new_stamps = []
-        for gs in mlist:
-            keys = list(dset[gs])
-            ln = len(keys)
-            new_tags.append(keys + [-1] * (assoc - ln))
-            new_stamps.append(list(range(clock + 1, clock + 1 + ln)) + [0] * (assoc - ln))
-            clock += ln
-        l2.clock = clock
-        tags[mat_sets] = np.array(new_tags, dtype=np.int64)
-        stamp[mat_sets] = np.array(new_stamps, dtype=np.int64)
+        t0 = perf_counter()
+        replay_sync_stream(
+            l2,
+            num_nodes,
+            ssec[ev_idx],
+            ev_fill,
+            slocal[ev_idx],
+            s_node[ev_idx],
+            shome[ev_idx],
+            greq[ev_idx],
+            ghome[ev_idx],
+            req_ins[ev_idx],
+            sins[ev_idx],
+            stats_acc,
+            dram_requests,
+            transfers,
+            counters=counters,
+        )
+        t_sync += perf_counter() - t0
 
-    # Fold the scalar accumulators into the numpy ones.
-    stats_acc[:, _LL, 0] += ll_miss
-    stats_acc[:, _LL, 1] += ll_hit
-    stats_acc[:, _LR, 0] += lr_miss
-    stats_acc[:, _LR, 1] += lr_hit
-    stats_acc[:, _RL, 0] += rl_miss
-    stats_acc[:, _RL, 1] += rl_hit
-    dram_requests += dram_py
-    transfers += transfers_py
+    if timers is not None:
+        timers["walk_free"] += t_free
+        timers["walk_sync"] += t_sync
 
     metrics.faults = page_table.fault_count - faults_before
     return metrics, xbar_requests, dram_requests, transfers, stats_acc

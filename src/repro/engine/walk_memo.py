@@ -1,0 +1,163 @@
+"""Launch-walk memoisation: skip walks whose outcome is already known.
+
+Experiment matrices re-walk *identical* launches constantly: ablation
+sweeps where only CRB differs leave most kernels' placement untouched,
+``run_matrix`` runs the same workload under strategies that agree on
+placement for locality classes they don't specialise, and repeated runs of
+one strategy (scaling studies, CI) repeat every walk verbatim.  The walk is
+a pure function of a small key, so those repeats can return cached
+accumulators instead of replaying millions of probes.
+
+Soundness
+---------
+A memo hit must reproduce *every* observable effect of the walk it skips.
+:func:`eligible` therefore admits a launch only when:
+
+* ``config.flush_l2_between_kernels`` is set -- the launch starts from a
+  flushed (clean-lineage) L2, so the incoming cache state is part of the
+  key by construction, and the *outgoing* state is dead (the next launch
+  flushes again, and nothing after the run reads raw cache state).  This is
+  the "clean lineage" guard: without it the walk's L2 mutation would be an
+  unkeyed input/output.
+* the page table is fully mapped (``not page_table.has_unmapped``) -- a
+  first-touch walk *mutates* placement (Batch+FT), which a skipped walk
+  would silently drop, and makes ``homes`` depend on walk order.
+* page-access profiling is off -- ``page_counts`` accumulation is a side
+  effect the memo does not capture.
+
+The key then pins every remaining input of the walk:
+
+* the :class:`LaunchTrace` **object** (identity hash, strong reference --
+  an entry keeps its trace alive so the identity can never be recycled,
+  mirroring ``TraceCache``'s keying),
+* the threadblock placement (``tb_nodes`` bytes),
+* the per-array insertion policies (RTWICE/RONCE et al., the only policy
+  bit the walk reads),
+* a digest of the per-sector home nodes (page placement differs across
+  strategies even for one trace),
+* the cache/topology geometry the walk depends on.
+
+Entries store the walk's raw outputs (per-node accumulators, warp
+instruction counts, fault count) -- a few KiB each -- and rebuild a fresh
+:class:`KernelMetrics` per hit, so downstream finalisation and perf
+modelling never alias memoised state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from collections import OrderedDict
+from typing import Optional
+
+import numpy as np
+
+from repro.engine.metrics import KernelMetrics
+
+__all__ = ["WalkMemo", "default_walk_memo", "memo_enabled"]
+
+
+def memo_enabled() -> bool:
+    """Launch-walk memoisation is on unless ``REPRO_WALK_MEMO=0``."""
+    return os.environ.get("REPRO_WALK_MEMO", "1") != "0"
+
+
+def eligible(config, plan, page_counts) -> bool:
+    """Is this launch's walk sound to memoise?  (See module docstring.)"""
+    return (
+        config.flush_l2_between_kernels
+        and not plan.page_table.has_unmapped
+        and page_counts is None
+    )
+
+
+class WalkMemo:
+    """LRU store of launch-walk results keyed on the walk's full input set."""
+
+    def __init__(self, max_entries: Optional[int] = None):
+        if max_entries is None:
+            max_entries = int(os.environ.get("REPRO_WALK_MEMO_ENTRIES", "256"))
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[tuple, tuple]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def make_key(trace, lp, config, homes: np.ndarray) -> tuple:
+        """Key one launch walk; ``homes`` is the per-sector home-node array.
+
+        Callers must have established :func:`eligible` first -- the key
+        encodes a clean-lineage walk and is meaningless otherwise.
+        """
+        policies = tuple(
+            bool(lp.policy_for(name).insert_at_home) for name in trace.site_arrays
+        )
+        homes_digest = hashlib.blake2b(
+            np.ascontiguousarray(homes).tobytes(), digest_size=16
+        ).digest()
+        geometry = (
+            config.num_nodes,
+            config.l2.num_sets,
+            config.l2.assoc,
+            config.l1_filter_sectors,
+            config.remote_caching,
+            config.warp_size,
+        )
+        tb_bytes = np.ascontiguousarray(lp.tb_nodes).tobytes()
+        return (trace, tb_bytes, policies, homes_digest, geometry, "flush-clean")
+
+    # ------------------------------------------------------------------
+    def get(self, key: tuple):
+        """Rebuilt ``(metrics, xbar, dram, transfers, stats)`` or None."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        kernel, launch_index, num_nodes, warp_insts, faults, arrays = entry
+        metrics = KernelMetrics(
+            kernel=kernel, launch_index=launch_index, num_nodes=num_nodes
+        )
+        metrics.warp_insts_per_node[:] = warp_insts
+        metrics.faults = faults
+        return (metrics,) + tuple(a.copy() for a in arrays)
+
+    def put(self, key: tuple, metrics: KernelMetrics, xbar, dram, transfers, stats):
+        """Record one walk's raw outputs (copies; caller keeps its arrays)."""
+        self._entries[key] = (
+            metrics.kernel,
+            metrics.launch_index,
+            metrics.num_nodes,
+            metrics.warp_insts_per_node.copy(),
+            metrics.faults,
+            (xbar.copy(), dram.copy(), transfers.copy(), stats.copy()),
+        )
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._entries),
+        }
+
+
+_DEFAULT_MEMO: Optional[WalkMemo] = None
+
+
+def default_walk_memo() -> WalkMemo:
+    """Process-wide memo shared across simulators (strategy sweeps)."""
+    global _DEFAULT_MEMO
+    if _DEFAULT_MEMO is None:
+        _DEFAULT_MEMO = WalkMemo()
+    return _DEFAULT_MEMO

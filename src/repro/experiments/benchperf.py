@@ -1,0 +1,312 @@
+"""Engine performance benchmark: vectorised walk vs legacy reference.
+
+Times a Figure-9 style subset (8 workloads x 4 strategies) under both
+engines and writes ``BENCH_perf.json`` with per-stage wall-clock times
+(trace, walk, finalize, plus the vector engine's ``walk_free``/``walk_sync``
+sub-splits), per-workload walk-stage speedups, speculation telemetry
+(``spec_events``, ``spec_mispredicts``, repair rate per launch) and
+walk-memo hit counts.  The vector engine shares one trace cache and one
+walk memo per workload, so each (workload, scale) traces once and replays
+across strategies; the legacy engine re-traces per strategy, exactly as it
+did before the vector engine existed.
+
+Usage::
+
+    PYTHONPATH=src python -m repro bench                 # full (bench scale)
+    PYTHONPATH=src python -m repro bench --smoke         # CI: small + parity
+    PYTHONPATH=src python -m repro bench --smoke --gate BENCH_perf.json
+
+``--smoke`` runs a reduced subset at test scale and additionally asserts
+the two engines are bit-exact on every reported metric (exit code 1 on
+any mismatch), so CI catches both perf plumbing rot and parity rot.
+``--gate FILE`` compares walk-stage speedups against a committed report:
+same-scale runs must stay within 20% of the committed per-workload walk
+speedup; cross-scale runs (smoke vs a committed bench-scale file) apply a
+sanity floor instead, since absolute wall-clock does not transfer across
+scales or machines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.compiler.passes import compile_program
+from repro.engine.simulator import Simulator
+from repro.engine.trace_cache import TraceCache
+from repro.engine.walk_memo import WalkMemo
+from repro.experiments.runner import strategy_by_name
+from repro.topology.config import SystemConfig, bench_hierarchical, bench_monolithic
+from repro.workloads.base import BENCH, TEST
+from repro.workloads.suite import get_workload
+
+__all__ = ["run_bench", "check_gate", "main"]
+
+STAGES = ("trace", "walk", "finalize", "walk_free", "walk_sync")
+
+#: Walk-telemetry counters surfaced per workload and in the totals.
+COUNTER_KEYS = (
+    "free_accesses",
+    "sync_elements",
+    "sync_events",
+    "spec_events",
+    "spec_mispredicts",
+    "spec_rounds",
+    "sync_scalar",
+    "sync_fallbacks",
+    "walk_memo_hits",
+)
+
+#: Figure-9 subset: dense GEMM-shaped layers, recurrent cells, a streaming
+#: reduction and a transpose -- the mix the paper sweeps, heavy enough for
+#: stable timing.
+WORKLOADS = [
+    "conv",
+    "lstm1",
+    "lstm2",
+    "alexnet_fc2",
+    "vggnet_fc2",
+    "resnet50_fc",
+    "scalarprod",
+    "tra",
+]
+SMOKE_WORKLOADS = ["conv", "scalarprod", "tra"]
+
+STRATEGIES = ["Batch+FT", "H-CODA", "LADM", "Monolithic"]
+
+#: Cross-scale gate: a smoke run checked against a bench-scale report only
+#: has to clear this walk-stage speedup (wall-clock ratios do not transfer
+#: across scales, but the vector walk falling *below* this means the fast
+#: path rotted wholesale).
+CROSS_SCALE_SPEEDUP_FLOOR = 0.5
+
+
+def _configs() -> Dict[str, SystemConfig]:
+    return {"hier": bench_hierarchical(), "mono": bench_monolithic()}
+
+
+def _run_engine(
+    engine: str,
+    compiled,
+    strategies: List[str],
+    keep_results: bool,
+) -> Tuple[Dict[str, float], Optional[Dict[str, list]], Dict[str, int], List[dict]]:
+    """All strategies of one compiled workload under one engine.
+
+    Returns accumulated stage times (plus ``total`` wall-clock including
+    planning), optional per-strategy metric snapshots, summed walk-telemetry
+    counters, and the per-launch log (vector engine; empty for legacy).
+    """
+    cfgs = _configs()
+    cache = TraceCache() if engine == "vector" else None
+    # One memo per workload mirrors run_matrix sharing: strategies that
+    # produce identical placement+policy skip their repeat walks; distinct
+    # strategies never collide on the key.
+    memo = WalkMemo() if engine == "vector" else None
+    times = {s: 0.0 for s in STAGES}
+    counters = dict.fromkeys(COUNTER_KEYS, 0)
+    launch_log: List[dict] = []
+    snaps: Optional[Dict[str, list]] = {} if keep_results else None
+    t0 = time.perf_counter()
+    for name in strategies:
+        cfg = cfgs["mono"] if name == "Monolithic" else cfgs["hier"]
+        sim = Simulator(cfg, engine=engine, trace_cache=cache, walk_memo=memo)
+        plan = strategy_by_name(name).plan(compiled, sim.topology)
+        result = sim.run(compiled, plan)
+        for s in STAGES:
+            times[s] += sim.stage_times[s]
+        for k in COUNTER_KEYS:
+            src = "memo_hits" if k == "walk_memo_hits" else k
+            counters[k] += sim.walk_counters[src]
+        for entry in sim.walk_log:
+            spec = entry["spec_events"]
+            launch_log.append(
+                {
+                    "strategy": name,
+                    **entry,
+                    "repair_rate": entry["spec_mispredicts"] / spec if spec else 0.0,
+                }
+            )
+        if snaps is not None:
+            snaps[name] = result.snapshot()
+    times["total"] = time.perf_counter() - t0
+    return times, snaps, counters, launch_log
+
+
+def run_bench(
+    workload_names: List[str],
+    scale,
+    check_parity: bool,
+    verbose: bool = True,
+) -> dict:
+    per_workload: Dict[str, dict] = {}
+    mismatches: List[str] = []
+    for wname in workload_names:
+        program = get_workload(wname).program(scale)
+        compiled = compile_program(program)
+        legacy_t, legacy_snaps, _, _ = _run_engine(
+            "legacy", compiled, STRATEGIES, check_parity
+        )
+        vector_t, vector_snaps, counters, launch_log = _run_engine(
+            "vector", compiled, STRATEGIES, check_parity
+        )
+        speedup = legacy_t["total"] / vector_t["total"] if vector_t["total"] else 0.0
+        walk_speedup = (
+            legacy_t["walk"] / vector_t["walk"] if vector_t["walk"] else 0.0
+        )
+        per_workload[wname] = {
+            "legacy": legacy_t,
+            "vector": vector_t,
+            "speedup": speedup,
+            "walk_speedup": walk_speedup,
+            "counters": counters,
+            "launches": launch_log,
+        }
+        if check_parity:
+            for name in STRATEGIES:
+                if legacy_snaps[name] != vector_snaps[name]:
+                    mismatches.append(f"{wname}/{name}")
+        if verbose:
+            flag = ""
+            if check_parity:
+                bad = [m for m in mismatches if m.startswith(wname + "/")]
+                flag = "  PARITY-MISMATCH" if bad else "  parity-ok"
+            print(
+                f"{wname:<14} legacy={legacy_t['total']:7.2f}s "
+                f"vector={vector_t['total']:7.2f}s "
+                f"speedup={speedup:5.2f}x walk={walk_speedup:5.2f}x{flag}",
+                flush=True,
+            )
+
+    totals = {
+        eng: {
+            s: sum(per_workload[w][eng][s] for w in per_workload)
+            for s in STAGES + ("total",)
+        }
+        for eng in ("legacy", "vector")
+    }
+    totals["counters"] = {
+        k: sum(per_workload[w]["counters"][k] for w in per_workload)
+        for k in COUNTER_KEYS
+    }
+    overall = (
+        totals["legacy"]["total"] / totals["vector"]["total"]
+        if totals["vector"]["total"]
+        else 0.0
+    )
+    overall_walk = (
+        totals["legacy"]["walk"] / totals["vector"]["walk"]
+        if totals["vector"]["walk"]
+        else 0.0
+    )
+    return {
+        "meta": {
+            "scale": scale.name,
+            "workloads": workload_names,
+            "strategies": STRATEGIES,
+            "stages": list(STAGES),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "note": (
+                "legacy re-traces per strategy; vector shares one trace "
+                "cache per workload, so its trace stage is paid once"
+            ),
+        },
+        "per_workload": per_workload,
+        "totals": totals,
+        "overall_speedup": overall,
+        "overall_walk_speedup": overall_walk,
+        "parity_checked": check_parity,
+        "parity_mismatches": mismatches,
+    }
+
+
+def check_gate(report: dict, gate_path: str) -> List[str]:
+    """Compare a fresh report against a committed one; returns failures.
+
+    Same-scale: each shared workload's walk-stage speedup must stay within
+    20% of the committed value.  Cross-scale (smoke vs a bench-scale gate
+    file): only the :data:`CROSS_SCALE_SPEEDUP_FLOOR` sanity floor applies.
+    Parity mismatches in the fresh report always fail.
+    """
+    with open(gate_path) as fh:
+        gate = json.load(fh)
+    failures = [f"parity mismatch: {m}" for m in report["parity_mismatches"]]
+    same_scale = gate.get("meta", {}).get("scale") == report["meta"]["scale"]
+    for wname, cur in report["per_workload"].items():
+        cur_su = cur.get("walk_speedup", 0.0)
+        ref = gate.get("per_workload", {}).get(wname)
+        ref_su = ref.get("walk_speedup") if ref else None
+        if same_scale and ref_su:
+            if cur_su < 0.8 * ref_su:
+                failures.append(
+                    f"{wname}: walk speedup {cur_su:.2f}x regressed >20% "
+                    f"vs committed {ref_su:.2f}x"
+                )
+        elif cur_su < CROSS_SCALE_SPEEDUP_FLOOR:
+            failures.append(
+                f"{wname}: walk speedup {cur_su:.2f}x below sanity floor "
+                f"{CROSS_SCALE_SPEEDUP_FLOOR}x"
+            )
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro bench", description=__doc__.split("\n")[0]
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small subset at test scale + bit-exact parity assertion",
+    )
+    parser.add_argument("--scale", default=None, choices=["bench", "test"])
+    parser.add_argument("--workloads", nargs="*", default=None)
+    parser.add_argument("--output", default="BENCH_perf.json")
+    parser.add_argument(
+        "--gate",
+        default=None,
+        metavar="FILE",
+        help="committed BENCH_perf.json to gate walk-stage speedups against",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        scale = TEST if args.scale in (None, "test") else BENCH
+        names = args.workloads or SMOKE_WORKLOADS
+    else:
+        scale = BENCH if args.scale in (None, "bench") else TEST
+        names = args.workloads or WORKLOADS
+
+    report = run_bench(names, scale, check_parity=args.smoke)
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2)
+    print(
+        f"\noverall: legacy {report['totals']['legacy']['total']:.2f}s, "
+        f"vector {report['totals']['vector']['total']:.2f}s "
+        f"-> {report['overall_speedup']:.2f}x total, "
+        f"{report['overall_walk_speedup']:.2f}x walk  (wrote {args.output})"
+    )
+    status = 0
+    if report["parity_mismatches"]:
+        print(f"PARITY FAILURES: {report['parity_mismatches']}", file=sys.stderr)
+        status = 1
+    if args.gate:
+        failures = check_gate(report, args.gate)
+        for f in failures:
+            print(f"GATE: {f}", file=sys.stderr)
+        if failures:
+            status = 1
+        else:
+            print(f"gate ok vs {args.gate}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

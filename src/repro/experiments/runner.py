@@ -9,7 +9,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.compiler.passes import compile_program
 from repro.engine.metrics import RunResult
-from repro.engine.simulator import simulate
+from repro.engine.simulator import Simulator
 from repro.strategies import (
     BatchFTStrategy,
     CODAStrategy,
@@ -59,9 +59,22 @@ class MatrixResult:
     scale: str
     #: results[workload][strategy] -> RunResult
     results: Dict[str, Dict[str, RunResult]] = field(default_factory=dict)
+    #: stage_times[workload] -> simulator wall-clock splits summed over the
+    #: workload's strategies ({trace, walk, finalize, walk_free, walk_sync}).
+    #: One workload is one worker job, so in a parallel run this is the
+    #: per-worker time breakdown.
+    stage_times: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def get(self, workload: str, strategy: str) -> RunResult:
         return self.results[workload][strategy]
+
+    def total_stage_times(self) -> Dict[str, float]:
+        """Stage splits summed across all workloads."""
+        totals: Dict[str, float] = {}
+        for times in self.stage_times.values():
+            for stage, t in times.items():
+                totals[stage] = totals.get(stage, 0.0) + t
+        return totals
 
     def workloads(self) -> List[str]:
         return list(self.results)
@@ -100,31 +113,39 @@ def _run_workload(
     scale: Scale,
     engine: Optional[str],
     verbose: bool,
-) -> Dict[str, RunResult]:
+) -> Tuple[Dict[str, RunResult], Dict[str, float]]:
     """All strategies of one workload; the unit of parallel distribution.
 
     The program is built and compiled once and shared across strategies (the
     static analysis is strategy-independent); with the vectorised engine the
     process-wide trace cache makes every strategy after the first replay the
-    same trace.
+    same trace, and the process-wide walk memo skips repeated identical
+    walks.  Returns the per-strategy results plus the workload's simulator
+    stage-time splits (summed over its strategies).
     """
     program = workload.program(scale)
     compiled = compile_program(program)
     per_strategy: Dict[str, RunResult] = {}
+    stage_times: Dict[str, float] = {}
     for strat_name, config in strategies:
         strategy = strategy_by_name(strat_name)
-        result = simulate(
-            program, strategy, config, compiled=compiled, engine=engine
-        )
+        sim = Simulator(config, engine=engine)
+        plan = strategy.plan(compiled, sim.topology)
+        result = sim.run(compiled, plan)
+        for stage, t in sim.stage_times.items():
+            stage_times[stage] = stage_times.get(stage, 0.0) + t
         per_strategy[strat_name] = result
         if verbose:
-            print(f"  {workload.name:<14} {result.summary()}")
-    return per_strategy
+            print(f"  {workload.name:<14} {result.summary()}", flush=True)
+    return per_strategy, stage_times
 
 
-def _pool_worker(args: tuple) -> Tuple[str, Dict[str, RunResult]]:
+def _pool_worker(args: tuple) -> Tuple[str, Dict[str, RunResult], Dict[str, float]]:
     workload, strategies, scale, engine = args
-    return workload.name, _run_workload(workload, strategies, scale, engine, False)
+    per_strategy, stage_times = _run_workload(
+        workload, strategies, scale, engine, False
+    )
+    return workload.name, per_strategy, stage_times
 
 
 def run_matrix(
@@ -138,27 +159,40 @@ def run_matrix(
     """Run every workload under every (strategy name, system) pair.
 
     ``parallel=N`` distributes whole workloads over a fork-based process
-    pool of ``N`` workers (each worker keeps its own trace cache, so a
-    workload's strategies still share one trace).  Results are merged in
-    the caller's workload order, so the returned matrix is identical to a
-    sequential run -- simulations are deterministic and workloads are
-    independent.  ``engine`` is forwarded to :func:`simulate` (``"vector"``,
-    ``"legacy"``, or ``None`` for the session default).
+    pool of ``N`` workers (each worker keeps its own trace cache and walk
+    memo, so a workload's strategies still share one trace).  With
+    ``verbose`` the per-workload summaries stream as workers finish
+    (completion order); the returned matrix is still merged in the caller's
+    workload order, identical to a sequential run -- simulations are
+    deterministic and workloads are independent.  ``engine`` selects the
+    simulation engine (``"vector"``, ``"legacy"``, or ``None`` for the
+    session default).  Per-workload simulator stage times -- the per-worker
+    time breakdown of a parallel run -- land in
+    :attr:`MatrixResult.stage_times`.
     """
     matrix = MatrixResult(scale=scale.name)
     if parallel and parallel > 1 and len(workloads) > 1:
         jobs = [(w, tuple(strategies), scale, engine) for w in workloads]
         ctx = multiprocessing.get_context("fork")
+        by_name = {}
+        stage_by_name = {}
         with ctx.Pool(min(parallel, len(jobs))) as pool:
-            by_name = dict(pool.imap_unordered(_pool_worker, jobs))
+            for wname, per_strategy, stage_times in pool.imap_unordered(
+                _pool_worker, jobs
+            ):
+                by_name[wname] = per_strategy
+                stage_by_name[wname] = stage_times
+                if verbose:  # stream each workload as its worker finishes
+                    for result in per_strategy.values():
+                        print(f"  {wname:<14} {result.summary()}", flush=True)
         for workload in workloads:  # deterministic merge: input order
             matrix.results[workload.name] = by_name[workload.name]
-            if verbose:
-                for result in by_name[workload.name].values():
-                    print(f"  {workload.name:<14} {result.summary()}")
+            matrix.stage_times[workload.name] = stage_by_name[workload.name]
         return matrix
     for workload in workloads:
-        matrix.results[workload.name] = _run_workload(
+        per_strategy, stage_times = _run_workload(
             workload, strategies, scale, engine, verbose
         )
+        matrix.results[workload.name] = per_strategy
+        matrix.stage_times[workload.name] = stage_times
     return matrix

@@ -110,6 +110,129 @@ class TestBatchParity:
         assert np.array_equal(ref.resident_sectors(), arr.resident_sectors())
 
 
+class TestReplaySegments:
+    @given(geometry=GEOMETRIES, stream=STREAMS)
+    @settings(max_examples=100, deadline=None)
+    def test_same_outcomes_as_probe_batch_but_stats_neutral(
+        self, geometry, stream
+    ):
+        """replay_segments mutates state like probe_batch, counts nothing."""
+        sets, ways = geometry
+        a = ArrayLRU(sets, ways)
+        b = ArrayLRU(sets, ways)
+        sectors = np.array([s for s, _ in stream], dtype=np.int64)
+        gsets = sectors % sets
+        inserts = np.array([i for _, i in stream], dtype=bool)
+        hits_probe = a.probe_batch(sectors, gsets, inserts)
+        hits_replay = b.replay_segments(sectors, gsets, inserts)
+        assert hits_replay.tolist() == hits_probe.tolist()
+        assert np.array_equal(a.tags, b.tags)
+        for s in range(sets):
+            assert a.lru_order(s).tolist() == b.lru_order(s).tolist()
+        assert a.accesses == len(stream) and a.hits == int(hits_probe.sum())
+        assert b.accesses == 0 and b.hits == 0
+
+    @given(geometry=GEOMETRIES, stream=STREAMS)
+    @settings(max_examples=100, deadline=None)
+    def test_save_restore_rows_roundtrip(self, geometry, stream):
+        """restore_rows rewinds touched sets exactly; others untouched."""
+        sets, ways = geometry
+        arr = ArrayLRU(sets, ways)
+        half = len(stream) // 2
+        for sector, insert in stream[:half]:  # arbitrary pre-state
+            arr.access(sector, insert_on_miss=insert)
+        before = [arr.lru_order(s).tolist() for s in range(sets)]
+        touched = np.unique(
+            np.array([s for s, _ in stream[half:]], dtype=np.int64) % sets
+        )
+        saved = arr.save_rows(touched)
+        for sector, insert in stream[half:]:
+            arr.replay_segments(
+                np.array([sector], dtype=np.int64),
+                np.array([sector % sets], dtype=np.int64),
+                np.array([insert], dtype=bool),
+            )
+        arr.restore_rows(touched, saved)
+        assert [arr.lru_order(s).tolist() for s in range(sets)] == before
+
+
+ALL_INSERT_STREAMS = st.lists(
+    st.integers(min_value=0, max_value=40),  # sector; insert always True
+    min_size=2,
+    max_size=200,
+)
+
+
+class TestAllInsertStackPath:
+    """The stack-property fast path for all-insert colliding batches.
+
+    ``_probe_stack`` replaces the per-round loop whenever every access
+    fills on miss; it must match both the sequential reference model and
+    the round loop it shadows, including warm state carried across calls.
+    """
+
+    @given(geometry=GEOMETRIES, stream=ALL_INSERT_STREAMS)
+    @settings(max_examples=200, deadline=None)
+    def test_parity_with_sequential_model(self, geometry, stream):
+        sets, ways = geometry
+        ref = SectoredCache(sets, ways)
+        arr = ArrayLRU(sets, ways)
+        sectors = np.array(stream, dtype=np.int64)
+        inserts = np.ones(len(stream), dtype=bool)
+        hits = arr.probe_batch(sectors, sectors % sets, inserts)
+        ref_hits = [ref.access(s) for s in stream]
+        assert hits.tolist() == ref_hits
+        assert np.array_equal(ref.resident_sectors(), arr.resident_sectors())
+        for s in range(sets):
+            assert _lru_orders(ref)[s] == arr.lru_order(s).tolist()
+
+    @given(
+        geometry=GEOMETRIES,
+        chunks=st.lists(ALL_INSERT_STREAMS, min_size=2, max_size=4),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_matches_round_loop_with_warm_state(self, geometry, chunks):
+        """Stack path == round loop: hits, residents, recency, stamps."""
+        sets, ways = geometry
+        class RoundsOnly(ArrayLRU):  # force the round loop
+            __slots__ = ()
+
+            def _probe_stack(self, *args):
+                return None
+
+        fast = ArrayLRU(sets, ways)
+        slow = RoundsOnly(sets, ways)
+        for stream in chunks:
+            sectors = np.array(stream, dtype=np.int64)
+            inserts = np.ones(len(stream), dtype=bool)
+            h_fast = fast.probe_batch(sectors, sectors % sets, inserts)
+            h_slow = slow.probe_batch(sectors, sectors % sets, inserts)
+            assert h_fast.tolist() == h_slow.tolist()
+        assert np.array_equal(
+            fast.resident_sectors(), slow.resident_sectors()
+        )
+        for s in range(sets):
+            assert fast.lru_order(s).tolist() == slow.lru_order(s).tolist()
+            # Stamps must agree way-for-sector (not way layout): the sync
+            # walk snapshots/restores raw rows around speculative replays.
+            for sector in fast.lru_order(s):
+                fw = int(np.nonzero(fast.tags[s] == sector)[0][0])
+                sw = int(np.nonzero(slow.tags[s] == sector)[0][0])
+                assert fast.stamp[s, fw] == slow.stamp[s, sw]
+
+    def test_window_budget_falls_back_to_rounds(self, monkeypatch):
+        monkeypatch.setattr(ArrayLRU, "_STACK_WINDOW_BUDGET", 0)
+        ref = SectoredCache(2, 2)
+        arr = ArrayLRU(2, 2)
+        stream = [0, 2, 4, 6, 0, 2, 4, 6, 1, 3, 5, 1]
+        sectors = np.array(stream, dtype=np.int64)
+        hits = arr.probe_batch(
+            sectors, sectors % 2, np.ones(len(stream), dtype=bool)
+        )
+        assert hits.tolist() == [ref.access(s) for s in stream]
+        assert np.array_equal(ref.resident_sectors(), arr.resident_sectors())
+
+
 class TestBasics:
     def test_empty_batch(self):
         arr = ArrayLRU(4, 2)

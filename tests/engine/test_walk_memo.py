@@ -1,0 +1,142 @@
+"""Launch-walk memoisation: hits are exact, unsound cases never engage."""
+
+import numpy as np
+
+from repro.compiler.passes import compile_program
+from repro.engine.simulator import Simulator
+from repro.engine.walk_memo import WalkMemo, default_walk_memo, memo_enabled
+from repro.experiments.runner import strategy_by_name
+from repro.topology.config import bench_hierarchical, bench_monolithic
+from repro.workloads.base import TEST
+from repro.workloads.suite import get_workload
+
+
+def _compiled(name="vecadd"):
+    return compile_program(get_workload(name).program(TEST))
+
+
+def _run(compiled, strategy_name, config, memo, profile_pages=False):
+    sim = Simulator(config, engine="vector", walk_memo=memo)
+    plan = strategy_by_name(strategy_name).plan(compiled, sim.topology)
+    result = sim.run(compiled, plan, profile_pages=profile_pages)
+    return sim, result
+
+
+def _snapshots(result):
+    return [k.snapshot() for k in result.kernels]
+
+
+class TestMemoHits:
+    def test_identical_rerun_hits_and_stays_exact(self):
+        compiled = _compiled("lstm1")
+        cfg = bench_hierarchical()
+        memo = WalkMemo()
+        sim1, r1 = _run(compiled, "LADM", cfg, memo)
+        assert sim1.walk_counters["memo_hits"] == 0
+        assert sim1.walk_counters["memo_misses"] == len(r1.kernels)
+        sim2, r2 = _run(compiled, "LADM", cfg, memo)
+        assert sim2.walk_counters["memo_hits"] == len(r2.kernels)
+        assert sim2.walk_counters["memo_misses"] == 0
+        assert _snapshots(r1) == _snapshots(r2)
+        # A hit skips the walk: no probes, no sync telemetry.
+        assert sim2.walk_counters["free_accesses"] == 0
+        assert sim2.walk_counters["sync_elements"] == 0
+        assert all(e["memo"] == "hit" for e in sim2.walk_log)
+
+    def test_hits_cross_simulators_via_shared_memo(self):
+        compiled = _compiled()
+        cfg = bench_hierarchical()
+        memo = WalkMemo()
+        _run(compiled, "H-CODA", cfg, memo)
+        sim2, _ = _run(compiled, "H-CODA", cfg, memo)
+        assert sim2.walk_counters["memo_hits"] > 0
+
+    def test_memoised_run_matches_memoless_run(self):
+        compiled = _compiled("lstm1")
+        cfg = bench_hierarchical()
+        memo = WalkMemo()
+        _run(compiled, "LADM", cfg, memo)
+        _, r_hit = _run(compiled, "LADM", cfg, memo)
+        _, r_fresh = _run(compiled, "LADM", cfg, WalkMemo())
+        assert _snapshots(r_hit) == _snapshots(r_fresh)
+
+
+class TestSoundnessGuards:
+    def test_first_touch_never_memoised(self):
+        """Batch+FT walks mutate placement; the memo must stay out."""
+        compiled = _compiled()
+        cfg = bench_hierarchical()
+        memo = WalkMemo()
+        sim1, r1 = _run(compiled, "Batch+FT", cfg, memo)
+        sim2, r2 = _run(compiled, "Batch+FT", cfg, memo)
+        assert sim1.walk_counters["memo_ineligible"] == len(r1.kernels)
+        assert sim2.walk_counters["memo_hits"] == 0
+        assert len(memo) == 0
+        assert _snapshots(r1) == _snapshots(r2)
+
+    def test_no_flush_config_never_memoised(self):
+        """Without flush-between-kernels the L2 lineage is unkeyed."""
+        compiled = _compiled()
+        cfg = bench_monolithic()
+        assert not cfg.flush_l2_between_kernels
+        memo = WalkMemo()
+        sim, r = _run(compiled, "Monolithic", cfg, memo)
+        assert sim.walk_counters["memo_ineligible"] == len(r.kernels)
+        assert len(memo) == 0
+
+    def test_page_profiling_never_memoised(self):
+        compiled = _compiled()
+        cfg = bench_hierarchical()
+        memo = WalkMemo()
+        _run(compiled, "LADM", cfg, memo)  # populate
+        sim, r = _run(compiled, "LADM", cfg, memo, profile_pages=True)
+        assert sim.walk_counters["memo_hits"] == 0
+        assert sim.walk_counters["memo_ineligible"] == len(r.kernels)
+        assert r.page_access_counts is not None
+        assert int(np.asarray(r.page_access_counts).sum()) > 0
+
+    def test_disabled_via_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WALK_MEMO", "0")
+        assert not memo_enabled()
+        compiled = _compiled()
+        cfg = bench_hierarchical()
+        sim1, _ = _run(compiled, "LADM", cfg, None)
+        sim2, r2 = _run(compiled, "LADM", cfg, None)
+        assert sim2.walk_counters["memo_hits"] == 0
+        assert sim2.walk_counters["memo_ineligible"] == len(r2.kernels)
+
+
+class TestKeySensitivity:
+    def test_policy_difference_misses(self):
+        """RTWICE vs RONCE share placement but must never cross-hit."""
+        compiled = _compiled("lstm1")
+        cfg = bench_hierarchical()
+        memo = WalkMemo()
+        _, r_rtwice = _run(compiled, "LASP+RTWICE", cfg, memo)
+        sim2, r_ronce = _run(compiled, "LASP+RONCE", cfg, memo)
+        assert sim2.walk_counters["memo_hits"] == 0
+        # and the policies genuinely produce different traffic
+        _, r_ronce_fresh = _run(compiled, "LASP+RONCE", cfg, WalkMemo())
+        assert _snapshots(r_ronce) == _snapshots(r_ronce_fresh)
+
+    def test_placement_difference_misses(self):
+        compiled = _compiled("lstm1")
+        cfg = bench_hierarchical()
+        memo = WalkMemo()
+        _run(compiled, "H-CODA", cfg, memo)
+        sim2, _ = _run(compiled, "Kernel-wide", cfg, memo)
+        assert sim2.walk_counters["memo_hits"] == 0
+
+    def test_lru_eviction_bounds_entries(self):
+        memo = WalkMemo(max_entries=1)
+        compiled = _compiled()
+        cfg = bench_hierarchical()
+        _run(compiled, "H-CODA", cfg, memo)
+        _run(compiled, "Kernel-wide", cfg, memo)
+        assert len(memo) <= 1
+
+    def test_default_memo_is_shared_and_resettable(self):
+        memo = default_walk_memo()
+        assert memo is default_walk_memo()
+        memo.clear()
+        assert len(memo) == 0

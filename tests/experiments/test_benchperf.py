@@ -1,0 +1,137 @@
+"""`repro bench` report contents and the regression gate logic."""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.experiments.benchperf import (
+    COUNTER_KEYS,
+    CROSS_SCALE_SPEEDUP_FLOOR,
+    STAGES,
+    STRATEGIES,
+    check_gate,
+    run_bench,
+)
+from repro.workloads.base import TEST
+
+
+@pytest.fixture(scope="module")
+def smoke_report():
+    return run_bench(["vecadd"], TEST, check_parity=True, verbose=False)
+
+
+class TestRunBench:
+    def test_report_shape(self, smoke_report):
+        r = smoke_report
+        assert r["meta"]["scale"] == "test"
+        assert r["meta"]["strategies"] == STRATEGIES
+        w = r["per_workload"]["vecadd"]
+        for eng in ("legacy", "vector"):
+            assert set(w[eng]) == set(STAGES) | {"total"}
+        assert set(w["counters"]) == set(COUNTER_KEYS)
+        assert w["walk_speedup"] > 0.0
+        assert set(r["totals"]["counters"]) == set(COUNTER_KEYS)
+        assert r["overall_walk_speedup"] > 0.0
+
+    def test_parity_holds(self, smoke_report):
+        assert smoke_report["parity_checked"]
+        assert smoke_report["parity_mismatches"] == []
+
+    def test_launch_log_has_repair_rates(self, smoke_report):
+        launches = smoke_report["per_workload"]["vecadd"]["launches"]
+        assert launches, "vector engine must log every launch"
+        for entry in launches:
+            assert entry["strategy"] in STRATEGIES
+            assert 0.0 <= entry["repair_rate"] <= 1.0
+            assert entry["memo"] in ("hit", "miss", "ineligible")
+
+    def test_report_is_json_serialisable(self, smoke_report, tmp_path):
+        path = tmp_path / "r.json"
+        path.write_text(json.dumps(smoke_report))
+        assert json.loads(path.read_text())["parity_mismatches"] == []
+
+
+class TestGate:
+    def _gate_file(self, tmp_path, report):
+        path = tmp_path / "gate.json"
+        path.write_text(json.dumps(report))
+        return str(path)
+
+    def test_same_scale_regression_fails(self, smoke_report, tmp_path):
+        inflated = json.loads(json.dumps(smoke_report))
+        inflated["per_workload"]["vecadd"]["walk_speedup"] = (
+            smoke_report["per_workload"]["vecadd"]["walk_speedup"] * 10
+        )
+        failures = check_gate(
+            smoke_report, self._gate_file(tmp_path, inflated)
+        )
+        assert any("regressed" in f for f in failures)
+
+    def test_same_scale_within_tolerance_passes(self, smoke_report, tmp_path):
+        failures = check_gate(
+            smoke_report, self._gate_file(tmp_path, smoke_report)
+        )
+        assert failures == []
+
+    def test_cross_scale_uses_floor(self, smoke_report, tmp_path):
+        bench_gate = json.loads(json.dumps(smoke_report))
+        bench_gate["meta"]["scale"] = "bench"
+        bench_gate["per_workload"]["vecadd"]["walk_speedup"] = 1e9
+        slow = json.loads(json.dumps(smoke_report))
+        slow["per_workload"]["vecadd"]["walk_speedup"] = (
+            CROSS_SCALE_SPEEDUP_FLOOR / 2
+        )
+        gate_path = self._gate_file(tmp_path, bench_gate)
+        assert check_gate(smoke_report, gate_path) == []
+        assert any("sanity floor" in f for f in check_gate(slow, gate_path))
+
+    def test_parity_mismatch_always_fails(self, smoke_report, tmp_path):
+        broken = json.loads(json.dumps(smoke_report))
+        broken["parity_mismatches"] = ["vecadd/LADM"]
+        failures = check_gate(
+            broken, self._gate_file(tmp_path, smoke_report)
+        )
+        assert failures == ["parity mismatch: vecadd/LADM"]
+
+
+class TestCLI:
+    def test_bench_smoke_via_cli(self, tmp_path, capsys):
+        out_path = tmp_path / "BENCH_smoke.json"
+        cli_main(
+            [
+                "bench",
+                "--smoke",
+                "--workloads",
+                "vecadd",
+                "--output",
+                str(out_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "parity-ok" in out
+        report = json.loads(out_path.read_text())
+        assert report["parity_mismatches"] == []
+        assert "vecadd" in report["per_workload"]
+
+    def test_gate_failure_exits_nonzero(self, tmp_path):
+        gate = tmp_path / "gate.json"
+        out_path = tmp_path / "out.json"
+        cli_main(
+            ["bench", "--smoke", "--workloads", "vecadd",
+             "--output", str(out_path)]
+        )
+        report = json.loads(out_path.read_text())
+        report["meta"]["scale"] = "bench"  # force cross-scale floor path
+        report["per_workload"]["vecadd"]["walk_speedup"] = 1e9
+        # floor passes (cross-scale) -- now make the fresh run "fail" by
+        # gating a same-scale file with an inflated reference instead
+        same = json.loads(out_path.read_text())
+        same["per_workload"]["vecadd"]["walk_speedup"] *= 10
+        gate.write_text(json.dumps(same))
+        with pytest.raises(SystemExit) as exc:
+            cli_main(
+                ["bench", "--smoke", "--workloads", "vecadd",
+                 "--output", str(out_path), "--gate", str(gate)]
+            )
+        assert exc.value.code == 1
