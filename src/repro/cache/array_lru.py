@@ -23,6 +23,8 @@ through both implementations (``tests/cache/test_array_lru.py``).
 
 from __future__ import annotations
 
+from typing import List
+
 import numpy as np
 
 from repro.errors import SimulationError
@@ -423,6 +425,20 @@ class ArrayLRU:
     @property
     def capacity(self) -> int:
         return self.num_sets * self.assoc
+
+    def occupancy_per_node(self, num_nodes: int) -> List[int]:
+        """Resident-sector counts per fused-node slice.
+
+        A fused cache lays node ``n``'s sets out contiguously at
+        ``[n * sets_per_node, (n + 1) * sets_per_node)``; ``num_sets`` must
+        divide evenly by ``num_nodes``.
+        """
+        if num_nodes <= 0 or self.num_sets % num_nodes:
+            raise ValueError(
+                f"{self.num_sets} sets do not split across {num_nodes} nodes"
+            )
+        per = (self.tags != _EMPTY).sum(axis=1)
+        return [int(c) for c in per.reshape(num_nodes, -1).sum(axis=1)]
 
     def resident_sectors(self) -> np.ndarray:
         """All currently-cached sector ids (diagnostics/tests)."""

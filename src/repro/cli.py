@@ -11,6 +11,7 @@ repository's extensions::
     python -m repro table1 | table2 | table4
     python -m repro hw-validation | ablations | energy | paging | proactive
     python -m repro bench [--smoke] [--gate FILE]   # engine perf benchmark
+    python -m repro profile fig9:conv --trace t.json --counters c.json
 """
 
 from __future__ import annotations
@@ -38,6 +39,7 @@ from repro.experiments import (
     table4,
 )
 from repro.experiments.runner import scale_by_name, strategy_by_name
+from repro.obs import profile as obs_profile
 from repro.topology.config import bench_hierarchical, bench_monolithic
 from repro.version import __version__
 from repro.workloads.suite import all_workloads, get_workload
@@ -46,6 +48,7 @@ __all__ = ["main"]
 
 _EXPERIMENT_MAINS = {
     "bench": benchperf.main,
+    "profile": obs_profile.main,
     "fig4": fig4.main,
     "fig9": fig9.main,
     "fig10": fig10.main,
@@ -193,6 +196,11 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "bench":
             sub.add_parser(
                 name, help="engine perf benchmark (forwards remaining args)"
+            )
+        elif name == "profile":
+            sub.add_parser(
+                name,
+                help="instrumented run: span trace + counters + flame summary",
             )
         else:
             sub.add_parser(name, help=f"regenerate {name} (forwards remaining args)")

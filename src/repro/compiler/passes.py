@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro import obs
 from repro.compiler.aliasing import AliasBinding, bind_program
 from repro.compiler.classify import (
     AccessClassification,
@@ -85,6 +86,13 @@ def compile_program(
     named allocations: their locality rows lose the MallocPC binding, and the
     runtime falls back to the default policy for them (paper Section III-A).
     """
+    with obs.current().tracer.span("classify", cat="compile", program=program.name):
+        return _compile_program(program, opaque_allocations)
+
+
+def _compile_program(
+    program: Program, opaque_allocations: Optional[Set[str]] = None
+) -> CompiledProgram:
     aliasing = bind_program(program, opaque=opaque_allocations)
     rows: List[LocalityRow] = []
 

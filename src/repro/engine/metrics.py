@@ -115,6 +115,10 @@ class RunResult:
     notes: Dict[str, str] = field(default_factory=dict)
     #: Optional [num_nodes x num_pages] access counts (profiling runs only).
     page_access_counts: "np.ndarray" = field(default=None, repr=False)
+    #: Provenance record (config digest, topology, strategy, engine, seed,
+    #: package version) built by :func:`repro.obs.manifest.build_manifest`.
+    #: Excluded from :meth:`snapshot` so engine parity stays comparable.
+    manifest: Dict = field(default_factory=dict, repr=False)
 
     @property
     def total_time_s(self) -> float:
@@ -159,9 +163,17 @@ class RunResult:
         return [k.snapshot() for k in self.kernels]
 
     def speedup_over(self, other: "RunResult") -> float:
-        """How much faster this run is than ``other`` (same program)."""
+        """How much faster this run is than ``other`` (same program).
+
+        Degenerate zero-time runs (e.g. single-node topologies where the
+        perf model charges no bottleneck time) are handled explicitly:
+        both zero means the runs are indistinguishable (1.0); only this
+        run zero means it is infinitely faster (``float("inf")``), which
+        :func:`repro.experiments.runner.geomean` propagates as ``inf``
+        rather than raising.
+        """
         if self.total_time_s == 0:
-            return float("inf")
+            return 1.0 if other.total_time_s == 0 else float("inf")
         return other.total_time_s / self.total_time_s
 
     def summary(self) -> str:

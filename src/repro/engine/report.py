@@ -111,6 +111,7 @@ def run_to_dict(run: RunResult) -> Dict:
             for k in run.kernels
         ],
         "notes": dict(run.notes),
+        "manifest": dict(run.manifest),
     }
 
 

@@ -27,6 +27,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.cache.array_lru import ArrayLRU
 from repro.cache.l2 import SectoredCache
 from repro.cache.stats import TrafficClass
@@ -40,6 +41,7 @@ from repro.engine.vector_walk import walk_launch
 from repro.engine.walk_memo import WalkMemo, default_walk_memo, eligible, memo_enabled
 from repro.errors import SimulationError
 from repro.kir.program import Program
+from repro.obs.manifest import build_manifest
 from repro.topology.config import SystemConfig
 from repro.topology.system import Channel, LinkClass, SystemTopology
 
@@ -102,6 +104,10 @@ class Simulator:
     likewise shares memoised launch-walk results (see
     :mod:`repro.engine.walk_memo`); pass ``None`` for the process-wide memo,
     which ``REPRO_WALK_MEMO=0`` disables.
+
+    ``obs_session`` pins the observability session spans/counters report to
+    (see :mod:`repro.obs`); ``None`` uses the process-wide session, which is
+    a no-op unless observability is enabled.
     """
 
     #: zero-valued template for the walk telemetry counters
@@ -114,6 +120,7 @@ class Simulator:
         "spec_mispredicts",
         "sync_scalar",
         "sync_fallbacks",
+        "l2_bypass",
         "memo_hits",
         "memo_misses",
         "memo_ineligible",
@@ -125,6 +132,7 @@ class Simulator:
         engine: Optional[str] = None,
         trace_cache: Optional[TraceCache] = None,
         walk_memo: Optional[WalkMemo] = None,
+        obs_session=None,
     ):
         if engine is None:
             engine = os.environ.get("REPRO_ENGINE", "vector")
@@ -137,6 +145,8 @@ class Simulator:
         self.engine = engine
         self.trace_cache = trace_cache
         self.walk_memo = walk_memo
+        self.obs_session = obs_session
+        self._obs_strategy = ""  # strategy label for counters, set per run()
         #: wall-clock seconds per stage, accumulated across run() calls.
         #: ``walk_free``/``walk_sync`` are sub-splits of ``walk`` (vector
         #: engine only; their sum is <= walk, the rest is stream setup).
@@ -171,6 +181,9 @@ class Simulator:
     ) -> RunResult:
         cfg = self.config
         num_nodes = cfg.num_nodes
+        session = self.obs_session if self.obs_session is not None else obs.current()
+        self._obs_strategy = plan.strategy_name
+        tr = session.tracer
         if self.engine == "vector":
             # One fused cache: node n's slice is sets [n*num_sets, (n+1)*num_sets).
             l2s = [ArrayLRU(num_nodes * cfg.l2.num_sets, cfg.l2.assoc)]
@@ -189,18 +202,36 @@ class Simulator:
             else None
         )
         kernels: List[KernelMetrics] = []
-        for launch_index, lp in enumerate(plan.launches):
-            if cfg.flush_l2_between_kernels:
-                for cache in l2s:
-                    cache.flush()
-            if self.engine == "vector":
-                metrics = self._run_launch_vector(
-                    launch_index, lp, plan, compiled, l2s[0], page_counts
-                )
-            else:
-                metrics = self._run_launch(launch_index, lp, plan, l2s, page_counts)
-            apply_perf_model(metrics, self.topology, plan.fault_cost_s)
-            kernels.append(metrics)
+        with tr.span(
+            "run",
+            cat="pipeline",
+            program=compiled.program.name,
+            strategy=plan.strategy_name,
+            engine=self.engine,
+        ):
+            for launch_index, lp in enumerate(plan.launches):
+                if cfg.flush_l2_between_kernels:
+                    for cache in l2s:
+                        cache.flush()
+                with tr.span(
+                    "launch",
+                    cat="pipeline",
+                    kernel=lp.launch.kernel.name,
+                    launch=launch_index,
+                ):
+                    if self.engine == "vector":
+                        metrics = self._run_launch_vector(
+                            launch_index, lp, plan, compiled, l2s[0], page_counts,
+                            session,
+                        )
+                    else:
+                        metrics = self._run_launch(
+                            launch_index, lp, plan, l2s, page_counts
+                        )
+                    apply_perf_model(metrics, self.topology, plan.fault_cost_s)
+                kernels.append(metrics)
+            if session.counters.enabled:
+                self._emit_occupancy(session, l2s, num_nodes)
 
         if plan.setup_time_s and kernels:
             kernels[0].time_s += plan.setup_time_s
@@ -213,7 +244,26 @@ class Simulator:
             kernels=kernels,
             notes=dict(plan.notes),
             page_access_counts=page_counts,
+            manifest=build_manifest(
+                config=cfg,
+                strategy=plan.strategy_name,
+                engine=self.engine,
+                program=compiled.program.name,
+            ),
         )
+
+    # ------------------------------------------------------------------
+    def _emit_occupancy(self, session, l2s, num_nodes: int) -> None:
+        """Gauge the end-of-run L2 occupancy per node into the registry."""
+        strategy = self._obs_strategy
+        if self.engine == "vector":
+            per_node = l2s[0].occupancy_per_node(num_nodes)
+        else:
+            per_node = [c.occupancy for c in l2s]
+        for node, occ in enumerate(per_node):
+            session.counters.set(
+                "l2.occupancy", int(occ), node=node, strategy=strategy
+            )
 
     # ------------------------------------------------------------------
     def _run_launch_vector(
@@ -224,6 +274,7 @@ class Simulator:
         compiled: CompiledProgram,
         l2: ArrayLRU,
         page_counts=None,
+        session=None,
     ) -> KernelMetrics:
         """Vectorised launch execution: cached trace + batched array walk.
 
@@ -232,10 +283,20 @@ class Simulator:
         replays the stored accumulators through the normal finalize path.
         """
         cfg = self.config
+        if session is None:
+            session = obs.current()
+        tr = session.tracer
+        reg = session.counters
         cache = self.trace_cache if self.trace_cache is not None else default_trace_cache()
         t0 = time.perf_counter()
         launch_key = (compiled.program, launch_index)
-        trace = cache.get(lp.launch, launch_key, plan.space, cfg.l2.sector_bytes)
+        cache_hits_before = cache.hits
+        with tr.span("trace.fetch", cat="trace"):
+            trace = cache.get(lp.launch, launch_key, plan.space, cfg.l2.sector_bytes)
+        reg.inc(
+            "trace_cache",
+            outcome="hit" if cache.hits > cache_hits_before else "miss",
+        )
         t1 = time.perf_counter()
         order = _wave_order(lp.tb_nodes, cfg.num_nodes)
 
@@ -251,23 +312,29 @@ class Simulator:
         homes = None
         memo_status = "ineligible"
         if memo is not None and eligible(cfg, plan, page_counts):
-            homes = plan.page_table.homes_of_pages(trace.pages, toucher=0)
-            key = memo.make_key(trace, lp, cfg, homes)
-            cached = memo.get(key)
+            with tr.span("memo.probe", cat="memo"):
+                homes = plan.page_table.homes_of_pages(trace.pages, toucher=0)
+                key = memo.make_key(trace, lp, cfg, homes)
+                cached = memo.get(key)
             if cached is not None:
                 metrics, xbar, dram, transfers, stats = cached
                 memo_status = "hit"
             else:
                 memo_status = "miss"
         if memo_status != "hit":
-            metrics, xbar, dram, transfers, stats = walk_launch(
-                cfg, launch_index, lp, plan, l2, trace, order, page_counts,
-                homes=homes, timers=self.stage_times, counters=counters,
-            )
+            with tr.span(
+                "walk", cat="walk", kernel=lp.launch.kernel.name, launch=launch_index
+            ):
+                metrics, xbar, dram, transfers, stats = walk_launch(
+                    cfg, launch_index, lp, plan, l2, trace, order, page_counts,
+                    homes=homes, timers=self.stage_times, counters=counters,
+                    session=session,
+                )
             if key is not None:
                 memo.put(key, metrics, xbar, dram, transfers, stats)
         counters["memo_" + ("ineligible" if memo_status == "ineligible" else
                             ("hits" if memo_status == "hit" else "misses"))] += 1
+        reg.inc("walk.memo", outcome=memo_status)
         self.walk_log.append(
             {
                 "kernel": metrics.kernel,
@@ -277,7 +344,8 @@ class Simulator:
             }
         )
         t2 = time.perf_counter()
-        self._finalize(metrics, xbar, dram, transfers, stats)
+        with tr.span("finalize", cat="walk"):
+            self._finalize(metrics, xbar, dram, transfers, stats, session=session)
         t3 = time.perf_counter()
         self.stage_times["trace"] += t1 - t0
         self.stage_times["walk"] += t2 - t1
@@ -415,11 +483,16 @@ class Simulator:
         dram_requests: np.ndarray,
         transfers: np.ndarray,
         stats_acc: np.ndarray,
+        session=None,
     ) -> None:
         """Convert raw accumulators into the reporting structures."""
         topo = self.topology
         num_nodes = self.config.num_nodes
         sector_bytes = self.config.l2.sector_bytes
+        if session is None:
+            session = obs.current()
+        reg = session.counters
+        strategy = self._obs_strategy
 
         metrics.l2_requests = int(xbar_requests.sum())
         metrics.l2_request_bytes = metrics.l2_requests * sector_bytes
@@ -453,6 +526,54 @@ class Simulator:
                     metrics.add_channel_bytes(charge, nbytes)
         metrics.off_node_bytes = off_node
         metrics.inter_gpu_bytes = inter_gpu
+
+        if reg.enabled:
+            # Mirror the loops above into structured counters.  The link
+            # classification below uses the *same* predicate as the
+            # ``inter_gpu`` accumulation, so summing the ``link=inter_gpu``
+            # keys of one strategy reconciles exactly with
+            # ``RunResult.total_inter_gpu_bytes``.
+            for node in range(num_nodes):
+                reg.inc(
+                    "dram.bytes",
+                    int(dram_requests[node]) * sector_bytes,
+                    node=node,
+                    strategy=strategy,
+                )
+                for code, cls in _CLASS_OF_CODE.items():
+                    misses = int(stats_acc[node, code, 0])
+                    hits = int(stats_acc[node, code, 1])
+                    if misses + hits:
+                        reg.inc(
+                            "l2.accesses", misses + hits,
+                            node=node, cls=cls.value, strategy=strategy,
+                        )
+                    if hits:
+                        reg.inc(
+                            "l2.hits", hits,
+                            node=node, cls=cls.value, strategy=strategy,
+                        )
+            for home in range(num_nodes):
+                for node in range(num_nodes):
+                    count = int(transfers[home, node])
+                    if count == 0 or home == node:
+                        continue
+                    nbytes = count * sector_bytes
+                    link = (
+                        "inter_gpu"
+                        if topo.link_class(home, node) is LinkClass.INTER_GPU
+                        else "intra_gpu"
+                    )
+                    reg.inc(
+                        "walk.link.bytes", nbytes,
+                        src=home, dst=node, link=link, strategy=strategy,
+                    )
+            for (channel, key), nbytes in metrics.channel_bytes.items():
+                if nbytes:
+                    reg.inc(
+                        "channel.bytes", int(nbytes),
+                        channel=channel.value, key=key, strategy=strategy,
+                    )
 
 
 def simulate(

@@ -39,6 +39,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.engine.trace import launch_tracer
 from repro.kir.program import KernelLaunch
 from repro.memory.address_space import AddressSpace
@@ -401,7 +402,10 @@ class TraceCache:
             return entry[0]
         self.misses += 1
         t0 = time.perf_counter()
-        trace = build_launch_trace(launch, space, sector_bytes)
+        with obs.current().tracer.span(
+            "trace.build", cat="trace", kernel=launch.kernel.name
+        ):
+            trace = build_launch_trace(launch, space, sector_bytes)
         self.build_time_s += time.perf_counter() - t0
         self.builds += 1
         tracer_cacheable = all(

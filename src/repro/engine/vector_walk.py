@@ -61,6 +61,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro import obs
 from repro.cache.array_lru import ArrayLRU
 from repro.engine.metrics import KernelMetrics
 from repro.engine.plan import ExecutionPlan, LaunchPlan
@@ -123,6 +124,7 @@ def replay_sync_stream(
     transfers: np.ndarray,
     counters: Optional[dict] = None,
     mode: Optional[str] = None,
+    session=None,
 ) -> tuple:
     """Replay one position-ordered sync stream against the fused L2.
 
@@ -170,6 +172,7 @@ def replay_sync_stream(
         out = _replay_sync_array(
             l2, sec, is_fill, local, node, home,
             req_set, home_set, req_ins, home_ins, counters,
+            session=session,
         )
     else:
         if counters is not None:
@@ -199,8 +202,12 @@ def _replay_sync_array(
     req_ins: np.ndarray,
     home_ins: np.ndarray,
     counters: Optional[dict],
+    session=None,
 ) -> tuple:
     """Speculative segmented replay (see module docstring, point 5)."""
+    if session is None:
+        session = obs.current()
+    tr = session.tracer
     K = sec.size
     reqm = ~is_fill
     # Home-side events exist for fills (always) and for remote requester
@@ -242,20 +249,22 @@ def _replay_sync_array(
     active: Optional[np.ndarray] = None  # None: first round, all sets
     while rounds < _REPAIR_ROUND_CAP:
         rounds += 1
-        if active is None:
-            selidx = np.nonzero(present)[0]
-        else:
-            # Restore only the mispredicted sets and replay their (repaired)
-            # substreams; every other set's state and outcomes stand.
-            rows = np.searchsorted(touched, active)
-            l2.tags[active] = saved[0][rows]
-            l2.stamp[active] = saved[1][rows]
-            mark = np.zeros(l2.num_sets, dtype=bool)
-            mark[active] = True
-            selidx = np.nonzero(mark[gs] & present)[0]
-        hit[selidx] = l2.replay_segments(esec[selidx], gs[selidx], ins[selidx])
-        new_present = ~hit[parent]
-        flipped = spec_idx[new_present != present[spec_idx]]
+        with tr.span("repair_round", cat="walk", round=rounds):
+            if active is None:
+                selidx = np.nonzero(present)[0]
+            else:
+                # Restore only the mispredicted sets and replay their
+                # (repaired) substreams; every other set's state and
+                # outcomes stand.
+                rows = np.searchsorted(touched, active)
+                l2.tags[active] = saved[0][rows]
+                l2.stamp[active] = saved[1][rows]
+                mark = np.zeros(l2.num_sets, dtype=bool)
+                mark[active] = True
+                selidx = np.nonzero(mark[gs] & present)[0]
+            hit[selidx] = l2.replay_segments(esec[selidx], gs[selidx], ins[selidx])
+            new_present = ~hit[parent]
+            flipped = spec_idx[new_present != present[spec_idx]]
         if flipped.size == 0:
             converged = True
             break
@@ -265,6 +274,7 @@ def _replay_sync_array(
         active = np.unique(gs[flipped])
     if counters is not None:
         counters["spec_rounds"] += rounds
+    session.counters.inc("walk.spec.rounds", rounds=rounds)
 
     if not converged:
         # Adversarial flip chain: restore everything and run the exact
@@ -468,6 +478,7 @@ def walk_launch(
     homes: Optional[np.ndarray] = None,
     timers: Optional[dict] = None,
     counters: Optional[dict] = None,
+    session=None,
 ) -> tuple:
     """Walk one launch's cached trace; returns raw accumulators.
 
@@ -492,6 +503,11 @@ def walk_launch(
     perf_counter = time.perf_counter
     t_free = 0.0
     t_sync = 0.0
+    if session is None:
+        session = obs.current()
+    tr = session.tracer
+    reg = session.counters
+    strategy = plan.strategy_name
 
     metrics = KernelMetrics(
         kernel=kernel.name, launch_index=launch_index, num_nodes=num_nodes
@@ -591,7 +607,8 @@ def walk_launch(
             chunks.append(_concat_ranges(soff[blocks], slengths[blocks]))
         w = np.concatenate(chunks)
         t0 = perf_counter()
-        hitw = l2.probe_batch(ssec[w], greq[w], req_ins[w])
+        with tr.span("free_probe", cat="walk", accesses=int(w.size)):
+            hitw = l2.probe_batch(ssec[w], greq[w], req_ins[w])
         t_free += perf_counter() - t0
         code = s_node[w] * 2 + hitw
         c = np.bincount(code, minlength=num_nodes * 2).reshape(num_nodes, 2)
@@ -651,7 +668,8 @@ def walk_launch(
         fidx = idx if freem is None else idx[freem]
         if fidx.size:
             t0 = perf_counter()
-            fhit = probe(ssec[fidx], greq[fidx], req_ins[fidx])
+            with tr.span("free_probe", cat="walk", iteration=m, accesses=int(fidx.size)):
+                fhit = probe(ssec[fidx], greq[fidx], req_ins[fidx])
             t_free += perf_counter() - t0
             floc = slocal[fidx]
             code = s_node[fidx] * 4 + floc * 2 + fhit
@@ -690,24 +708,42 @@ def walk_launch(
             ev_fill = np.zeros(ev_idx.size, dtype=bool)
 
         t0 = perf_counter()
-        replay_sync_stream(
-            l2,
-            num_nodes,
-            ssec[ev_idx],
-            ev_fill,
-            slocal[ev_idx],
-            s_node[ev_idx],
-            shome[ev_idx],
-            greq[ev_idx],
-            ghome[ev_idx],
-            req_ins[ev_idx],
-            sins[ev_idx],
-            stats_acc,
-            dram_requests,
-            transfers,
-            counters=counters,
-        )
+        ev_home = shome[ev_idx]
+        ev_ins = sins[ev_idx]
+        with tr.span("sync_replay", cat="walk", iteration=m, elements=int(ev_idx.size)):
+            _, home_present, home_hit = replay_sync_stream(
+                l2,
+                num_nodes,
+                ssec[ev_idx],
+                ev_fill,
+                slocal[ev_idx],
+                s_node[ev_idx],
+                ev_home,
+                greq[ev_idx],
+                ghome[ev_idx],
+                req_ins[ev_idx],
+                ev_ins,
+                stats_acc,
+                dram_requests,
+                transfers,
+                counters=counters,
+                session=session,
+            )
         t_sync += perf_counter() - t0
+        # Home-side bypasses: realised home events that missed and, per the
+        # allocation's RONCE policy, did not insert at the home L2.
+        bypass = home_present & ~home_hit & ~ev_ins
+        n_bypass = int(bypass.sum())
+        if n_bypass:
+            if counters is not None:
+                counters["l2_bypass"] += n_bypass
+            if reg.enabled:
+                per_node = np.bincount(ev_home[bypass], minlength=num_nodes)
+                for nd in np.nonzero(per_node)[0]:
+                    reg.inc(
+                        "l2.bypass", int(per_node[nd]),
+                        node=int(nd), strategy=strategy,
+                    )
 
     if timers is not None:
         timers["walk_free"] += t_free

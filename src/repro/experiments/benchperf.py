@@ -39,6 +39,7 @@ import numpy as np
 
 from repro.compiler.passes import compile_program
 from repro.engine.simulator import Simulator
+from repro.obs.manifest import build_manifest
 from repro.engine.trace_cache import TraceCache
 from repro.engine.walk_memo import WalkMemo
 from repro.experiments.runner import strategy_by_name
@@ -46,7 +47,7 @@ from repro.topology.config import SystemConfig, bench_hierarchical, bench_monoli
 from repro.workloads.base import BENCH, TEST
 from repro.workloads.suite import get_workload
 
-__all__ = ["run_bench", "check_gate", "main"]
+__all__ = ["run_bench", "check_gate", "counter_deltas", "main"]
 
 STAGES = ("trace", "walk", "finalize", "walk_free", "walk_sync")
 
@@ -60,8 +61,13 @@ COUNTER_KEYS = (
     "spec_rounds",
     "sync_scalar",
     "sync_fallbacks",
+    "l2_bypass",
     "walk_memo_hits",
 )
+
+#: Telemetry ratios compared against a committed gate file alongside the
+#: walk-speedup gate (informational: printed and stored, never failing).
+DELTA_KEYS = ("walk_memo_hits", "spec_rounds", "spec_mispredicts", "sync_fallbacks")
 
 #: Figure-9 subset: dense GEMM-shaped layers, recurrent cells, a streaming
 #: reduction and a transpose -- the mix the paper sweeps, heavy enough for
@@ -213,6 +219,9 @@ def run_bench(
             "stages": list(STAGES),
             "python": platform.python_version(),
             "numpy": np.__version__,
+            "manifest": build_manifest(
+                extra={"scale": scale.name, "workloads": workload_names}
+            ),
             "note": (
                 "legacy re-traces per strategy; vector shares one trace "
                 "cache per workload, so its trace stage is paid once"
@@ -257,6 +266,31 @@ def check_gate(report: dict, gate_path: str) -> List[str]:
     return failures
 
 
+def counter_deltas(report: dict, gate_path: str) -> Dict[str, dict]:
+    """Telemetry deltas vs a committed report (memo hits, repair rounds...).
+
+    Informational, never a failure: counter totals shift legitimately with
+    scale and workload set, but a silent collapse of the memo hit count or a
+    spike in repair rounds is exactly the regression the walk-speedup gate
+    can miss when wall-clock noise hides it.  Tolerates gate files written
+    before a counter existed (the committed value reads as 0 -> ratio None).
+    """
+    with open(gate_path) as fh:
+        gate = json.load(fh)
+    current = report.get("totals", {}).get("counters", {})
+    committed = gate.get("totals", {}).get("counters", {})
+    out: Dict[str, dict] = {}
+    for key in DELTA_KEYS:
+        cur = int(current.get(key, 0))
+        ref = int(committed.get(key, 0))
+        out[key] = {
+            "current": cur,
+            "committed": ref,
+            "ratio": (cur / ref) if ref else None,
+        }
+    return out
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro bench", description=__doc__.split("\n")[0]
@@ -285,6 +319,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         names = args.workloads or WORKLOADS
 
     report = run_bench(names, scale, check_parity=args.smoke)
+    if args.gate:
+        report["counter_deltas"] = counter_deltas(report, args.gate)
     with open(args.output, "w") as fh:
         json.dump(report, fh, indent=2)
     print(
@@ -298,6 +334,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"PARITY FAILURES: {report['parity_mismatches']}", file=sys.stderr)
         status = 1
     if args.gate:
+        for key, d in report["counter_deltas"].items():
+            ratio = "n/a" if d["ratio"] is None else f"{d['ratio']:.2f}x"
+            print(
+                f"counters: {key} current={d['current']} "
+                f"committed={d['committed']} ({ratio})"
+            )
         failures = check_gate(report, args.gate)
         for f in failures:
             print(f"GATE: {f}", file=sys.stderr)

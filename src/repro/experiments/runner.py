@@ -4,9 +4,11 @@ from __future__ import annotations
 
 import math
 import multiprocessing
+import os
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.compiler.passes import compile_program
 from repro.engine.metrics import RunResult
 from repro.engine.simulator import Simulator
@@ -107,12 +109,20 @@ def geomean(values: Iterable[float]) -> float:
     return math.exp(sum(math.log(v) for v in vals) / len(vals))
 
 
+def _obs_paths(obs_dir: str, workload_name: str) -> Tuple[str, str]:
+    return (
+        os.path.join(obs_dir, f"{workload_name}.trace.json"),
+        os.path.join(obs_dir, f"{workload_name}.counters.json"),
+    )
+
+
 def _run_workload(
     workload: Workload,
     strategies: Sequence[Tuple[str, SystemConfig]],
     scale: Scale,
     engine: Optional[str],
     verbose: bool,
+    obs_dir: Optional[str] = None,
 ) -> Tuple[Dict[str, RunResult], Dict[str, float]]:
     """All strategies of one workload; the unit of parallel distribution.
 
@@ -122,28 +132,53 @@ def _run_workload(
     same trace, and the process-wide walk memo skips repeated identical
     walks.  Returns the per-strategy results plus the workload's simulator
     stage-time splits (summed over its strategies).
+
+    ``obs_dir`` enables a fresh observability session around the workload
+    and writes ``<obs_dir>/<workload>.trace.json`` /
+    ``<workload>.counters.json`` when it completes (one file pair per
+    workload, i.e. per worker job in a parallel run).
     """
-    program = workload.program(scale)
-    compiled = compile_program(program)
-    per_strategy: Dict[str, RunResult] = {}
-    stage_times: Dict[str, float] = {}
-    for strat_name, config in strategies:
-        strategy = strategy_by_name(strat_name)
-        sim = Simulator(config, engine=engine)
-        plan = strategy.plan(compiled, sim.topology)
-        result = sim.run(compiled, plan)
-        for stage, t in sim.stage_times.items():
-            stage_times[stage] = stage_times.get(stage, 0.0) + t
-        per_strategy[strat_name] = result
-        if verbose:
-            print(f"  {workload.name:<14} {result.summary()}", flush=True)
-    return per_strategy, stage_times
+    session = None
+    if obs_dir is not None:
+        from repro.obs.export import write_counters, write_trace
+        from repro.obs.manifest import build_manifest
+
+        os.makedirs(obs_dir, exist_ok=True)
+        session = obs.enable()
+    try:
+        program = workload.program(scale)
+        compiled = compile_program(program)
+        per_strategy: Dict[str, RunResult] = {}
+        stage_times: Dict[str, float] = {}
+        for strat_name, config in strategies:
+            strategy = strategy_by_name(strat_name)
+            sim = Simulator(config, engine=engine)
+            plan = strategy.plan(compiled, sim.topology)
+            result = sim.run(compiled, plan)
+            for stage, t in sim.stage_times.items():
+                stage_times[stage] = stage_times.get(stage, 0.0) + t
+            per_strategy[strat_name] = result
+            if verbose:
+                print(f"  {workload.name:<14} {result.summary()}", flush=True)
+        if session is not None:
+            manifest = build_manifest(
+                program=workload.name,
+                engine=engine or "vector",
+                extra={"strategies": [name for name, _ in strategies]},
+            )
+            trace_path, counters_path = _obs_paths(obs_dir, workload.name)
+            write_trace(trace_path, session, manifest)
+            write_counters(counters_path, session, manifest)
+        return per_strategy, stage_times
+    finally:
+        if session is not None:
+            obs.disable()
 
 
 def _pool_worker(args: tuple) -> Tuple[str, Dict[str, RunResult], Dict[str, float]]:
-    workload, strategies, scale, engine = args
+    workload, strategies, scale, engine, obs_dir = args
     per_strategy, stage_times = _run_workload(
-        workload, strategies, scale, engine, False
+        workload, strategies, scale, engine, False, obs_dir=obs_dir
     )
     return workload.name, per_strategy, stage_times
 
@@ -155,6 +190,7 @@ def run_matrix(
     verbose: bool = False,
     parallel: Optional[int] = None,
     engine: Optional[str] = None,
+    obs_dir: Optional[str] = None,
 ) -> MatrixResult:
     """Run every workload under every (strategy name, system) pair.
 
@@ -169,10 +205,15 @@ def run_matrix(
     session default).  Per-workload simulator stage times -- the per-worker
     time breakdown of a parallel run -- land in
     :attr:`MatrixResult.stage_times`.
+
+    ``obs_dir`` writes one ``<workload>.trace.json`` / ``.counters.json``
+    pair per workload into that directory (per-worker traces in a parallel
+    run; workers write their own files, so nothing crosses the fork
+    boundary).
     """
     matrix = MatrixResult(scale=scale.name)
     if parallel and parallel > 1 and len(workloads) > 1:
-        jobs = [(w, tuple(strategies), scale, engine) for w in workloads]
+        jobs = [(w, tuple(strategies), scale, engine, obs_dir) for w in workloads]
         ctx = multiprocessing.get_context("fork")
         by_name = {}
         stage_by_name = {}
@@ -191,7 +232,7 @@ def run_matrix(
         return matrix
     for workload in workloads:
         per_strategy, stage_times = _run_workload(
-            workload, strategies, scale, engine, verbose
+            workload, strategies, scale, engine, verbose, obs_dir=obs_dir
         )
         matrix.results[workload.name] = per_strategy
         matrix.stage_times[workload.name] = stage_times

@@ -1,0 +1,118 @@
+"""The counter registry: named, labelled, monotonically-increasing counts.
+
+Counters carry a stable dotted name plus sorted ``label=value`` pairs,
+serialised canonically as ``name{a=1,b=x}`` so snapshots diff and
+round-trip through JSON without a schema.  The full name catalogue lives
+in ``docs/observability.md``; the engine emits per-link byte counters
+whose totals reconcile exactly with ``RunResult`` aggregates (the
+end-to-end test in ``tests/obs/test_profile_e2e.py`` asserts it).
+
+A disabled registry's :meth:`CounterRegistry.inc` returns after one
+attribute check -- no key formatting, no lock -- so instrumentation sites
+never need their own guard.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Tuple
+
+__all__ = ["CounterRegistry", "counter_key", "parse_key", "diff_snapshots"]
+
+
+def counter_key(name: str, **labels) -> str:
+    """Canonical serialised key: ``name`` or ``name{k1=v1,k2=v2}`` sorted."""
+    if not labels:
+        return name
+    body = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{body}}}"
+
+
+def parse_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """Invert :func:`counter_key`; raises ``ValueError`` on malformed keys."""
+    if "{" not in key:
+        if "}" in key or "=" in key:
+            raise ValueError(f"malformed counter key {key!r}")
+        return key, {}
+    if not key.endswith("}"):
+        raise ValueError(f"malformed counter key {key!r}")
+    name, _, body = key[:-1].partition("{")
+    labels: Dict[str, str] = {}
+    if body:
+        for pair in body.split(","):
+            k, eq, v = pair.partition("=")
+            if not eq or not k:
+                raise ValueError(f"malformed label {pair!r} in {key!r}")
+            labels[k] = v
+    return name, labels
+
+
+def diff_snapshots(after: Dict[str, int], before: Dict[str, int]) -> Dict[str, int]:
+    """Per-key deltas between two snapshots, dropping zero deltas."""
+    out = {}
+    for key in after.keys() | before.keys():
+        d = after.get(key, 0) - before.get(key, 0)
+        if d:
+            out[key] = d
+    return out
+
+
+class CounterRegistry:
+    """Thread-safe map from canonical counter keys to integer values."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._counts: Dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def inc(self, name: str, value: int = 1, **labels) -> None:
+        """Add ``value`` to a counter (created at 0 on first touch)."""
+        if not self.enabled:
+            return
+        key = counter_key(name, **labels)
+        with self._lock:
+            self._counts[key] = self._counts.get(key, 0) + int(value)
+
+    def set(self, name: str, value: int, **labels) -> None:
+        """Overwrite a counter -- for gauges like cache occupancy."""
+        if not self.enabled:
+            return
+        key = counter_key(name, **labels)
+        with self._lock:
+            self._counts[key] = int(value)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, int]:
+        """A plain-dict copy, keys sorted, safe to mutate or serialise."""
+        with self._lock:
+            return {k: self._counts[k] for k in sorted(self._counts)}
+
+    def select(self, name: str) -> Dict[str, int]:
+        """All keys of one counter name (any labels), from a live registry."""
+        with self._lock:
+            return {
+                k: v
+                for k, v in self._counts.items()
+                if parse_key(k)[0] == name
+            }
+
+    def total(self, name: str) -> int:
+        """Sum over every labelled instance of one counter name."""
+        return sum(self.select(name).values())
+
+    def merge(self, snapshot: Dict[str, int]) -> None:
+        """Fold a snapshot (e.g. from a worker process) into this registry."""
+        if not self.enabled:
+            return
+        with self._lock:
+            for k, v in snapshot.items():
+                self._counts[k] = self._counts.get(k, 0) + int(v)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._counts.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._counts)

@@ -1,0 +1,231 @@
+"""Trace and counter serialisation: Perfetto-loadable JSON plus validators.
+
+``to_chrome_trace`` renders a session's spans in the Chrome trace-event
+format (``ph: "X"`` complete events, microsecond timestamps) that both
+``chrome://tracing`` and https://ui.perfetto.dev open directly.  Process
+and thread metadata events name each (pid, tid) pair so forked
+``run_matrix`` workers show up as separate tracks.
+
+``validate_trace`` / ``validate_counters`` are the schema checks used by
+the golden-file tests and the CI ``obs-smoke`` job: they verify structural
+validity *and* that spans nest properly per track (no partial overlap --
+the invariant Perfetto's flame rendering relies on).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.counters import parse_key
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "COUNTERS_SCHEMA",
+    "to_chrome_trace",
+    "counters_payload",
+    "write_trace",
+    "write_counters",
+    "validate_trace",
+    "validate_counters",
+    "flame_summary",
+]
+
+TRACE_SCHEMA = "repro-trace-v1"
+COUNTERS_SCHEMA = "repro-counters-v1"
+
+
+# ----------------------------------------------------------------------
+# Export
+# ----------------------------------------------------------------------
+def to_chrome_trace(session, manifest: Optional[dict] = None) -> dict:
+    """Render a session's span events as a Chrome trace-event JSON object.
+
+    Raw pids/tids are remapped to small consecutive ids (Perfetto sorts
+    tracks by them) and named through ``process_name``/``thread_name``
+    metadata events; the original identifiers stay in the metadata args.
+    """
+    events = session.tracer.events()
+    pid_ids: Dict[int, int] = {}
+    tid_ids: Dict[Tuple[int, int], int] = {}
+    trace_events: List[dict] = []
+
+    for ev in events:
+        pid = pid_ids.setdefault(ev["pid"], len(pid_ids) + 1)
+        tid = tid_ids.setdefault((ev["pid"], ev["tid"]), len(tid_ids) + 1)
+        args = {k: _json_safe(v) for k, v in ev["args"].items()}
+        args["path"] = "/".join(ev["path"])
+        trace_events.append(
+            {
+                "name": ev["name"],
+                "cat": ev["cat"],
+                "ph": "X",
+                "ts": ev["ts_ns"] / 1000.0,
+                "dur": ev["dur_ns"] / 1000.0,
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+    for raw_pid, pid in pid_ids.items():
+        trace_events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"repro worker (os pid {raw_pid})"},
+            }
+        )
+    for (raw_pid, raw_tid), tid in tid_ids.items():
+        trace_events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid_ids[raw_pid],
+                "tid": tid,
+                "args": {"name": f"thread {raw_tid}"},
+            }
+        )
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"schema": TRACE_SCHEMA, "manifest": manifest or {}},
+    }
+
+
+def counters_payload(session, manifest: Optional[dict] = None) -> dict:
+    """Counter snapshot plus provenance, ready for ``json.dump``."""
+    return {
+        "schema": COUNTERS_SCHEMA,
+        "manifest": manifest or {},
+        "counters": session.counters.snapshot(),
+    }
+
+
+def write_trace(path: str, session, manifest: Optional[dict] = None) -> None:
+    with open(path, "w") as fh:
+        json.dump(to_chrome_trace(session, manifest), fh, indent=1)
+
+
+def write_counters(path: str, session, manifest: Optional[dict] = None) -> None:
+    with open(path, "w") as fh:
+        json.dump(counters_payload(session, manifest), fh, indent=1, sort_keys=True)
+
+
+def _json_safe(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+def validate_trace(obj: dict) -> List[str]:
+    """Schema + nesting errors of one trace JSON object ([] when valid)."""
+    errors: List[str] = []
+    events = obj.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    spans: Dict[Tuple[int, int], List[Tuple[float, float, str]]] = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            errors.append(f"event {i}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in ("X", "M"):
+            errors.append(f"event {i}: unsupported ph {ph!r}")
+            continue
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            errors.append(f"event {i}: missing name")
+        for field in ("pid", "tid"):
+            if not isinstance(ev.get(field), int):
+                errors.append(f"event {i}: {field} not an int")
+        if ph == "X":
+            ts, dur = ev.get("ts"), ev.get("dur")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                errors.append(f"event {i}: bad ts {ts!r}")
+                continue
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"event {i}: bad dur {dur!r}")
+                continue
+            spans.setdefault((ev["pid"], ev["tid"]), []).append(
+                (float(ts), float(ts) + float(dur), ev["name"])
+            )
+    # Per-track nesting: after sorting by (start, -duration), every span
+    # must be fully inside or fully outside the open span above it.
+    for track, intervals in spans.items():
+        intervals.sort(key=lambda s: (s[0], -(s[1] - s[0])))
+        stack: List[Tuple[float, float, str]] = []
+        for start, end, name in intervals:
+            while stack and start >= stack[-1][1]:
+                stack.pop()
+            if stack and end > stack[-1][1]:
+                errors.append(
+                    f"track {track}: span {name!r} [{start}, {end}] "
+                    f"overlaps {stack[-1][2]!r} without nesting"
+                )
+            stack.append((start, end, name))
+    return errors
+
+
+def validate_counters(obj: dict) -> List[str]:
+    """Schema errors of one counters JSON object ([] when valid)."""
+    errors: List[str] = []
+    if obj.get("schema") != COUNTERS_SCHEMA:
+        errors.append(f"schema is {obj.get('schema')!r}, want {COUNTERS_SCHEMA!r}")
+    counters = obj.get("counters")
+    if not isinstance(counters, dict):
+        return errors + ["counters missing or not an object"]
+    for key, value in counters.items():
+        try:
+            parse_key(key)
+        except ValueError as exc:
+            errors.append(str(exc))
+        if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+            errors.append(f"counter {key!r}: value {value!r} not a non-negative int")
+    if not isinstance(obj.get("manifest"), dict):
+        errors.append("manifest missing or not an object")
+    return errors
+
+
+# ----------------------------------------------------------------------
+# Flame summary
+# ----------------------------------------------------------------------
+def flame_summary(session, max_depth: Optional[int] = None) -> str:
+    """Aggregate spans by call path into an indented text flame view.
+
+    Rows merge every occurrence of one path (across launches, strategies
+    and threads); ``self`` is the time not covered by direct children.
+    """
+    events = session.tracer.events()
+    agg: Dict[tuple, List[int]] = {}
+    for ev in events:
+        entry = agg.setdefault(ev["path"], [0, 0])
+        entry[0] += 1
+        entry[1] += ev["dur_ns"]
+    child_ns: Dict[tuple, int] = {}
+    for path, (_, total) in agg.items():
+        if len(path) > 1:
+            child_ns[path[:-1]] = child_ns.get(path[:-1], 0) + total
+    lines = [f"{'span':<46} {'count':>7} {'total':>10} {'self':>10}"]
+    for path in sorted(agg):
+        depth = len(path) - 1
+        if max_depth is not None and depth > max_depth:
+            continue
+        count, total = agg[path]
+        self_ns = max(0, total - child_ns.get(path, 0))
+        label = "  " * depth + path[-1]
+        lines.append(
+            f"{label:<46} {count:>7} {_fmt_ns(total):>10} {_fmt_ns(self_ns):>10}"
+        )
+    return "\n".join(lines)
+
+
+def _fmt_ns(ns: int) -> str:
+    if ns >= 1e9:
+        return f"{ns / 1e9:.2f}s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.2f}ms"
+    return f"{ns / 1e3:.1f}us"

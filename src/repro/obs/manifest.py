@@ -1,0 +1,76 @@
+"""Run manifests: provenance attached to results and experiment artifacts.
+
+A manifest pins everything needed to attribute a number to the exact
+configuration that produced it: a stable digest of the system config, the
+topology shape, the strategy and engine names, the package version and the
+numerics stack.  ``Simulator.run`` attaches one to every ``RunResult``;
+``repro profile`` and ``repro bench`` embed them in their JSON artifacts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import platform
+from typing import Optional
+
+import numpy as np
+
+from repro.version import __version__
+
+__all__ = ["config_digest", "build_manifest", "MANIFEST_SCHEMA"]
+
+MANIFEST_SCHEMA = "repro-manifest-v1"
+
+
+def _jsonable(value):
+    if isinstance(value, enum.Enum):
+        return value.value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    return value
+
+
+def config_digest(config) -> str:
+    """Stable short digest of a :class:`SystemConfig` (field-order free)."""
+    payload = json.dumps(_jsonable(config), sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def build_manifest(
+    config=None,
+    strategy: Optional[str] = None,
+    engine: Optional[str] = None,
+    program: Optional[str] = None,
+    seed: Optional[int] = None,
+    extra: Optional[dict] = None,
+) -> dict:
+    """Assemble one provenance record; every field JSON-safe."""
+    manifest = {
+        "schema": MANIFEST_SCHEMA,
+        "repro_version": __version__,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "program": program,
+        "strategy": strategy,
+        "engine": engine,
+        "seed": seed,
+    }
+    if config is not None:
+        manifest["config"] = {
+            "name": config.name,
+            "kind": config.kind.value,
+            "num_gpus": config.num_gpus,
+            "chiplets_per_gpu": config.chiplets_per_gpu,
+            "num_nodes": config.num_nodes,
+            "page_size": config.page_size,
+            "digest": config_digest(config),
+        }
+    if extra:
+        manifest.update(extra)
+    return manifest

@@ -1,0 +1,151 @@
+"""The span tracer: nested wall-clock intervals with structured attributes.
+
+A *span* is one timed interval with a name, a category, and free-form
+``args``.  Spans nest through the ``with`` statement; each recording thread
+keeps its own span stack (``threading.local``), so concurrent threads never
+corrupt each other's nesting, and finished spans append to the shared event
+list under a lock (one lock acquisition per span *exit*, never inside the
+span body).
+
+Clocks are ``time.perf_counter_ns`` -- monotonic, immune to wall-clock
+steps -- and every event is stamped with its ``os.getpid()`` and
+``threading.get_ident()`` so traces from forked ``run_matrix`` workers
+stay attributable after merging.
+
+Zero cost when disabled: :meth:`SpanTracer.span` returns one shared
+no-op context manager without allocating anything, so a disabled tracer
+adds a single attribute check plus a function call per instrumentation
+site (O(ns); see ``tests/obs/test_overhead.py``).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["SpanTracer", "SpanEvent"]
+
+#: One finished span: every field JSON-safe except ``path`` (a tuple).
+SpanEvent = Dict
+
+
+class _NullSpan:
+    """Shared no-op context manager returned by a disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _LiveSpan:
+    """One open span; records itself into the tracer on exit."""
+
+    __slots__ = ("_tracer", "name", "cat", "args", "_t0", "_path")
+
+    def __init__(self, tracer: "SpanTracer", name: str, cat: str, args: dict):
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.args = args
+        self._t0 = 0
+        self._path: Tuple[str, ...] = ()
+
+    def __enter__(self) -> "_LiveSpan":
+        stack = self._tracer._stack()
+        parent = stack[-1] if stack else ()
+        self._path = parent + (self.name,)
+        stack.append(self._path)
+        self._t0 = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        t1 = time.perf_counter_ns()
+        tracer = self._tracer
+        stack = tracer._stack()
+        if stack and stack[-1] is self._path:
+            stack.pop()
+        tracer._record(
+            {
+                "name": self.name,
+                "cat": self.cat,
+                "ts_ns": self._t0 - tracer.epoch_ns,
+                "dur_ns": t1 - self._t0,
+                "pid": os.getpid(),
+                "tid": threading.get_ident(),
+                "path": self._path,
+                "args": self.args,
+            }
+        )
+        return False
+
+
+class SpanTracer:
+    """Collects :class:`SpanEvent` records from ``span()`` context managers."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.epoch_ns = time.perf_counter_ns()
+        self._events: List[SpanEvent] = []
+        self._lock = threading.Lock()
+        self._tls = threading.local()
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, cat: str = "stage", **args):
+        """A context manager timing one named interval.
+
+        ``args`` become the span's structured attributes (Perfetto shows
+        them in the selection panel).  Disabled tracers return a shared
+        no-op context manager.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        return _LiveSpan(self, name, cat, args)
+
+    # ------------------------------------------------------------------
+    def _stack(self) -> list:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def _record(self, event: SpanEvent) -> None:
+        with self._lock:
+            self._events.append(event)
+
+    # ------------------------------------------------------------------
+    def events(self) -> List[SpanEvent]:
+        """Snapshot of all finished spans (chronological by finish time)."""
+        with self._lock:
+            return list(self._events)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    # ------------------------------------------------------------------
+    def merge(self, events: List[SpanEvent]) -> None:
+        """Fold externally-recorded events in (e.g. from a worker process).
+
+        Paths arrive as lists after a JSON round-trip; normalise to tuples
+        so aggregation keys stay hashable.
+        """
+        fixed = []
+        for ev in events:
+            ev = dict(ev)
+            ev["path"] = tuple(ev.get("path", ()))
+            fixed.append(ev)
+        with self._lock:
+            self._events.extend(fixed)

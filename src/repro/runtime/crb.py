@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable
 
+from repro import obs
 from repro.cache.insertion import CachePolicy
 from repro.compiler.classify import LocalityType
 from repro.compiler.locality_table import LocalityRow
@@ -49,4 +50,7 @@ def select_cache_policies(
     for row in rows:
         alloc = (arg_to_alloc or {}).get(row.arg, row.arg)
         out[alloc] = policy
+    reg = obs.current().counters
+    if reg.enabled and out:
+        reg.inc("crb.insertion", len(out), policy=policy.name, mode=mode)
     return out

@@ -24,6 +24,7 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.cache.insertion import CachePolicy
 from repro.compiler.classify import LocalityType, Motion, Sharing
 from repro.compiler.locality_table import LocalityRow
@@ -135,6 +136,13 @@ class LASP:
         cache_policy = select_cache_policies(
             rows.values(), dominant, mode=self.cache_mode, arg_to_alloc=alloc_of
         )
+        reg = obs.current().counters
+        reg.inc(
+            "lasp.scheduler",
+            family=getattr(scheduler, "family", "unknown"),
+            kernel=kernel.name,
+        )
+        reg.inc("lasp.dominant_locality", locality=dominant.name)
         return LaunchDecision(
             scheduler=scheduler,
             scheduler_desc=desc,

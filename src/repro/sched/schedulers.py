@@ -57,6 +57,10 @@ class SchedContext:
 class TBScheduler(abc.ABC):
     """Maps threadblocks to nodes."""
 
+    #: Stable family label used by the observability counters
+    #: (``sched.family`` / ``lasp.scheduler``, see docs/observability.md).
+    family: str = "unknown"
+
     @abc.abstractmethod
     def assign(self, grid: Dim2, ctx: SchedContext) -> np.ndarray:
         """Node per linear threadblock id (int32, length ``grid.count``)."""
@@ -78,6 +82,8 @@ class TBScheduler(abc.ABC):
 
 class BatchRRScheduler(TBScheduler):
     """Round-robin of contiguous batches of threadblocks across nodes."""
+
+    family = "batch-rr"
 
     def __init__(self, batch_size: int = 1):
         if batch_size < 1:
@@ -101,6 +107,8 @@ class KernelWideScheduler(TBScheduler):
     are automatically hierarchy-affine: a GPU receives one contiguous
     super-chunk split among its chiplets.
     """
+
+    family = "kernel-wide"
 
     def assign(self, grid: Dim2, ctx: SchedContext) -> np.ndarray:
         order = np.asarray(ctx.node_order, dtype=np.int32)
@@ -128,6 +136,8 @@ class LineBindingScheduler(TBScheduler):
     chunks, so a whole line always lands on one node and neighbouring lines
     land on the same GPU before spilling to the next.
     """
+
+    family = "line-binding"
 
     def __init__(self, axis: LineAxis):
         self.axis = axis
@@ -167,6 +177,8 @@ class ExplicitScheduler(TBScheduler):
     engine through this wrapper.
     """
 
+    family = "explicit"
+
     def __init__(self, nodes: np.ndarray, label: str = "explicit"):
         self.nodes = np.asarray(nodes, dtype=np.int32)
         self.label = label
@@ -180,6 +192,8 @@ class ExplicitScheduler(TBScheduler):
 
 class SingleNodeScheduler(TBScheduler):
     """Everything on one node (the monolithic configuration)."""
+
+    family = "single-node"
 
     def __init__(self, node: int = 0):
         self.node = node

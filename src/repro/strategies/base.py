@@ -12,6 +12,7 @@ from __future__ import annotations
 import abc
 from typing import Set
 
+from repro import obs
 from repro.compiler.passes import CompiledProgram
 from repro.engine.plan import ExecutionPlan, LaunchPlan
 from repro.kir.program import KernelLaunch
@@ -69,32 +70,49 @@ class Strategy(abc.ABC):
             node_order=order,
         )
 
+        session = obs.current()
+        tr = session.tracer
         placed: Set[str] = set()
         launch_plans = []
-        for launch in program.launches:
-            decision = self.decide_launch(compiled, topology, launch)
-            for alloc_name, policy in decision.placements.items():
-                if alloc_name in placed:
-                    continue
-                first, last = space.page_range(alloc_name)
-                page_table.map_allocation(alloc_name, policy.homes(last - first, pctx))
-                placed.add(alloc_name)
-            launch_plans.append(
-                LaunchPlan(
-                    launch=launch,
-                    tb_nodes=decision.scheduler.assign(launch.grid, sched_ctx),
-                    cache_policy=decision.cache_policy,
-                    scheduler_desc=decision.scheduler_desc,
-                    placement_desc=decision.placement_desc,
+        with tr.span("plan", cat="pipeline", strategy=self.name):
+            for launch_index, launch in enumerate(program.launches):
+                with tr.span(
+                    "lasp.decide", cat="plan",
+                    kernel=launch.kernel.name, launch=launch_index,
+                ):
+                    decision = self.decide_launch(compiled, topology, launch)
+                with tr.span("placement", cat="plan", launch=launch_index):
+                    for alloc_name, policy in decision.placements.items():
+                        if alloc_name in placed:
+                            continue
+                        first, last = space.page_range(alloc_name)
+                        page_table.map_allocation(
+                            alloc_name, policy.homes(last - first, pctx)
+                        )
+                        placed.add(alloc_name)
+                with tr.span("schedule", cat="plan", launch=launch_index):
+                    tb_nodes = decision.scheduler.assign(launch.grid, sched_ctx)
+                session.counters.inc(
+                    "sched.family",
+                    family=getattr(decision.scheduler, "family", "unknown"),
+                    strategy=self.name,
                 )
-            )
+                launch_plans.append(
+                    LaunchPlan(
+                        launch=launch,
+                        tb_nodes=tb_nodes,
+                        cache_policy=decision.cache_policy,
+                        scheduler_desc=decision.scheduler_desc,
+                        placement_desc=decision.placement_desc,
+                    )
+                )
 
-        # Allocations never named by any launch fall back to chunks.
-        fallback = ChunkedPlacement()
-        for name in space.extents():
-            if name not in placed:
-                first, last = space.page_range(name)
-                page_table.map_allocation(name, fallback.homes(last - first, pctx))
+            # Allocations never named by any launch fall back to chunks.
+            fallback = ChunkedPlacement()
+            for name in space.extents():
+                if name not in placed:
+                    first, last = space.page_range(name)
+                    page_table.map_allocation(name, fallback.homes(last - first, pctx))
 
         return ExecutionPlan(
             space=space,

@@ -59,6 +59,16 @@ class TestRunResult:
         assert fast.speedup_over(slow) == 2.0
         assert slow.speedup_over(fast) == 0.5
 
+    def test_speedup_over_degenerate_zero_times(self):
+        # Degenerate topologies (e.g. a single-node system with no modelled
+        # transfer cost) can produce zero total time; the ratio must stay
+        # well-defined instead of raising ZeroDivisionError.
+        zero = self._run([0.0])
+        real = self._run([2.0])
+        assert zero.speedup_over(zero) == 1.0
+        assert zero.speedup_over(real) == float("inf")
+        assert real.speedup_over(zero) == 0.0
+
     def test_off_node_fraction_weighted(self):
         run = self._run([1.0, 1.0])
         assert run.off_node_fraction == 0.1

@@ -8,9 +8,11 @@ from repro.cli import main as cli_main
 from repro.experiments.benchperf import (
     COUNTER_KEYS,
     CROSS_SCALE_SPEEDUP_FLOOR,
+    DELTA_KEYS,
     STAGES,
     STRATEGIES,
     check_gate,
+    counter_deltas,
     run_bench,
 )
 from repro.workloads.base import TEST
@@ -85,6 +87,34 @@ class TestGate:
         gate_path = self._gate_file(tmp_path, bench_gate)
         assert check_gate(smoke_report, gate_path) == []
         assert any("sanity floor" in f for f in check_gate(slow, gate_path))
+
+    def test_counter_deltas_against_committed(self, smoke_report, tmp_path):
+        deltas = counter_deltas(
+            smoke_report, self._gate_file(tmp_path, smoke_report)
+        )
+        assert set(deltas) == set(DELTA_KEYS)
+        for entry in deltas.values():
+            assert entry["current"] == entry["committed"]
+            if entry["committed"]:
+                assert entry["ratio"] == pytest.approx(1.0)
+            else:
+                assert entry["ratio"] is None
+
+    def test_counter_deltas_tolerates_old_gate(self, smoke_report, tmp_path):
+        stale = json.loads(json.dumps(smoke_report))
+        for key in DELTA_KEYS:
+            stale["totals"]["counters"].pop(key, None)
+        deltas = counter_deltas(
+            smoke_report, self._gate_file(tmp_path, stale)
+        )
+        for entry in deltas.values():
+            assert entry["committed"] == 0
+            assert entry["ratio"] is None
+
+    def test_manifest_in_meta(self, smoke_report):
+        manifest = smoke_report["meta"]["manifest"]
+        assert manifest["schema"] == "repro-manifest-v1"
+        assert manifest["workloads"] == ["vecadd"]
 
     def test_parity_mismatch_always_fails(self, smoke_report, tmp_path):
         broken = json.loads(json.dumps(smoke_report))

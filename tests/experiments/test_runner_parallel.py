@@ -27,6 +27,12 @@ class TestGeomean:
     def test_accepts_generator(self):
         assert geomean(x for x in (2.0, 8.0)) == pytest.approx(4.0)
 
+    def test_inf_propagates(self):
+        # speedup_over returns inf when the other run has zero total time on
+        # a degenerate topology; the geomean must surface that rather than
+        # crash or silently drop it.
+        assert geomean([2.0, float("inf")]) == float("inf")
+
 
 class TestParallelMatrix:
     def test_parallel_matches_sequential(self):

@@ -1,0 +1,102 @@
+"""Counter registry: key round-trips, snapshot/diff, merge, disabled no-op."""
+
+import pytest
+
+from repro.obs.counters import (
+    CounterRegistry,
+    counter_key,
+    diff_snapshots,
+    parse_key,
+)
+
+
+class TestKeys:
+    def test_plain_name(self):
+        assert counter_key("walk.memo") == "walk.memo"
+        assert parse_key("walk.memo") == ("walk.memo", {})
+
+    def test_labels_sorted_canonically(self):
+        key = counter_key("walk.link.bytes", src=2, dst=0, link="inter_gpu")
+        assert key == "walk.link.bytes{dst=0,link=inter_gpu,src=2}"
+
+    def test_round_trip(self):
+        key = counter_key("l2.hits", node=3, cls="LOCAL-LOCAL", strategy="LADM")
+        name, labels = parse_key(key)
+        assert name == "l2.hits"
+        assert labels == {"node": "3", "cls": "LOCAL-LOCAL", "strategy": "LADM"}
+        assert counter_key(name, **labels) == key
+
+    @pytest.mark.parametrize(
+        "bad", ["a{b=1", "a}b", "name{=x}", "name{novalue}", "a=b"]
+    )
+    def test_malformed_keys_raise(self, bad):
+        with pytest.raises(ValueError):
+            parse_key(bad)
+
+
+class TestRegistry:
+    def test_inc_and_snapshot(self):
+        reg = CounterRegistry()
+        reg.inc("hits", node=0)
+        reg.inc("hits", 4, node=0)
+        reg.inc("hits", node=1)
+        assert reg.snapshot() == {"hits{node=0}": 5, "hits{node=1}": 1}
+
+    def test_snapshot_sorted_and_isolated(self):
+        reg = CounterRegistry()
+        reg.inc("b")
+        reg.inc("a")
+        snap = reg.snapshot()
+        assert list(snap) == ["a", "b"]
+        snap["a"] = 999  # mutating the copy must not touch the registry
+        assert reg.snapshot()["a"] == 1
+
+    def test_set_overwrites_gauge(self):
+        reg = CounterRegistry()
+        reg.set("l2.occupancy", 10, node=0)
+        reg.set("l2.occupancy", 7, node=0)
+        assert reg.snapshot() == {"l2.occupancy{node=0}": 7}
+
+    def test_select_and_total(self):
+        reg = CounterRegistry()
+        reg.inc("bytes", 10, link="inter_gpu")
+        reg.inc("bytes", 5, link="intra_gpu")
+        reg.inc("other", 99)
+        assert reg.total("bytes") == 15
+        assert set(reg.select("bytes")) == {
+            "bytes{link=inter_gpu}",
+            "bytes{link=intra_gpu}",
+        }
+
+    def test_merge_snapshot(self):
+        a = CounterRegistry()
+        a.inc("x", 2)
+        b = CounterRegistry()
+        b.inc("x", 3)
+        b.inc("y", 1)
+        a.merge(b.snapshot())
+        assert a.snapshot() == {"x": 5, "y": 1}
+
+    def test_disabled_is_noop(self):
+        reg = CounterRegistry(enabled=False)
+        reg.inc("x")
+        reg.set("y", 5)
+        reg.merge({"z": 1})
+        assert len(reg) == 0
+
+
+class TestDiff:
+    def test_diff_round_trip(self):
+        reg = CounterRegistry()
+        reg.inc("a", 2)
+        before = reg.snapshot()
+        reg.inc("a", 3)
+        reg.inc("b", 1)
+        after = reg.snapshot()
+        assert diff_snapshots(after, before) == {"a": 3, "b": 1}
+
+    def test_diff_drops_zero_and_handles_missing(self):
+        assert diff_snapshots({"a": 5, "b": 2}, {"a": 5, "c": 1}) == {
+            "b": 2,
+            "c": -1,
+        }

@@ -1,0 +1,119 @@
+"""Perfetto export: golden schema, validators, flame summary."""
+
+import json
+
+from repro import obs
+from repro.obs.export import (
+    COUNTERS_SCHEMA,
+    TRACE_SCHEMA,
+    counters_payload,
+    flame_summary,
+    to_chrome_trace,
+    validate_counters,
+    validate_trace,
+)
+from repro.obs.manifest import MANIFEST_SCHEMA, build_manifest
+
+
+def _session_with_spans():
+    session = obs.ObsSession(enabled=True)
+    tr = session.tracer
+    with tr.span("run", cat="pipeline", strategy="LADM"):
+        with tr.span("launch", cat="pipeline", launch=0):
+            with tr.span("walk", cat="walk"):
+                pass
+        with tr.span("launch", cat="pipeline", launch=1):
+            pass
+    session.counters.inc("walk.link.bytes", 128, src=0, dst=1, link="inter_gpu")
+    return session
+
+
+class TestChromeTrace:
+    def test_golden_schema(self):
+        session = _session_with_spans()
+        manifest = build_manifest(program="p", strategy="LADM", engine="vector")
+        trace = to_chrome_trace(session, manifest)
+
+        assert trace["displayTimeUnit"] == "ms"
+        assert trace["otherData"]["schema"] == TRACE_SCHEMA
+        assert trace["otherData"]["manifest"]["schema"] == MANIFEST_SCHEMA
+        xs = [ev for ev in trace["traceEvents"] if ev["ph"] == "X"]
+        ms = [ev for ev in trace["traceEvents"] if ev["ph"] == "M"]
+        assert len(xs) == 4
+        assert {ev["name"] for ev in ms} == {"process_name", "thread_name"}
+        # pid/tid remapped to small consecutive ints
+        assert {ev["pid"] for ev in xs} == {1}
+        assert {ev["tid"] for ev in xs} == {1}
+        # span args and path survive
+        run = next(ev for ev in xs if ev["name"] == "run")
+        assert run["args"]["strategy"] == "LADM"
+        assert run["args"]["path"] == "run"
+        walk = next(ev for ev in xs if ev["name"] == "walk")
+        assert walk["args"]["path"] == "run/launch/walk"
+
+    def test_json_serialisable(self):
+        trace = to_chrome_trace(_session_with_spans())
+        json.dumps(trace)  # must not raise
+
+    def test_validator_accepts_own_output(self):
+        assert validate_trace(to_chrome_trace(_session_with_spans())) == []
+
+    def test_validator_rejects_overlap(self):
+        bad = {
+            "traceEvents": [
+                {"name": "a", "ph": "X", "ts": 0, "dur": 10, "pid": 1, "tid": 1},
+                {"name": "b", "ph": "X", "ts": 5, "dur": 10, "pid": 1, "tid": 1},
+            ]
+        }
+        errors = validate_trace(bad)
+        assert errors and "without nesting" in errors[0]
+
+    def test_validator_rejects_structural_junk(self):
+        assert validate_trace({}) == ["traceEvents missing or not a list"]
+        errors = validate_trace(
+            {"traceEvents": [{"name": "", "ph": "Q", "pid": "x", "tid": 0}]}
+        )
+        assert any("unsupported ph" in e for e in errors)
+        errors = validate_trace(
+            {"traceEvents": [{"name": "a", "ph": "X", "ts": -1, "dur": 0,
+                              "pid": 1, "tid": 1}]}
+        )
+        assert any("bad ts" in e for e in errors)
+
+
+class TestCountersPayload:
+    def test_round_trip_through_json(self):
+        session = _session_with_spans()
+        payload = json.loads(json.dumps(counters_payload(session)))
+        assert payload["schema"] == COUNTERS_SCHEMA
+        assert validate_counters(payload) == []
+        key = "walk.link.bytes{dst=1,link=inter_gpu,src=0}"
+        assert payload["counters"][key] == 128
+
+    def test_validator_rejects_bad_values(self):
+        errors = validate_counters(
+            {"schema": COUNTERS_SCHEMA, "manifest": {},
+             "counters": {"ok": 1, "neg": -2, "float": 1.5, "bool": True,
+                          "mal{formed": 3}}
+        )
+        assert len(errors) == 4
+
+    def test_validator_rejects_wrong_schema(self):
+        errors = validate_counters({"schema": "nope", "counters": {}, "manifest": {}})
+        assert any("schema" in e for e in errors)
+
+
+class TestFlameSummary:
+    def test_aggregates_by_path(self):
+        text = flame_summary(_session_with_spans())
+        lines = text.splitlines()
+        assert "span" in lines[0]
+        launch_row = next(l for l in lines if l.lstrip().startswith("launch"))
+        assert "2" in launch_row.split()  # two launch spans merged
+        # depth shown by indentation: walk is two levels down
+        walk_row = next(l for l in lines if "walk" in l)
+        assert walk_row.startswith("    walk")
+
+    def test_max_depth_clips(self):
+        text = flame_summary(_session_with_spans(), max_depth=0)
+        assert "walk" not in text and "run" in text

@@ -1,0 +1,124 @@
+"""Span tracer: nesting, thread safety, disabled no-op behaviour."""
+
+import threading
+
+from repro import obs
+from repro.obs.tracer import SpanTracer, _NULL_SPAN
+
+
+class TestSpanNesting:
+    def test_paths_record_nesting(self):
+        tr = SpanTracer()
+        with tr.span("outer"):
+            with tr.span("mid"):
+                with tr.span("inner"):
+                    pass
+            with tr.span("mid2"):
+                pass
+        paths = {ev["path"] for ev in tr.events()}
+        assert paths == {
+            ("outer",),
+            ("outer", "mid"),
+            ("outer", "mid", "inner"),
+            ("outer", "mid2"),
+        }
+
+    def test_events_chronological_by_finish(self):
+        tr = SpanTracer()
+        with tr.span("a"):
+            with tr.span("b"):
+                pass
+        names = [ev["name"] for ev in tr.events()]
+        assert names == ["b", "a"]  # inner finishes first
+
+    def test_durations_and_timestamps_nonnegative(self):
+        tr = SpanTracer()
+        with tr.span("x", cat="test", detail=7):
+            pass
+        (ev,) = tr.events()
+        assert ev["dur_ns"] >= 0
+        assert ev["cat"] == "test"
+        assert ev["args"] == {"detail": 7}
+        assert isinstance(ev["pid"], int) and isinstance(ev["tid"], int)
+
+    def test_sibling_spans_share_parent_path(self):
+        tr = SpanTracer()
+        with tr.span("run"):
+            for _ in range(3):
+                with tr.span("launch"):
+                    pass
+        launches = [ev for ev in tr.events() if ev["name"] == "launch"]
+        assert len(launches) == 3
+        assert all(ev["path"] == ("run", "launch") for ev in launches)
+
+
+class TestDisabled:
+    def test_disabled_returns_shared_null_span(self):
+        tr = SpanTracer(enabled=False)
+        s1 = tr.span("a", cat="x", k=1)
+        s2 = tr.span("b")
+        assert s1 is _NULL_SPAN and s2 is _NULL_SPAN
+
+    def test_disabled_records_nothing(self):
+        tr = SpanTracer(enabled=False)
+        with tr.span("a"):
+            with tr.span("b"):
+                pass
+        assert len(tr) == 0
+
+    def test_default_session_is_disabled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_OBS", raising=False)
+        monkeypatch.setattr(obs, "_current", None)
+        session = obs.current()
+        assert not session.enabled
+        assert session.tracer.span("x") is _NULL_SPAN
+
+    def test_repro_obs_env_enables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OBS", "1")
+        monkeypatch.setattr(obs, "_current", None)
+        assert obs.current().enabled
+        obs.disable()
+
+
+class TestThreads:
+    def test_per_thread_stacks_do_not_interleave(self):
+        tr = SpanTracer()
+        barrier = threading.Barrier(2)
+
+        def work(name):
+            with tr.span(name):
+                barrier.wait()  # both threads hold an open span at once
+                with tr.span("child"):
+                    pass
+
+        threads = [threading.Thread(target=work, args=(f"t{i}",)) for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        children = [ev for ev in tr.events() if ev["name"] == "child"]
+        assert {ev["path"] for ev in children} == {("t0", "child"), ("t1", "child")}
+        tids = {ev["tid"] for ev in tr.events()}
+        assert len(tids) == 2
+
+
+class TestMerge:
+    def test_merge_normalises_json_paths(self):
+        tr = SpanTracer()
+        tr.merge(
+            [
+                {
+                    "name": "w", "cat": "x", "ts_ns": 0, "dur_ns": 5,
+                    "pid": 99, "tid": 1, "path": ["run", "w"], "args": {},
+                }
+            ]
+        )
+        (ev,) = tr.events()
+        assert ev["path"] == ("run", "w")
+
+    def test_clear(self):
+        tr = SpanTracer()
+        with tr.span("a"):
+            pass
+        tr.clear()
+        assert len(tr) == 0
