@@ -31,18 +31,24 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.analysis.diagnostics import Diagnostic, Provenance, Severity
+from repro.analysis.diagnostics import Diagnostic, Provenance, Severity, site_labels
 from repro.compiler.classify import (
     AccessClassification,
     LocalityType,
     Motion,
     Sharing,
+    classify_access,
 )
 from repro.kir.expr import BDX, BDY, BX, BY, GDX, GDY, M, TX, TY, Expr, Var
 from repro.kir.kernel import GlobalAccess, Kernel
 from repro.kir.program import KernelLaunch
 
-__all__ = ["OracleResult", "oracle_classify", "cross_check_access"]
+__all__ = [
+    "OracleResult",
+    "oracle_classify",
+    "cross_check_access",
+    "cross_check_launch",
+]
 
 #: Prime variables every launch binds; anything else in an index must be a
 #: launch parameter or the access is data-dependent.
@@ -450,4 +456,20 @@ def cross_check_access(
                     message=mismatch,
                 )
             )
+    return diags
+
+
+def cross_check_launch(launch: KernelLaunch, file: str = "<oracle>") -> List[Diagnostic]:
+    """Classify and cross-check every access site of one launch.
+
+    Convenience wrapper for differential harnesses: runs Algorithm 1 on
+    each site, diffs it against the enumeration oracle, and stamps the
+    standard ``file:kernel:array[k]`` provenance.
+    """
+    kernel = launch.kernel
+    diags: List[Diagnostic] = []
+    for access, label in zip(kernel.accesses, site_labels(kernel.accesses)):
+        claimed = classify_access(kernel, access)
+        prov = Provenance(file=file, kernel=kernel.name, access=label)
+        diags.extend(cross_check_access(kernel, access, launch, claimed, prov))
     return diags

@@ -23,6 +23,7 @@ through both implementations (``tests/cache/test_array_lru.py``).
 
 from __future__ import annotations
 
+import os
 from typing import List
 
 import numpy as np
@@ -40,6 +41,14 @@ class ArrayLRU:
     __slots__ = ("num_sets", "assoc", "tags", "stamp", "clock", "accesses", "hits")
 
     def __init__(self, num_sets: int, assoc: int):
+        # Deliberate seeded bug for the fuzz harness's self-test (see
+        # docs/fuzzing.md): the vector engine's caches silently lose one
+        # way, which legacy-vs-vector differential runs must catch.  The
+        # env var is read per construction so tests can monkeypatch it.
+        if assoc > 1 and "lru-assoc-off-by-one" in os.environ.get(
+            "REPRO_FAULT_INJECT", ""
+        ):
+            assoc -= 1
         if num_sets < 1 or assoc < 1:
             raise SimulationError("cache needs >= 1 set and >= 1 way")
         self.num_sets = num_sets

@@ -12,6 +12,7 @@ repository's extensions::
     python -m repro hw-validation | ablations | energy | paging | proactive
     python -m repro bench [--smoke] [--gate FILE]   # engine perf benchmark
     python -m repro profile fig9:conv --trace t.json --counters c.json
+    python -m repro fuzz --seed 0 --n 200 --shrink  # differential fuzzing
 """
 
 from __future__ import annotations
@@ -39,6 +40,7 @@ from repro.experiments import (
     table4,
 )
 from repro.experiments.runner import scale_by_name, strategy_by_name
+from repro.fuzz import cli as fuzz_cli
 from repro.obs import profile as obs_profile
 from repro.topology.config import bench_hierarchical, bench_monolithic
 from repro.version import __version__
@@ -49,6 +51,7 @@ __all__ = ["main"]
 _EXPERIMENT_MAINS = {
     "bench": benchperf.main,
     "profile": obs_profile.main,
+    "fuzz": fuzz_cli.main,
     "fig4": fig4.main,
     "fig9": fig9.main,
     "fig10": fig10.main,
@@ -201,6 +204,11 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_parser(
                 name,
                 help="instrumented run: span trace + counters + flame summary",
+            )
+        elif name == "fuzz":
+            sub.add_parser(
+                name,
+                help="differential fuzzing campaign over generated KIR programs",
             )
         else:
             sub.add_parser(name, help=f"regenerate {name} (forwards remaining args)")

@@ -8,6 +8,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from repro.cache.stats import L2Stats
+from repro.errors import MetricsError
 from repro.topology.system import Channel
 
 __all__ = ["KernelMetrics", "RunResult"]
@@ -36,12 +37,36 @@ class KernelMetrics:
     time_breakdown: Dict[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        if not self.kernel:
+            raise MetricsError("KernelMetrics needs a non-empty kernel name")
+        if self.launch_index < 0:
+            raise MetricsError(
+                f"KernelMetrics launch_index must be >= 0, got {self.launch_index}"
+            )
+        if self.num_nodes < 1:
+            raise MetricsError(
+                f"KernelMetrics needs num_nodes >= 1, got {self.num_nodes}"
+            )
         if self.warp_insts_per_node is None:
             self.warp_insts_per_node = np.zeros(self.num_nodes, dtype=np.float64)
         if self.dram_bytes_per_node is None:
             self.dram_bytes_per_node = np.zeros(self.num_nodes, dtype=np.int64)
+        for label, arr in (
+            ("warp_insts_per_node", self.warp_insts_per_node),
+            ("dram_bytes_per_node", self.dram_bytes_per_node),
+        ):
+            arr = np.asarray(arr)
+            if arr.shape != (self.num_nodes,):
+                raise MetricsError(
+                    f"{label} has shape {arr.shape}, expected ({self.num_nodes},)"
+                )
         if not self.l2_stats:
             self.l2_stats = [L2Stats() for _ in range(self.num_nodes)]
+        elif len(self.l2_stats) != self.num_nodes:
+            raise MetricsError(
+                f"{len(self.l2_stats)} L2Stats entries for "
+                f"{self.num_nodes} node(s)"
+            )
 
     # ------------------------------------------------------------------
     def add_channel_bytes(self, key: ChannelKey, nbytes: int) -> None:
@@ -119,6 +144,19 @@ class RunResult:
     #: package version) built by :func:`repro.obs.manifest.build_manifest`.
     #: Excluded from :meth:`snapshot` so engine parity stays comparable.
     manifest: Dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.kernels:
+            raise MetricsError(
+                f"RunResult for {self.program!r}/{self.strategy!r} has no "
+                "kernel metrics -- a run always executes at least one launch"
+            )
+        nodes = {k.num_nodes for k in self.kernels}
+        if len(nodes) != 1:
+            raise MetricsError(
+                f"RunResult mixes node counts {sorted(nodes)}; all kernels "
+                "of one run execute on one system"
+            )
 
     @property
     def total_time_s(self) -> float:

@@ -583,15 +583,24 @@ def simulate(
     compiled: Optional[CompiledProgram] = None,
     engine: Optional[str] = None,
     trace_cache: Optional[TraceCache] = None,
+    walk_memo: Optional[WalkMemo] = None,
+    obs_session=None,
 ) -> RunResult:
     """Compile, plan and run a program in one call.
 
     ``strategy`` is any object with ``plan(compiled, topology) ->
-    ExecutionPlan`` (see :mod:`repro.strategies`).  ``engine`` and
-    ``trace_cache`` are forwarded to :class:`Simulator`.
+    ExecutionPlan`` (see :mod:`repro.strategies`).  ``engine``,
+    ``trace_cache``, ``walk_memo`` and ``obs_session`` are forwarded to
+    :class:`Simulator`.
     """
     if compiled is None:
         compiled = compile_program(program)
-    sim = Simulator(config, engine=engine, trace_cache=trace_cache)
+    sim = Simulator(
+        config,
+        engine=engine,
+        trace_cache=trace_cache,
+        walk_memo=walk_memo,
+        obs_session=obs_session,
+    )
     plan = strategy.plan(compiled, sim.topology)
     return sim.run(compiled, plan)

@@ -42,5 +42,9 @@ class SimulationError(ReproError):
     """Raised by the trace-driven engine for inconsistent simulation state."""
 
 
+class MetricsError(ReproError):
+    """Raised for malformed metrics containers (empty runs, shape mismatches)."""
+
+
 class WorkloadError(ReproError):
     """Raised when a workload definition is inconsistent with its inputs."""

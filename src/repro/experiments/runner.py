@@ -2,11 +2,15 @@
 
 from __future__ import annotations
 
+import hashlib
 import math
 import multiprocessing
 import os
+import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro import obs
 from repro.compiler.passes import compile_program
@@ -109,6 +113,19 @@ def geomean(values: Iterable[float]) -> float:
     return math.exp(sum(math.log(v) for v in vals) / len(vals))
 
 
+def _workload_seed(seed: int, workload_name: str) -> int:
+    """Stable per-workload child seed, independent of execution order.
+
+    Keyed by name (not position) so serial and parallel runs -- and any
+    subset of the workload list -- derive identical streams for the same
+    workload.
+    """
+    digest = hashlib.blake2b(
+        f"{seed}:{workload_name}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
 def _obs_paths(obs_dir: str, workload_name: str) -> Tuple[str, str]:
     return (
         os.path.join(obs_dir, f"{workload_name}.trace.json"),
@@ -123,6 +140,7 @@ def _run_workload(
     engine: Optional[str],
     verbose: bool,
     obs_dir: Optional[str] = None,
+    seed: Optional[int] = None,
 ) -> Tuple[Dict[str, RunResult], Dict[str, float]]:
     """All strategies of one workload; the unit of parallel distribution.
 
@@ -146,6 +164,12 @@ def _run_workload(
         os.makedirs(obs_dir, exist_ok=True)
         session = obs.enable()
     try:
+        if seed is not None:
+            # Workload builders may draw from the global RNGs; reseed both
+            # with a name-keyed child seed so parallel == serial per workload.
+            child = _workload_seed(seed, workload.name)
+            random.seed(child)
+            np.random.seed(child % 2**32)
         program = workload.program(scale)
         compiled = compile_program(program)
         per_strategy: Dict[str, RunResult] = {}
@@ -176,9 +200,9 @@ def _run_workload(
 
 
 def _pool_worker(args: tuple) -> Tuple[str, Dict[str, RunResult], Dict[str, float]]:
-    workload, strategies, scale, engine, obs_dir = args
+    workload, strategies, scale, engine, obs_dir, seed = args
     per_strategy, stage_times = _run_workload(
-        workload, strategies, scale, engine, False, obs_dir=obs_dir
+        workload, strategies, scale, engine, False, obs_dir=obs_dir, seed=seed
     )
     return workload.name, per_strategy, stage_times
 
@@ -191,6 +215,7 @@ def run_matrix(
     parallel: Optional[int] = None,
     engine: Optional[str] = None,
     obs_dir: Optional[str] = None,
+    seed: Optional[int] = None,
 ) -> MatrixResult:
     """Run every workload under every (strategy name, system) pair.
 
@@ -210,10 +235,19 @@ def run_matrix(
     pair per workload into that directory (per-worker traces in a parallel
     run; workers write their own files, so nothing crosses the fork
     boundary).
+
+    ``seed`` reseeds the global ``random`` / ``numpy.random`` streams with
+    a name-keyed child seed immediately before each workload's program is
+    built, so workload builders that draw randomness produce identical
+    programs whether the matrix runs serially or on a pool (and regardless
+    of worker scheduling order).
     """
     matrix = MatrixResult(scale=scale.name)
     if parallel and parallel > 1 and len(workloads) > 1:
-        jobs = [(w, tuple(strategies), scale, engine, obs_dir) for w in workloads]
+        jobs = [
+            (w, tuple(strategies), scale, engine, obs_dir, seed)
+            for w in workloads
+        ]
         ctx = multiprocessing.get_context("fork")
         by_name = {}
         stage_by_name = {}
@@ -232,7 +266,7 @@ def run_matrix(
         return matrix
     for workload in workloads:
         per_strategy, stage_times = _run_workload(
-            workload, strategies, scale, engine, verbose, obs_dir=obs_dir
+            workload, strategies, scale, engine, verbose, obs_dir=obs_dir, seed=seed
         )
         matrix.results[workload.name] = per_strategy
         matrix.stage_times[workload.name] = stage_times

@@ -1,0 +1,36 @@
+"""Generative KIR fuzzing and differential conformance checking.
+
+The fuzz subsystem closes the gap between the fixed 27-workload suite and
+the space of programs the engines claim to handle:
+
+* :mod:`repro.fuzz.genprog` -- seeded sampler over the Table-II index
+  grammar producing whole multi-kernel :class:`~repro.kir.program.Program`s
+  from plain-data :class:`~repro.fuzz.genprog.ProgramSpec` descriptions
+  (JSON round-trippable, so failures are storable and replayable).
+* :mod:`repro.fuzz.diff` -- the differential runner: every generated
+  launch executes under the legacy scalar walk, the vector walk and the
+  memoised vector walk across a rotating set of scheduler families, with
+  bit-exact snapshot comparison, per-link byte reconciliation against the
+  obs counters, conservation invariants, and a classifier-vs-oracle
+  cross-check.
+* :mod:`repro.fuzz.properties` -- metamorphic properties (topology
+  rewiring invariance, chiplet-count monotonicity, cache-associativity
+  monotonicity under all-RONCE plans).
+* :mod:`repro.fuzz.shrink` -- delta-debugging shrinker minimising failing
+  specs and emitting ready-to-paste pytest regressions + corpus entries.
+* :mod:`repro.fuzz.cli` -- the ``repro fuzz`` campaign driver.
+
+See ``docs/fuzzing.md`` for the grammar, the soundness arguments behind
+each property, and the corpus policy.
+"""
+
+from repro.fuzz.genprog import (  # noqa: F401
+    AccessSpec,
+    KernelSpec,
+    ProgramSpec,
+    build_program,
+    generate_spec,
+    spec_from_json,
+    spec_to_json,
+    validate_spec,
+)

@@ -1,0 +1,270 @@
+"""``repro fuzz``: the seeded differential fuzzing campaign.
+
+One invocation generates ``--n`` programs from ``--seed`` (each program's
+RNG is keyed by ``blake2b(seed:index)``, so any single index can be
+re-generated in isolation), replays the checked-in corpus, runs every
+program through the differential harness (``diff.py``) and -- unless
+``--no-properties`` -- a sampled subset through the metamorphic properties
+(``properties.py``).  Failures are shrunk on the spot (``--shrink``),
+written to ``--out`` as corpus entries plus ready-to-paste pytest
+regressions, and the process exits non-zero.
+
+Coverage is reported from the campaign's own obs counters
+(``fuzz.shape{shape=...}``, ``fuzz.locality{cls=...}``): a grammar change
+that silently stops generating a Table-II locality class shows up as a
+missing row in the summary table, not as a green run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import random
+import time
+from typing import List, Optional
+
+from repro.fuzz.diff import DiffFailure, run_spec, strategies_for
+from repro.fuzz.genprog import (
+    FuzzSpecError,
+    ProgramSpec,
+    generate_spec,
+    spec_work,
+)
+from repro.fuzz.properties import run_properties
+from repro.fuzz.shrink import corpus_entry, emit_regression, load_corpus_entry, shrink_spec
+from repro import obs
+from repro.obs import ObsSession
+from repro.obs.export import write_counters, write_trace
+
+__all__ = ["main"]
+
+#: run the (expensive) metamorphic properties on every Nth program
+_PROPERTY_STRIDE = 10
+#: cap on how many failures get the full shrink treatment per campaign
+_MAX_SHRINKS = 3
+
+
+def child_seed(seed: int, index: int) -> int:
+    """Stable per-program seed; survives reordering and parallel splits."""
+    digest = hashlib.blake2b(f"{seed}:{index}".encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def _parse_args(argv: Optional[List[str]]) -> argparse.Namespace:
+    p = argparse.ArgumentParser(
+        prog="repro fuzz",
+        description="differential fuzzing campaign over generated KIR programs",
+    )
+    p.add_argument("--seed", type=int, default=0, help="campaign seed")
+    p.add_argument("--n", type=int, default=200, help="number of generated programs")
+    p.add_argument(
+        "--time-budget",
+        type=float,
+        default=0.0,
+        help="stop generating after this many seconds (0 = no limit)",
+    )
+    p.add_argument(
+        "--scale",
+        default="tiny",
+        choices=("tiny", "small", "nightly"),
+        help="per-program work budget",
+    )
+    p.add_argument(
+        "--shrink",
+        action="store_true",
+        help="delta-debug failures down to minimal repros",
+    )
+    p.add_argument(
+        "--corpus",
+        default=None,
+        help="directory of corpus entries to replay before generating",
+    )
+    p.add_argument(
+        "--out",
+        default=None,
+        help="directory for failure artifacts (corpus entries + regressions)",
+    )
+    p.add_argument("--trace", default=None, help="write a Perfetto trace here")
+    p.add_argument(
+        "--counters", default=None, help="write the counter snapshot here"
+    )
+    p.add_argument(
+        "--no-properties",
+        action="store_true",
+        help="skip the metamorphic property checks",
+    )
+    return p.parse_args(argv)
+
+
+def _replay_corpus(directory: str) -> List[ProgramSpec]:
+    specs: List[ProgramSpec] = []
+    if not os.path.isdir(directory):
+        return specs
+    for name in sorted(os.listdir(directory)):
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(directory, name)
+        with open(path) as fh:
+            specs.append(load_corpus_entry(fh.read()))
+    return specs
+
+
+def _handle_failure(
+    spec: ProgramSpec,
+    failures: List[DiffFailure],
+    args: argparse.Namespace,
+    shrinks_left: int,
+) -> int:
+    """Shrink + persist one failing spec; returns shrink budget consumed."""
+    print(f"FAIL {spec.name}:")
+    for f in failures:
+        print(f"  {f.render()}")
+    used = 0
+    minimal = spec
+    diff_failures = [f for f in failures if not f.kind.startswith("property:")]
+    prop_names = [
+        f.kind.split(":", 1)[1] for f in failures if f.kind.startswith("property:")
+    ]
+    if args.shrink and shrinks_left > 0 and (diff_failures or prop_names):
+        kinds = {f.kind for f in diff_failures}
+        strategies = sorted({f.strategy for f in diff_failures if f.strategy}) or None
+
+        def still_fails(candidate: ProgramSpec) -> bool:
+            if kinds:
+                report = run_spec(candidate, strategies)
+                if any(f.kind in kinds for f in report.failures):
+                    return True
+            if prop_names:
+                return bool(run_properties(candidate, checks=prop_names))
+            return False
+
+        minimal = shrink_spec(spec, still_fails)
+        used = 1
+        print(
+            f"  shrunk: {len(spec.kernels)} kernel(s) -> "
+            f"{len(minimal.kernels)}, work {spec_work(spec)} -> "
+            f"{spec_work(minimal)}"
+        )
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        note = "; ".join(sorted({f.kind for f in failures}))
+        base = os.path.join(args.out, minimal.name)
+        with open(base + ".json", "w") as fh:
+            json.dump(corpus_entry(minimal, note=note), fh, indent=1, sort_keys=True)
+        with open(base + "_test.py", "w") as fh:
+            fh.write(emit_regression(minimal, note=note))
+        print(f"  artifacts: {base}.json, {base}_test.py")
+    return used
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _parse_args(argv)
+    session = ObsSession(enabled=True)
+    counters = session.counters
+    if args.trace:
+        # Route simulator spans from the campaign's runs into this session
+        # so the exported Perfetto trace shows the actual walks.  (The
+        # differential runner's vector runs still use their own private
+        # sessions for byte reconciliation.)
+        obs.install(session)
+    try:
+        return _campaign(args, session, counters)
+    finally:
+        if args.trace:
+            obs.disable()
+
+
+def _campaign(
+    args: argparse.Namespace, session: ObsSession, counters
+) -> int:
+    started = time.monotonic()
+    failed_specs = 0
+    shrink_budget = _MAX_SHRINKS
+
+    # ------------------------------------------------------------------
+    # Corpus replay: previously-shrunk failures must stay fixed.
+    corpus_specs: List[ProgramSpec] = []
+    if args.corpus:
+        try:
+            corpus_specs = _replay_corpus(args.corpus)
+        except FuzzSpecError as exc:
+            print(f"corpus replay aborted: {exc}")
+            return 2
+    for spec in corpus_specs:
+        counters.inc("fuzz.corpus.replayed")
+        report = run_spec(spec)
+        if not report.ok:
+            failed_specs += 1
+            for f in report.failures:
+                counters.inc("fuzz.failures", kind=f.kind)
+            shrink_budget -= _handle_failure(
+                spec, report.failures, args, shrink_budget
+            )
+    if corpus_specs:
+        print(f"corpus: replayed {len(corpus_specs)} entr(ies)")
+
+    # ------------------------------------------------------------------
+    # Generated campaign.
+    rng_master = random.Random(args.seed)
+    ran = 0
+    for index in range(args.n):
+        if args.time_budget and time.monotonic() - started > args.time_budget:
+            print(f"time budget reached after {index} programs")
+            break
+        rng = random.Random(child_seed(args.seed, index))
+        spec = generate_spec(rng, f"fz{args.seed}_{index}", scale=args.scale)
+        counters.inc("fuzz.programs")
+        for k in spec.kernels:
+            for a in k.accesses:
+                counters.inc("fuzz.shape", shape=a.shape)
+        report = run_spec(spec, strategies_for(index))
+        ran += 1
+        for cls, count in report.locality.items():
+            counters.inc("fuzz.locality", value=count, cls=cls)
+        failures = list(report.failures)
+        if not args.no_properties and index % _PROPERTY_STRIDE == 0:
+            for pf in run_properties(spec):
+                failures.append(DiffFailure(kind=f"property:{pf.prop}", message=pf.message))
+        if failures:
+            failed_specs += 1
+            for f in failures:
+                counters.inc("fuzz.failures", kind=f.kind)
+            shrink_budget -= _handle_failure(spec, failures, args, shrink_budget)
+    _ = rng_master  # reserved: campaign-level mutations draw from here
+
+    # ------------------------------------------------------------------
+    # Coverage + artifacts.
+    elapsed = time.monotonic() - started
+    print(
+        f"\nfuzz campaign: seed={args.seed} programs={ran} "
+        f"corpus={len(corpus_specs)} failures={failed_specs} "
+        f"({elapsed:.1f}s)"
+    )
+    shape_cov = counters.select("fuzz.shape")
+    loc_cov = counters.select("fuzz.locality")
+    if shape_cov:
+        print("shape coverage:")
+        for key in sorted(shape_cov):
+            print(f"  {key:<40} {shape_cov[key]}")
+    if loc_cov:
+        print("locality coverage:")
+        for key in sorted(loc_cov):
+            print(f"  {key:<40} {loc_cov[key]}")
+    fail_cov = counters.select("fuzz.failures")
+    for key in sorted(fail_cov):
+        print(f"  {key:<40} {fail_cov[key]}")
+
+    manifest = {"tool": "repro fuzz", "seed": args.seed, "programs": ran}
+    if args.trace:
+        write_trace(args.trace, session, manifest)
+        print(f"wrote trace: {args.trace}")
+    if args.counters:
+        write_counters(args.counters, session, manifest)
+        print(f"wrote counters: {args.counters}")
+    return 1 if failed_specs else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

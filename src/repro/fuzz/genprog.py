@@ -1,0 +1,523 @@
+"""Seeded generative builder for KIR programs over the Table-II grammar.
+
+A generated program is described by a plain-data :class:`ProgramSpec`
+(JSON round-trippable, deterministically buildable), which keeps failures
+storable in the regression corpus and lets the shrinker manipulate
+candidates without touching IR objects.
+
+The index grammar is the interesting part.  Every shape below is chosen so
+that ``classify_access`` (Algorithm 1) and the enumeration oracle
+(:mod:`repro.analysis.oracle`) *provably agree* on the generated site --
+the differential harness treats any ERROR-severity ORACLE-* diagnostic as
+a real bug, so the grammar must not manufacture disagreements of its own.
+The non-obvious constraints:
+
+* ``col_h`` needs ``coef >= 2``: with a per-iteration stride of exactly 1
+  the oracle derives ITL before it ever looks at sharing.
+* ``row_h`` needs ``coef * bdx >= 2`` for the same reason (its stride is
+  ``coef * bdx``).
+* Shapes built on the 2-D linear thread id carry symbolic ``by``/``ty``
+  terms even when the launch is 1-D (``bdy == 1`` does not zero a symbolic
+  coefficient), so both the classifier and the oracle analyse them with
+  the 2-D rules -- consistently.
+* Data-dependent shapes use :func:`repro.kir.kernel.data_var` plus a
+  deterministic hash provider; the oracle refuses them (as it must), so
+  they only exercise the engines, not the cross-check.
+
+Work budgets cap ``thread-iterations x access sites`` per program so a
+campaign of hundreds of programs stays in seconds, not minutes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.kir.expr import BDX, BDY, BX, BY, GDX, GDY, M, TX, TY, Expr, param
+from repro.kir.kernel import (
+    AccessMode,
+    Dim2,
+    GlobalAccess,
+    IndirectAccess,
+    Kernel,
+    LoopSpec,
+    data_var,
+)
+from repro.kir.program import Program
+
+__all__ = [
+    "FuzzSpecError",
+    "AccessSpec",
+    "KernelSpec",
+    "ProgramSpec",
+    "SHAPES",
+    "SCALE_BUDGETS",
+    "generate_spec",
+    "validate_spec",
+    "build_program",
+    "spec_to_json",
+    "spec_from_json",
+]
+
+
+class FuzzSpecError(ReproError):
+    """Raised for malformed or grammar-violating fuzz specs."""
+
+
+# ----------------------------------------------------------------------
+# Plain-data spec types
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AccessSpec:
+    """One access site: a grammar shape applied to one allocation."""
+
+    alloc: str
+    shape: str
+    mode: str = "read"  # "read" | "write"
+    atomic: bool = False
+    coef: int = 1
+    in_loop: bool = False
+    data_seed: int = 0  # provider seed for data-dependent shapes
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One kernel plus how it is launched (possibly several times)."""
+
+    name: str
+    bdx: int = 32
+    bdy: int = 1
+    gdx: int = 2
+    gdy: int = 1
+    trip: int = 0  # outer-loop trip count; 0 = no loop
+    trip_is_param: bool = False  # bind the trip through a runtime parameter
+    copies: int = 1  # consecutive launches of this kernel
+    accesses: Tuple[AccessSpec, ...] = ()
+
+
+@dataclass(frozen=True)
+class ProgramSpec:
+    """A whole generated program: allocations (with element sizes) + kernels.
+
+    Allocation sizes are derived, not stored: :func:`build_program` corner-
+    evaluates every affine index (all coefficients are nonnegative by
+    construction) and sizes each allocation to cover the maximum touched
+    element, so any valid spec builds a valid program.
+    """
+
+    name: str
+    elem_sizes: Tuple[Tuple[str, int], ...] = ()
+    kernels: Tuple[KernelSpec, ...] = ()
+
+
+# ----------------------------------------------------------------------
+# The index-shape grammar
+# ----------------------------------------------------------------------
+_W = Expr.coerce(GDX) * BDX  # symbolic data-row width
+_TID2 = (Expr.coerce(BY) * BDY + TY) * _W + BX * BDX + TX  # 2-D linear tid
+
+
+@dataclass(frozen=True)
+class _Shape:
+    needs_loop: bool
+    min_coef: int
+    data: bool
+    build: Optional[Callable[[int], Expr]] = None
+
+
+SHAPES: Dict[str, _Shape] = {
+    # loop-free / loop-invariant affine shapes
+    "nl1d": _Shape(False, 1, False, lambda c: BX * BDX + TX),
+    "nl2d": _Shape(False, 1, False, lambda c: _TID2),
+    "bcast": _Shape(False, 1, False, lambda c: TX + TY * BDX),
+    # loop-variant affine shapes (one per Table-II row + refusals)
+    "nl1d_strided": _Shape(True, 1, False, lambda c: BX * BDX + TX + c * M * _W),
+    "row_h": _Shape(
+        True, 1, False, lambda c: (Expr.coerce(BY) * BDY + TY) * _W + TX + c * M * BDX
+    ),
+    "row_v": _Shape(
+        True, 1, False, lambda c: (Expr.coerce(BY) * BDY + TY) * _W + TX + c * M * _W
+    ),
+    "col_h": _Shape(True, 2, False, lambda c: BX * BDX + TX + TY * _W + c * M),
+    "col_v": _Shape(True, 1, False, lambda c: (c * M + TY) * _W + BX * BDX + TX),
+    "itl": _Shape(True, 2, False, lambda c: _TID2 * c + M),
+    "itl_coef": _Shape(True, 2, False, lambda c: _TID2 * (c + 1) + c * M),
+    "nonlin": _Shape(True, 1, False, lambda c: BX * BDX + TX + c * M * M),
+    "mixed": _Shape(True, 1, False, lambda c: BX * BDX + TX + M * (BDX + c * _W)),
+    # data-dependent shapes (provider-backed; the oracle refuses these)
+    "data": _Shape(False, 1, True),
+    "data_itl": _Shape(True, 1, True),
+}
+
+#: max thread-iterations x access-sites per program, per campaign scale
+SCALE_BUDGETS = {"tiny": 4000, "small": 12000, "nightly": 40000}
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+def validate_spec(spec: ProgramSpec) -> None:
+    """Raise :class:`FuzzSpecError` unless the spec obeys the grammar."""
+    if not spec.kernels:
+        raise FuzzSpecError(f"{spec.name}: a spec needs at least one kernel")
+    elem = dict(spec.elem_sizes)
+    for alloc, size in elem.items():
+        if size not in (1, 2, 4, 8, 16):
+            raise FuzzSpecError(f"{spec.name}: bad element size {size} for {alloc!r}")
+    names = [k.name for k in spec.kernels]
+    if len(set(names)) != len(names):
+        raise FuzzSpecError(f"{spec.name}: duplicate kernel names {names}")
+    for k in spec.kernels:
+        if min(k.bdx, k.bdy, k.gdx, k.gdy) < 1 or k.copies < 1 or k.trip < 0:
+            raise FuzzSpecError(f"{spec.name}:{k.name}: non-positive dimension")
+        if k.trip_is_param and k.trip < 1:
+            raise FuzzSpecError(f"{spec.name}:{k.name}: parametric trip needs trip >= 1")
+        if not k.accesses:
+            raise FuzzSpecError(f"{spec.name}:{k.name}: kernel has no accesses")
+        for a in k.accesses:
+            if a.alloc not in elem:
+                raise FuzzSpecError(
+                    f"{spec.name}:{k.name}: unknown allocation {a.alloc!r}"
+                )
+            shape = SHAPES.get(a.shape)
+            if shape is None:
+                raise FuzzSpecError(f"{spec.name}:{k.name}: unknown shape {a.shape!r}")
+            if a.mode not in ("read", "write"):
+                raise FuzzSpecError(f"{spec.name}:{k.name}: bad mode {a.mode!r}")
+            if a.atomic and a.mode != "write":
+                raise FuzzSpecError(f"{spec.name}:{k.name}: atomic reads are invalid")
+            if a.coef < shape.min_coef:
+                raise FuzzSpecError(
+                    f"{spec.name}:{k.name}: shape {a.shape} needs coef >= "
+                    f"{shape.min_coef}, got {a.coef}"
+                )
+            if shape.needs_loop and (k.trip < 1 or not a.in_loop):
+                raise FuzzSpecError(
+                    f"{spec.name}:{k.name}: loop-variant shape {a.shape} needs "
+                    "trip >= 1 and in_loop=True"
+                )
+            if a.in_loop and k.trip < 1:
+                raise FuzzSpecError(
+                    f"{spec.name}:{k.name}: in_loop access in a loop-less kernel"
+                )
+            # row_h's per-iteration stride is coef*bdx; col_h's is coef.  A
+            # stride of exactly 1 is ITL to the oracle, so keep it >= 2.
+            if a.shape == "row_h" and a.coef * k.bdx < 2:
+                raise FuzzSpecError(
+                    f"{spec.name}:{k.name}: row_h with stride coef*bdx == 1 "
+                    "aliases ITL; need coef*bdx >= 2"
+                )
+
+
+def spec_work(spec: ProgramSpec) -> int:
+    """Thread-iterations x access-sites: the campaign cost proxy."""
+    total = 0
+    for k in spec.kernels:
+        threads = k.bdx * k.bdy * k.gdx * k.gdy
+        total += k.copies * threads * max(k.trip, 1) * len(k.accesses)
+    return total
+
+
+# ----------------------------------------------------------------------
+# Building a Program from a spec
+# ----------------------------------------------------------------------
+def _provider_modulus(k: KernelSpec) -> int:
+    threads = k.bdx * k.bdy * k.gdx * k.gdy
+    return 2 * threads + 5
+
+
+def _make_provider(data_seed: int, modulus: int, add_m: bool):
+    """Deterministic hash-based element-index provider.
+
+    ``add_m=True`` produces an honest per-thread ITL walk: a fixed hashed
+    base per thread plus the iteration counter.
+    """
+
+    def provider(ctx):
+        tid = np.asarray(ctx.linear_tid, dtype=np.int64)
+        h = (tid * 2654435761 + int(data_seed) * 1000003) % (1 << 31)
+        if not add_m:
+            h = (h + ctx.m * 7919) % (1 << 31)
+        base = h % modulus
+        if add_m:
+            base = base + ctx.m
+        return base
+
+    provider.fuzz_data = (int(data_seed), int(modulus), bool(add_m))
+    return provider
+
+
+def _corner_env(k: KernelSpec) -> Dict:
+    return {
+        TX: k.bdx - 1,
+        TY: k.bdy - 1,
+        BX: k.gdx - 1,
+        BY: k.gdy - 1,
+        BDX: k.bdx,
+        BDY: k.bdy,
+        GDX: k.gdx,
+        GDY: k.gdy,
+        M: max(k.trip, 1),
+    }
+
+
+def _materialize(
+    k: KernelSpec, a: AccessSpec, site: int
+) -> Tuple[GlobalAccess, int]:
+    """The IR access for one spec site, plus the element bound it needs."""
+    shape = SHAPES[a.shape]
+    mode = AccessMode.WRITE if a.mode == "write" else AccessMode.READ
+    if shape.data:
+        modulus = _provider_modulus(k)
+        add_m = a.shape == "data_itl"
+        index = Expr.coerce(data_var(f"d{site}"))
+        if add_m:
+            index = index + M
+        access = IndirectAccess(
+            a.alloc,
+            index,
+            _make_provider(a.data_seed, modulus, add_m),
+            mode=mode,
+            in_loop=a.in_loop,
+            atomic=a.atomic,
+        )
+        return access, modulus + (k.trip if add_m else 0) + 1
+    index = shape.build(a.coef)
+    access = GlobalAccess(
+        a.alloc, index, mode, in_loop=a.in_loop, atomic=a.atomic
+    )
+    # All grammar coefficients are nonnegative, so the maximum index sits at
+    # the all-max corner of the (thread, block, iteration) box.
+    return access, index.evaluate(_corner_env(k)) + 1
+
+
+_TRIP = param("T")
+
+
+def build_program(spec: ProgramSpec) -> Program:
+    """Deterministically build the Program a spec describes."""
+    validate_spec(spec)
+    elem = dict(spec.elem_sizes)
+    need: Dict[str, int] = {}
+    built: List[Tuple[KernelSpec, Kernel]] = []
+    site = 0
+    for k in spec.kernels:
+        arrays: Dict[str, int] = {}
+        accesses: List[GlobalAccess] = []
+        for a in k.accesses:
+            arrays[a.alloc] = elem[a.alloc]
+            access, bound = _materialize(k, a, site)
+            site += 1
+            need[a.alloc] = max(need.get(a.alloc, 1), bound)
+            accesses.append(access)
+        loop = None
+        if k.trip >= 1:
+            loop = LoopSpec(Expr.from_var(_TRIP)) if k.trip_is_param else LoopSpec(k.trip)
+        built.append(
+            (
+                k,
+                Kernel(
+                    name=k.name,
+                    block=Dim2(k.bdx, k.bdy),
+                    arrays=arrays,
+                    accesses=tuple(accesses),
+                    loop=loop,
+                    insts_per_thread=8,
+                ),
+            )
+        )
+    prog = Program(spec.name)
+    for alloc, size in spec.elem_sizes:  # declaration order = layout order
+        if alloc in need:
+            prog.malloc_managed(alloc, need[alloc], size)
+    for k, kernel in built:
+        params = {_TRIP: k.trip} if k.trip_is_param else {}
+        for _ in range(k.copies):
+            prog.launch(kernel, Dim2(k.gdx, k.gdy), {a: a for a in kernel.arrays}, params)
+    return prog
+
+
+# ----------------------------------------------------------------------
+# JSON round-trip
+# ----------------------------------------------------------------------
+def spec_to_json(spec: ProgramSpec) -> dict:
+    return {
+        "name": spec.name,
+        "elem_sizes": [[a, s] for a, s in spec.elem_sizes],
+        "kernels": [
+            {
+                "name": k.name,
+                "bdx": k.bdx,
+                "bdy": k.bdy,
+                "gdx": k.gdx,
+                "gdy": k.gdy,
+                "trip": k.trip,
+                "trip_is_param": k.trip_is_param,
+                "copies": k.copies,
+                "accesses": [
+                    {
+                        "alloc": a.alloc,
+                        "shape": a.shape,
+                        "mode": a.mode,
+                        "atomic": a.atomic,
+                        "coef": a.coef,
+                        "in_loop": a.in_loop,
+                        "data_seed": a.data_seed,
+                    }
+                    for a in k.accesses
+                ],
+            }
+            for k in spec.kernels
+        ],
+    }
+
+
+def spec_from_json(data: Mapping) -> ProgramSpec:
+    try:
+        return ProgramSpec(
+            name=str(data["name"]),
+            elem_sizes=tuple((str(a), int(s)) for a, s in data["elem_sizes"]),
+            kernels=tuple(
+                KernelSpec(
+                    name=str(k["name"]),
+                    bdx=int(k["bdx"]),
+                    bdy=int(k["bdy"]),
+                    gdx=int(k["gdx"]),
+                    gdy=int(k["gdy"]),
+                    trip=int(k["trip"]),
+                    trip_is_param=bool(k.get("trip_is_param", False)),
+                    copies=int(k.get("copies", 1)),
+                    accesses=tuple(
+                        AccessSpec(
+                            alloc=str(a["alloc"]),
+                            shape=str(a["shape"]),
+                            mode=str(a.get("mode", "read")),
+                            atomic=bool(a.get("atomic", False)),
+                            coef=int(a.get("coef", 1)),
+                            in_loop=bool(a.get("in_loop", False)),
+                            data_seed=int(a.get("data_seed", 0)),
+                        )
+                        for a in k["accesses"]
+                    ),
+                )
+                for k in data["kernels"]
+            ),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise FuzzSpecError(f"malformed spec JSON: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# The sampler
+# ----------------------------------------------------------------------
+_LOOP_SHAPES = [
+    "nl1d_strided",
+    "row_h",
+    "row_v",
+    "col_h",
+    "col_v",
+    "itl",
+    "itl_coef",
+    "nonlin",
+    "mixed",
+    "data_itl",
+]
+_FREE_SHAPES = ["nl1d", "nl2d", "bcast", "data"]
+
+
+def _sample_access(rng: random.Random, allocs: List[str], k: KernelSpec) -> AccessSpec:
+    loop_ok = k.trip >= 1
+    pool = _LOOP_SHAPES + _FREE_SHAPES if loop_ok else _FREE_SHAPES
+    name = rng.choice(pool)
+    shape = SHAPES[name]
+    coef = rng.randint(shape.min_coef, shape.min_coef + 3)
+    if name == "row_h" and coef * k.bdx < 2:
+        coef = 2
+    mode = "write" if rng.random() < 0.3 else "read"
+    return AccessSpec(
+        alloc=rng.choice(allocs),
+        shape=name,
+        mode=mode,
+        atomic=mode == "write" and rng.random() < 0.3,
+        coef=coef,
+        in_loop=shape.needs_loop or (loop_ok and rng.random() < 0.5),
+        data_seed=rng.randint(0, 10**6) if shape.data else 0,
+    )
+
+
+def _shrink_to_budget(spec: ProgramSpec, budget: int) -> ProgramSpec:
+    """Deterministically halve the largest dimensions until under budget."""
+    while spec_work(spec) > budget:
+        kernels = list(spec.kernels)
+        # Pick the most expensive kernel and halve its biggest degree of
+        # freedom (copies first, then grid dims, then trip, then block).
+        costs = [
+            k.copies * k.bdx * k.bdy * k.gdx * k.gdy * max(k.trip, 1) * len(k.accesses)
+            for k in kernels
+        ]
+        i = costs.index(max(costs))
+        k = kernels[i]
+        if k.copies > 1:
+            k = replace(k, copies=k.copies - 1)
+        elif k.gdx * k.gdy > 2 and k.gdx >= k.gdy and k.gdx > 1:
+            k = replace(k, gdx=k.gdx // 2)
+        elif k.gdy > 1:
+            k = replace(k, gdy=k.gdy // 2)
+        elif k.trip > 1:
+            k = replace(k, trip=max(1, k.trip // 2))
+        elif k.bdx > 4:
+            k = replace(k, bdx=k.bdx // 2)
+        elif k.bdy > 1:
+            k = replace(k, bdy=k.bdy // 2)
+        elif len(kernels) > 1:
+            del kernels[i]
+            spec = replace(spec, kernels=tuple(kernels))
+            continue
+        else:
+            break  # already minimal; accept the overshoot
+        kernels[i] = k
+        spec = replace(spec, kernels=tuple(kernels))
+    return spec
+
+
+def generate_spec(
+    rng: random.Random, name: str, scale: str = "tiny"
+) -> ProgramSpec:
+    """Sample one valid spec; same ``rng`` state => same spec."""
+    budget = SCALE_BUDGETS[scale]
+    n_allocs = rng.randint(1, 4)
+    allocs = [f"g{i}" for i in range(n_allocs)]
+    elem_sizes = tuple((a, rng.choice([4, 4, 4, 8])) for a in allocs)
+    kernels = []
+    for ki in range(rng.choice([1, 1, 1, 2, 2, 3])):
+        k = KernelSpec(
+            name=f"k{ki}",
+            bdx=rng.choice([1, 2, 4, 8, 16, 32]),
+            bdy=rng.choice([1, 1, 1, 2, 4]),
+            gdx=rng.randint(1, 6),
+            gdy=rng.choice([1, 1, 2, 3, 4]),
+            trip=rng.choice([0, 0, 1, 2, 3, 4]),
+            copies=rng.choice([1, 1, 1, 2]),
+        )
+        if k.trip >= 1 and rng.random() < 0.25:
+            k = replace(k, trip_is_param=True)
+        accesses = tuple(
+            _sample_access(rng, allocs, k) for _ in range(rng.randint(1, 3))
+        )
+        kernels.append(replace(k, accesses=accesses))
+    spec = _shrink_to_budget(
+        ProgramSpec(name=name, elem_sizes=elem_sizes, kernels=tuple(kernels)),
+        budget,
+    )
+    # Drop allocations no surviving access touches (budget pruning may have
+    # removed kernels) so builds never allocate dead arrays.
+    used = {a.alloc for k in spec.kernels for a in k.accesses}
+    spec = replace(
+        spec, elem_sizes=tuple((a, s) for a, s in spec.elem_sizes if a in used)
+    )
+    validate_spec(spec)
+    return spec

@@ -1,0 +1,205 @@
+"""Metamorphic properties: relations that must hold across *related* runs.
+
+Differential testing (``diff.py``) checks that different engines agree on
+one run.  The properties here check that the simulator's *model* behaves
+sensibly across runs whose configurations are related:
+
+``topology-rewiring``
+    Walk-level metrics (cache stats, DRAM traffic, off-node bytes) depend
+    only on the number of nodes, never on how those nodes are wired.
+    Under Baseline-RR (round-robin batch scheduler + interleaved page
+    placement, both functions of ``num_nodes`` alone) a 2 GPU x 2 chiplet
+    hierarchy, a 1 x 4 hierarchy and a 4-node flat crossbar must produce
+    identical per-kernel walk metrics.  Only link-level fields
+    (``channel_bytes``, ``inter_gpu_bytes``) and the timing model may
+    differ -- they see the wiring.
+
+``assoc-monotonicity``
+    With every array forced to R-ONCE (so remote requests never insert at
+    the home node), each node's L2 observes an associativity-independent
+    reference stream, and LRU obeys the stack-inclusion property: raising
+    associativity at a fixed set count can never lose a hit.  Requester
+    hits (LL + LR) must be nondecreasing over assoc 2 -> 4 -> 8.
+    (Under the default R-TWICE this is *unsound*: home-side fills insert
+    extra lines whose presence depends on associativity, so the streams
+    differ and hit counts may legitimately cross.)
+
+``chiplet-monotonicity``
+    Splitting the same total resources across more chiplets (1 -> 2 -> 4
+    nodes, same per-node cache) under Baseline-RR should not reduce total
+    off-node traffic: with one node it is zero, and finer partitions
+    strictly grow the remote fraction of interleaved pages.  This one is
+    empirical rather than provable -- it guards the *model shape*, and a
+    violation is reported with both byte counts so a genuine
+    counterexample can be triaged rather than papered over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.cache.insertion import CachePolicy
+from repro.cache.stats import TrafficClass
+from repro.compiler.passes import CompiledProgram, compile_program
+from repro.engine.simulator import Simulator
+from repro.engine.walk_memo import WalkMemo
+from repro.experiments.runner import strategy_by_name
+from repro.fuzz.genprog import ProgramSpec, build_program
+from repro.topology.config import CacheConfig, SystemConfig, TopologyKind
+
+__all__ = [
+    "PropertyFailure",
+    "check_assoc_monotonicity",
+    "check_chiplet_monotonicity",
+    "check_topology_rewiring",
+    "run_properties",
+]
+
+#: walk-level snapshot fields compared by the rewiring property; link-level
+#: byte counters and the timing model legitimately see the wiring.
+_WIRING_SENSITIVE = ("channel_bytes", "inter_gpu_bytes", "time_s", "time_breakdown")
+
+
+@dataclass
+class PropertyFailure:
+    """One metamorphic-property violation."""
+
+    prop: str
+    message: str
+
+    def render(self) -> str:
+        return f"property {self.prop}: {self.message}"
+
+
+def _config(
+    num_gpus: int,
+    chiplets: int,
+    *,
+    kind: TopologyKind = TopologyKind.HIERARCHICAL,
+    assoc: int = 4,
+    num_sets: int = 64,
+) -> SystemConfig:
+    """A tiny system with ``num_sets`` L2 sets per node at ``assoc`` ways."""
+    return SystemConfig(
+        name=f"prop-{kind.value}-{num_gpus}x{chiplets}-a{assoc}",
+        kind=kind,
+        num_gpus=num_gpus,
+        chiplets_per_gpu=chiplets,
+        sms_per_node=2,
+        l2=CacheConfig(size=num_sets * assoc * 32, assoc=assoc),
+        page_size=512,
+        l1_filter_sectors=64,
+    )
+
+
+def _run(config: SystemConfig, compiled: CompiledProgram, force_ronce: bool = False):
+    sim = Simulator(config, engine="vector", walk_memo=WalkMemo(max_entries=0))
+    plan = strategy_by_name("Baseline-RR").plan(compiled, sim.topology)
+    if force_ronce:
+        ronce = {
+            name: CachePolicy.RONCE for name in compiled.program.allocations
+        }
+        for lp in plan.launches:
+            lp.cache_policy = ronce
+    return sim.run(compiled, plan)
+
+
+# ----------------------------------------------------------------------
+def check_topology_rewiring(compiled: CompiledProgram) -> Optional[str]:
+    """Walk metrics must be wiring-independent at a fixed node count."""
+    wirings = (
+        _config(2, 2),
+        _config(1, 4),
+        _config(4, 1, kind=TopologyKind.FLAT_XBAR),
+    )
+    snaps = []
+    for cfg in wirings:
+        result = _run(cfg, compiled)
+        snaps.append(
+            [
+                {k: v for k, v in kernel.items() if k not in _WIRING_SENSITIVE}
+                for kernel in result.snapshot()
+            ]
+        )
+    for cfg, snap in zip(wirings[1:], snaps[1:]):
+        if snap != snaps[0]:
+            for i, (a, b) in enumerate(zip(snaps[0], snap)):
+                if a != b:
+                    fields = sorted(k for k in a if a[k] != b.get(k))
+                    return (
+                        f"{wirings[0].name} vs {cfg.name} diverge at "
+                        f"launch {i}: fields {fields}"
+                    )
+            return f"{wirings[0].name} vs {cfg.name}: kernel counts differ"
+    return None
+
+
+def check_assoc_monotonicity(compiled: CompiledProgram) -> Optional[str]:
+    """All-R-ONCE requester hits are nondecreasing in associativity."""
+    hits = []
+    for assoc in (2, 4, 8):
+        result = _run(_config(2, 2, assoc=assoc), compiled, force_ronce=True)
+        total = 0
+        for k in result.kernels:
+            agg = k.aggregate_l2()
+            total += (
+                agg.hits[TrafficClass.LOCAL_LOCAL]
+                + agg.hits[TrafficClass.LOCAL_REMOTE]
+            )
+        hits.append(total)
+    for (a_lo, h_lo), (a_hi, h_hi) in zip(
+        zip((2, 4, 8), hits), zip((4, 8), hits[1:])
+    ):
+        if h_hi < h_lo:
+            return (
+                f"requester hits dropped {h_lo} -> {h_hi} when assoc "
+                f"rose {a_lo} -> {a_hi} (LRU stack property violated)"
+            )
+    return None
+
+
+def check_chiplet_monotonicity(compiled: CompiledProgram) -> Optional[str]:
+    """Total off-node bytes must not shrink as the node count grows."""
+    totals = []
+    for chiplets in (1, 2, 4):
+        result = _run(_config(1, chiplets), compiled)
+        totals.append(result.total_off_node_bytes)
+    for (n_lo, b_lo), (n_hi, b_hi) in zip(
+        zip((1, 2, 4), totals), zip((2, 4), totals[1:])
+    ):
+        if b_hi < b_lo:
+            return (
+                f"off-node bytes dropped {b_lo} -> {b_hi} when node count "
+                f"rose {n_lo} -> {n_hi} under round-robin"
+            )
+    return None
+
+
+_CHECKS: List[tuple] = [
+    ("topology-rewiring", check_topology_rewiring),
+    ("assoc-monotonicity", check_assoc_monotonicity),
+    ("chiplet-monotonicity", check_chiplet_monotonicity),
+]
+
+
+def run_properties(
+    spec: ProgramSpec,
+    checks: Optional[List[str]] = None,
+) -> List[PropertyFailure]:
+    """Evaluate every metamorphic property on one spec."""
+    failures: List[PropertyFailure] = []
+    try:
+        compiled = compile_program(build_program(spec))
+    except Exception as exc:
+        return [PropertyFailure("build", f"{type(exc).__name__}: {exc}")]
+    for name, fn in _CHECKS:
+        if checks is not None and name not in checks:
+            continue
+        try:
+            message = fn(compiled)
+        except Exception as exc:  # a crash inside a property is a finding
+            message = f"crashed: {type(exc).__name__}: {exc}"
+        if message:
+            failures.append(PropertyFailure(name, message))
+    return failures

@@ -1,0 +1,177 @@
+"""Greedy delta-debugging shrinker for failing fuzz specs.
+
+Given a failing :class:`ProgramSpec` and a ``still_fails`` predicate, the
+shrinker repeatedly proposes structurally smaller candidates -- drop a
+kernel, drop an access, collapse launch copies, halve grid/block/trip
+dimensions, strip atomics/parametric trips/loop carries -- keeping each
+candidate only when it (a) still validates under the grammar and (b) still
+trips the predicate.  Passes iterate to a fixpoint, so the result is
+1-minimal with respect to the candidate moves: no single remaining move
+keeps the failure alive.
+
+The predicate is arbitrary (re-run the differential harness, check a
+specific failure kind, replay under fault injection...), which is what lets
+the CLI shrink *any* divergence the campaign finds.  ``emit_regression``
+renders the minimised spec as a ready-to-paste pytest case, and
+``corpus_entry``/``load_corpus_entry`` define the JSON format replayed by
+``tests/fuzz/test_corpus_replay.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.fuzz.genprog import (
+    AccessSpec,
+    FuzzSpecError,
+    KernelSpec,
+    ProgramSpec,
+    spec_from_json,
+    spec_to_json,
+    validate_spec,
+)
+
+__all__ = ["shrink_spec", "emit_regression", "corpus_entry", "load_corpus_entry"]
+
+
+def _with_kernel(spec: ProgramSpec, idx: int, kernel: KernelSpec) -> ProgramSpec:
+    kernels = list(spec.kernels)
+    kernels[idx] = kernel
+    return dataclasses.replace(spec, kernels=tuple(kernels))
+
+
+def _candidates(spec: ProgramSpec) -> Iterator[ProgramSpec]:
+    """Structurally smaller variants, most aggressive first."""
+    # Drop a whole kernel.
+    if len(spec.kernels) > 1:
+        for i in range(len(spec.kernels)):
+            kernels = spec.kernels[:i] + spec.kernels[i + 1 :]
+            yield dataclasses.replace(spec, kernels=kernels)
+    # Drop allocation declarations no access references.
+    used = {a.alloc for k in spec.kernels for a in k.accesses}
+    if any(name not in used for name, _ in spec.elem_sizes):
+        yield dataclasses.replace(
+            spec,
+            elem_sizes=tuple(e for e in spec.elem_sizes if e[0] in used),
+        )
+    for ki, k in enumerate(spec.kernels):
+        # Collapse repeated launches.
+        if k.copies > 1:
+            yield _with_kernel(spec, ki, dataclasses.replace(k, copies=1))
+        # Drop an access site.
+        if len(k.accesses) > 1:
+            for ai in range(len(k.accesses)):
+                accesses = k.accesses[:ai] + k.accesses[ai + 1 :]
+                yield _with_kernel(spec, ki, dataclasses.replace(k, accesses=accesses))
+        # Halve each dimension (floor 1; trip floors at 0 or 1 via validate).
+        for dim in ("gdx", "gdy", "bdx", "bdy"):
+            v = getattr(k, dim)
+            if v > 1:
+                yield _with_kernel(
+                    spec, ki, dataclasses.replace(k, **{dim: max(1, v // 2)})
+                )
+        if k.trip > 1:
+            yield _with_kernel(spec, ki, dataclasses.replace(k, trip=k.trip // 2))
+        if k.trip_is_param:
+            yield _with_kernel(spec, ki, dataclasses.replace(k, trip_is_param=False))
+        # Simplify individual accesses.
+        for ai, a in enumerate(k.accesses):
+            simpler: List[AccessSpec] = []
+            if a.coef > 1:
+                simpler.append(dataclasses.replace(a, coef=max(1, a.coef // 2)))
+            if a.atomic:
+                simpler.append(dataclasses.replace(a, atomic=False))
+            if a.mode == "write" and not a.atomic:
+                simpler.append(dataclasses.replace(a, mode="read"))
+            if a.in_loop:
+                simpler.append(dataclasses.replace(a, in_loop=False))
+            for variant in simpler:
+                accesses = k.accesses[:ai] + (variant,) + k.accesses[ai + 1 :]
+                yield _with_kernel(spec, ki, dataclasses.replace(k, accesses=accesses))
+
+
+def _is_valid(spec: ProgramSpec) -> bool:
+    try:
+        validate_spec(spec)
+        return True
+    except FuzzSpecError:
+        return False
+
+
+def shrink_spec(
+    spec: ProgramSpec,
+    still_fails: Callable[[ProgramSpec], bool],
+    max_steps: int = 400,
+) -> ProgramSpec:
+    """Greedily minimise ``spec`` while ``still_fails`` keeps returning True.
+
+    ``max_steps`` bounds predicate evaluations (each typically a full
+    differential run), so shrinking a pathological case stays cheap; the
+    best spec found so far is returned when the budget runs out.
+    """
+    current = spec
+    steps = 0
+    progress = True
+    while progress and steps < max_steps:
+        progress = False
+        for candidate in _candidates(current):
+            if steps >= max_steps:
+                break
+            if not _is_valid(candidate):
+                continue
+            steps += 1
+            if still_fails(candidate):
+                current = candidate
+                progress = True
+                break  # restart candidate generation from the smaller spec
+    return current
+
+
+# ----------------------------------------------------------------------
+# Regression / corpus output
+# ----------------------------------------------------------------------
+_REGRESSION_TEMPLATE = '''\
+def test_fuzz_regression_{slug}():
+    """Shrunk by the fuzz harness ({note}); must stay divergence-free."""
+    from repro.fuzz.diff import run_spec
+    from repro.fuzz.genprog import AccessSpec, KernelSpec, ProgramSpec
+
+    spec = {spec!r}
+    report = run_spec(spec)
+    assert report.ok, report.describe()
+'''
+
+
+def emit_regression(spec: ProgramSpec, note: str = "seeded campaign") -> str:
+    """A ready-to-paste pytest regression for a (formerly) failing spec.
+
+    Dataclass reprs round-trip through ``eval`` given the three imported
+    names, so the test file carries the full spec inline -- no fixture
+    files to keep in sync.
+    """
+    slug = "".join(c if c.isalnum() else "_" for c in spec.name)
+    return _REGRESSION_TEMPLATE.format(slug=slug, note=note, spec=spec)
+
+
+def corpus_entry(spec: ProgramSpec, note: str = "") -> Dict:
+    """The JSON document stored under ``tests/fuzz_corpus/``."""
+    return {
+        "format": "repro-fuzz-spec-v1",
+        "note": note,
+        "spec": spec_to_json(spec),
+    }
+
+
+def load_corpus_entry(text: str) -> ProgramSpec:
+    """Parse one corpus file; raises :class:`FuzzSpecError` on bad input."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise FuzzSpecError(f"corpus entry is not JSON: {exc}") from None
+    if not isinstance(doc, dict) or doc.get("format") != "repro-fuzz-spec-v1":
+        raise FuzzSpecError(
+            "corpus entry missing format tag 'repro-fuzz-spec-v1'"
+        )
+    return spec_from_json(doc.get("spec", {}))

@@ -138,6 +138,28 @@ class Program:
         self._launches.append(kl)
         return kl
 
+    def slice(self, launch_indices) -> "Program":
+        """A new program keeping only the selected launches (in order).
+
+        Retained allocations keep their original ``malloc_pc`` values so
+        alias analysis and MallocPC-keyed runtime decisions see the same
+        facts as in the parent program; only allocations some kept launch
+        binds are carried over.  Used by the fuzz harness to re-check
+        whether a divergence reproduces on one launch in isolation.
+        """
+        out = Program(f"{self.name}[{','.join(str(i) for i in launch_indices)}]")
+        for idx in launch_indices:
+            if not 0 <= idx < len(self._launches):
+                raise KernelIRError(
+                    f"slice of {self.name!r}: launch index {idx} out of range"
+                )
+            launch = self._launches[idx]
+            for alloc_name in launch.args.values():
+                out._allocations.setdefault(alloc_name, self._allocations[alloc_name])
+            out._launches.append(launch)
+        out._next_pc = self._next_pc
+        return out
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------

@@ -97,6 +97,15 @@ class CounterRegistry:
                 if parse_key(k)[0] == name
             }
 
+    def select_prefix(self, prefix: str) -> Dict[str, int]:
+        """All keys whose counter *name* starts with ``prefix`` (any labels)."""
+        with self._lock:
+            return {
+                k: v
+                for k, v in self._counts.items()
+                if parse_key(k)[0].startswith(prefix)
+            }
+
     def total(self, name: str) -> int:
         """Sum over every labelled instance of one counter name."""
         return sum(self.select(name).values())

@@ -22,8 +22,8 @@ This module implements that mechanism at page-trace granularity:
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Iterable, Iterator, Set
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Set
 
 import numpy as np
 
@@ -51,6 +51,9 @@ class PagingStats:
     demand_faults: int = 0  # faults that stall an SM
     hidden_transfers: int = 0  # prefetches overlapped with execution
     evictions: int = 0
+    #: identities of evicted pages in eviction order; populated only when
+    #: :meth:`PagingSimulator.replay` runs with ``record_evictions=True``
+    evicted_pages: List[int] = field(default_factory=list)
 
     def stall_time_s(self, fault_cost_s: float, concurrency: float = 32.0) -> float:
         return self.demand_faults * fault_cost_s / concurrency
@@ -89,10 +92,13 @@ class PagingSimulator:
         self,
         references: Iterable[int],
         prefetched: Set[int] = frozenset(),
+        record_evictions: bool = False,
     ) -> PagingStats:
         """Replay references; pages in ``prefetched`` never demand-fault
         (their first-use transfer is hidden), everything else faults on its
-        cold or capacity miss."""
+        cold or capacity miss.  With ``record_evictions`` the stats also
+        carry the identities of evicted pages in eviction order (the LRU
+        victim is always the least-recently-referenced resident page)."""
         stats = PagingStats()
         resident = self._resident
         capacity = self.capacity
@@ -107,8 +113,10 @@ class PagingSimulator:
                 stats.demand_faults += 1
             resident[page] = None
             if len(resident) > capacity:
-                resident.popitem(last=False)
+                victim, _ = resident.popitem(last=False)
                 stats.evictions += 1
+                if record_evictions:
+                    stats.evicted_pages.append(victim)
         return stats
 
     @property

@@ -1,9 +1,11 @@
 """Tests for metrics containers."""
 
 import numpy as np
+import pytest
 
-from repro.cache.stats import TrafficClass
+from repro.cache.stats import L2Stats, TrafficClass
 from repro.engine.metrics import KernelMetrics, RunResult
+from repro.errors import MetricsError, ReproError
 from repro.topology.system import Channel
 
 
@@ -75,3 +77,64 @@ class TestRunResult:
 
     def test_summary_mentions_strategy(self):
         assert "s" in self._run([1.0]).summary()
+
+
+class TestValidation:
+    """Degenerate inputs fail loudly with MetricsError, not downstream."""
+
+    def test_empty_kernel_name_rejected(self):
+        with pytest.raises(MetricsError, match="kernel name"):
+            KernelMetrics(kernel="", launch_index=0, num_nodes=2)
+
+    def test_negative_launch_index_rejected(self):
+        with pytest.raises(MetricsError, match="launch_index"):
+            KernelMetrics(kernel="k", launch_index=-1, num_nodes=2)
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(MetricsError, match="num_nodes"):
+            KernelMetrics(kernel="k", launch_index=0, num_nodes=0)
+
+    def test_warp_insts_shape_mismatch_rejected(self):
+        with pytest.raises(MetricsError, match="warp_insts_per_node"):
+            KernelMetrics(
+                kernel="k",
+                launch_index=0,
+                num_nodes=2,
+                warp_insts_per_node=np.zeros(3),
+            )
+
+    def test_dram_shape_mismatch_rejected(self):
+        with pytest.raises(MetricsError, match="dram_bytes_per_node"):
+            KernelMetrics(
+                kernel="k",
+                launch_index=0,
+                num_nodes=4,
+                dram_bytes_per_node=np.zeros(1, dtype=np.int64),
+            )
+
+    def test_l2_stats_count_mismatch_rejected(self):
+        with pytest.raises(MetricsError, match="L2Stats"):
+            KernelMetrics(
+                kernel="k", launch_index=0, num_nodes=2, l2_stats=[L2Stats()]
+            )
+
+    def test_empty_run_result_rejected(self):
+        with pytest.raises(MetricsError, match="no\\s+kernel metrics"):
+            RunResult(program="p", strategy="s", system="sys", kernels=[])
+
+    def test_mixed_node_counts_rejected(self):
+        kernels = [
+            KernelMetrics(kernel="a", launch_index=0, num_nodes=2),
+            KernelMetrics(kernel="b", launch_index=1, num_nodes=4),
+        ]
+        with pytest.raises(MetricsError, match="node counts"):
+            RunResult(program="p", strategy="s", system="sys", kernels=kernels)
+
+    def test_metrics_error_is_repro_error(self):
+        assert issubclass(MetricsError, ReproError)
+
+    def test_valid_construction_unaffected(self):
+        m = KernelMetrics(kernel="k", launch_index=0, num_nodes=3)
+        assert m.warp_insts_per_node.shape == (3,)
+        run = RunResult(program="p", strategy="s", system="sys", kernels=[m])
+        assert run.total_time_s == 0.0

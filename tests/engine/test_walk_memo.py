@@ -140,3 +140,78 @@ class TestKeySensitivity:
         assert memo is default_walk_memo()
         memo.clear()
         assert len(memo) == 0
+
+
+class TestFlushSoundness:
+    """The flush-gate end to end: ineligible runs stay exact vs legacy,
+    eligible runs hit and stay exact vs legacy -- same program, same
+    strategy, only ``flush_l2_between_kernels`` differs."""
+
+    def _legacy(self, compiled, strategy_name, config):
+        sim = Simulator(config, engine="legacy", walk_memo=WalkMemo(0))
+        plan = strategy_by_name(strategy_name).plan(compiled, sim.topology)
+        return sim.run(compiled, plan)
+
+    def _two_launch_compiled(self):
+        # cross-kernel L2 reuse is what makes the no-flush case dangerous:
+        # both kernels touch g0, so launch 2's walk depends on launch 1's
+        # leftover cache state whenever flushing is off
+        from repro.fuzz.genprog import (
+            AccessSpec,
+            KernelSpec,
+            ProgramSpec,
+            build_program,
+        )
+
+        spec = ProgramSpec(
+            name="memo_flush",
+            elem_sizes=(("g0", 4),),
+            kernels=(
+                KernelSpec(
+                    name="a",
+                    bdx=32,
+                    gdx=4,
+                    accesses=(AccessSpec(alloc="g0", shape="nl1d"),),
+                ),
+                KernelSpec(
+                    name="b",
+                    bdx=32,
+                    gdx=4,
+                    accesses=(AccessSpec(alloc="g0", shape="bcast"),),
+                ),
+            ),
+        )
+        program = build_program(spec)
+        assert len(program.launches) == 2
+        return compile_program(program)
+
+    def test_no_flush_ineligible_but_exact(self):
+        import dataclasses
+
+        compiled = self._two_launch_compiled()
+        cfg = dataclasses.replace(
+            bench_hierarchical(), flush_l2_between_kernels=False
+        )
+        memo = WalkMemo()
+        sim_a, r_a = _run(compiled, "LADM", cfg, memo)
+        sim_b, r_b = _run(compiled, "LADM", cfg, memo)
+        launches = len(r_a.kernels)
+        # every launch is refused on both runs; nothing is ever stored
+        assert sim_a.walk_counters["memo_ineligible"] == launches
+        assert sim_b.walk_counters["memo_ineligible"] == launches
+        assert sim_b.walk_counters["memo_hits"] == 0
+        assert len(memo) == 0
+        # and the un-memoised walks remain bit-exact against legacy
+        legacy = self._legacy(compiled, "LADM", cfg)
+        assert _snapshots(r_b) == _snapshots(r_a) == _snapshots(legacy)
+
+    def test_flush_eligible_hits_and_exact(self):
+        compiled = self._two_launch_compiled()
+        cfg = bench_hierarchical()
+        assert cfg.flush_l2_between_kernels
+        memo = WalkMemo()
+        _run(compiled, "LADM", cfg, memo)
+        sim_b, r_b = _run(compiled, "LADM", cfg, memo)
+        assert sim_b.walk_counters["memo_hits"] == len(r_b.kernels)
+        legacy = self._legacy(compiled, "LADM", cfg)
+        assert _snapshots(r_b) == _snapshots(legacy)

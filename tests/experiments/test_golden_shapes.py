@@ -1,0 +1,120 @@
+"""Golden *shape* regressions for the headline experiment outputs.
+
+These pin qualitative structure -- which capability cells are captured,
+who beats whom and by roughly how much -- not absolute numbers.  The
+goldens were recorded from a TEST-scale run of the current engine; they
+are deliberately scale-specific (TEST probes are tiny, so the matrix is
+not the paper's BENCH-scale Table I).  If an engine or strategy change
+legitimately moves one of these cells, re-record the golden in the same
+commit and say why in its message.
+"""
+
+import pytest
+
+from repro.experiments.fig9 import FIG9_STRATEGIES, run_fig9
+from repro.experiments.table1 import TABLE1_STRATEGIES, run_table1
+from repro.workloads.base import TEST
+
+# ----------------------------------------------------------------------
+# Golden 1: the Table-I capability matrix at TEST scale.
+# ----------------------------------------------------------------------
+GOLDEN_TABLE1 = {
+    "Page alignment": {
+        "Batch+FT-optimal": True, "Kernel-wide": True, "H-CODA": True,
+        "LD": True, "LADM": True,
+    },
+    "Threadblock-stride aware": {
+        "Batch+FT-optimal": True, "Kernel-wide": False, "H-CODA": False,
+        "LD": True, "LADM": True,
+    },
+    "Row sharing": {
+        "Batch+FT-optimal": True, "Kernel-wide": True, "H-CODA": False,
+        "LD": True, "LADM": True,
+    },
+    "Col sharing": {
+        "Batch+FT-optimal": True, "Kernel-wide": False, "H-CODA": False,
+        "LD": False, "LADM": False,
+    },
+    "Adjacent locality (stencil)": {
+        "Batch+FT-optimal": True, "Kernel-wide": False, "H-CODA": False,
+        "LD": False, "LADM": False,
+    },
+    "Intra-thread loc": {
+        "Batch+FT-optimal": True, "Kernel-wide": True, "H-CODA": False,
+        "LD": True, "LADM": True,
+    },
+    "Input size aware": {
+        "Batch+FT-optimal": True, "Kernel-wide": False, "H-CODA": False,
+        "LD": False, "LADM": False,
+    },
+}
+
+# ----------------------------------------------------------------------
+# Golden 2: Fig-9 win/loss structure on a 5-workload subset.  Bands are
+# wide (2% tolerance on ties, strict inequality on wins) so only real
+# behaviour shifts trip them.
+# ----------------------------------------------------------------------
+FIG9_SUBSET = ("vecadd", "conv", "histo_main", "kmeans_notex", "scalarprod")
+
+
+@pytest.fixture(scope="module")
+def table1_result():
+    return run_table1(TEST)
+
+
+@pytest.fixture(scope="module")
+def fig9_result():
+    return run_fig9(TEST, workload_names=list(FIG9_SUBSET))
+
+
+class TestTable1Shape:
+    def test_capability_matrix_matches_golden(self, table1_result):
+        measured = {
+            pattern: {
+                s: table1_result.captured(pattern, s) for s in TABLE1_STRATEGIES
+            }
+            for pattern in GOLDEN_TABLE1
+        }
+        assert measured == GOLDEN_TABLE1
+
+    def test_ladm_never_loses_to_hcoda(self, table1_result):
+        """Wherever H-CODA captures a pattern, LADM captures it too."""
+        for pattern in GOLDEN_TABLE1:
+            if table1_result.captured(pattern, "H-CODA"):
+                assert table1_result.captured(pattern, "LADM"), pattern
+
+
+class TestFig9Shape:
+    def test_ladm_beats_hcoda_where_locality_exists(self, fig9_result):
+        """The paper's core claim, as ordering: LADM wins (>2%) on every
+        subset workload with exploitable locality, ties on vecadd."""
+        norm = fig9_result.normalized_performance()
+        for name in ("conv", "histo_main", "kmeans_notex", "scalarprod"):
+            assert norm[name]["LADM"] > 1.02, name
+        assert norm["vecadd"]["LADM"] == pytest.approx(1.0, rel=0.02)
+
+    def test_ladm_tracks_monolithic_on_most_of_subset(self, fig9_result):
+        """LADM reaches the monolithic roofline on the locality subset
+        except histo_main, where column placement can't fully localise."""
+        norm = fig9_result.normalized_performance()
+        for name in ("vecadd", "conv", "scalarprod"):
+            assert norm[name]["LADM"] == pytest.approx(
+                norm[name]["Monolithic"], rel=0.05
+            ), name
+        assert norm["histo_main"]["LADM"] < 0.5 * norm["histo_main"]["Monolithic"]
+
+    def test_geomean_ordering(self, fig9_result):
+        """H-CODA < LASP/LADM <= Monolithic, with LADM > 2x baseline."""
+        g = {s: fig9_result.geomean_speedup(s) for s in FIG9_STRATEGIES}
+        assert g["H-CODA"] == pytest.approx(1.0, rel=0.02)
+        assert g["LADM"] > 2.0
+        assert g["LASP+RTWICE"] >= g["LADM"] * 0.98
+        assert g["Monolithic"] >= g["LADM"]
+
+    def test_off_node_traffic_ordering(self, fig9_result):
+        """LADM's placement cuts mean off-node share well below H-CODA's;
+        the monolithic twin has no node boundary at all."""
+        off = {s: fig9_result.mean_off_node(s) for s in FIG9_STRATEGIES}
+        assert off["Monolithic"] == 0.0
+        assert off["LADM"] < 0.6 * off["H-CODA"]
+        assert off["LASP+RONCE"] == pytest.approx(off["LADM"], rel=0.05)

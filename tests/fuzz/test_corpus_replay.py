@@ -1,0 +1,34 @@
+"""Every checked-in corpus entry must replay divergence-free.
+
+The corpus under ``tests/fuzz_corpus/`` holds shrunk repros of past
+failures (plus hand-picked stress shapes); this test is the CI guarantee
+that none of them regresses.  Entries are discovered dynamically so adding
+a new ``.json`` file is all a fix needs.
+"""
+
+import os
+
+import pytest
+
+from repro.fuzz.diff import run_spec
+from repro.fuzz.shrink import load_corpus_entry
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "fuzz_corpus")
+
+
+def _entries():
+    for name in sorted(os.listdir(CORPUS_DIR)):
+        if name.endswith(".json"):
+            yield name
+
+
+@pytest.mark.parametrize("entry", list(_entries()))
+def test_corpus_entry_replays_clean(entry):
+    with open(os.path.join(CORPUS_DIR, entry)) as fh:
+        spec = load_corpus_entry(fh.read())
+    report = run_spec(spec)
+    assert report.ok, report.describe()
+
+
+def test_corpus_is_not_empty():
+    assert list(_entries()), "fuzz corpus directory has no entries"

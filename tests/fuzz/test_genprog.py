@@ -1,0 +1,147 @@
+"""The generative grammar: determinism, validation, budgets, round-trips."""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.fuzz.genprog import (
+    AccessSpec,
+    FuzzSpecError,
+    KernelSpec,
+    ProgramSpec,
+    SCALE_BUDGETS,
+    SHAPES,
+    build_program,
+    generate_spec,
+    spec_from_json,
+    spec_to_json,
+    spec_work,
+    validate_spec,
+)
+
+
+def _spec(**kernel_kw) -> ProgramSpec:
+    defaults = dict(
+        name="k0",
+        bdx=8,
+        gdx=2,
+        accesses=(AccessSpec(alloc="g0", shape="nl1d"),),
+    )
+    defaults.update(kernel_kw)
+    return ProgramSpec(
+        name="t",
+        elem_sizes=(("g0", 4),),
+        kernels=(KernelSpec(**defaults),),
+    )
+
+
+class TestDeterminism:
+    def test_same_seed_same_spec(self):
+        a = generate_spec(random.Random(42), "p")
+        b = generate_spec(random.Random(42), "p")
+        assert a == b
+
+    def test_different_seeds_differ_somewhere(self):
+        specs = {generate_spec(random.Random(s), "p") for s in range(20)}
+        assert len(specs) > 1
+
+    def test_generated_specs_validate_and_build(self):
+        rng = random.Random(7)
+        for i in range(25):
+            spec = generate_spec(rng, f"g{i}")
+            validate_spec(spec)
+            program = build_program(spec)
+            assert program.launches
+
+    def test_budget_respected(self):
+        rng = random.Random(3)
+        for scale, budget in SCALE_BUDGETS.items():
+            for i in range(10):
+                spec = generate_spec(rng, f"b{i}", scale=scale)
+                assert spec_work(spec) <= budget
+
+
+class TestValidation:
+    def test_empty_kernels_rejected(self):
+        with pytest.raises(FuzzSpecError):
+            validate_spec(ProgramSpec(name="t", elem_sizes=(("g0", 4),), kernels=()))
+
+    def test_unknown_alloc_rejected(self):
+        with pytest.raises(FuzzSpecError):
+            validate_spec(
+                _spec(accesses=(AccessSpec(alloc="nope", shape="nl1d"),))
+            )
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(FuzzSpecError):
+            validate_spec(
+                _spec(accesses=(AccessSpec(alloc="g0", shape="wat"),))
+            )
+
+    def test_atomic_read_rejected(self):
+        with pytest.raises(FuzzSpecError):
+            validate_spec(
+                _spec(
+                    accesses=(
+                        AccessSpec(alloc="g0", shape="nl1d", mode="read", atomic=True),
+                    )
+                )
+            )
+
+    def test_loop_shape_needs_trip(self):
+        with pytest.raises(FuzzSpecError):
+            validate_spec(
+                _spec(
+                    trip=0,
+                    accesses=(
+                        AccessSpec(alloc="g0", shape="itl", coef=2, in_loop=True),
+                    ),
+                )
+            )
+
+    def test_coef_floor_enforced(self):
+        with pytest.raises(FuzzSpecError):
+            validate_spec(
+                _spec(
+                    trip=2,
+                    accesses=(
+                        AccessSpec(alloc="g0", shape="itl", coef=1, in_loop=True),
+                    ),
+                )
+            )
+
+    def test_bad_elem_size_rejected(self):
+        spec = dataclasses.replace(_spec(), elem_sizes=(("g0", 3),))
+        with pytest.raises(FuzzSpecError):
+            validate_spec(spec)
+
+
+class TestRoundTrip:
+    def test_json_round_trip_preserves_spec(self):
+        rng = random.Random(5)
+        for i in range(15):
+            spec = generate_spec(rng, f"r{i}")
+            assert spec_from_json(spec_to_json(spec)) == spec
+
+    def test_malformed_json_raises(self):
+        with pytest.raises(FuzzSpecError):
+            spec_from_json({"name": "x"})
+
+    def test_repr_round_trip(self):
+        spec = generate_spec(random.Random(9), "rr")
+        assert eval(repr(spec)) == spec  # noqa: S307 - trusted dataclass repr
+
+
+class TestShapeTable:
+    def test_every_shape_buildable(self):
+        for shape, info in SHAPES.items():
+            access = AccessSpec(
+                alloc="g0",
+                shape=shape,
+                coef=max(2, info.min_coef),
+                in_loop=info.needs_loop,
+            )
+            spec = _spec(trip=3 if info.needs_loop else 0, accesses=(access,))
+            validate_spec(spec)
+            build_program(spec)

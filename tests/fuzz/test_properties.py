@@ -1,0 +1,68 @@
+"""Metamorphic properties hold on generated specs and reject rigged runs."""
+
+import random
+
+from repro.compiler.passes import compile_program
+from repro.fuzz.genprog import AccessSpec, KernelSpec, ProgramSpec, generate_spec
+from repro.fuzz.genprog import build_program
+from repro.fuzz.properties import (
+    check_assoc_monotonicity,
+    check_chiplet_monotonicity,
+    check_topology_rewiring,
+    run_properties,
+)
+
+
+def _compiled(spec):
+    return compile_program(build_program(spec))
+
+
+def _itl_spec():
+    """A spec with real reuse so cache behaviour is non-trivial."""
+    return ProgramSpec(
+        name="itl",
+        elem_sizes=(("g0", 4), ("g1", 4)),
+        kernels=(
+            KernelSpec(
+                name="k",
+                bdx=16,
+                bdy=1,
+                gdx=4,
+                trip=3,
+                accesses=(
+                    AccessSpec(alloc="g0", shape="itl", coef=2, in_loop=True),
+                    AccessSpec(alloc="g1", shape="col_h", coef=2, in_loop=True),
+                ),
+            ),
+        ),
+    )
+
+
+class TestIndividualChecks:
+    def test_topology_rewiring_holds(self):
+        assert check_topology_rewiring(_compiled(_itl_spec())) is None
+
+    def test_assoc_monotonicity_holds(self):
+        assert check_assoc_monotonicity(_compiled(_itl_spec())) is None
+
+    def test_chiplet_monotonicity_holds(self):
+        assert check_chiplet_monotonicity(_compiled(_itl_spec())) is None
+
+
+class TestCampaignSample:
+    def test_generated_specs_satisfy_all_properties(self):
+        rng = random.Random(77)
+        for i in range(5):
+            spec = generate_spec(rng, f"p{i}")
+            failures = run_properties(spec)
+            assert not failures, [f.render() for f in failures]
+
+    def test_selected_checks_only(self):
+        spec = _itl_spec()
+        failures = run_properties(spec, checks=["topology-rewiring"])
+        assert not failures
+
+    def test_broken_spec_is_build_failure(self):
+        bad = ProgramSpec(name="bad", elem_sizes=(), kernels=())
+        failures = run_properties(bad)
+        assert failures and failures[0].prop == "build"

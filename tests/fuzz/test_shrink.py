@@ -1,0 +1,127 @@
+"""Shrinker: minimises against arbitrary predicates, emits valid artifacts."""
+
+import json
+import random
+
+import pytest
+
+from repro.fuzz.genprog import (
+    AccessSpec,
+    FuzzSpecError,
+    KernelSpec,
+    ProgramSpec,
+    generate_spec,
+    spec_work,
+    validate_spec,
+)
+from repro.fuzz.shrink import (
+    corpus_entry,
+    emit_regression,
+    load_corpus_entry,
+    shrink_spec,
+)
+
+
+def _big_spec():
+    return ProgramSpec(
+        name="big",
+        elem_sizes=(("g0", 4), ("g1", 8), ("g2", 4)),
+        kernels=(
+            KernelSpec(
+                name="a",
+                bdx=32,
+                bdy=2,
+                gdx=6,
+                gdy=2,
+                trip=4,
+                copies=2,
+                accesses=(
+                    AccessSpec(alloc="g0", shape="nl2d"),
+                    AccessSpec(alloc="g1", shape="itl", coef=3, in_loop=True),
+                    AccessSpec(
+                        alloc="g2", shape="nl1d", mode="write", atomic=True
+                    ),
+                ),
+            ),
+            KernelSpec(
+                name="b",
+                bdx=16,
+                gdx=4,
+                accesses=(AccessSpec(alloc="g0", shape="bcast"),),
+            ),
+        ),
+    )
+
+
+class TestShrinking:
+    def test_predicate_on_kernel_name_shrinks_to_one_kernel(self):
+        spec = _big_spec()
+
+        def still_fails(s):
+            return any(k.name == "a" for k in s.kernels)
+
+        minimal = shrink_spec(spec, still_fails)
+        assert [k.name for k in minimal.kernels] == ["a"]
+        assert len(minimal.kernels[0].accesses) == 1
+        assert minimal.kernels[0].copies == 1
+        assert spec_work(minimal) < spec_work(spec)
+        validate_spec(minimal)
+
+    def test_unused_allocations_dropped(self):
+        spec = _big_spec()
+
+        def still_fails(s):
+            return any(
+                a.alloc == "g1" for k in s.kernels for a in k.accesses
+            )
+
+        minimal = shrink_spec(spec, still_fails)
+        assert [name for name, _ in minimal.elem_sizes] == ["g1"]
+
+    def test_result_is_one_minimal(self):
+        spec = _big_spec()
+
+        def still_fails(s):
+            return sum(len(k.accesses) for k in s.kernels) >= 2
+
+        minimal = shrink_spec(spec, still_fails)
+        assert sum(len(k.accesses) for k in minimal.kernels) == 2
+
+    def test_max_steps_bounds_work(self):
+        spec = _big_spec()
+        calls = []
+
+        def still_fails(s):
+            calls.append(1)
+            return True
+
+        shrink_spec(spec, still_fails, max_steps=5)
+        assert len(calls) <= 5
+
+    def test_never_fails_returns_original(self):
+        spec = _big_spec()
+        assert shrink_spec(spec, lambda s: False) == spec
+
+
+class TestArtifacts:
+    def test_emit_regression_is_executable(self):
+        spec = generate_spec(random.Random(4), "art")
+        source = emit_regression(spec, note="unit test")
+        namespace = {}
+        exec(compile(source, "<regression>", "exec"), namespace)
+        test_fns = [v for k, v in namespace.items() if k.startswith("test_")]
+        assert len(test_fns) == 1
+        test_fns[0]()  # the clean spec's regression must pass
+
+    def test_corpus_round_trip(self):
+        spec = generate_spec(random.Random(8), "corp")
+        entry = corpus_entry(spec, note="round trip")
+        assert load_corpus_entry(json.dumps(entry)) == spec
+
+    def test_corpus_rejects_bad_format(self):
+        with pytest.raises(FuzzSpecError):
+            load_corpus_entry(json.dumps({"format": "nope", "spec": {}}))
+
+    def test_corpus_rejects_non_json(self):
+        with pytest.raises(FuzzSpecError):
+            load_corpus_entry("{not json")

@@ -64,3 +64,74 @@ def test_first_launch_policy_is_recorded(bench_topology):
     compiled = compile_program(_disagreeing_program())
     d = detect_disagreements(compiled, bench_topology)[0]
     assert "row" in d.first_policy  # kernel 1's row-based placement wins
+
+
+class TestReuseDetection:
+    """The first launch's placement is the reuse baseline: repeated launches
+    of the same pattern are reuse, not disagreement."""
+
+    def test_repeated_launches_of_one_kernel_are_reuse(self, bench_topology):
+        i = BX * BDX + TX
+        prog = Program("reuse")
+        prog.malloc_managed("A", 8192, 4)
+        k = Kernel("k", Dim2(64), {"A": 4}, [GlobalAccess("A", i)])
+        for _ in range(4):
+            prog.launch(k, Dim2(128), {"A": "A"})
+        compiled = compile_program(prog)
+        assert detect_disagreements(compiled, bench_topology) == []
+
+    def test_every_later_disagreeing_launch_is_reported(self, bench_topology):
+        """With launches rows, cols, cols: both col launches disagree with
+        the first-use placement -- two work-list entries, not one."""
+        tile = 16
+        width = GDX * BDX
+        row = BY * tile + TY
+        col = BX * tile + TX
+        prog = Program("multi")
+        prog.malloc_managed("A", 256 * 256, 4)
+        k1 = Kernel(
+            "rows",
+            Dim2(tile, tile),
+            {"A": 4},
+            [GlobalAccess("A", row * 256 + M * tile + TX, in_loop=True)],
+            loop=LoopSpec(param("t")),
+        )
+        k2 = Kernel(
+            "cols",
+            Dim2(tile, tile),
+            {"A": 4},
+            [GlobalAccess("A", (M * tile + TY) * width + col, in_loop=True)],
+            loop=LoopSpec(param("t")),
+        )
+        prog.launch(k1, Dim2(16, 16), {"A": "A"}, {param("t"): 4})
+        prog.launch(k2, Dim2(16, 16), {"A": "A"}, {param("t"): 4})
+        prog.launch(k2, Dim2(16, 16), {"A": "A"}, {param("t"): 4})
+        compiled = compile_program(prog)
+        found = detect_disagreements(compiled, bench_topology)
+        assert [d.later_launch for d in found] == [1, 2]
+        assert all(d.first_launch == 0 for d in found)
+        assert all(d.allocation == "A" for d in found)
+
+    def test_allocations_tracked_independently(self, bench_topology):
+        """B first appears at launch 1; its baseline is launch 1, so a
+        matching launch 2 is reuse even while A disagrees."""
+        tile = 16
+        width = GDX * BDX
+        row = BY * tile + TY
+        col = BX * tile + TX
+        row_access = GlobalAccess("A", row * 256 + M * tile + TX, in_loop=True)
+        col_access = GlobalAccess("A", (M * tile + TY) * width + col, in_loop=True)
+        b_access = GlobalAccess("B", (M * tile + TY) * width + col, in_loop=True)
+        prog = Program("independent")
+        prog.malloc_managed("A", 256 * 256, 4)
+        prog.malloc_managed("B", 256 * 256, 4)
+        k1 = Kernel("rows", Dim2(tile, tile), {"A": 4}, [row_access],
+                    loop=LoopSpec(param("t")))
+        k2 = Kernel("cols", Dim2(tile, tile), {"A": 4, "B": 4},
+                    [col_access, b_access], loop=LoopSpec(param("t")))
+        prog.launch(k1, Dim2(16, 16), {"A": "A"}, {param("t"): 4})
+        prog.launch(k2, Dim2(16, 16), {"A": "A", "B": "B"}, {param("t"): 4})
+        prog.launch(k2, Dim2(16, 16), {"A": "A", "B": "B"}, {param("t"): 4})
+        compiled = compile_program(prog)
+        found = detect_disagreements(compiled, bench_topology)
+        assert {d.allocation for d in found} == {"A"}

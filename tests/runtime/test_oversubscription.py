@@ -112,3 +112,47 @@ def test_infinite_capacity_faults_once_per_page(refs):
     stats = PagingSimulator(1000).replay(refs)
     assert stats.demand_faults == len(set(refs))
     assert stats.evictions == 0
+
+
+class TestEvictionOrdering:
+    """Victim identities follow strict LRU recency order."""
+
+    def test_victims_leave_in_reference_order_without_reuse(self):
+        stats = PagingSimulator(2).replay([1, 2, 3, 4, 5], record_evictions=True)
+        assert stats.evicted_pages == [1, 2, 3]
+        assert stats.evictions == 3
+
+    def test_rereference_protects_a_page(self):
+        # touching 1 again makes 2 the LRU victim when 3 arrives
+        stats = PagingSimulator(2).replay([1, 2, 1, 3], record_evictions=True)
+        assert stats.evicted_pages == [2]
+
+    def test_prefetched_pages_evict_identically(self):
+        # prefetching changes fault accounting, never residency order
+        refs = [1, 2, 3, 1, 4, 5]
+        plain = PagingSimulator(2).replay(refs, record_evictions=True)
+        pre = PagingSimulator(2).replay(
+            refs, prefetched={2, 4}, record_evictions=True
+        )
+        assert plain.evicted_pages == pre.evicted_pages
+        assert plain.evictions == pre.evictions
+        assert pre.hidden_transfers == 2
+        assert pre.demand_faults == plain.demand_faults - 2
+
+    def test_recording_off_keeps_stats_but_no_identities(self):
+        stats = PagingSimulator(1).replay([1, 2, 3])
+        assert stats.evictions == 2
+        assert stats.evicted_pages == []
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        refs=st.lists(st.integers(0, 20), min_size=1, max_size=120),
+        capacity=st.integers(1, 10),
+    )
+    def test_eviction_identities_match_counts_and_are_nonresident(
+        self, refs, capacity
+    ):
+        sim = PagingSimulator(capacity)
+        stats = sim.replay(refs, record_evictions=True)
+        assert len(stats.evicted_pages) == stats.evictions
+        assert sim.resident_count <= capacity
