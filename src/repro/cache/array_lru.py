@@ -28,19 +28,28 @@ from typing import List
 
 import numpy as np
 
+from repro.cache import compiled as _compiled
 from repro.errors import SimulationError
 
-__all__ = ["ArrayLRU"]
+__all__ = ["ArrayLRU", "BACKENDS"]
 
 _EMPTY = -1
+
+#: Probe-core implementations: ``numpy`` (batched rounds / stack property)
+#: and ``compiled`` (numba sequential kernel; silently degrades to the
+#: numpy paths when numba is absent, see :mod:`repro.cache.compiled`).
+BACKENDS = ("numpy", "compiled")
 
 
 class ArrayLRU:
     """Set-associative LRU over sector ids, batched numpy implementation."""
 
-    __slots__ = ("num_sets", "assoc", "tags", "stamp", "clock", "accesses", "hits")
+    __slots__ = (
+        "num_sets", "assoc", "tags", "stamp", "clock", "accesses", "hits",
+        "_jit",
+    )
 
-    def __init__(self, num_sets: int, assoc: int):
+    def __init__(self, num_sets: int, assoc: int, backend: str = "numpy"):
         # Deliberate seeded bug for the fuzz harness's self-test (see
         # docs/fuzzing.md): the vector engine's caches silently lose one
         # way, which legacy-vs-vector differential runs must catch.  The
@@ -51,6 +60,14 @@ class ArrayLRU:
             assoc -= 1
         if num_sets < 1 or assoc < 1:
             raise SimulationError("cache needs >= 1 set and >= 1 way")
+        if backend not in BACKENDS:
+            raise SimulationError(
+                f"unknown ArrayLRU backend {backend!r}; choose from {BACKENDS}"
+            )
+        # The compiled backend only engages when numba is importable; the
+        # pure-Python twin of the kernel would be far slower than the numpy
+        # paths, so absence degrades to numpy rather than to it.
+        self._jit = backend == "compiled" and _compiled.HAVE_NUMBA
         self.num_sets = num_sets
         self.assoc = assoc
         self.tags = np.full((num_sets, assoc), _EMPTY, dtype=np.int64)
@@ -133,6 +150,16 @@ class ArrayLRU:
             return np.empty(0, dtype=bool)
         base = self.clock + 1
         self.clock += n
+        if self._jit:
+            # The sequential kernel is the reference semantics itself, so it
+            # serves every stream shape -- no round/stack/scalar routing.
+            return _compiled.probe_sequential(
+                self.tags, self.stamp,
+                np.ascontiguousarray(sectors, dtype=np.int64),
+                np.ascontiguousarray(sets, dtype=np.int64),
+                np.ascontiguousarray(insert, dtype=np.bool_),
+                base,
+            )
         tags, stamp = self.tags, self.stamp
         if n > 1:
             # One O(n) bincount finds the max per-set collision depth; the
@@ -321,12 +348,18 @@ class ArrayLRU:
         setcol = np.repeat(np.arange(nact, dtype=np.int64), ext)
 
         # Previous same-(set, sector) occurrence of every extended event, via
-        # one fused-key stable argsort (ties keep D order, i.e. stream order).
+        # one fused-key argsort with ties keeping D order (stream order).
         kmax = int(esec.max())
         if nact * (kmax + 1) >= (1 << 62):  # fused key would overflow int64
             return None
         key = setcol * (kmax + 1) + esec
-        perm2 = np.argsort(key, kind="stable")
+        darange = np.arange(ntot, dtype=np.int64)
+        if nact * (kmax + 1) < (1 << 62) // max(ntot, 1):
+            # Fusing the D index uniquifies the key, buying the faster
+            # unstable sort while preserving exactly the stable order.
+            perm2 = np.argsort(key * ntot + darange)
+        else:
+            perm2 = np.argsort(key, kind="stable")
         pk = key[perm2]
         same = np.zeros(ntot, dtype=bool)
         np.equal(pk[1:], pk[:-1], out=same[1:])
@@ -338,7 +371,6 @@ class ArrayLRU:
         # real events can have prev >= 0; the reuse window (prev, i) counts
         # both virtual and real in-between events, exactly the stack depth s
         # sits at when re-referenced.
-        darange = np.arange(ntot, dtype=np.int64)
         win = darange - prev - 1
         valid = prev >= 0
         hit_d = valid & (win < assoc)
@@ -377,7 +409,9 @@ class ArrayLRU:
         tail[-1] = True
         last_d = perm2[tail]
         gcol = setcol[last_d]
-        gperm = np.argsort(gcol * ntot + last_d, kind="stable")
+        # last_d values are distinct, so the fused key is unique and the
+        # faster unstable sort is exact
+        gperm = np.argsort(gcol * ntot + last_d)
         last_s = last_d[gperm]
         ngrp = np.bincount(gcol, minlength=nact)
         goff = np.zeros(nact + 1, dtype=np.int64)
@@ -423,6 +457,11 @@ class ArrayLRU:
         self.hits = 0
 
     # ------------------------------------------------------------------
+    @property
+    def backend(self) -> str:
+        """The probe core actually in use (``compiled`` requires numba)."""
+        return "compiled" if self._jit else "numpy"
+
     @property
     def hit_rate(self) -> float:
         return self.hits / self.accesses if self.accesses else 0.0

@@ -1,0 +1,90 @@
+"""Optional numba-compiled probe kernel for :class:`ArrayLRU`.
+
+The vectorised engine's remaining hot inner loops -- the all-insert stack
+probe, the dense collision round loop and the segmented sync replay -- all
+bottom out in :meth:`ArrayLRU._probe`.  Their numpy formulations pay for
+parallelism with setup (argsorts, dense round layouts, reuse-window
+gathers); a JIT-compiled *sequential* loop needs none of that, and the
+sequential per-event LRU walk is the ground-truth semantics every numpy
+path is calibrated against, so the compiled kernel is bit-exact by
+construction rather than by re-derivation.
+
+numba is an optional dependency: when it is absent (the default container),
+``HAVE_NUMBA`` is False and the ``compiled`` engine/backends silently fall
+back to the numpy paths -- same results, numpy speed.  The differential
+fuzzer runs legacy vs vector vs compiled on every program, so a numba
+version whose semantics drift is caught as an engine-parity divergence, not
+a silent corruption.  CI's ``compiled-smoke`` job installs numba and runs
+the fuzz smoke with the JIT active.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["HAVE_NUMBA", "backend_status", "probe_sequential"]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit
+
+    HAVE_NUMBA = True
+except Exception:  # ImportError, or a broken numba install
+    njit = None
+    HAVE_NUMBA = False
+
+
+def backend_status() -> str:
+    """``"jit"`` when numba backs the compiled paths, else ``"fallback"``."""
+    return "jit" if HAVE_NUMBA else "fallback"
+
+
+def _probe_seq_py(
+    tags: np.ndarray,
+    stamp: np.ndarray,
+    sectors: np.ndarray,
+    sets: np.ndarray,
+    insert: np.ndarray,
+    base: int,
+) -> np.ndarray:
+    """Sequential per-event LRU probe: the reference semantics, in Python.
+
+    Event ``i`` probes set ``sets[i]`` for ``sectors[i]``: a hit refreshes
+    the way's stamp to ``base + i``; a miss fills the minimum-stamp way
+    (empty ways carry stamp 0, real stamps are >= 1, so free ways fill
+    first) when ``insert[i]``.  Identical, event for event, to probing an
+    ``OrderedDict`` LRU -- and to what :meth:`ArrayLRU._probe`'s batched
+    paths reproduce.  This body is also the numba kernel's source; keep it
+    nopython-compatible (no fancy indexing, no allocations in the loop).
+    """
+    n = sectors.shape[0]
+    assoc = tags.shape[1]
+    hit = np.zeros(n, dtype=np.bool_)
+    for i in range(n):
+        s = sets[i]
+        sec = sectors[i]
+        found = False
+        victim = 0
+        vmin = stamp[s, 0]
+        for w in range(assoc):
+            if tags[s, w] == sec:
+                stamp[s, w] = base + i
+                found = True
+                break
+            sv = stamp[s, w]
+            if sv < vmin:
+                vmin = sv
+                victim = w
+        if found:
+            hit[i] = True
+        elif insert[i]:
+            tags[s, victim] = sec
+            stamp[s, victim] = base + i
+    return hit
+
+
+if HAVE_NUMBA:  # pragma: no cover - exercised only where numba is installed
+    probe_sequential = njit(cache=True, nogil=True)(_probe_seq_py)
+else:
+    #: With numba absent this is the pure-Python loop -- correct but slow,
+    #: so ArrayLRU only dispatches here when the JIT is actually available.
+    probe_sequential = _probe_seq_py

@@ -191,7 +191,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--engine",
         default=None,
-        choices=["vector", "legacy"],
+        choices=["vector", "legacy", "compiled"],
         help="simulation engine (default: REPRO_ENGINE or 'vector')",
     )
 

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro import obs
 from repro.cache.array_lru import ArrayLRU
+from repro.cache.compiled import backend_status as compiled_status
 from repro.cache.l2 import SectoredCache
 from repro.cache.stats import TrafficClass
 from repro.compiler.passes import CompiledProgram, compile_program
@@ -47,9 +48,12 @@ from repro.topology.system import Channel, LinkClass, SystemTopology
 
 __all__ = ["Simulator", "simulate", "ENGINES"]
 
-#: Supported engine names: the vectorised batch walk (default) and the
-#: per-sector reference walk it must stay bit-exact with.
-ENGINES = ("vector", "legacy")
+#: Supported engine names: the vectorised batch walk (default), the
+#: per-sector reference walk it must stay bit-exact with, and the vector
+#: walk with the numba-compiled :class:`ArrayLRU` probe core ("compiled";
+#: falls back to the numpy core, bit-exact either way, when numba is
+#: absent).
+ENGINES = ("vector", "legacy", "compiled")
 
 # Integer codes for the traffic-class accumulators (see cache.stats).
 _LL, _LR, _RL = 0, 1, 2
@@ -93,10 +97,13 @@ class Simulator:
     """Executes programs on one simulated system configuration.
 
     ``engine`` selects the memory-walk implementation: ``"vector"`` (the
-    batched numpy engine, default) or ``"legacy"`` (the per-sector reference
-    walk).  The two are bit-exact on every reported metric; the reference
-    stays selectable for parity tests and debugging.  The default may be
-    overridden with the ``REPRO_ENGINE`` environment variable.
+    batched numpy engine, default), ``"legacy"`` (the per-sector reference
+    walk) or ``"compiled"`` (the vector engine with the numba-compiled
+    sequential probe core; silently identical to ``"vector"`` when numba is
+    not installed).  All engines are bit-exact on every reported metric;
+    the reference stays selectable for parity tests and debugging.  The
+    default may be overridden with the ``REPRO_ENGINE`` environment
+    variable.
 
     ``trace_cache`` shares traced sector streams across runs (the vector
     engine only); by default the process-wide cache is used so sweeping many
@@ -118,6 +125,8 @@ class Simulator:
         "spec_events",
         "spec_rounds",
         "spec_mispredicts",
+        "pred_events",
+        "pred_correct",
         "sync_scalar",
         "sync_fallbacks",
         "l2_bypass",
@@ -184,9 +193,17 @@ class Simulator:
         session = self.obs_session if self.obs_session is not None else obs.current()
         self._obs_strategy = plan.strategy_name
         tr = session.tracer
-        if self.engine == "vector":
+        if self.engine in ("vector", "compiled"):
             # One fused cache: node n's slice is sets [n*num_sets, (n+1)*num_sets).
-            l2s = [ArrayLRU(num_nodes * cfg.l2.num_sets, cfg.l2.assoc)]
+            l2s = [
+                ArrayLRU(
+                    num_nodes * cfg.l2.num_sets,
+                    cfg.l2.assoc,
+                    backend="compiled" if self.engine == "compiled" else "numpy",
+                )
+            ]
+            if self.engine == "compiled" and session.counters.enabled:
+                session.counters.inc("walk.compiled", status=compiled_status())
         else:
             l2s = [
                 SectoredCache(cfg.l2.num_sets, cfg.l2.assoc)
@@ -219,7 +236,7 @@ class Simulator:
                     kernel=lp.launch.kernel.name,
                     launch=launch_index,
                 ):
-                    if self.engine == "vector":
+                    if self.engine in ("vector", "compiled"):
                         metrics = self._run_launch_vector(
                             launch_index, lp, plan, compiled, l2s[0], page_counts,
                             session,
@@ -256,7 +273,7 @@ class Simulator:
     def _emit_occupancy(self, session, l2s, num_nodes: int) -> None:
         """Gauge the end-of-run L2 occupancy per node into the registry."""
         strategy = self._obs_strategy
-        if self.engine == "vector":
+        if self.engine in ("vector", "compiled"):
             per_node = l2s[0].occupancy_per_node(num_nodes)
         else:
             per_node = [c.occupancy for c in l2s]
@@ -303,7 +320,14 @@ class Simulator:
         counters = self.walk_counters
         before = {
             k: counters[k]
-            for k in ("sync_elements", "spec_events", "spec_mispredicts", "spec_rounds")
+            for k in (
+                "sync_elements",
+                "spec_events",
+                "spec_mispredicts",
+                "spec_rounds",
+                "pred_events",
+                "pred_correct",
+            )
         }
         memo = self.walk_memo
         if memo is None and memo_enabled():
@@ -311,7 +335,14 @@ class Simulator:
         key = None
         homes = None
         memo_status = "ineligible"
-        if memo is not None and eligible(cfg, plan, page_counts):
+        if memo is not None and eligible(
+            cfg,
+            plan,
+            page_counts,
+            launch_index=launch_index,
+            num_launches=len(plan.launches),
+            counters_enabled=reg.enabled,
+        ):
             with tr.span("memo.probe", cat="memo"):
                 homes = plan.page_table.homes_of_pages(trace.pages, toucher=0)
                 key = memo.make_key(trace, lp, cfg, homes)

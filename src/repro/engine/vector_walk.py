@@ -29,8 +29,11 @@ legacy walk (same byte counts, hit rates, traffic-class splits, LRU state):
     accesses plus the home-side fills of free misses -- forms a
     position-ordered event stream whose only data-dependent part is *whether
     a sync remote requester's home fill happens* (it does iff the requester
-    probe misses).  :func:`replay_sync_stream` speculates every such probe
-    misses, materialises the full candidate event stream, replays it per-set
+    probe misses).  :func:`replay_sync_stream` guesses each such probe's
+    outcome -- via the locality-seeded, online-refined
+    :class:`~repro.engine.spec_predictor.LaunchPredictor` when one is
+    supplied, assume-miss otherwise -- materialises the full candidate
+    event stream, replays it per-set
     with :meth:`ArrayLRU.replay_segments` (batched gather/scatter in stamp
     arithmetic), then verifies the speculated misses against the actual hit
     masks and repairs only the mispredicted sets -- restore the set's rows
@@ -65,6 +68,7 @@ from repro import obs
 from repro.cache.array_lru import ArrayLRU
 from repro.engine.metrics import KernelMetrics
 from repro.engine.plan import ExecutionPlan, LaunchPlan
+from repro.engine.spec_predictor import make_launch_predictor
 from repro.engine.trace_cache import LaunchTrace
 
 __all__ = ["walk_launch", "replay_sync_stream"]
@@ -125,6 +129,8 @@ def replay_sync_stream(
     counters: Optional[dict] = None,
     mode: Optional[str] = None,
     session=None,
+    predictor=None,
+    site: Optional[np.ndarray] = None,
 ) -> tuple:
     """Replay one position-ordered sync stream against the fused L2.
 
@@ -143,6 +149,13 @@ def replay_sync_stream(
 
     ``mode`` forces a path: ``"array"`` (speculative segmented replay),
     ``"scalar"`` (OrderedDict reference), or None for the size heuristic.
+
+    ``predictor`` (a :class:`~repro.engine.spec_predictor.LaunchPredictor`,
+    with ``site`` the element-aligned access-site indices) seeds the
+    speculative path's initial probe-outcome guesses and is trained on the
+    stream's converged outcomes; ``None`` keeps the constant assume-miss
+    guess.  Either way the repair fixpoint -- and therefore every returned
+    mask and accumulator -- is identical.
     """
     K = sec.size
     if K == 0:
@@ -172,7 +185,7 @@ def replay_sync_stream(
         out = _replay_sync_array(
             l2, sec, is_fill, local, node, home,
             req_set, home_set, req_ins, home_ins, counters,
-            session=session,
+            session=session, predictor=predictor, site=site,
         )
     else:
         if counters is not None:
@@ -187,6 +200,13 @@ def replay_sync_stream(
         req_hit, home_present, home_hit,
         stats_acc, dram_requests, transfers,
     )
+    if predictor is not None and site is not None:
+        # Train on the stream's *converged* remote requester outcomes (both
+        # replay paths resolve them exactly), so the next stream's guesses
+        # start from everything this one proved.
+        rr = ~is_fill & ~local
+        if rr.any():
+            predictor.observe(sec[rr], node[rr], site[rr], req_hit[rr])
     return out
 
 
@@ -203,6 +223,8 @@ def _replay_sync_array(
     home_ins: np.ndarray,
     counters: Optional[dict],
     session=None,
+    predictor=None,
+    site: Optional[np.ndarray] = None,
 ) -> tuple:
     """Speculative segmented replay (see module docstring, point 5)."""
     if session is None:
@@ -222,7 +244,8 @@ def _replay_sync_array(
     e_home = np.zeros(e_elem.size, dtype=bool)
     e_home[r_elems.size:] = True
     e_key = np.concatenate((2 * r_elems, 2 * h_elems + 1))
-    order = np.argsort(e_key, kind="stable")
+    # keys are unique (2k vs 2k+1), so the faster unstable sort is exact
+    order = np.argsort(e_key)
     e_elem = e_elem[order]
     e_home = e_home[order]
     E = e_elem.size
@@ -240,6 +263,17 @@ def _replay_sync_array(
     saved = l2.save_rows(touched)
     present = np.ones(E, dtype=bool)
     hit = np.zeros(E, dtype=bool)
+    pred0 = None
+    if predictor is not None and site is not None and spec_idx.size:
+        # A speculative fill is present iff its parent requester probe
+        # misses, so the predictor's per-parent hit guess replaces the
+        # constant assume-miss (= all fills present) initial assignment.
+        # The repair fixpoint is unique, so a bad guess costs rounds only.
+        pelem = e_elem[spec_idx]
+        with tr.span("spec.predict", cat="walk", events=int(pelem.size)):
+            guess_hit = predictor.predict_hit(sec[pelem], node[pelem], site[pelem])
+        present[spec_idx] = ~guess_hit
+        pred0 = present[spec_idx].copy()
     if counters is not None:
         counters["sync_events"] += E
         counters["spec_events"] += int(spec_idx.size)
@@ -275,6 +309,16 @@ def _replay_sync_array(
     if counters is not None:
         counters["spec_rounds"] += rounds
     session.counters.inc("walk.spec.rounds", rounds=rounds)
+    if pred0 is not None and converged:
+        # Converged presence is ground truth: guesses that survived
+        # unchanged were correct.
+        n_correct = int((present[spec_idx] == pred0).sum())
+        if counters is not None:
+            counters["pred_events"] += int(spec_idx.size)
+            counters["pred_correct"] += n_correct
+        if session.counters.enabled:
+            session.counters.inc("spec.predictor.events", int(spec_idx.size))
+            session.counters.inc("spec.predictor.correct", n_correct)
 
     if not converged:
         # Adversarial flip chain: restore everything and run the exact
@@ -642,6 +686,15 @@ def walk_launch(
     probe = l2.probe_batch
     hot = np.zeros(num_nodes * num_sets, dtype=bool)
 
+    # Speculation predictor: locality-seeded (lp.dominant_locality + the
+    # cross-launch store), trained online on every resolved remote
+    # requester outcome below.  None => constant assume-miss speculation.
+    predictor = None
+    if ssec.size:
+        predictor = make_launch_predictor(
+            lp, config, trace, insert_at_home.size, session=session
+        )
+
     for m in range(trip):
         shift = (m * 7) % max(1, ntb)
         rotated = np.concatenate((order[shift:], order[:shift]))
@@ -681,6 +734,16 @@ def walk_launch(
             dram_requests += c[:, 2]
             if counters is not None:
                 counters["free_accesses"] += int(fidx.size)
+            if predictor is not None:
+                frem = ~floc
+                if frem.any():
+                    fr = fidx[frem]
+                    # presence only: free-probe hit rates are systematically
+                    # higher than the sync residue the rate tier predicts
+                    predictor.observe(
+                        ssec[fr], s_node[fr], ssite[fr], fhit[frem],
+                        train_rates=False,
+                    )
             if has_hot:
                 sidx = idx[~freem]
                 fm = ~(floc | fhit)
@@ -690,7 +753,9 @@ def walk_launch(
                     # lands exactly where the issuing TB put it.
                     p0 = np.nonzero(~freem)[0]
                     p1 = np.nonzero(freem)[0][fm]
-                    o = np.argsort(np.concatenate((p0, p1)), kind="stable")
+                    # p0/p1 partition distinct stream positions: unique keys,
+                    # so the faster unstable sort is exact
+                    o = np.argsort(np.concatenate((p0, p1)))
                     ev_idx = np.concatenate((sidx, fidx[fm]))[o]
                     ev_fill = np.concatenate(
                         (np.zeros(sidx.size, dtype=bool), np.ones(p1.size, dtype=bool))
@@ -728,6 +793,8 @@ def walk_launch(
                 transfers,
                 counters=counters,
                 session=session,
+                predictor=predictor,
+                site=ssite[ev_idx] if predictor is not None else None,
             )
         t_sync += perf_counter() - t0
         # Home-side bypasses: realised home events that missed and, per the
@@ -749,5 +816,7 @@ def walk_launch(
         timers["walk_free"] += t_free
         timers["walk_sync"] += t_sync
 
+    if predictor is not None:
+        predictor.finish()
     metrics.faults = page_table.fault_count - faults_before
     return metrics, xbar_requests, dram_requests, transfers, stats_acc

@@ -13,12 +13,17 @@ Soundness
 A memo hit must reproduce *every* observable effect of the walk it skips.
 :func:`eligible` therefore admits a launch only when:
 
-* ``config.flush_l2_between_kernels`` is set -- the launch starts from a
-  flushed (clean-lineage) L2, so the incoming cache state is part of the
-  key by construction, and the *outgoing* state is dead (the next launch
-  flushes again, and nothing after the run reads raw cache state).  This is
-  the "clean lineage" guard: without it the walk's L2 mutation would be an
-  unkeyed input/output.
+* the launch has *clean lineage* and *dead outgoing state*.  With
+  ``config.flush_l2_between_kernels`` both hold for every launch: the walk
+  starts from a flushed L2 (incoming state is part of the key by
+  construction) and the next launch flushes again, so nothing reads the
+  walk's L2 mutation.  Without flushing, only the **first** launch has
+  clean lineage (the L2 is empty at construction) and only the **last**
+  launch's outgoing state is dead -- and then only when counters are off,
+  because end-of-run occupancy gauges read raw cache state.  A
+  single-launch program with counters disabled is therefore memoisable
+  even in no-flush (monolithic) mode; a multi-launch no-flush program is
+  not, since launch 0's outgoing state feeds launch 1's walk.
 * the page table is fully mapped (``not page_table.has_unmapped``) -- a
   first-touch walk *mutates* placement (Batch+FT), which a skipped walk
   would silently drop, and makes ``homes`` depend on walk order.
@@ -62,13 +67,28 @@ def memo_enabled() -> bool:
     return os.environ.get("REPRO_WALK_MEMO", "1") != "0"
 
 
-def eligible(config, plan, page_counts) -> bool:
-    """Is this launch's walk sound to memoise?  (See module docstring.)"""
-    return (
-        config.flush_l2_between_kernels
-        and not plan.page_table.has_unmapped
-        and page_counts is None
-    )
+def eligible(
+    config,
+    plan,
+    page_counts,
+    launch_index: int = 0,
+    num_launches: int = 1,
+    counters_enabled: bool = False,
+) -> bool:
+    """Is this launch's walk sound to memoise?  (See module docstring.)
+
+    The trailing parameters refine the clean-lineage check for no-flush
+    configurations; their defaults (first launch of a single-launch run,
+    counters off) keep three-argument callers exactly as permissive as
+    before for flush-mode configs.
+    """
+    if plan.page_table.has_unmapped or page_counts is not None:
+        return False
+    if config.flush_l2_between_kernels:
+        return True
+    lineage_clean = launch_index == 0
+    outgoing_dead = launch_index == num_launches - 1 and not counters_enabled
+    return lineage_clean and outgoing_dead
 
 
 class WalkMemo:

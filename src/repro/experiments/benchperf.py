@@ -37,6 +37,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.cache import compiled as compiled_backend
 from repro.compiler.passes import compile_program
 from repro.engine.simulator import Simulator
 from repro.obs.manifest import build_manifest
@@ -59,6 +60,8 @@ COUNTER_KEYS = (
     "spec_events",
     "spec_mispredicts",
     "spec_rounds",
+    "pred_events",
+    "pred_correct",
     "sync_scalar",
     "sync_fallbacks",
     "l2_bypass",
@@ -84,7 +87,27 @@ WORKLOADS = [
 ]
 SMOKE_WORKLOADS = ["conv", "scalarprod", "tra"]
 
-STRATEGIES = ["Batch+FT", "H-CODA", "LADM", "Monolithic"]
+STRATEGIES = [
+    "Batch+FT",
+    "H-CODA",
+    "LADM",
+    # The explicit LASP insertion-policy ablations share LADM's scheduler and
+    # placement exactly (CRB just picks between them per launch), so under the
+    # per-workload shared walk memo their non-divergent launches replay as
+    # memo hits -- the sharing the ``walk_memo_hits > 0`` check guards.
+    "LASP+RTWICE",
+    "LASP+RONCE",
+    "Monolithic",
+]
+
+#: Workloads whose launches must keep ``repair_rate`` at or below
+#: :data:`REPAIR_RATE_CEILING` under ``--gate`` -- the LSTM/FC set the
+#: locality-seeded predictor is expected to carry (paper Table II's
+#: RCL-dominant layers).
+REPAIR_GATE_WORKLOADS = frozenset(
+    ["lstm1", "lstm2", "alexnet_fc2", "vggnet_fc2", "resnet50_fc"]
+)
+REPAIR_RATE_CEILING = 0.3
 
 #: Cross-scale gate: a smoke run checked against a bench-scale report only
 #: has to clear this walk-stage speedup (wall-clock ratios do not transfer
@@ -110,11 +133,12 @@ def _run_engine(
     counters, and the per-launch log (vector engine; empty for legacy).
     """
     cfgs = _configs()
-    cache = TraceCache() if engine == "vector" else None
+    array_engine = engine in ("vector", "compiled")
+    cache = TraceCache() if array_engine else None
     # One memo per workload mirrors run_matrix sharing: strategies that
     # produce identical placement+policy skip their repeat walks; distinct
     # strategies never collide on the key.
-    memo = WalkMemo() if engine == "vector" else None
+    memo = WalkMemo() if array_engine else None
     times = {s: 0.0 for s in STAGES}
     counters = dict.fromkeys(COUNTER_KEYS, 0)
     launch_log: List[dict] = []
@@ -132,11 +156,16 @@ def _run_engine(
             counters[k] += sim.walk_counters[src]
         for entry in sim.walk_log:
             spec = entry["spec_events"]
+            pred = entry["pred_events"]
             launch_log.append(
                 {
                     "strategy": name,
                     **entry,
                     "repair_rate": entry["spec_mispredicts"] / spec if spec else 0.0,
+                    "repair_rounds": entry["spec_rounds"],
+                    "pred_accuracy": (
+                        entry["pred_correct"] / pred if pred else None
+                    ),
                 }
             )
         if snaps is not None:
@@ -151,6 +180,11 @@ def run_bench(
     check_parity: bool,
     verbose: bool = True,
 ) -> dict:
+    # The compiled engine is the vector engine over the numba probe core;
+    # without numba it would just re-time the numpy paths, so it only joins
+    # the matrix when the JIT is actually available.
+    with_compiled = compiled_backend.HAVE_NUMBA
+    engines = ["vector"] + (["compiled"] if with_compiled else [])
     per_workload: Dict[str, dict] = {}
     mismatches: List[str] = []
     for wname in workload_names:
@@ -159,34 +193,49 @@ def run_bench(
         legacy_t, legacy_snaps, _, _ = _run_engine(
             "legacy", compiled, STRATEGIES, check_parity
         )
-        vector_t, vector_snaps, counters, launch_log = _run_engine(
-            "vector", compiled, STRATEGIES, check_parity
-        )
-        speedup = legacy_t["total"] / vector_t["total"] if vector_t["total"] else 0.0
-        walk_speedup = (
-            legacy_t["walk"] / vector_t["walk"] if vector_t["walk"] else 0.0
-        )
-        per_workload[wname] = {
-            "legacy": legacy_t,
-            "vector": vector_t,
-            "speedup": speedup,
-            "walk_speedup": walk_speedup,
-            "counters": counters,
-            "launches": launch_log,
-        }
-        if check_parity:
-            for name in STRATEGIES:
-                if legacy_snaps[name] != vector_snaps[name]:
-                    mismatches.append(f"{wname}/{name}")
+        per_workload[wname] = {"legacy": legacy_t}
+        for eng in engines:
+            eng_t, eng_snaps, counters, launch_log = _run_engine(
+                eng, compiled, STRATEGIES, check_parity
+            )
+            suffix = "" if eng == "vector" else "_" + eng
+            speedup = legacy_t["total"] / eng_t["total"] if eng_t["total"] else 0.0
+            walk_speedup = (
+                legacy_t["walk"] / eng_t["walk"] if eng_t["walk"] else 0.0
+            )
+            per_workload[wname].update(
+                {
+                    eng: eng_t,
+                    "speedup" + suffix: speedup,
+                    "walk_speedup" + suffix: walk_speedup,
+                }
+            )
+            if eng == "vector":
+                per_workload[wname]["counters"] = counters
+                per_workload[wname]["launches"] = launch_log
+            if check_parity:
+                for name in STRATEGIES:
+                    if legacy_snaps[name] != eng_snaps[name]:
+                        mismatches.append(f"{wname}/{name}[{eng}]")
         if verbose:
+            w = per_workload[wname]
             flag = ""
             if check_parity:
                 bad = [m for m in mismatches if m.startswith(wname + "/")]
                 flag = "  PARITY-MISMATCH" if bad else "  parity-ok"
+            vec = w["vector"]
+            comp = (
+                f" compiled={w['compiled']['total']:7.2f}s"
+                f" ({w['speedup_compiled']:5.2f}x)"
+                if with_compiled
+                else ""
+            )
             print(
                 f"{wname:<14} legacy={legacy_t['total']:7.2f}s "
-                f"vector={vector_t['total']:7.2f}s "
-                f"speedup={speedup:5.2f}x walk={walk_speedup:5.2f}x{flag}",
+                f"vector={vec['total']:7.2f}s "
+                f"speedup={w['speedup']:5.2f}x walk={w['walk_speedup']:5.2f}x "
+                f"[free={vec['walk_free']:.2f}s sync={vec['walk_sync']:.2f}s]"
+                f"{comp}{flag}",
                 flush=True,
             )
 
@@ -195,7 +244,7 @@ def run_bench(
             s: sum(per_workload[w][eng][s] for w in per_workload)
             for s in STAGES + ("total",)
         }
-        for eng in ("legacy", "vector")
+        for eng in ["legacy"] + engines
     }
     totals["counters"] = {
         k: sum(per_workload[w]["counters"][k] for w in per_workload)
@@ -211,12 +260,17 @@ def run_bench(
         if totals["vector"]["walk"]
         else 0.0
     )
+    overall_compiled = None
+    if with_compiled and totals["compiled"]["total"]:
+        overall_compiled = totals["legacy"]["total"] / totals["compiled"]["total"]
     return {
         "meta": {
             "scale": scale.name,
             "workloads": workload_names,
             "strategies": STRATEGIES,
             "stages": list(STAGES),
+            "engines": ["legacy"] + engines,
+            "compiled_backend": compiled_backend.backend_status(),
             "python": platform.python_version(),
             "numpy": np.__version__,
             "manifest": build_manifest(
@@ -231,6 +285,7 @@ def run_bench(
         "totals": totals,
         "overall_speedup": overall,
         "overall_walk_speedup": overall_walk,
+        "overall_compiled_speedup": overall_compiled,
         "parity_checked": check_parity,
         "parity_mismatches": mismatches,
     }
@@ -239,10 +294,15 @@ def run_bench(
 def check_gate(report: dict, gate_path: str) -> List[str]:
     """Compare a fresh report against a committed one; returns failures.
 
-    Same-scale: each shared workload's walk-stage speedup must stay within
-    20% of the committed value.  Cross-scale (smoke vs a bench-scale gate
-    file): only the :data:`CROSS_SCALE_SPEEDUP_FLOOR` sanity floor applies.
-    Parity mismatches in the fresh report always fail.
+    Same-scale: each shared workload's walk-stage speedup -- and the
+    overall end-to-end speedup -- must stay within 20% of the committed
+    value.  Cross-scale (smoke vs a bench-scale gate file): only the
+    :data:`CROSS_SCALE_SPEEDUP_FLOOR` sanity floor applies.  Independent of
+    scale, every launch of a :data:`REPAIR_GATE_WORKLOADS` workload in the
+    fresh report must keep its speculation ``repair_rate`` at or below
+    :data:`REPAIR_RATE_CEILING` (the rate is a prediction-quality ratio,
+    not a wall-clock figure, so it transfers across machines).  Parity
+    mismatches in the fresh report always fail.
     """
     with open(gate_path) as fh:
         gate = json.load(fh)
@@ -262,6 +322,23 @@ def check_gate(report: dict, gate_path: str) -> List[str]:
             failures.append(
                 f"{wname}: walk speedup {cur_su:.2f}x below sanity floor "
                 f"{CROSS_SCALE_SPEEDUP_FLOOR}x"
+            )
+        if wname in REPAIR_GATE_WORKLOADS:
+            for entry in cur.get("launches", []):
+                rate = entry.get("repair_rate", 0.0)
+                if rate > REPAIR_RATE_CEILING:
+                    failures.append(
+                        f"{wname}/{entry.get('strategy')} launch "
+                        f"{entry.get('launch_index')}: repair_rate "
+                        f"{rate:.2f} exceeds {REPAIR_RATE_CEILING}"
+                    )
+    ref_overall = gate.get("overall_speedup")
+    if same_scale and ref_overall:
+        cur_overall = report.get("overall_speedup", 0.0)
+        if cur_overall < 0.8 * ref_overall:
+            failures.append(
+                f"overall speedup {cur_overall:.2f}x regressed >20% "
+                f"vs committed {ref_overall:.2f}x"
             )
     return failures
 
@@ -323,11 +400,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         report["counter_deltas"] = counter_deltas(report, args.gate)
     with open(args.output, "w") as fh:
         json.dump(report, fh, indent=2)
+    compiled_note = ""
+    if report["overall_compiled_speedup"] is not None:
+        compiled_note = (
+            f", compiled {report['totals']['compiled']['total']:.2f}s "
+            f"-> {report['overall_compiled_speedup']:.2f}x"
+        )
     print(
         f"\noverall: legacy {report['totals']['legacy']['total']:.2f}s, "
         f"vector {report['totals']['vector']['total']:.2f}s "
         f"-> {report['overall_speedup']:.2f}x total, "
-        f"{report['overall_walk_speedup']:.2f}x walk  (wrote {args.output})"
+        f"{report['overall_walk_speedup']:.2f}x walk"
+        f"{compiled_note}  (wrote {args.output})"
     )
     status = 0
     if report["parity_mismatches"]:
@@ -339,6 +423,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(
                 f"counters: {key} current={d['current']} "
                 f"committed={d['committed']} ({ratio})"
+            )
+        if not report["totals"]["counters"].get("walk_memo_hits"):
+            # Informational: the shared memo going cold usually means the
+            # key picked up an unstable component (it silently disables the
+            # cross-strategy replay fast path without failing parity).
+            print(
+                "counters: WARNING walk_memo_hits == 0 -- cross-strategy "
+                "memo sharing is not engaging"
             )
         failures = check_gate(report, args.gate)
         for f in failures:

@@ -12,11 +12,14 @@ For each generated program the runner:
 
    * the legacy scalar walk,
    * the vector walk (with the obs byte-reconciliation session attached),
+   * the compiled walk (vector engine over the numba probe core; when
+     numba is absent this exercises the numpy fallback, so the matrix is
+     still closed -- CI's ``compiled-smoke`` job covers the JIT),
    * the memoised vector walk **twice** against one shared
      :class:`~repro.engine.walk_memo.WalkMemo` (second run replays hits
      when the launch is memo-eligible),
 
-   asserting :meth:`RunResult.snapshot` equality across all four runs;
+   asserting :meth:`RunResult.snapshot` equality across all five runs;
 3. reconciles the vector run's per-link ``walk.link.bytes`` counters
    byte-for-byte against ``total_off_node_bytes`` / ``total_inter_gpu_bytes``
    and ``dram.bytes`` against the per-node DRAM totals;
@@ -278,7 +281,7 @@ def _check_strategy(
     trace_cache: TraceCache,
     failures: List[DiffFailure],
 ) -> int:
-    """Run the 4-way engine matrix for one strategy; returns runs executed."""
+    """Run the 5-way engine matrix for one strategy; returns runs executed."""
     config = fuzz_monolithic() if strategy_name == "Monolithic" else fuzz_hierarchical()
     sector = config.l2.sector_bytes
     no_memo = WalkMemo(max_entries=0)  # vector path without memoisation
@@ -312,6 +315,21 @@ def _check_strategy(
             )
         )
         return 2  # memo runs against a broken vector walk add no signal
+
+    compiled_run, _ = _run(
+        program, compiled, strategy_name, config, "compiled", trace_cache, no_memo
+    )
+    snap_compiled = compiled_run.snapshot()
+    if snap_compiled != snap_vector:
+        launch, detail = _first_divergence(snap_vector, snap_compiled)
+        failures.append(
+            DiffFailure(
+                kind="engine-parity",
+                strategy=strategy_name,
+                launch_index=launch,
+                message=f"vector vs compiled diverge: {detail}",
+            )
+        )
 
     # Memoised path: two runs against one shared memo.  The first populates
     # (or proves ineligibility), the second must replay hits bit-exactly.
@@ -355,7 +373,7 @@ def _check_strategy(
         failures.append(
             DiffFailure(kind="conservation", strategy=strategy_name, message=violation)
         )
-    return 4
+    return 5
 
 
 # ----------------------------------------------------------------------

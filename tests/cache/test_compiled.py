@@ -1,0 +1,136 @@
+"""The compiled (sequential-kernel) ArrayLRU backend.
+
+numba is absent from the test environment, so the sequential kernel under
+test is the pure-Python twin of the njit body (same code object); the
+``compiled`` backend therefore resolves to the numpy core and these tests
+force the sequential dispatch explicitly.  CI's ``compiled-smoke`` job
+re-runs the differential fuzzer with numba installed, covering the JIT'd
+variant of the identical function body.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache import compiled
+from repro.cache.array_lru import BACKENDS, ArrayLRU
+from repro.errors import SimulationError
+
+
+def _sequential(num_sets: int, assoc: int) -> ArrayLRU:
+    """An ArrayLRU forced onto the sequential kernel (JIT or Python twin)."""
+    c = ArrayLRU(num_sets, assoc, backend="compiled")
+    c._jit = True  # force dispatch even without numba (probe_sequential
+    return c  # is the same function body either way)
+
+
+def _random_batch(rng, n, num_sets, sector_space, all_insert=False):
+    sectors = rng.integers(0, sector_space, size=n).astype(np.int64)
+    sets = sectors % num_sets
+    insert = (
+        np.ones(n, dtype=bool)
+        if all_insert
+        else rng.random(n) < 0.8
+    )
+    return sectors, sets, insert
+
+
+def _assert_equivalent(a: ArrayLRU, b: ArrayLRU):
+    """Same resident sectors and same LRU order in every set."""
+    assert a.occupancy == b.occupancy
+    for s in range(a.num_sets):
+        assert list(a.lru_order(s)) == list(b.lru_order(s)), f"set {s}"
+
+
+class TestBackendSelection:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SimulationError):
+            ArrayLRU(4, 2, backend="cuda")
+
+    def test_backends_registry(self):
+        assert BACKENDS == ("numpy", "compiled")
+
+    def test_backend_property_reflects_availability(self):
+        c = ArrayLRU(4, 2, backend="compiled")
+        if compiled.HAVE_NUMBA:
+            assert c.backend == "compiled"
+            assert compiled.backend_status() == "jit"
+        else:
+            assert c.backend == "numpy"
+            assert compiled.backend_status() == "fallback"
+        assert ArrayLRU(4, 2).backend == "numpy"
+
+
+class TestSequentialKernelParity:
+    """The sequential kernel vs the numpy round/stack/single paths."""
+
+    def test_mixed_insert_random_streams(self):
+        rng = np.random.default_rng(7)
+        ref = ArrayLRU(16, 4)
+        seq = _sequential(16, 4)
+        for _ in range(40):
+            n = int(rng.integers(1, 200))
+            sectors, sets, insert = _random_batch(rng, n, 16, 300)
+            hit_ref = ref.probe_batch(sectors, sets, insert)
+            hit_seq = seq.probe_batch(sectors, sets, insert)
+            np.testing.assert_array_equal(hit_ref, hit_seq)
+        _assert_equivalent(ref, seq)
+        assert ref.hits == seq.hits and ref.accesses == seq.accesses
+
+    def test_all_insert_stack_path(self):
+        """Batches that drive the numpy stack-property path."""
+        rng = np.random.default_rng(11)
+        ref = ArrayLRU(8, 4)
+        seq = _sequential(8, 4)
+        for _ in range(10):
+            # heavy per-set collision depth, all-insert -> _probe_stack
+            sectors, sets, insert = _random_batch(
+                rng, 600, 8, 64, all_insert=True
+            )
+            hit_ref = ref.probe_batch(sectors, sets, insert)
+            hit_seq = seq.probe_batch(sectors, sets, insert)
+            np.testing.assert_array_equal(hit_ref, hit_seq)
+        _assert_equivalent(ref, seq)
+
+    def test_single_element_batches(self):
+        ref = ArrayLRU(4, 2)
+        seq = _sequential(4, 2)
+        for sector in [0, 4, 0, 8, 12, 4, 0, 16, 8]:
+            assert ref.access(sector) == seq.access(sector)
+        _assert_equivalent(ref, seq)
+
+    def test_eviction_order_matches(self):
+        """Fill one set past capacity; victims must match exactly."""
+        ref = ArrayLRU(1, 2)
+        seq = _sequential(1, 2)
+        stream = [1, 2, 3, 1, 2, 3, 3, 2, 1]
+        for s in stream:
+            assert ref.access(s) == seq.access(s), f"sector {s}"
+        _assert_equivalent(ref, seq)
+
+
+class TestCompiledEngine:
+    """The ``compiled`` engine end to end (numpy fallback when no numba)."""
+
+    def test_snapshot_matches_vector(self):
+        from repro.compiler.passes import compile_program
+        from repro.engine.simulator import Simulator
+        from repro.engine.walk_memo import WalkMemo
+        from repro.experiments.runner import strategy_by_name
+        from repro.topology.config import bench_hierarchical
+        from repro.workloads.base import TEST
+        from repro.workloads.suite import get_workload
+
+        compiled_prog = compile_program(get_workload("lstm1").program(TEST))
+        cfg = bench_hierarchical()
+        snaps = {}
+        for engine in ("vector", "compiled", "legacy"):
+            sim = Simulator(cfg, engine=engine, walk_memo=WalkMemo(0))
+            plan = strategy_by_name("LADM").plan(compiled_prog, sim.topology)
+            result = sim.run(compiled_prog, plan)
+            snaps[engine] = [k.snapshot() for k in result.kernels]
+        assert snaps["vector"] == snaps["compiled"] == snaps["legacy"]
+
+    def test_engine_registered(self):
+        from repro.engine.simulator import ENGINES
+
+        assert "compiled" in ENGINES

@@ -74,13 +74,37 @@ class TestSoundnessGuards:
         assert len(memo) == 0
         assert _snapshots(r1) == _snapshots(r2)
 
-    def test_no_flush_config_never_memoised(self):
-        """Without flush-between-kernels the L2 lineage is unkeyed."""
+    def test_no_flush_single_launch_memoised_and_exact(self):
+        """A single-launch no-flush run starts from an empty L2 (clean
+        lineage) and nothing reads its outgoing state, so it memoises."""
         compiled = _compiled()
+        assert len(compiled.program.launches) == 1
         cfg = bench_monolithic()
         assert not cfg.flush_l2_between_kernels
         memo = WalkMemo()
-        sim, r = _run(compiled, "Monolithic", cfg, memo)
+        sim1, r1 = _run(compiled, "Monolithic", cfg, memo)
+        assert sim1.walk_counters["memo_misses"] == 1
+        sim2, r2 = _run(compiled, "Monolithic", cfg, memo)
+        assert sim2.walk_counters["memo_hits"] == 1
+        assert _snapshots(r1) == _snapshots(r2)
+
+    def test_no_flush_counters_enabled_never_memoised(self):
+        """End-of-run occupancy gauges read raw L2 state, so a no-flush
+        launch whose outgoing state would feed them must not be skipped."""
+        from repro import obs
+
+        compiled = _compiled()
+        cfg = bench_monolithic()
+        memo = WalkMemo()
+        for _ in range(2):
+            sim = Simulator(
+                cfg,
+                engine="vector",
+                walk_memo=memo,
+                obs_session=obs.ObsSession(enabled=True),
+            )
+            plan = strategy_by_name("Monolithic").plan(compiled, sim.topology)
+            r = sim.run(compiled, plan)
         assert sim.walk_counters["memo_ineligible"] == len(r.kernels)
         assert len(memo) == 0
 
