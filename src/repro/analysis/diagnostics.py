@@ -86,6 +86,18 @@ class Diagnostic:
             text += f" [hint: {self.hint}]"
         return text
 
+    def to_dict(self) -> dict:
+        """JSON-ready mapping (stable keys; severity as its name)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity.name,
+            "file": self.provenance.file,
+            "kernel": self.provenance.kernel,
+            "access": self.provenance.access,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
     @property
     def sort_key(self) -> Tuple[str, str, str, str]:
         return (
@@ -157,6 +169,31 @@ class LintReport:
         if strict and self.worst is not None and self.worst >= Severity.WARNING:
             return 1
         return 0
+
+    def to_dict(self) -> dict:
+        """Machine-readable report (``repro lint --json``; schema v1).
+
+        Diagnostics appear in the same deterministic order as the text
+        rendering, so CI and the autotuner can diff structured output just
+        like the text form.
+        """
+        return {
+            "format": "repro-lint-report-v1",
+            "programs": self.programs,
+            "suppressed": self.suppressed,
+            "counts": {
+                "error": len(self.by_severity(Severity.ERROR)),
+                "warning": len(self.by_severity(Severity.WARNING)),
+                "info": len(self.by_severity(Severity.INFO)),
+            },
+            "worst": self.worst.name if self.worst is not None else None,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        import json
+
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
 
     def render(self) -> str:
         lines = [d.render() for d in self.diagnostics]

@@ -1,0 +1,405 @@
+"""Symbolic per-site footprints: abstract interpretation over KIR indices.
+
+The paper's premise (Section III-C) is that locality is statically decidable
+from index polynomials.  This module takes that seriously: instead of
+enumerating threads (the classification oracle's approach), it runs each
+access site's index expression through an **interval x stride abstract
+domain** and derives, per threadblock and per launch:
+
+* the *box* of touched element indices (``[lo, hi]`` per threadblock, via
+  :meth:`repro.kir.expr.Expr.bounds` / affine coefficient extraction) -- a
+  sound over-approximation of the footprint;
+* the *stride lattice*: the gcd of the free-variable coefficients, plus a
+  complete-sequence test deciding whether the per-TB element set **densely**
+  covers every stride multiple in the box -- a sound under-approximation
+  (what is *guaranteed* touched);
+* cross-TB sharing volumes and working-set sizes assembled from the above.
+
+Everything is O(sites) symbolic work per launch (plus vectorised O(TBs)
+array arithmetic for the per-block bases); no thread or iteration is ever
+enumerated.  Sites the domain cannot see through -- data-dependent
+providers, unbound variables -- are mapped to ⊤ (``top=True``): no
+guarantee, whole-allocation box.  ``analysis/traffic.py`` builds the
+placement-aware inter-GPU traffic bounds on top of these footprints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import gcd
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.diagnostics import site_labels
+from repro.kir.expr import BX, BY, M, TX, TY, Expr
+from repro.kir.kernel import GlobalAccess, Kernel
+from repro.kir.program import KernelLaunch, Program
+
+__all__ = [
+    "SiteFootprint",
+    "LaunchFootprint",
+    "analyze_site",
+    "analyze_launch",
+    "ENUM_ASSIGNMENT_BUDGET",
+    "ENUM_TOTAL_BUDGET",
+]
+
+#: Max free-variable assignments per TB before sparse sites fall back from
+#: exact offset enumeration to endpoint witnesses.
+ENUM_ASSIGNMENT_BUDGET = 64
+#: Max (TBs x offsets) points materialised at once by any enumeration.
+ENUM_TOTAL_BUDGET = 1 << 18
+
+_CLOSED = frozenset(v.name for v in (TX, TY, BX, BY, M))
+
+
+@dataclass
+class SiteFootprint:
+    """The abstract footprint of one access site under one launch.
+
+    When ``top`` is False, ``lo_elem``/``hi_elem`` give the per-threadblock
+    element box (length ``num_threadblocks`` arrays).  For affine sites the
+    box is exact per TB and ``stride``/``dense``/``free_dims`` describe the
+    element set inside it; for non-affine (but closed) sites the box is the
+    whole-launch interval bound and ``corner_elems`` holds concrete
+    guaranteed-touched witness elements per TB.
+    """
+
+    site_index: int
+    label: str
+    array: str
+    alloc: str
+    element_size: int
+    in_loop: bool
+    events: int  # outer-loop iterations this site fires (1 when loop-less)
+    top: bool = False
+    top_reason: str = ""
+    affine: bool = False
+    lo_elem: Optional[np.ndarray] = None
+    hi_elem: Optional[np.ndarray] = None
+    stride: int = 0  # gcd of free coefficients; 0 = per-TB point set
+    span: int = 0  # hi - lo in elements (identical across TBs when affine)
+    dense: bool = False  # every multiple of ``stride`` in the box is touched
+    free_dims: Tuple[Tuple[int, int], ...] = ()  # sorted (coef, count) pairs
+    n_assignments: int = 1
+    corner_elems: Optional[np.ndarray] = None  # (num_tbs, k) witnesses
+
+    def guaranteed(self):
+        """Per-TB under-approximation of the touched element set.
+
+        Returns ``(kind, payload)``:
+
+        * ``("none", None)`` -- ⊤ site, nothing provable;
+        * ``("ap", (lo_elem, span, stride))`` -- the full arithmetic
+          progression ``lo + j*stride`` for ``j in [0, span/stride]`` is
+          touched by every TB (``stride == 0`` means a single point);
+        * ``("offsets", offsets)`` -- ``lo_elem[t] + offsets`` are all
+          touched (sparse affine site, enumerable coefficient lattice);
+        * ``("points", corner_elems)`` -- only the concrete witness
+          evaluations are guaranteed (non-affine site).
+        """
+        if self.top:
+            return "none", None
+        if not self.affine:
+            return "points", self.corner_elems
+        if self.dense:
+            return "ap", (self.lo_elem, self.span, self.stride)
+        num_tbs = self.lo_elem.shape[0]
+        if (
+            self.n_assignments <= ENUM_ASSIGNMENT_BUDGET
+            and num_tbs * self.n_assignments <= ENUM_TOTAL_BUDGET
+        ):
+            offs = np.zeros(1, dtype=np.int64)
+            for coef, count in self.free_dims:
+                offs = (
+                    offs[:, None] + coef * np.arange(count, dtype=np.int64)[None, :]
+                ).ravel()
+            return "offsets", np.unique(offs)
+        # Too wide to enumerate: the box endpoints are always attained
+        # (every free variable at 0, resp. at its max).
+        ends = np.array([0, self.span], dtype=np.int64)
+        return "offsets", np.unique(ends)
+
+    def guaranteed_count(self) -> int:
+        """Number of elements provably touched by each TB."""
+        kind, payload = self.guaranteed()
+        if kind == "none":
+            return 0
+        if kind == "ap":
+            _, span, stride = payload
+            return span // stride + 1 if stride else 1
+        if kind == "offsets":
+            return int(payload.size)
+        # Witness points may coincide on some TBs; 1 is the per-TB floor.
+        return 1 if payload is not None and payload.size else 0
+
+
+def _dense_check(free: Tuple[Tuple[int, int], ...], g: int) -> bool:
+    """Complete-sequence test: do the offsets cover every multiple of g?
+
+    With coefficients sorted ascending, the reachable sums cover all
+    multiples of ``g`` in ``[0, span]`` iff each coefficient is at most
+    ``g`` plus the span already covered by the smaller ones (the classic
+    complete-sequence condition, scaled by the gcd).
+    """
+    covered = 0
+    for coef, count in free:
+        if coef > g + covered:
+            return False
+        covered += coef * (count - 1)
+    return True
+
+
+def _top(site_index, label, access, alloc, esize, in_loop, events, reason):
+    return SiteFootprint(
+        site_index=site_index,
+        label=label,
+        array=access.array,
+        alloc=alloc,
+        element_size=esize,
+        in_loop=in_loop,
+        events=events,
+        top=True,
+        top_reason=reason,
+    )
+
+
+def analyze_site(
+    kernel: Kernel,
+    launch: KernelLaunch,
+    access: GlobalAccess,
+    site_index: int,
+    label: str,
+) -> SiteFootprint:
+    """Abstract-interpret one access site for one launch."""
+    esize = kernel.element_size(access.array)
+    alloc = launch.args[access.array]
+    trip = launch.trip_count()
+    in_loop = bool(access.in_loop)
+    events = trip if in_loop else 1
+    num_tbs = launch.num_threadblocks
+    bdx, bdy = kernel.block.x, kernel.block.y
+    gdx, gdy = launch.grid.x, launch.grid.y
+
+    if access.provider is not None:
+        return _top(
+            site_index, label, access, alloc, esize, in_loop, events,
+            "data-dependent (provider)",
+        )
+
+    idx = access.index.subst(launch.launch_env())
+    leftover = {v.name for v in idx.variables()} - _CLOSED
+    if leftover:
+        return _top(
+            site_index, label, access, alloc, esize, in_loop, events,
+            f"unbound variable(s) {sorted(leftover)}",
+        )
+    if not in_loop and idx.depends_on(M):
+        # SAFE-LOOPVAR territory: the trace stage rejects this program, so
+        # there is nothing sound to say about what it touches.
+        return _top(
+            site_index, label, access, alloc, esize, in_loop, events,
+            "loop variable used outside the loop",
+        )
+
+    tbs = np.arange(num_tbs, dtype=np.int64)
+    bx = tbs % gdx
+    by = tbs // gdx
+
+    aff = idx.affine_coefficients()
+    if aff is not None:
+        c0, coefs = aff
+        base = np.full(num_tbs, c0, dtype=np.int64)
+        base += coefs.get(BX, 0) * bx + coefs.get(BY, 0) * by
+        dims = [(TX, bdx), (TY, bdy)]
+        if in_loop:
+            dims.append((M, trip))
+        free: List[Tuple[int, int]] = []
+        for v, count in dims:
+            coef = coefs.get(v, 0)
+            if coef == 0 or count <= 1:
+                continue
+            if coef < 0:
+                base += coef * (count - 1)
+                coef = -coef
+            free.append((coef, count))
+        free.sort()
+        span = sum(coef * (count - 1) for coef, count in free)
+        g = 0
+        for coef, _ in free:
+            g = gcd(g, coef)
+        n_assignments = 1
+        for _, count in free:
+            n_assignments *= count
+        dense = _dense_check(tuple(free), g) if free else True
+        return SiteFootprint(
+            site_index=site_index,
+            label=label,
+            array=access.array,
+            alloc=alloc,
+            element_size=esize,
+            in_loop=in_loop,
+            events=events,
+            affine=True,
+            lo_elem=base,
+            hi_elem=base + span,
+            stride=g,
+            span=span,
+            dense=dense,
+            free_dims=tuple(free),
+            n_assignments=n_assignments,
+        )
+
+    # Non-affine but closed: whole-launch interval box (sound, not per-TB
+    # tight) plus concrete corner witnesses for the guaranteed set.
+    box_env = {
+        TX: (0, bdx - 1),
+        TY: (0, bdy - 1),
+        BX: (0, gdx - 1),
+        BY: (0, gdy - 1),
+        M: (0, trip - 1) if in_loop else 0,
+    }
+    lo_all, hi_all = idx.bounds(box_env)
+    present = {v.name for v in idx.variables()}
+    tx_opts = sorted({0, bdx - 1}) if "tx" in present else [0]
+    ty_opts = sorted({0, bdy - 1}) if "ty" in present else [0]
+    m_opts = sorted({0, trip - 1}) if (in_loop and "m" in present) else [0]
+    corners = []
+    for txv in tx_opts:
+        for tyv in ty_opts:
+            for mv in m_opts:
+                vals = idx.evaluate_vectorized(
+                    {TX: txv, TY: tyv, M: mv, BX: bx, BY: by}
+                )
+                corners.append(np.broadcast_to(np.asarray(vals), (num_tbs,)))
+    corner_elems = np.stack(corners, axis=1).astype(np.int64)
+    return SiteFootprint(
+        site_index=site_index,
+        label=label,
+        array=access.array,
+        alloc=alloc,
+        element_size=esize,
+        in_loop=in_loop,
+        events=events,
+        affine=False,
+        lo_elem=np.full(num_tbs, lo_all, dtype=np.int64),
+        hi_elem=np.full(num_tbs, hi_all, dtype=np.int64),
+        span=int(hi_all - lo_all),
+        corner_elems=corner_elems,
+    )
+
+
+@dataclass
+class LaunchFootprint:
+    """All site footprints of one launch plus working-set aggregates."""
+
+    launch: KernelLaunch
+    sites: List[SiteFootprint]
+    alloc_elements: Dict[str, int]
+    alloc_sizes: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.alloc_sizes:
+            for site in self.sites:
+                self.alloc_sizes[site.alloc] = (
+                    self.alloc_elements[site.alloc] * site.element_size
+                )
+
+    @property
+    def num_threadblocks(self) -> int:
+        return self.launch.num_threadblocks
+
+    @property
+    def top_sites(self) -> List[SiteFootprint]:
+        return [s for s in self.sites if s.top]
+
+    @property
+    def has_top(self) -> bool:
+        return any(s.top for s in self.sites)
+
+    def per_alloc_boxes(self):
+        """Per allocation: per-TB [lo, hi] byte boxes (⊤ -> whole extent)."""
+        num_tbs = self.num_threadblocks
+        boxes: Dict[str, Tuple[np.ndarray, np.ndarray, int]] = {}
+        for site in self.sites:
+            esize = site.element_size
+            if site.top:
+                lo = np.zeros(num_tbs, dtype=np.int64)
+                hi = np.full(
+                    num_tbs, self.alloc_elements[site.alloc] - 1, dtype=np.int64
+                )
+            else:
+                lo, hi = site.lo_elem, site.hi_elem
+            if site.alloc in boxes:
+                plo, phi, _ = boxes[site.alloc]
+                boxes[site.alloc] = (
+                    np.minimum(plo, lo), np.maximum(phi, hi), esize,
+                )
+            else:
+                boxes[site.alloc] = (lo.copy(), hi.copy(), esize)
+        return boxes
+
+    def per_tb_box_bytes(self) -> np.ndarray:
+        """Per-TB working-set box size in bytes (over-approximation)."""
+        total = np.zeros(self.num_threadblocks, dtype=np.int64)
+        for lo, hi, esize in self.per_alloc_boxes().values():
+            total += (hi - lo + 1) * esize
+        return total
+
+    def union_box_bytes(self) -> int:
+        """Launch-wide footprint box in bytes (over-approximation)."""
+        total = 0
+        for lo, hi, esize in self.per_alloc_boxes().values():
+            total += (int(hi.max()) - int(lo.min()) + 1) * esize
+        return total
+
+    def per_tb_guaranteed_bytes(self) -> np.ndarray:
+        """Per-TB bytes provably touched (under-approximation).
+
+        Within each allocation only the largest single site's guarantee is
+        counted, so overlapping sites never double-count an element.
+        """
+        per_alloc: Dict[str, np.ndarray] = {}
+        num_tbs = self.num_threadblocks
+        for site in self.sites:
+            count = site.guaranteed_count()
+            if count == 0:
+                continue
+            cur = per_alloc.setdefault(site.alloc, np.zeros(num_tbs, dtype=np.int64))
+            np.maximum(cur, count * site.element_size, out=cur)
+        total = np.zeros(num_tbs, dtype=np.int64)
+        for vals in per_alloc.values():
+            total += vals
+        return total
+
+    def sharing_upper_bytes(self) -> int:
+        """Upper bound on the cross-TB shared volume.
+
+        Sharing = sum of per-TB footprints minus the union; the sum is
+        over-approximated by the boxes and the union under-approximated by
+        the best single TB's guarantee.
+        """
+        guaranteed = self.per_tb_guaranteed_bytes()
+        union_floor = int(guaranteed.max()) if guaranteed.size else 0
+        return max(0, int(self.per_tb_box_bytes().sum()) - union_floor)
+
+    def sharing_lower_bytes(self) -> int:
+        """Bytes provably shared across TBs (under-approximation)."""
+        guaranteed = int(self.per_tb_guaranteed_bytes().sum())
+        return max(0, guaranteed - self.union_box_bytes())
+
+
+def analyze_launch(program: Program, launch: KernelLaunch) -> LaunchFootprint:
+    """Abstract-interpret every access site of one launch."""
+    kernel = launch.kernel
+    labels = site_labels(kernel.accesses)
+    sites = [
+        analyze_site(kernel, launch, access, i, labels[i])
+        for i, access in enumerate(kernel.accesses)
+    ]
+    alloc_elements = {
+        name: program.allocation(name).num_elements
+        for name in set(launch.args.values())
+    }
+    return LaunchFootprint(launch=launch, sites=sites, alloc_elements=alloc_elements)

@@ -8,6 +8,9 @@
    shipped in the binary),
 2. the safety passes (bounds, races, degenerate expressions),
 3. the placement-consistency pass (table vs. runtime drift),
+4. the symbolic footprint/traffic pass (``FOOTPRINT-*``/``TRAFFIC-*``:
+   working-set boxes vs. L2 capacity, tile-aspect mismatch, and static
+   inter-GPU traffic bounds under the reference LASP plan),
 
 and returns one :class:`LintReport`.  ``lint_workloads`` maps it over the
 built-in suite and ``collect_programs`` pulls lintable programs out of
@@ -33,6 +36,7 @@ from repro.analysis.diagnostics import (
 from repro.analysis.oracle import cross_check_access
 from repro.analysis.placement_check import check_program_placement
 from repro.analysis.safety import check_program_safety
+from repro.analysis.traffic import check_program_traffic
 from repro.compiler.classify import classify_access
 from repro.compiler.passes import CompiledProgram, compile_program
 from repro.kir.program import Program
@@ -108,9 +112,10 @@ def lint_program(
     diags.extend(_oracle_diagnostics(name, compiled))
     safety = check_program_safety(program)
     placement = check_program_placement(compiled, topology)
-    # Safety/placement provenances carry program.name; rewrite to the
-    # caller-visible name (e.g. the example file path) for stable output.
-    for diag in safety + placement:
+    traffic = check_program_traffic(compiled, topology)
+    # Safety/placement/traffic provenances carry program.name; rewrite to
+    # the caller-visible name (e.g. the example file path) for stable output.
+    for diag in safety + placement + traffic:
         if diag.provenance.file != name:
             diag = Diagnostic(
                 rule=diag.rule,

@@ -459,12 +459,15 @@ def cross_check_access(
     return diags
 
 
-def cross_check_launch(launch: KernelLaunch, file: str = "<oracle>") -> List[Diagnostic]:
+def cross_check_launch(launch: KernelLaunch, file: str) -> List[Diagnostic]:
     """Classify and cross-check every access site of one launch.
 
     Convenience wrapper for differential harnesses: runs Algorithm 1 on
     each site, diffs it against the enumeration oracle, and stamps the
-    standard ``file:kernel:array[k]`` provenance.
+    standard ``file:kernel:array[k]`` provenance.  ``file`` is required:
+    callers must thread the program/workload name through so fuzz-found
+    findings carry a stable, greppable provenance (a placeholder default
+    used to leak ``<oracle>`` into diagnostics).
     """
     kernel = launch.kernel
     diags: List[Diagnostic] = []

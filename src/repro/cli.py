@@ -5,7 +5,8 @@ repository's extensions::
 
     python -m repro list                      # workloads and strategies
     python -m repro classify sq_gemm          # show the locality table
-    python -m repro lint --strict             # static-analysis lint
+    python -m repro lint --strict [--json]    # static-analysis lint
+    python -m repro bound sq_gemm --check     # static traffic bounds vs sim
     python -m repro run sq_gemm --strategy LADM H-CODA
     python -m repro fig4 | fig9 | fig10 | fig11
     python -m repro table1 | table2 | table4
@@ -137,8 +138,105 @@ def _cmd_lint(args) -> int:
                     program, name=name, topology=topology, suppress=args.suppress
                 )
             )
-    print(report.render())
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
     return report.exit_code(strict=args.strict)
+
+
+def _bound_targets(args) -> list:
+    """Resolve ``repro bound`` targets into (name, Program) pairs.
+
+    Accepts workload names, example ``.py`` files (any zero-arg ``build_*``
+    builder) and fuzz-corpus ``.json`` entries, so the CI corpus job and
+    ad-hoc investigation share one entry point.
+    """
+    from repro.analysis.lint import collect_programs
+
+    known = {w.name for w in all_workloads()}
+    targets = args.targets or sorted(known)
+    programs = []
+    for target in targets:
+        if target in known:
+            workload = get_workload(target)
+            programs.append((target, workload.program(scale_by_name(args.scale))))
+        elif target.endswith(".py"):
+            programs.extend(collect_programs(target))
+        elif target.endswith(".json"):
+            from repro.fuzz.genprog import build_program
+            from repro.fuzz.shrink import load_corpus_entry
+
+            with open(target, encoding="utf-8") as fh:
+                spec = load_corpus_entry(fh.read())
+            programs.append((target, build_program(spec)))
+        else:
+            raise SystemExit(
+                f"unknown bound target {target!r}: not a workload, "
+                "not a .py example, not a .json corpus entry"
+            )
+    return programs
+
+
+def _cmd_bound(args) -> int:
+    """Static inter-GPU traffic bounds, optionally checked vs. the simulator."""
+    import json
+
+    from repro.analysis.lint import default_topology
+    from repro.analysis.traffic import plan_for_analysis, program_traffic_bounds
+
+    topology = default_topology()
+    config = topology.config
+    violations = 0
+    docs = []
+    for name, program in _bound_targets(args):
+        compiled = compile_program(program)
+        plan = plan_for_analysis(compiled, topology, args.strategy)
+        bounds = program_traffic_bounds(program, plan, config)
+        doc = bounds.to_dict()
+        doc["program"] = name
+        measured = None
+        if args.check:
+            run = simulate(
+                program,
+                strategy_by_name(args.strategy),
+                config,
+                compiled=compiled,
+            )
+            measured = [int(k.inter_gpu_bytes) for k in run.kernels]
+            for launch_doc, launch_bounds, m in zip(
+                doc["launches"], bounds.launches, measured
+            ):
+                ok = launch_bounds.lower_bytes <= m <= launch_bounds.upper_bytes
+                launch_doc["measured_bytes"] = m
+                launch_doc["ok"] = ok
+                if not ok:
+                    violations += 1
+        docs.append(doc)
+        if not args.json:
+            print(f"{name} strategy={args.strategy}")
+            for i, lb in enumerate(bounds.launches):
+                line = (
+                    f"  launch {lb.launch_index} {lb.kernel}: "
+                    f"lower={lb.lower_bytes} upper={lb.upper_bytes}"
+                    f"{' cold' if lb.cold else ''}"
+                    + (f" top_sites={lb.top_sites}" if lb.top_sites else "")
+                )
+                if measured is not None:
+                    ok = doc["launches"][i]["ok"]
+                    line += f" [measured {measured[i]} {'OK' if ok else 'VIOLATION'}]"
+                print(line)
+            print(f"  total: lower={bounds.lower_bytes} upper={bounds.upper_bytes}")
+    if args.json:
+        print(
+            json.dumps(
+                {"format": "repro-bound-report-v1", "programs": docs}, indent=2
+            )
+        )
+    if violations:
+        print(f"bound: {violations} launch(es) outside static bounds", file=sys.stderr)
+        return 1
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -176,6 +274,35 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="RULE[@PREFIX]",
         help="drop diagnostics by rule id, optionally scoped to a "
         "file:kernel:access prefix (repeatable)",
+    )
+    p_lint.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable report (repro-lint-report-v1)",
+    )
+
+    p_bound = sub.add_parser(
+        "bound",
+        help="static inter-GPU traffic bounds (symbolic footprint analysis)",
+    )
+    p_bound.add_argument(
+        "targets",
+        nargs="*",
+        help="workload names, .py examples and/or .json corpus entries "
+        "(default: the whole suite)",
+    )
+    p_bound.add_argument("--scale", default="test", choices=["bench", "test"])
+    p_bound.add_argument(
+        "--strategy", default="LADM", help="strategy whose plan is analysed"
+    )
+    p_bound.add_argument(
+        "--check",
+        action="store_true",
+        help="simulate and verify lower <= measured <= upper per launch "
+        "(exit 1 on violation)",
+    )
+    p_bound.add_argument(
+        "--json", action="store_true", help="machine-readable output"
     )
 
     p_run = sub.add_parser("run", help="simulate one workload under strategies")
@@ -230,6 +357,10 @@ def main(argv: Optional[List[str]] = None) -> None:
         _cmd_classify(args)
     elif args.command == "lint":
         code = _cmd_lint(args)
+        if code:
+            raise SystemExit(code)
+    elif args.command == "bound":
+        code = _cmd_bound(args)
         if code:
             raise SystemExit(code)
     elif args.command == "run":

@@ -43,6 +43,12 @@ class LaunchPlan:
     #: the engine only uses it to seed the speculation predictor, so
     #: ``None`` (or a stale class) costs repair rounds, never correctness.
     dominant_locality: object = None
+    #: static inter-GPU traffic bounds for this launch
+    #: (:class:`repro.analysis.traffic.LaunchTrafficBounds`), attached by
+    #: :func:`repro.analysis.traffic.annotate_plan_bounds` -- eagerly when
+    #: ``REPRO_PLAN_BOUNDS`` is set, or on demand by strategies and the
+    #: future autotuner.  Advisory: the engine never reads it.
+    traffic_bounds: object = None
 
     def __post_init__(self) -> None:
         expected = self.launch.num_threadblocks

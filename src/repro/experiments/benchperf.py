@@ -187,13 +187,41 @@ def run_bench(
     engines = ["vector"] + (["compiled"] if with_compiled else [])
     per_workload: Dict[str, dict] = {}
     mismatches: List[str] = []
+    # Static-analysis hygiene: time the full lint and the traffic-bound
+    # derivation per workload.  Informational only -- never gated -- so a
+    # slow analyzer shows up in bench reports before it hurts CI.
+    from repro.analysis.lint import default_topology, lint_program
+    from repro.analysis.traffic import plan_for_analysis, program_traffic_bounds
+
+    analysis_topology = default_topology()
     for wname in workload_names:
         program = get_workload(wname).program(scale)
         compiled = compile_program(program)
+        t_lint = time.perf_counter()
+        lint_report = lint_program(
+            program, name=wname, topology=analysis_topology, compiled=compiled
+        )
+        lint_s = time.perf_counter() - t_lint
+        t_bound = time.perf_counter()
+        bounds = program_traffic_bounds(
+            program,
+            plan_for_analysis(compiled, analysis_topology),
+            analysis_topology.config,
+        )
+        bound_s = time.perf_counter() - t_bound
         legacy_t, legacy_snaps, _, _ = _run_engine(
             "legacy", compiled, STRATEGIES, check_parity
         )
-        per_workload[wname] = {"legacy": legacy_t}
+        per_workload[wname] = {
+            "legacy": legacy_t,
+            "analysis": {
+                "lint_s": lint_s,
+                "bound_s": bound_s,
+                "diagnostics": len(lint_report.diagnostics),
+                "bound_lower_bytes": bounds.lower_bytes,
+                "bound_upper_bytes": bounds.upper_bytes,
+            },
+        }
         for eng in engines:
             eng_t, eng_snaps, counters, launch_log = _run_engine(
                 eng, compiled, STRATEGIES, check_parity
@@ -230,11 +258,13 @@ def run_bench(
                 if with_compiled
                 else ""
             )
+            ana = w["analysis"]
             print(
                 f"{wname:<14} legacy={legacy_t['total']:7.2f}s "
                 f"vector={vec['total']:7.2f}s "
                 f"speedup={w['speedup']:5.2f}x walk={w['walk_speedup']:5.2f}x "
-                f"[free={vec['walk_free']:.2f}s sync={vec['walk_sync']:.2f}s]"
+                f"[free={vec['walk_free']:.2f}s sync={vec['walk_sync']:.2f}s] "
+                f"analysis[lint={ana['lint_s']:.2f}s bound={ana['bound_s']:.2f}s]"
                 f"{comp}{flag}",
                 flush=True,
             )
@@ -249,6 +279,10 @@ def run_bench(
     totals["counters"] = {
         k: sum(per_workload[w]["counters"][k] for w in per_workload)
         for k in COUNTER_KEYS
+    }
+    totals["analysis"] = {
+        k: sum(per_workload[w]["analysis"][k] for w in per_workload)
+        for k in ("lint_s", "bound_s")
     }
     overall = (
         totals["legacy"]["total"] / totals["vector"]["total"]
@@ -406,12 +440,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             f", compiled {report['totals']['compiled']['total']:.2f}s "
             f"-> {report['overall_compiled_speedup']:.2f}x"
         )
+    ana = report["totals"]["analysis"]
     print(
         f"\noverall: legacy {report['totals']['legacy']['total']:.2f}s, "
         f"vector {report['totals']['vector']['total']:.2f}s "
         f"-> {report['overall_speedup']:.2f}x total, "
         f"{report['overall_walk_speedup']:.2f}x walk"
-        f"{compiled_note}  (wrote {args.output})"
+        f"{compiled_note}; analysis lint={ana['lint_s']:.2f}s "
+        f"bound={ana['bound_s']:.2f}s (informational)  (wrote {args.output})"
     )
     status = 0
     if report["parity_mismatches"]:

@@ -25,7 +25,12 @@ For each generated program the runner:
    and ``dram.bytes`` against the per-node DRAM totals;
 4. checks the engine conservation invariants (requester accesses ==
    L2 requests, remote-local accesses == local-remote misses, off-node
-   bytes == LR misses x sector) on every kernel.
+   bytes == LR misses x sector) on every kernel;
+5. checks the static bound invariant: per launch, the vector run's
+   measured ``inter_gpu_bytes`` must lie inside the symbolic analyzer's
+   ``[lower, upper]`` (``analysis/traffic.py``) computed on a pristine
+   plan of the same strategy -- the simulator continuously validates the
+   abstract interpretation and vice versa.
 
 On an engine-parity failure the offending launch is re-run in isolation
 (:meth:`Program.slice`) and the failure records whether it still
@@ -39,6 +44,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.diagnostics import Severity
 from repro.analysis.oracle import cross_check_launch
+from repro.analysis.traffic import plan_for_analysis, program_traffic_bounds
 from repro.cache.stats import TrafficClass
 from repro.compiler.passes import CompiledProgram, compile_program
 from repro.engine.simulator import Simulator
@@ -49,6 +55,7 @@ from repro.fuzz.genprog import ProgramSpec, build_program
 from repro.kir.program import Program
 from repro.obs import ObsSession
 from repro.topology.config import CacheConfig, SystemConfig, TopologyKind
+from repro.topology.system import SystemTopology
 
 __all__ = [
     "ALL_STRATEGIES",
@@ -135,7 +142,7 @@ def strategies_for(index: int, count: int = 3) -> List[str]:
 class DiffFailure:
     """One divergence found by the differential runner."""
 
-    kind: str  # engine-parity | memo-parity | obs-reconcile | conservation | oracle | crash
+    kind: str  # engine-parity | memo-parity | obs-reconcile | conservation | bound | oracle | crash
     strategy: str = ""
     launch_index: int = -1
     message: str = ""
@@ -373,6 +380,32 @@ def _check_strategy(
         failures.append(
             DiffFailure(kind="conservation", strategy=strategy_name, message=violation)
         )
+
+    # Static bound invariant: the vector run's measured inter-GPU bytes
+    # must lie inside the symbolic analyzer's [lower, upper] per launch.
+    # Bounds come from a pristine plan (never executed) of the same
+    # strategy; strategies plan deterministically, so its placement and
+    # schedule match what the engine ran.
+    analysis_plan = plan_for_analysis(compiled, SystemTopology(config), strategy_name)
+    bounds = program_traffic_bounds(program, analysis_plan, config)
+    for launch_bounds, kernel in zip(bounds.launches, vector.kernels):
+        measured = int(kernel.inter_gpu_bytes)
+        if not (launch_bounds.lower_bytes <= measured <= launch_bounds.upper_bytes):
+            failures.append(
+                DiffFailure(
+                    kind="bound",
+                    strategy=strategy_name,
+                    launch_index=launch_bounds.launch_index,
+                    message=(
+                        f"measured inter-GPU bytes {measured} outside static "
+                        f"bounds [{launch_bounds.lower_bytes}, "
+                        f"{launch_bounds.upper_bytes}] "
+                        f"(cold={launch_bounds.cold}, "
+                        f"top_sites={launch_bounds.top_sites}/"
+                        f"{launch_bounds.total_sites})"
+                    ),
+                )
+            )
     return 5
 
 

@@ -25,7 +25,7 @@ sorted tuple of ``(variable, power)`` pairs.
 from __future__ import annotations
 
 import enum
-from typing import Dict, Mapping, Tuple, Union
+from typing import Dict, Mapping, Optional, Tuple, Union
 
 from repro.errors import ExpressionError
 
@@ -302,6 +302,65 @@ class Expr:
                 value *= int(env[v]) ** power
             total += value
         return total
+
+    def bounds(self, env: Mapping[Var, object]) -> Tuple[int, int]:
+        """Interval range query: the extreme values over a variable box.
+
+        ``env`` binds every variable either to an int (a point) or to an
+        ``(lo, hi)`` pair of ints with ``lo <= hi``.  Returns ``(lo, hi)``
+        such that every concrete evaluation with each variable inside its
+        interval lies within the result.  Exact Python-int interval
+        arithmetic (no overflow): per monomial, interval powers then the
+        four-corner interval product, summed term-wise.
+
+        For multilinear expressions the returned bounds are *tight* (the
+        extremes are attained at box corners); for higher-degree terms they
+        are a sound over-approximation.
+        """
+        lo_total, hi_total = 0, 0
+        for mono, coeff in self._terms.items():
+            lo, hi = coeff, coeff
+            for v, power in mono:
+                if v not in env:
+                    raise ExpressionError(
+                        f"unbound variable {v} while bounding {self}"
+                    )
+                binding = env[v]
+                if isinstance(binding, tuple):
+                    vlo, vhi = int(binding[0]), int(binding[1])
+                    if vlo > vhi:
+                        raise ExpressionError(
+                            f"empty interval {binding!r} for {v} in bounds()"
+                        )
+                else:
+                    vlo = vhi = int(binding)
+                cands = [vlo ** power, vhi ** power]
+                if vlo < 0 < vhi:
+                    cands.append(0)  # even powers dip to zero inside the box
+                plo, phi = min(cands), max(cands)
+                corners = (lo * plo, lo * phi, hi * plo, hi * phi)
+                lo, hi = min(corners), max(corners)
+            lo_total += lo
+            hi_total += hi
+        return lo_total, hi_total
+
+    def affine_coefficients(self) -> Optional[Tuple[int, Dict[Var, int]]]:
+        """``(constant, {var: coefficient})`` if total degree <= 1, else None.
+
+        The abstract interpreter's fast path: an affine index's per-block
+        footprint is fully described by its coefficient vector, so stride
+        and density analysis never needs to enumerate threads.
+        """
+        constant = 0
+        coefs: Dict[Var, int] = {}
+        for mono, coeff in self._terms.items():
+            if mono == _ONE:
+                constant = coeff
+            elif len(mono) == 1 and mono[0][1] == 1:
+                coefs[mono[0][0]] = coeff
+            else:
+                return None
+        return constant, coefs
 
     def evaluate_vectorized(self, env: Mapping[Var, object]):
         """Evaluate with numpy-array bindings; returns a numpy array (or scalar).

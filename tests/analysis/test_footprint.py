@@ -1,0 +1,277 @@
+"""Tests for the symbolic footprint analyzer (abstract interpretation).
+
+Unit tests pin the interval x stride domain on hand-built kernels; the
+property suite checks the analyzer against the trace enumerator on every
+fuzz-corpus entry plus a seeded stream of generated programs:
+
+    guaranteed set  ⊆  actually-touched sectors  ⊆  footprint box
+
+per (threadblock, allocation).  Degenerate dims and data-dependent shapes
+must come back as ⊤ (or a sound box), never as wrong bounds.
+"""
+
+import json
+import random
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.analysis.footprint import analyze_launch, analyze_site
+from repro.analysis.traffic import _guaranteed_sector_intervals
+from repro.engine.trace import launch_tracer
+from repro.fuzz.genprog import build_program, generate_spec
+from repro.fuzz.shrink import load_corpus_entry
+from repro.kir.expr import BDX, BX, BY, GDX, M, TX, TY, Expr, param
+from repro.kir.kernel import AccessMode, Dim2, GlobalAccess, Kernel, LoopSpec
+from repro.kir.program import Program
+from repro.memory.address_space import AddressSpace
+
+CORPUS = sorted(Path(__file__).parent.parent.glob("fuzz_corpus/*.json"))
+SECTOR = 32
+PAGE = 512
+
+
+def one_launch(accesses, *, block=Dim2(32), grid=Dim2(4), loop=None,
+               elems=1 << 16, esize=4, params=None):
+    arrays = {a.array: esize for a in accesses}
+    kernel = Kernel(name="k", block=block, arrays=arrays, accesses=accesses,
+                    loop=loop)
+    prog = Program("fp")
+    for arr in arrays:
+        prog.malloc_managed(arr, elems, esize)
+    prog.launch(kernel, grid, {a: a for a in arrays}, params or {})
+    return prog, prog.launches[0]
+
+
+class TestExprRangeQueries:
+    def test_bounds_interval_arithmetic(self):
+        assert (TX * TX + 3).bounds({TX: (0, 7)}) == (3, 52)
+        assert (2 - TX).bounds({TX: (0, 7)}) == (-5, 2)
+        # Straddling zero: the even power's minimum is at 0, not a corner.
+        assert (TX * TX).bounds({TX: (-3, 2)}) == (0, 9)
+
+    def test_bounds_scalar_bindings(self):
+        e = BX * BDX + TX
+        assert e.bounds({BX: (0, 3), BDX: 32, TX: (0, 31)}) == (0, 127)
+
+    def test_affine_coefficients(self):
+        c0, coefs = (Expr.coerce(BX) * 8 + TX + 5).affine_coefficients()
+        assert c0 == 5 and coefs == {BX: 8, TX: 1}
+        # Degree-2 terms (before substitution) are not affine.
+        assert (Expr.coerce(BX) * BDX + TX).affine_coefficients() is None
+        assert (TX * TX).affine_coefficients() is None
+
+
+class TestSiteDomain:
+    def test_dense_contiguous_site(self):
+        prog, launch = one_launch(
+            [GlobalAccess("A", BX * BDX + TX, AccessMode.READ)]
+        )
+        fp = analyze_launch(prog, launch)
+        (site,) = fp.sites
+        assert not site.top and site.affine and site.dense
+        assert site.stride == 1 and site.span == 31
+        kind, (lo, span, stride) = site.guaranteed()
+        assert kind == "ap" and span == 31 and stride == 1
+        assert lo.tolist() == [0, 32, 64, 96]
+        assert site.guaranteed_count() == 32
+
+    def test_strided_site_is_sparse_lattice(self):
+        prog, launch = one_launch([GlobalAccess("A", (BX * BDX + TX) * 4)])
+        fp = analyze_launch(prog, launch)
+        (site,) = fp.sites
+        assert site.stride == 4 and site.dense
+        kind, (_, span, stride) = site.guaranteed()
+        assert kind == "ap" and stride == 4 and span == 31 * 4
+
+    def test_mixed_coefficients_not_dense(self):
+        # tx contributes 1-step offsets only up to 7; the ty coefficient 100
+        # jumps past the covered prefix, so multiples of gcd=1 are missed.
+        prog, launch = one_launch(
+            [GlobalAccess("A", TY * 100 + TX)], block=Dim2(8, 4), grid=Dim2(2)
+        )
+        (site,) = analyze_launch(prog, launch).sites
+        assert site.affine and not site.dense
+        kind, offsets = site.guaranteed()
+        assert kind == "offsets"
+        assert set(offsets.tolist()) == {
+            t + 100 * y for t in range(8) for y in range(4)
+        }
+
+    def test_negative_coefficient_normalised(self):
+        prog, launch = one_launch([GlobalAccess("A", 1000 - TX)])
+        (site,) = analyze_launch(prog, launch).sites
+        assert int(site.lo_elem[0]) == 1000 - 31
+        assert int(site.hi_elem[0]) == 1000
+        assert site.dense
+
+    def test_loop_site_counts_events(self):
+        prog, launch = one_launch(
+            [GlobalAccess("A", BX * BDX + TX + M * 32, AccessMode.READ,
+                          in_loop=True)],
+            loop=LoopSpec(trip=4),
+        )
+        (site,) = analyze_launch(prog, launch).sites
+        assert site.events == 4 and site.span == 31 + 3 * 32
+
+    def test_data_dependent_site_is_top(self):
+        prog, launch = one_launch(
+            [GlobalAccess("A", TX, provider=lambda ctx: ctx.tx)]
+        )
+        (site,) = analyze_launch(prog, launch).sites
+        assert site.top and "provider" in site.top_reason
+        assert site.guaranteed() == ("none", None)
+        assert site.guaranteed_count() == 0
+
+    def test_unbound_parameter_is_top(self):
+        # A parameter never bound at launch survives substitution -> ⊤.
+        prog, launch = one_launch([GlobalAccess("A", TX * param("p"))])
+        (site,) = analyze_launch(prog, launch).sites
+        assert site.top and "unbound" in site.top_reason
+
+    def test_degenerate_dims_single_point(self):
+        prog, launch = one_launch(
+            [GlobalAccess("A", Expr.coerce(7))], block=Dim2(1), grid=Dim2(1)
+        )
+        (site,) = analyze_launch(prog, launch).sites
+        assert not site.top and site.dense and site.span == 0
+        kind, (lo, span, stride) = site.guaranteed()
+        assert kind == "ap" and lo.tolist() == [7] and span == 0
+
+    def test_nonaffine_site_has_sound_box_and_witnesses(self):
+        prog, launch = one_launch(
+            [GlobalAccess("A", TX * TX)], block=Dim2(8), grid=Dim2(2)
+        )
+        (site,) = analyze_launch(prog, launch).sites
+        assert not site.top and not site.affine
+        assert int(site.lo_elem[0]) == 0 and int(site.hi_elem[0]) == 49
+        kind, points = site.guaranteed()
+        assert kind == "points"
+        # Witnesses are concrete evaluations (tx=0 and tx=7 corners).
+        assert set(points[0].tolist()) == {0, 49}
+
+
+class TestLaunchAggregates:
+    def test_sharing_metrics_on_broadcast(self):
+        # Every TB reads the same 32 elements: sharing is provable.
+        prog, launch = one_launch([GlobalAccess("A", TX)], grid=Dim2(4))
+        fp = analyze_launch(prog, launch)
+        assert fp.per_tb_box_bytes().tolist() == [128] * 4
+        assert fp.union_box_bytes() == 128
+        assert fp.per_tb_guaranteed_bytes().tolist() == [128] * 4
+        assert fp.sharing_lower_bytes() == 3 * 128
+        assert fp.sharing_upper_bytes() == 3 * 128
+
+    def test_disjoint_tbs_share_nothing_provably(self):
+        prog, launch = one_launch([GlobalAccess("A", BX * BDX + TX)])
+        fp = analyze_launch(prog, launch)
+        assert fp.sharing_lower_bytes() == 0
+
+    def test_top_site_expands_boxes_to_allocation(self):
+        prog, launch = one_launch(
+            [GlobalAccess("A", TX, provider=lambda ctx: ctx.tx)], elems=256
+        )
+        fp = analyze_launch(prog, launch)
+        assert fp.has_top
+        assert fp.union_box_bytes() == 256 * 4
+        assert fp.per_tb_guaranteed_bytes().tolist() == [0] * 4
+
+
+# ----------------------------------------------------------------------
+# Property suite: symbolic footprints vs. the trace enumerator
+# ----------------------------------------------------------------------
+def assert_footprint_sound(program):
+    """guaranteed ⊆ touched ⊆ box per (threadblock, allocation)."""
+    space = AddressSpace(program, PAGE)
+    for launch in program.launches:
+        fp = analyze_launch(program, launch)
+        tracer = launch_tracer(launch, space, SECTOR)
+        num_tbs = launch.num_threadblocks
+        tb_ids = np.arange(num_tbs, dtype=np.int64)
+        guaranteed = []  # (tb -> intervals) per site, via the tb-id lane trick
+        boxes = {}
+        for site in fp.sites:
+            extent = space.extent(site.alloc)
+            esize = site.element_size
+            if site.top:
+                lo = np.full(num_tbs, extent.base // SECTOR, dtype=np.int64)
+                hi = np.full(
+                    num_tbs,
+                    (extent.base + extent.num_elements * esize - 1) // SECTOR,
+                    dtype=np.int64,
+                )
+            else:
+                lo = (extent.base + site.lo_elem * esize) // SECTOR
+                hi = (extent.base + site.hi_elem * esize) // SECTOR
+            boxes.setdefault(site.alloc, []).append((lo, hi))
+            nodes, s_lo, s_hi = _guaranteed_sector_intervals(
+                site, extent, tb_ids, SECTOR
+            )
+            guaranteed.append((site, nodes, s_lo, s_hi))
+        for tb in range(num_tbs):
+            touched = {}
+            for iteration in tracer.trace_tb(tb).iterations:
+                for sr in iteration:
+                    touched.setdefault(sr.array, set()).update(sr.sectors.tolist())
+            for site, nodes, s_lo, s_hi in guaranteed:
+                got = touched.get(site.alloc, set())
+                sel = nodes == tb
+                for a, b in zip(s_lo[sel], s_hi[sel]):
+                    missing = [s for s in range(int(a), int(b) + 1) if s not in got]
+                    assert not missing, (
+                        f"{program.name}:{launch.kernel.name}:{site.label} "
+                        f"tb={tb}: guaranteed sectors {missing[:5]} never touched"
+                    )
+            for array, sectors in touched.items():
+                intervals = boxes[array]
+                for s in sectors:
+                    assert any(
+                        int(lo[tb]) <= s <= int(hi[tb]) for lo, hi in intervals
+                    ), (
+                        f"{program.name}:{launch.kernel.name} tb={tb}: "
+                        f"touched sector {s} of {array} outside every box"
+                    )
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_footprint_sound_on_corpus(path):
+    spec = load_corpus_entry(path.read_text())
+    assert_footprint_sound(build_program(spec))
+
+
+def test_corpus_covers_top_and_degenerate_shapes():
+    """The corpus must keep exercising ⊤ (provider) and degenerate dims."""
+    kinds = set()
+    for path in CORPUS:
+        doc = json.loads(path.read_text())
+        for kernel in doc["spec"]["kernels"]:
+            for access in kernel["accesses"]:
+                kinds.add(access["shape"])
+    assert kinds & {"data", "data_itl"}, "no data-dependent corpus shape"
+
+
+def test_footprint_sound_on_generated_stream():
+    """200 fresh generated programs; every footprint claim must hold."""
+    for seed in range(200):
+        rng = random.Random(seed)
+        spec = generate_spec(rng, f"fpprop{seed}")
+        assert_footprint_sound(build_program(spec))
+
+
+def test_generated_data_dependent_sites_are_top():
+    """Provider-backed generated sites map to ⊤, never to wrong bounds."""
+    found = 0
+    for seed in range(300):
+        rng = random.Random(seed)
+        spec = generate_spec(rng, f"fptop{seed}")
+        program = build_program(spec)
+        for launch in program.launches:
+            fp = analyze_launch(program, launch)
+            for access, site in zip(launch.kernel.accesses, fp.sites):
+                if access.provider is not None:
+                    assert site.top, site.label
+                    found += 1
+        if found >= 5:
+            return
+    pytest.fail("generator never produced a data-dependent site")

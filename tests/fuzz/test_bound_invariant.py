@@ -1,0 +1,102 @@
+"""The static traffic-bound invariant, its fault hook and the CLI.
+
+The differential runner asserts ``lower <= measured inter-GPU bytes <=
+upper`` for every (program, strategy, launch).  These tests replay the
+corpus through that invariant, prove the seeded ``bound-lower-off-by-one``
+fault is caught *and shrinks* to a minimal repro, and pin the ``repro
+bound`` / ``repro lint --json`` command-line surfaces.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.fuzz.diff import run_spec
+from repro.fuzz.genprog import spec_work
+from repro.fuzz.shrink import load_corpus_entry, shrink_spec
+
+CORPUS = sorted(Path(__file__).parent.parent.glob("fuzz_corpus/*.json"))
+FAULT = "bound-lower-off-by-one"
+
+
+def load(stem):
+    (path,) = [p for p in CORPUS if p.stem == stem]
+    return load_corpus_entry(path.read_text())
+
+
+def bound_failures(report):
+    return [f for f in report.failures if f.kind == "bound"]
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_corpus_within_static_bounds(path):
+    spec = load_corpus_entry(path.read_text())
+    report = run_spec(spec, ["Baseline-RR", "LADM", "Monolithic"])
+    assert not report.failures, report.describe()
+
+
+def test_seeded_bound_fault_is_caught(monkeypatch):
+    spec = load("itl_atomic_pair")
+    assert not bound_failures(run_spec(spec, ["LADM"]))
+    monkeypatch.setenv("REPRO_FAULT_INJECT", FAULT)
+    failures = bound_failures(run_spec(spec, ["LADM"]))
+    assert failures, "off-by-one lower bound slipped past the invariant"
+    assert "outside static bounds" in failures[0].message
+
+
+def test_seeded_bound_fault_shrinks_to_minimal_repro(monkeypatch):
+    monkeypatch.setenv("REPRO_FAULT_INJECT", FAULT)
+    spec = load("itl_atomic_pair")
+
+    def still_fails(candidate):
+        return bool(bound_failures(run_spec(candidate, ["LADM"])))
+
+    assert still_fails(spec)
+    shrunk = shrink_spec(spec, still_fails, max_steps=120)
+    assert still_fails(shrunk)
+    assert spec_work(shrunk) < spec_work(spec)
+    # 1-minimality on the cheapest axis: a single kernel survives.
+    assert len(shrunk.kernels) == 1
+
+
+class TestBoundCli:
+    def test_check_passes_on_corpus_entry(self, capsys):
+        main(["bound", str(CORPUS[0]), "--check"])
+        out = capsys.readouterr().out
+        assert "OK" in out and "VIOLATION" not in out
+
+    def test_json_report_shape(self, capsys):
+        main(["bound", str(CORPUS[0]), "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["format"] == "repro-bound-report-v1"
+        (prog,) = doc["programs"]
+        launch = prog["launches"][0]
+        assert launch["lower_bytes"] <= launch["upper_bytes"]
+        assert {"cold", "top_sites", "node_l2_pressure"} <= set(launch)
+
+    def test_check_fails_under_seeded_fault(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_FAULT_INJECT", FAULT)
+        with pytest.raises(SystemExit) as exc:
+            main(["bound", "tests/fuzz_corpus/itl_atomic_pair.json", "--check"])
+        assert exc.value.code == 1
+        assert "VIOLATION" in capsys.readouterr().out
+
+    def test_workload_target(self, capsys):
+        main(["bound", "vecadd", "--check"])
+        assert "vecadd" in capsys.readouterr().out
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["bound", "no-such-thing"])
+
+
+def test_lint_json_is_machine_readable(capsys):
+    main(["lint", "vecadd", "--json"])
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["format"] == "repro-lint-report-v1"
+    assert doc["programs"] == 1
+    assert set(doc["counts"]) == {"error", "warning", "info"}
+    for diag in doc["diagnostics"]:
+        assert {"rule", "severity", "file", "kernel", "access"} <= set(diag)
