@@ -14,6 +14,9 @@ repository's extensions::
     python -m repro bench [--smoke] [--gate FILE]   # engine perf benchmark
     python -m repro profile fig9:conv --trace t.json --counters c.json
     python -m repro fuzz --seed 0 --n 200 --shrink  # differential fuzzing
+    python -m repro serve --store DIR               # what-if query service
+    python -m repro loadgen --queries 200 --verify  # replay a query stream
+    python -m repro servebench --smoke              # serving SLO benchmark
 """
 
 from __future__ import annotations
@@ -35,6 +38,7 @@ from repro.experiments import (
     hw_validation,
     oversubscription,
     proactive,
+    servebench,
     summary,
     table1,
     table2,
@@ -42,7 +46,9 @@ from repro.experiments import (
 )
 from repro.experiments.runner import scale_by_name, strategy_by_name
 from repro.fuzz import cli as fuzz_cli
+from repro.fuzz import loadgen
 from repro.obs import profile as obs_profile
+from repro.serve import server as serve_server
 from repro.topology.config import bench_hierarchical, bench_monolithic
 from repro.version import __version__
 from repro.workloads.suite import all_workloads, get_workload
@@ -51,6 +57,9 @@ __all__ = ["main"]
 
 _EXPERIMENT_MAINS = {
     "bench": benchperf.main,
+    "servebench": servebench.main,
+    "serve": serve_server.main,
+    "loadgen": loadgen.main,
     "profile": obs_profile.main,
     "fuzz": fuzz_cli.main,
     "fig4": fig4.main,
@@ -326,6 +335,18 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "bench":
             sub.add_parser(
                 name, help="engine perf benchmark (forwards remaining args)"
+            )
+        elif name == "servebench":
+            sub.add_parser(
+                name, help="serving-stack SLO benchmark (cold vs warm store)"
+            )
+        elif name == "serve":
+            sub.add_parser(
+                name, help="async what-if query server with a tiered result cache"
+            )
+        elif name == "loadgen":
+            sub.add_parser(
+                name, help="replay a seeded query stream against repro serve"
             )
         elif name == "profile":
             sub.add_parser(

@@ -1,0 +1,155 @@
+"""Exact, lossless (de)serialisation of :class:`RunResult` objects.
+
+:mod:`repro.engine.report` renders human/analysis *summaries*; this module
+is the **codec**: a run serialised with :func:`run_to_doc` and rebuilt with
+:func:`run_from_doc` compares equal on :meth:`RunResult.snapshot` -- the
+same bit-exactness bar the engine parity tests use.  The serving layer and
+the persistent result store depend on that guarantee: a query answered
+from the on-disk tier must be indistinguishable from a fresh simulation.
+
+JSON round-trip exactness notes:
+
+* every counter is a Python ``int`` (arbitrary precision, exact in JSON);
+* floats (``time_s``, ``warp_insts_per_node``, breakdown entries) survive
+  ``json.dumps``/``loads`` exactly in CPython (shortest-repr round-trip);
+* ``channel_bytes`` keys (:class:`~repro.topology.system.Channel`, node)
+  are stored as ``[channel.value, key, bytes]`` triples;
+* per-node :class:`~repro.cache.stats.L2Stats` store per-class access/hit
+  maps keyed by ``TrafficClass.value``.
+
+``page_access_counts`` (page-profiling runs only) is deliberately not
+carried: profiling runs are diagnostics, not cacheable query answers, and
+:func:`run_to_doc` refuses them rather than silently dropping data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.cache.stats import L2Stats, TrafficClass
+from repro.engine.metrics import KernelMetrics, RunResult
+from repro.errors import MetricsError
+from repro.topology.system import Channel
+
+__all__ = ["RESULT_SCHEMA", "run_to_doc", "run_from_doc"]
+
+RESULT_SCHEMA = "repro-result-v1"
+
+_CHANNEL_BY_VALUE = {c.value: c for c in Channel}
+
+
+def _kernel_to_doc(k: KernelMetrics) -> Dict:
+    return {
+        "kernel": k.kernel,
+        "launch_index": int(k.launch_index),
+        "num_nodes": int(k.num_nodes),
+        "warp_insts_per_node": [float(v) for v in k.warp_insts_per_node],
+        "dram_bytes_per_node": [int(v) for v in k.dram_bytes_per_node],
+        "channel_bytes": sorted(
+            [chan.value, int(key), int(v)]
+            for (chan, key), v in k.channel_bytes.items()
+        ),
+        "l2_stats": [
+            {
+                "accesses": {c.value: int(v) for c, v in s.accesses.items()},
+                "hits": {c.value: int(v) for c, v in s.hits.items()},
+            }
+            for s in k.l2_stats
+        ],
+        "l2_requests": int(k.l2_requests),
+        "l2_request_bytes": int(k.l2_request_bytes),
+        "l2_misses": int(k.l2_misses),
+        "off_node_bytes": int(k.off_node_bytes),
+        "inter_gpu_bytes": int(k.inter_gpu_bytes),
+        "faults": int(k.faults),
+        "time_s": float(k.time_s),
+        "time_breakdown": {str(n): float(v) for n, v in k.time_breakdown.items()},
+    }
+
+
+def _kernel_from_doc(doc: Dict) -> KernelMetrics:
+    try:
+        metrics = KernelMetrics(
+            kernel=doc["kernel"],
+            launch_index=int(doc["launch_index"]),
+            num_nodes=int(doc["num_nodes"]),
+            warp_insts_per_node=np.array(
+                doc["warp_insts_per_node"], dtype=np.float64
+            ),
+            dram_bytes_per_node=np.array(
+                doc["dram_bytes_per_node"], dtype=np.int64
+            ),
+            channel_bytes={
+                (_CHANNEL_BY_VALUE[chan], int(key)): int(v)
+                for chan, key, v in doc["channel_bytes"]
+            },
+            l2_stats=[
+                L2Stats(
+                    accesses={
+                        c: int(s["accesses"].get(c.value, 0))
+                        for c in TrafficClass
+                    },
+                    hits={
+                        c: int(s["hits"].get(c.value, 0)) for c in TrafficClass
+                    },
+                )
+                for s in doc["l2_stats"]
+            ],
+            l2_requests=int(doc["l2_requests"]),
+            l2_request_bytes=int(doc["l2_request_bytes"]),
+            l2_misses=int(doc["l2_misses"]),
+            off_node_bytes=int(doc["off_node_bytes"]),
+            inter_gpu_bytes=int(doc["inter_gpu_bytes"]),
+            faults=int(doc["faults"]),
+            time_s=float(doc["time_s"]),
+            time_breakdown={
+                str(n): float(v) for n, v in doc["time_breakdown"].items()
+            },
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise MetricsError(f"malformed kernel-metrics doc: {exc}") from exc
+    return metrics
+
+
+def run_to_doc(run: RunResult) -> Dict:
+    """Serialise a run losslessly (see module docstring for guarantees)."""
+    if run.page_access_counts is not None:
+        raise MetricsError(
+            "run_to_doc does not serialise page-profiling runs "
+            "(page_access_counts is set); profile runs are not cacheable"
+        )
+    return {
+        "schema": RESULT_SCHEMA,
+        "program": run.program,
+        "strategy": run.strategy,
+        "system": run.system,
+        "kernels": [_kernel_to_doc(k) for k in run.kernels],
+        "notes": {str(k): str(v) for k, v in run.notes.items()},
+        "manifest": dict(run.manifest),
+    }
+
+
+def run_from_doc(doc: Dict) -> RunResult:
+    """Rebuild the :class:`RunResult` a :func:`run_to_doc` doc describes."""
+    try:
+        if doc["schema"] != RESULT_SCHEMA:
+            raise MetricsError(
+                f"result doc schema {doc.get('schema')!r} != {RESULT_SCHEMA!r}"
+            )
+        kernels: List[KernelMetrics] = [
+            _kernel_from_doc(k) for k in doc["kernels"]
+        ]
+        return RunResult(
+            program=doc["program"],
+            strategy=doc["strategy"],
+            system=doc["system"],
+            kernels=kernels,
+            notes=dict(doc["notes"]),
+            manifest=dict(doc["manifest"]),
+        )
+    except MetricsError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise MetricsError(f"malformed result doc: {exc}") from exc

@@ -199,8 +199,50 @@ def _run_workload(
             obs.disable()
 
 
-def _pool_worker(args: tuple) -> Tuple[str, Dict[str, RunResult], Dict[str, float]]:
-    workload, strategies, scale, engine, obs_dir, seed = args
+# Sweep-wide context installed once per worker by the pool initializer:
+# (strategies, scale, engine, obs_dir, seed).  Shipping it via initargs
+# instead of inside every task keeps the per-task payload down to one
+# workload reference.
+_POOL_CONTEXT: Optional[tuple] = None
+
+
+def _pool_init(context: tuple) -> None:
+    global _POOL_CONTEXT
+    _POOL_CONTEXT = context
+
+
+def _workload_ref(workload: Workload):
+    """The cheapest picklable reference to ``workload``.
+
+    Registry workloads travel as their name and are re-hydrated from the
+    worker's own :func:`~repro.workloads.suite.get_workload` registry --
+    no program builders cross the fork boundary.  Ad-hoc workload objects
+    (tests, notebooks) that are not the registered singleton for their
+    name fall back to pickling the object itself.
+    """
+    from repro.workloads.suite import get_workload
+    from repro.errors import WorkloadError
+
+    try:
+        if get_workload(workload.name) is workload:
+            return ("name", workload.name)
+    except WorkloadError:
+        pass
+    return ("obj", workload)
+
+
+def _hydrate_workload(ref: tuple) -> Workload:
+    kind, payload = ref
+    if kind == "name":
+        from repro.workloads.suite import get_workload
+
+        return get_workload(payload)
+    return payload
+
+
+def _pool_worker(ref: tuple) -> Tuple[str, Dict[str, RunResult], Dict[str, float]]:
+    strategies, scale, engine, obs_dir, seed = _POOL_CONTEXT
+    workload = _hydrate_workload(ref)
     per_strategy, stage_times = _run_workload(
         workload, strategies, scale, engine, False, obs_dir=obs_dir, seed=seed
     )
@@ -221,7 +263,11 @@ def run_matrix(
 
     ``parallel=N`` distributes whole workloads over a fork-based process
     pool of ``N`` workers (each worker keeps its own trace cache and walk
-    memo, so a workload's strategies still share one trace).  With
+    memo, so a workload's strategies still share one trace).  Sweep-wide
+    context (strategies, scale, engine, obs settings) ships once per
+    worker via the pool initializer, and registry workloads travel as
+    names re-hydrated in the worker -- per-task payloads carry no program
+    builders, only a reference.  With
     ``verbose`` the per-workload summaries stream as workers finish
     (completion order); the returned matrix is still merged in the caller's
     workload order, identical to a sequential run -- simulations are
@@ -244,14 +290,14 @@ def run_matrix(
     """
     matrix = MatrixResult(scale=scale.name)
     if parallel and parallel > 1 and len(workloads) > 1:
-        jobs = [
-            (w, tuple(strategies), scale, engine, obs_dir, seed)
-            for w in workloads
-        ]
+        jobs = [_workload_ref(w) for w in workloads]
+        context = (tuple(strategies), scale, engine, obs_dir, seed)
         ctx = multiprocessing.get_context("fork")
         by_name = {}
         stage_by_name = {}
-        with ctx.Pool(min(parallel, len(jobs))) as pool:
+        with ctx.Pool(
+            min(parallel, len(jobs)), initializer=_pool_init, initargs=(context,)
+        ) as pool:
             for wname, per_strategy, stage_times in pool.imap_unordered(
                 _pool_worker, jobs
             ):

@@ -1,0 +1,167 @@
+"""Clients for the ``repro serve`` JSON-lines protocol.
+
+:class:`AsyncServeClient` multiplexes many concurrent requests over one
+connection (ids map responses back to awaiting futures) -- the load
+generator uses it to keep an open-loop arrival schedule honest.
+:class:`ServeClient` is the one-request-at-a-time blocking wrapper for
+scripts and tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+from typing import Dict, Optional
+
+from repro.errors import ReproError
+from repro.serve.query import Query
+
+__all__ = ["ServeError", "AsyncServeClient", "ServeClient"]
+
+
+class ServeError(ReproError):
+    """A server-side error response or a broken connection."""
+
+
+class AsyncServeClient:
+    """Multiplexed asyncio client: many in-flight requests, one socket."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._next_id = 0
+        self._reader_task: Optional[asyncio.Task] = None
+        self._write_lock = asyncio.Lock()
+
+    async def connect(self) -> "AsyncServeClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+        return self
+
+    async def close(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+            self._reader_task = None
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._writer = None
+
+    async def __aenter__(self) -> "AsyncServeClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                doc = json.loads(line.decode("utf-8"))
+                future = self._pending.pop(doc.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(doc)
+        except (asyncio.CancelledError, ConnectionResetError):
+            pass
+        finally:
+            err = ServeError("connection closed by server")
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(err)
+                    future.exception()
+            self._pending.clear()
+
+    async def request(self, op: str, **fields) -> Dict:
+        if self._writer is None:
+            raise ServeError("client is not connected")
+        self._next_id += 1
+        rid = self._next_id
+        doc = {"op": op, "id": rid, **fields}
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[rid] = future
+        data = json.dumps(doc, separators=(",", ":")).encode("utf-8") + b"\n"
+        async with self._write_lock:
+            self._writer.write(data)
+            await self._writer.drain()
+        response = await future
+        if not response.get("ok", False):
+            raise ServeError(response.get("error", "server error"))
+        return response
+
+    async def query(self, query: Query) -> Dict:
+        """Submit one what-if query; the full response doc (result+tier)."""
+        return await self.request("query", query=query.to_doc())
+
+    async def stats(self) -> Dict:
+        return (await self.request("stats"))["stats"]
+
+    async def ping(self) -> bool:
+        return bool((await self.request("ping")).get("pong"))
+
+    async def shutdown(self) -> None:
+        await self.request("shutdown")
+
+
+class ServeClient:
+    """Blocking single-request client over a plain socket (scripts, tests)."""
+
+    def __init__(self, host: str, port: int, timeout_s: float = 120.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout_s)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def request(self, op: str, **fields) -> Dict:
+        self._next_id += 1
+        doc = {"op": op, "id": self._next_id, **fields}
+        self._file.write(
+            json.dumps(doc, separators=(",", ":")).encode("utf-8") + b"\n"
+        )
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServeError("connection closed by server")
+        response = json.loads(line.decode("utf-8"))
+        if not response.get("ok", False):
+            raise ServeError(response.get("error", "server error"))
+        return response
+
+    def query(self, query: Query) -> Dict:
+        return self.request("query", query=query.to_doc())
+
+    def stats(self) -> Dict:
+        return self.request("stats")["stats"]
+
+    def ping(self) -> bool:
+        return bool(self.request("ping").get("pong"))
+
+    def shutdown(self) -> None:
+        self.request("shutdown")

@@ -1,0 +1,273 @@
+"""The what-if query model: content, canonical digests, direct execution.
+
+A :class:`Query` names everything that determines a simulation answer:
+
+* the **program** -- either a suite workload (``{"workload": "conv"}``)
+  or a generated fuzzer program (``{"spec": <ProgramSpec JSON>}``, see
+  :mod:`repro.fuzz.genprog`);
+* the **scale** (``test``/``bench``) and optional builder ``seed``
+  (reseeds the global RNGs with the same name-keyed child stream
+  ``run_matrix(seed=)`` uses, so stochastic builders are reproducible);
+* the **topology** by registry name (:data:`TOPOLOGIES`); ``None`` picks
+  the conventional default -- the bench pair for workloads, the tiny fuzz
+  pair for generated specs, with ``Monolithic`` mapped to the mono twin
+  exactly like ``run_matrix`` callers do;
+* the **strategy** and **engine** under test.
+
+:func:`query_digest` folds the canonical form of all of that -- plus the
+package version and the result-store logic version -- into one content
+digest via :func:`repro.obs.manifest.canonical_digest`.  The digest is the
+cache identity of the answer at every tier (memory, in-flight dedup,
+persistent store): two queries share a digest iff recomputing one would
+bit-identically reproduce the other.
+
+:func:`execute_query` is the single direct execution path: the server's
+pool workers, the load generator's verification mode and the parity gates
+all run queries through it, so "served result == direct run" is checked
+against the exact code the service itself uses.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.result_store import RESULT_LOGIC_VERSION
+from repro.errors import ReproError
+from repro.obs.manifest import canonical_digest
+from repro.topology.config import (
+    SystemConfig,
+    bench_hierarchical,
+    bench_monolithic,
+)
+from repro.version import __version__
+
+__all__ = [
+    "QueryError",
+    "Query",
+    "TOPOLOGIES",
+    "resolve_topology",
+    "query_digest",
+    "batch_digest",
+    "build_query_program",
+    "execute_query",
+]
+
+
+class QueryError(ReproError):
+    """Raised for malformed or unanswerable queries."""
+
+
+def _fuzz_topologies() -> Dict[str, Callable[[], SystemConfig]]:
+    # Imported lazily: serve.query must not pull the whole fuzz package in
+    # for workload-only deployments.
+    from repro.fuzz.diff import fuzz_hierarchical, fuzz_monolithic
+
+    return {"fuzz-hier": fuzz_hierarchical, "fuzz-mono": fuzz_monolithic}
+
+
+#: Named topologies a query may request.  Values are zero-arg factories so
+#: a registry lookup always yields a fresh, unshared config.
+TOPOLOGIES: Dict[str, Callable[[], SystemConfig]] = {
+    "bench-hier": bench_hierarchical,
+    "bench-mono": bench_monolithic,
+}
+
+
+def _topology_factory(name: str) -> Callable[[], SystemConfig]:
+    factory = TOPOLOGIES.get(name)
+    if factory is None:
+        factory = _fuzz_topologies().get(name)
+    if factory is None:
+        known = sorted(TOPOLOGIES) + sorted(_fuzz_topologies())
+        raise QueryError(f"unknown topology {name!r}; choose from {known}")
+    return factory
+
+
+@dataclass(frozen=True)
+class Query:
+    """One what-if question.  Plain data; JSON round-trippable."""
+
+    program: Dict = field(default_factory=dict)
+    strategy: str = "LADM"
+    scale: str = "test"
+    topology: Optional[str] = None
+    engine: str = "vector"
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        keys = set(self.program)
+        if keys not in ({"workload"}, {"spec"}):
+            raise QueryError(
+                "query program must be {'workload': name} or {'spec': json}, "
+                f"got keys {sorted(keys)}"
+            )
+        if self.scale not in ("test", "bench"):
+            raise QueryError(f"unknown scale {self.scale!r}")
+
+    # ------------------------------------------------------------------
+    @property
+    def program_name(self) -> str:
+        if "workload" in self.program:
+            return str(self.program["workload"])
+        return str(self.program["spec"].get("name", "<spec>"))
+
+    def to_doc(self) -> Dict:
+        return {
+            "program": dict(self.program),
+            "strategy": self.strategy,
+            "scale": self.scale,
+            "topology": self.topology,
+            "engine": self.engine,
+            "seed": self.seed,
+        }
+
+    @staticmethod
+    def from_doc(doc: Dict) -> "Query":
+        try:
+            return Query(
+                program=dict(doc["program"]),
+                strategy=str(doc.get("strategy", "LADM")),
+                scale=str(doc.get("scale", "test")),
+                topology=doc.get("topology"),
+                engine=str(doc.get("engine", "vector")),
+                seed=None if doc.get("seed") is None else int(doc["seed"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise QueryError(f"malformed query doc: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Topology resolution
+# ----------------------------------------------------------------------
+def resolve_topology(query: Query) -> Tuple[str, SystemConfig]:
+    """The (registry name, config) a query runs on.
+
+    Explicit names win.  The default mirrors the experiment harness: suite
+    workloads run on the bench pair, generated specs on the tiny fuzz pair
+    (small caches keep eviction live for tiny footprints), and the
+    ``Monolithic`` strategy gets the equal-resource one-node twin.
+    """
+    name = query.topology
+    if name is None:
+        pair = ("bench-hier", "bench-mono") if "workload" in query.program else (
+            "fuzz-hier",
+            "fuzz-mono",
+        )
+        name = pair[1] if query.strategy == "Monolithic" else pair[0]
+    return name, _topology_factory(name)()
+
+
+# ----------------------------------------------------------------------
+# Canonical digests
+# ----------------------------------------------------------------------
+def _identity_doc(query: Query, with_strategy: bool) -> Dict:
+    topo_name, config = resolve_topology(query)
+    doc = {
+        "kind": "repro-query",
+        "repro_version": __version__,
+        "logic_version": RESULT_LOGIC_VERSION,
+        "program": dict(query.program),
+        "scale": query.scale,
+        "topology": {"name": topo_name, "config": config},
+        "engine": query.engine,
+        "seed": query.seed,
+    }
+    if with_strategy:
+        doc["strategy"] = query.strategy
+    return doc
+
+
+def query_digest(query: Query) -> str:
+    """The content digest identifying this query's answer at every tier.
+
+    Canonical over the resolved topology *config* (not just its name), the
+    program content, scale, seed, engine and strategy, plus the package
+    and result-logic versions -- so upgrades invalidate rather than replay
+    stale answers.  Engines are part of the key by policy: they are
+    bit-exact by test, but a cross-engine replay would mask exactly the
+    parity bugs the fuzzer hunts.
+    """
+    return canonical_digest(_identity_doc(query, with_strategy=True))
+
+
+def batch_digest(query: Query) -> str:
+    """The compatibility group for worker batching: everything but strategy.
+
+    Queries sharing a batch digest build and compile one program and share
+    one trace cache + walk memo inside a worker, exactly like strategies
+    of one workload in ``run_matrix``.  (The resolved topology still
+    differs per strategy for ``Monolithic``; workers resolve it per query.)
+    """
+    doc = _identity_doc(query, with_strategy=False)
+    # Strategy-dependent default topology (Monolithic -> mono twin) must
+    # not split otherwise-identical programs into separate batch groups:
+    # drop the resolved topology when it was defaulted, keep it when the
+    # query pinned one explicitly.
+    if query.topology is None:
+        doc["topology"] = None
+    return canonical_digest(doc)
+
+
+# ----------------------------------------------------------------------
+# Building + executing
+# ----------------------------------------------------------------------
+def _seed_builders(seed: int, name: str) -> None:
+    from repro.experiments.runner import _workload_seed
+
+    child = _workload_seed(seed, name)
+    random.seed(child)
+    np.random.seed(child % 2**32)
+
+
+def build_query_program(query: Query):
+    """Build the program a query names (deterministic given the doc)."""
+    if "workload" in query.program:
+        from repro.experiments.runner import scale_by_name
+        from repro.workloads.suite import get_workload
+
+        workload = get_workload(str(query.program["workload"]))
+        if query.seed is not None:
+            _seed_builders(query.seed, workload.name)
+        return workload.program(scale_by_name(query.scale))
+    from repro.fuzz.genprog import build_program, spec_from_json
+
+    spec = spec_from_json(query.program["spec"])
+    if query.seed is not None:
+        _seed_builders(query.seed, spec.name)
+    return build_program(spec)
+
+
+def execute_query(
+    query: Query,
+    compiled=None,
+    trace_cache=None,
+    walk_memo=None,
+):
+    """Answer one query directly: build, compile, plan, run.
+
+    ``compiled`` short-circuits the build+compile for batched execution
+    (one program shared across strategies); ``trace_cache``/``walk_memo``
+    select shared caches (``None`` = the process-wide defaults, matching
+    ``run_matrix`` workers).  Returns the :class:`RunResult`.
+    """
+    from repro.compiler.passes import compile_program
+    from repro.engine.simulator import Simulator
+    from repro.experiments.runner import strategy_by_name
+
+    if compiled is None:
+        program = build_query_program(query)
+        compiled = compile_program(program)
+    _, config = resolve_topology(query)
+    strategy = strategy_by_name(query.strategy)
+    sim = Simulator(
+        config,
+        engine=query.engine,
+        trace_cache=trace_cache,
+        walk_memo=walk_memo,
+    )
+    plan = strategy.plan(compiled, sim.topology)
+    return sim.run(compiled, plan)

@@ -1,0 +1,540 @@
+"""The asyncio what-if query server (``repro serve``).
+
+Protocol: newline-delimited JSON over TCP.  Requests carry an ``op`` and a
+client-chosen ``id`` echoed in the response::
+
+    {"op": "query", "id": 1, "query": {"program": {"workload": "conv"},
+                                        "strategy": "LADM", "scale": "test"}}
+    {"op": "stats", "id": 2}
+    {"op": "ping", "id": 3}
+    {"op": "shutdown", "id": 4}
+
+A ``query`` response is ``{"id": 1, "ok": true, "digest": ..., "tier":
+"memory"|"dedup"|"store"|"computed", "result": <repro-result-v1 doc>,
+"server_s": <service time>}``.  Errors answer ``{"ok": false, "error":
+...}`` without killing the connection.
+
+Answer path (the tiered cache; see ``docs/serving.md``):
+
+1. **memory** -- a bounded LRU of result docs in the server process;
+2. **dedup** -- identical in-flight digests await one shared future;
+3. **store** -- the persistent :class:`~repro.engine.result_store.ResultStore`
+   (cross-process, survives restarts), read/written off-loop in threads;
+4. **compute** -- queries that miss everything are micro-batched by
+   :func:`~repro.serve.query.batch_digest` (same program+scale+seed+engine,
+   any strategy) for up to ``batch_window_s`` and dispatched as one job to
+   a fork process pool, where they share a trace cache and walk memo
+   exactly like one ``run_matrix`` worker.
+
+Every tier decision lands in the server's own (always-enabled) obs session
+as ``serve.*`` / ``store.*`` counters, exported by the ``stats`` op and by
+``repro serve --counters FILE`` on shutdown.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import multiprocessing
+import os
+import sys
+import time
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.engine.result_store import ResultStore
+from repro.engine.resultio import run_to_doc
+from repro.serve.query import Query, batch_digest, execute_query, query_digest
+
+__all__ = ["QueryServer", "ServerThread", "main"]
+
+_MEMORY_TIER_ENTRIES = int(os.environ.get("REPRO_SERVE_CACHE_ENTRIES", "512"))
+
+
+# ----------------------------------------------------------------------
+# Pool worker (module level: must pickle by reference under fork)
+# ----------------------------------------------------------------------
+def _worker_run_batch(items: List[Tuple[str, Dict]]) -> List[Tuple[str, Dict, Optional[str]]]:
+    """Execute one compatible batch: (digest, query_doc) -> result docs.
+
+    All items share a batch digest, so the program is built and compiled
+    once; strategies replay the shared trace and consult the process-wide
+    walk memo (workers are long-lived, so the memo also warms across
+    batches).  Per-item failures are returned as error strings -- one bad
+    query must not poison its batchmates.
+    """
+    from repro.compiler.passes import compile_program
+    from repro.serve.query import build_query_program
+
+    out: List[Tuple[str, Dict, Optional[str]]] = []
+    compiled = None
+    for digest, qdoc in items:
+        try:
+            query = Query.from_doc(qdoc)
+            if compiled is None:
+                compiled = compile_program(build_query_program(query))
+            run = execute_query(query, compiled=compiled)
+            out.append((digest, run_to_doc(run), None))
+        except Exception as exc:  # noqa: BLE001 - reported to the client
+            out.append((digest, {}, f"{type(exc).__name__}: {exc}"))
+    return out
+
+
+class _PendingItem:
+    __slots__ = ("digest", "doc", "future")
+
+    def __init__(self, digest: str, doc: Dict, future: "asyncio.Future"):
+        self.digest = digest
+        self.doc = doc
+        self.future = future
+
+
+class QueryServer:
+    """One serving endpoint: TCP listener + tiered cache + worker pool."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 0,
+        store_dir: Optional[str] = None,
+        store_max_bytes: Optional[int] = None,
+        batch_window_s: float = 0.005,
+        memory_entries: int = _MEMORY_TIER_ENTRIES,
+    ):
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.batch_window_s = batch_window_s
+        self.session = obs.ObsSession(enabled=True)
+        self.store = (
+            ResultStore(store_dir, max_bytes=store_max_bytes, session=self.session)
+            if store_dir
+            else None
+        )
+        self._memory: "OrderedDict[str, Dict]" = OrderedDict()
+        self._memory_entries = memory_entries
+        self._inflight: Dict[str, asyncio.Future] = {}
+        self._pending: Dict[str, List[_PendingItem]] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._pool = None
+        self._started = 0.0
+        self._stopping = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    async def start(self) -> Tuple[str, int]:
+        """Bind, start the pool, return the (host, port) actually bound."""
+        if self.workers > 0:
+            from concurrent.futures import ProcessPoolExecutor
+
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context("fork"),
+            )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        self._started = time.monotonic()
+        return self.host, self.port
+
+    async def stop(self) -> None:
+        self._stopping.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    async def wait_stopped(self) -> None:
+        await self._stopping.wait()
+
+    async def __aenter__(self) -> "QueryServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        tasks: List[asyncio.Task] = []
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                tasks.append(
+                    asyncio.ensure_future(
+                        self._handle_line(line, writer, write_lock)
+                    )
+                )
+        except (
+            ConnectionResetError,
+            asyncio.IncompleteReadError,
+            asyncio.CancelledError,
+        ):
+            # CancelledError: server stop during readline; nothing to flush.
+            pass
+        finally:
+            # Server shutdown cancels this handler; every await below can
+            # re-raise CancelledError -- absorb it so the task finishes
+            # cleanly instead of logging a spurious traceback.
+            try:
+                for t in tasks:
+                    if not t.done():
+                        await t
+            except asyncio.CancelledError:
+                pass
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                asyncio.CancelledError,
+            ):
+                pass
+
+    async def _handle_line(
+        self, line: bytes, writer: asyncio.StreamWriter, write_lock: asyncio.Lock
+    ) -> None:
+        try:
+            request = json.loads(line.decode("utf-8"))
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+        except (UnicodeDecodeError, ValueError) as exc:
+            await self._send(
+                writer, write_lock, {"ok": False, "error": f"bad request: {exc}"}
+            )
+            return
+        rid = request.get("id")
+        op = request.get("op")
+        self.session.counters.inc("serve.requests", op=str(op))
+        try:
+            if op == "ping":
+                response = {"id": rid, "ok": True, "pong": True}
+            elif op == "stats":
+                response = {"id": rid, "ok": True, "stats": self.describe()}
+            elif op == "shutdown":
+                response = {"id": rid, "ok": True, "stopping": True}
+                self._stopping.set()
+            elif op == "query":
+                response = await self._answer(request.get("query") or {})
+                response["id"] = rid
+            else:
+                raise ValueError(f"unknown op {op!r}")
+        except Exception as exc:  # noqa: BLE001 - protocol error boundary
+            self.session.counters.inc("serve.errors")
+            response = {"id": rid, "ok": False, "error": f"{type(exc).__name__}: {exc}"}
+        await self._send(writer, write_lock, response)
+
+    @staticmethod
+    async def _send(writer, write_lock, doc: Dict) -> None:
+        data = json.dumps(doc, separators=(",", ":")).encode("utf-8") + b"\n"
+        async with write_lock:
+            writer.write(data)
+            try:
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    # ------------------------------------------------------------------
+    # The tiered answer path
+    # ------------------------------------------------------------------
+    async def _answer(self, qdoc: Dict) -> Dict:
+        t0 = time.perf_counter()
+        query = Query.from_doc(qdoc)
+        digest = query_digest(query)
+        with self.session.tracer.span("serve.query", cat="serve", program=query.program_name):
+            tier, result = await self._resolve(query, digest)
+        self.session.counters.inc("serve.tier", tier=tier)
+        return {
+            "ok": True,
+            "digest": digest,
+            "tier": tier,
+            "result": result,
+            "server_s": time.perf_counter() - t0,
+        }
+
+    async def _resolve(self, query: Query, digest: str) -> Tuple[str, Dict]:
+        # Tier 1: in-process memory LRU.
+        cached = self._memory.get(digest)
+        if cached is not None:
+            self._memory.move_to_end(digest)
+            return "memory", cached
+
+        # Tier 2: identical in-flight queries join one future.
+        inflight = self._inflight.get(digest)
+        if inflight is not None:
+            self.session.counters.inc("serve.dedup.joined")
+            return "dedup", await asyncio.shield(inflight)
+
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._inflight[digest] = future
+        try:
+            # Tier 3: the persistent cross-process store (thread off-loop).
+            if self.store is not None:
+                payload = await loop.run_in_executor(None, self.store.get, digest)
+                if payload is not None:
+                    self._remember(digest, payload)
+                    future.set_result(payload)
+                    return "store", payload
+
+            # Tier 4: compute (micro-batched per compatible program group).
+            payload = await self._enqueue_compute(query, digest, future)
+            return "computed", payload
+        except BaseException as exc:
+            if not future.done():
+                future.set_exception(exc)
+                # Dedup joiners re-raise; mark retrieved to avoid warnings.
+                future.exception()
+            raise
+        finally:
+            self._inflight.pop(digest, None)
+
+    async def _enqueue_compute(
+        self, query: Query, digest: str, future: asyncio.Future
+    ) -> Dict:
+        group = batch_digest(query)
+        items = self._pending.setdefault(group, [])
+        items.append(_PendingItem(digest, query.to_doc(), future))
+        if len(items) == 1:
+            asyncio.get_running_loop().create_task(self._flush_group(group))
+        return await asyncio.shield(future)
+
+    async def _flush_group(self, group: str) -> None:
+        await asyncio.sleep(self.batch_window_s)
+        items = self._pending.pop(group, [])
+        if not items:
+            return
+        batch = [(it.digest, it.doc) for it in items]
+        self.session.counters.inc("serve.batch.dispatches")
+        self.session.counters.inc("serve.batch.queries", len(batch))
+        loop = asyncio.get_running_loop()
+        try:
+            with self.session.tracer.span(
+                "serve.batch.run", cat="serve", queries=len(batch)
+            ):
+                if self._pool is not None:
+                    results = await loop.run_in_executor(
+                        self._pool, _worker_run_batch, batch
+                    )
+                else:
+                    # workers=0: compute in the default thread pool (tests,
+                    # single-tenant CLIs); numpy releases the GIL enough to
+                    # keep the loop responsive.
+                    results = await loop.run_in_executor(
+                        None, _worker_run_batch, batch
+                    )
+        except BaseException as exc:  # pool death, cancellation
+            for it in items:
+                if not it.future.done():
+                    it.future.set_exception(
+                        RuntimeError(f"batch execution failed: {exc}")
+                    )
+                    it.future.exception()
+            return
+        by_digest = {digest: (doc, err) for digest, doc, err in results}
+        for it in items:
+            doc, err = by_digest.get(it.digest, ({}, "no result returned"))
+            if err is not None:
+                self.session.counters.inc("serve.compute.errors")
+                if not it.future.done():
+                    it.future.set_exception(RuntimeError(err))
+                    it.future.exception()
+                continue
+            self._remember(it.digest, doc)
+            if self.store is not None:
+                await loop.run_in_executor(None, self.store.put, it.digest, doc)
+            if not it.future.done():
+                it.future.set_result(doc)
+
+    # ------------------------------------------------------------------
+    def _remember(self, digest: str, payload: Dict) -> None:
+        self._memory[digest] = payload
+        self._memory.move_to_end(digest)
+        while len(self._memory) > self._memory_entries:
+            self._memory.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    def describe(self) -> Dict:
+        """The ``stats`` op payload: counters + derived service metrics."""
+        counters = self.session.counters.snapshot()
+        tiers = {
+            t: counters.get(f"serve.tier{{tier={t}}}", 0)
+            for t in ("memory", "dedup", "store", "computed")
+        }
+        answered = sum(tiers.values())
+        computed = tiers["computed"]
+        return {
+            "uptime_s": time.monotonic() - self._started if self._started else 0.0,
+            "workers": self.workers,
+            "batch_window_s": self.batch_window_s,
+            "answered": answered,
+            "tiers": tiers,
+            "tier_hit_rate": (answered - computed) / answered if answered else 0.0,
+            "dedup_ratio": answered / computed if computed else None,
+            "memory_entries": len(self._memory),
+            "store": self.store.stats() if self.store is not None else None,
+            "counters": counters,
+        }
+
+
+class ServerThread:
+    """A :class:`QueryServer` on a background event-loop thread.
+
+    For synchronous callers (servebench, tests, the load generator's own
+    harness) that need a live endpoint next to blocking client code::
+
+        with ServerThread(workers=2, store_dir=d) as st:
+            report = run_stream(st.host, st.port, stream)
+    """
+
+    def __init__(self, **server_kwargs):
+        self._kwargs = server_kwargs
+        self.server: Optional[QueryServer] = None
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+        self._thread = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    def start(self) -> "ServerThread":
+        import threading
+
+        ready = threading.Event()
+        failure: List[BaseException] = []
+
+        def run() -> None:
+            async def body() -> None:
+                self._loop = asyncio.get_running_loop()
+                server = QueryServer(**self._kwargs)
+                try:
+                    await server.start()
+                except BaseException as exc:  # surface bind errors to start()
+                    failure.append(exc)
+                    ready.set()
+                    return
+                self.server = server
+                self.host, self.port = server.host, server.port
+                ready.set()
+                await server.wait_stopped()
+                await server.stop()
+
+            asyncio.run(body())
+
+        self._thread = threading.Thread(target=run, daemon=True)
+        self._thread.start()
+        ready.wait(timeout=30)
+        if failure:
+            raise failure[0]
+        if self.server is None:
+            raise RuntimeError("server thread failed to start")
+        return self
+
+    def stop(self) -> None:
+        if self.server is not None and self._loop is not None:
+            self._loop.call_soon_threadsafe(self.server._stopping.set)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+            self._thread = None
+
+    def describe(self) -> Dict:
+        return self.server.describe() if self.server is not None else {}
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def _default_workers() -> int:
+    return max(1, min(4, (os.cpu_count() or 2) - 1))
+
+
+async def _serve(args) -> None:
+    server = QueryServer(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        store_dir=args.store,
+        store_max_bytes=args.store_mb * 1024 * 1024 if args.store_mb else None,
+        batch_window_s=args.batch_window_ms / 1000.0,
+    )
+    host, port = await server.start()
+    print(
+        f"repro serve: listening on {host}:{port} "
+        f"(workers={server.workers}, store={args.store or 'off'})",
+        flush=True,
+    )
+    try:
+        await server.wait_stopped()
+    except (KeyboardInterrupt, asyncio.CancelledError):
+        pass
+    finally:
+        if args.counters:
+            with open(args.counters, "w") as fh:
+                json.dump(server.describe(), fh, indent=2)
+            print(f"repro serve: wrote counters to {args.counters}", flush=True)
+        await server.stop()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="async what-if query server with a tiered result cache",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8377)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=_default_workers(),
+        help="process-pool size (0 = compute inline in threads)",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="persistent result-store directory (omit to disable the tier)",
+    )
+    parser.add_argument(
+        "--store-mb", type=int, default=None, help="store byte budget in MiB"
+    )
+    parser.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=5.0,
+        help="micro-batching window for compatible compute-tier queries",
+    )
+    parser.add_argument(
+        "--counters",
+        default=None,
+        metavar="FILE",
+        help="write serve.*/store.* counters JSON on shutdown",
+    )
+    args = parser.parse_args(argv)
+    try:
+        asyncio.run(_serve(args))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

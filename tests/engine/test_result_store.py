@@ -1,0 +1,179 @@
+"""The persistent result store: corruption, concurrency, LRU, versioning."""
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.engine.result_store import (
+    RESULT_LOGIC_VERSION,
+    STORE_VERSION,
+    ResultStore,
+)
+
+D1 = "a" * 16
+D2 = "b" * 16
+D3 = "c" * 16
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(str(tmp_path / "store"), max_bytes=1 << 20)
+
+
+class TestBasics:
+    def test_round_trip(self, store):
+        payload = {"x": 1, "nested": {"y": [1, 2, 3]}}
+        store.put(D1, payload)
+        assert store.get(D1) == payload
+
+    def test_absent_is_miss(self, store):
+        assert store.get(D1) is None
+        assert store.stats()["misses"] == 1
+
+    def test_entries_live_under_version_dir(self, store):
+        store.put(D1, {"x": 1})
+        assert os.path.isfile(
+            os.path.join(store.root, f"v{STORE_VERSION}", f"{D1}.json")
+        )
+
+    def test_overwrite_wins(self, store):
+        store.put(D1, {"x": 1})
+        store.put(D1, {"x": 2})
+        assert store.get(D1) == {"x": 2}
+        assert len(store) == 1
+
+    @pytest.mark.parametrize("digest", ["", "has/slash", "dot.dot", "back\\slash"])
+    def test_bad_digest_rejected(self, store, digest):
+        with pytest.raises(ValueError):
+            store.put(digest, {})
+
+
+class TestCorruption:
+    """Every corrupt shape must read as a miss and self-delete, never raise."""
+
+    def _entry_path(self, store):
+        return store._path(D1)
+
+    def test_truncated_entry(self, store):
+        store.put(D1, {"x": 1})
+        path = self._entry_path(store)
+        data = open(path, "rb").read()
+        with open(path, "wb") as fh:
+            fh.write(data[: len(data) // 2])
+        assert store.get(D1) is None
+        assert not os.path.exists(path)
+        assert store.stats()["corrupt"] == 1
+
+    def test_garbage_bytes(self, store):
+        store.put(D1, {"x": 1})
+        path = self._entry_path(store)
+        with open(path, "wb") as fh:
+            fh.write(b"\x00\xffnot json at all")
+        assert store.get(D1) is None
+        assert not os.path.exists(path)
+
+    def test_payload_sha_mismatch(self, store):
+        store.put(D1, {"x": 1})
+        path = self._entry_path(store)
+        entry = json.load(open(path))
+        entry["payload"]["x"] = 999  # bit-flip the payload, keep the sha
+        with open(path, "w") as fh:
+            json.dump(entry, fh)
+        assert store.get(D1) is None
+        assert store.stats()["corrupt"] == 1
+
+    def test_key_mismatch(self, store):
+        """An entry renamed onto another digest's path must not answer it."""
+        store.put(D1, {"x": 1})
+        os.rename(store._path(D1), store._path(D2))
+        assert store.get(D2) is None
+
+    def test_recompute_after_corruption(self, store):
+        store.put(D1, {"x": 1})
+        with open(self._entry_path(store), "wb") as fh:
+            fh.write(b"garbage")
+        assert store.get(D1) is None
+        store.put(D1, {"x": 1})  # the caller recomputes and overwrites
+        assert store.get(D1) == {"x": 1}
+
+
+class TestVersioning:
+    def test_logic_version_bump_invalidates(self, tmp_path):
+        root = str(tmp_path / "store")
+        old = ResultStore(root, logic_version=RESULT_LOGIC_VERSION)
+        old.put(D1, {"x": 1})
+        bumped = ResultStore(root, logic_version=RESULT_LOGIC_VERSION + 1)
+        assert bumped.get(D1) is None  # stale semantics: miss, not a lie
+        assert old.get(D1) is None or old.get(D1) == {"x": 1}
+
+    def test_store_version_isolates_layouts(self, tmp_path):
+        root = str(tmp_path / "store")
+        ResultStore(root).put(D1, {"x": 1})
+        foreign = os.path.join(root, f"v{STORE_VERSION + 1}")
+        os.makedirs(foreign)
+        with open(os.path.join(foreign, f"{D1}.json"), "w") as fh:
+            fh.write("future layout")
+        assert ResultStore(root).get(D1) == {"x": 1}
+
+
+class TestEviction:
+    def test_lru_under_byte_budget(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"), max_bytes=1)
+        store.put(D1, {"x": 1})
+        os.utime(store._path(D1), (1.0, 1.0))  # force a stale mtime
+        store.put(D2, {"x": 2})
+        # Budget of one byte: only the newest entry survives.
+        assert store.get(D2) == {"x": 2}
+        assert store.get(D1) is None
+        assert store.stats()["evictions"] >= 1
+
+    def test_single_oversized_entry_still_caches(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"), max_bytes=1)
+        store.put(D1, {"x": "v" * 4096})
+        assert store.get(D1) is not None
+
+    def test_read_refreshes_lru_order(self, tmp_path):
+        store = ResultStore(str(tmp_path / "store"), max_bytes=10_000_000)
+        store.put(D1, {"x": 1})
+        store.put(D2, {"x": 2})
+        os.utime(store._path(D1), (1.0, 1.0))
+        os.utime(store._path(D2), (2.0, 2.0))
+        assert store.get(D1) == {"x": 1}  # touch: now newest
+        store.max_bytes = 1
+        store.put(D3, {"x": 3})
+        assert store.get(D1) is None or store.get(D2) is None
+        # D2 (oldest after the touch) must be the first casualty.
+        assert store.get(D2) is None
+
+
+def _writer_proc(root: str, worker: int, n: int) -> None:
+    store = ResultStore(root, max_bytes=1 << 20)
+    for i in range(n):
+        store.put(f"d{i:04d}", {"worker": worker, "i": i, "pad": "p" * 64})
+
+
+class TestConcurrency:
+    def test_two_processes_racing_same_digests(self, tmp_path):
+        """Concurrent writers of the same keys: every surviving entry is a
+        complete, verified payload from one of the writers (atomic rename,
+        no torn reads)."""
+        root = str(tmp_path / "store")
+        ctx = multiprocessing.get_context("fork")
+        n = 50
+        procs = [
+            ctx.Process(target=_writer_proc, args=(root, w, n)) for w in (1, 2)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+            assert p.exitcode == 0
+        reader = ResultStore(root, max_bytes=1 << 20)
+        for i in range(n):
+            payload = reader.get(f"d{i:04d}")
+            assert payload is not None
+            assert payload["i"] == i
+            assert payload["worker"] in (1, 2)
+        assert reader.stats()["corrupt"] == 0

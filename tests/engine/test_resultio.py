@@ -1,0 +1,70 @@
+"""The RunResult codec: lossless, snapshot-exact, refuses profile runs."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.compiler.passes import compile_program
+from repro.engine.resultio import RESULT_SCHEMA, run_from_doc, run_to_doc
+from repro.engine.simulator import simulate
+from repro.errors import MetricsError
+from repro.experiments.runner import scale_by_name, strategy_by_name
+from repro.topology.config import bench_hierarchical, bench_monolithic
+from repro.workloads.suite import get_workload
+
+
+def _run(workload: str, strategy: str):
+    program = get_workload(workload).program(scale_by_name("test"))
+    config = bench_monolithic() if strategy == "Monolithic" else bench_hierarchical()
+    return simulate(
+        program,
+        strategy_by_name(strategy),
+        config,
+        compiled=compile_program(program),
+    )
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "workload,strategy",
+        [("conv", "LADM"), ("scalarprod", "H-CODA"), ("tra", "Monolithic")],
+    )
+    def test_snapshot_exact(self, workload, strategy):
+        run = _run(workload, strategy)
+        rebuilt = run_from_doc(run_to_doc(run))
+        assert rebuilt.snapshot() == run.snapshot()
+        assert rebuilt.program == run.program
+        assert rebuilt.strategy == run.strategy
+        assert rebuilt.system == run.system
+        assert rebuilt.notes == run.notes
+        assert rebuilt.manifest == run.manifest
+
+    def test_survives_json_text(self):
+        """The doc must survive an actual dumps/loads cycle (the store does)."""
+        run = _run("conv", "LADM")
+        doc = json.loads(json.dumps(run_to_doc(run)))
+        assert run_from_doc(doc).snapshot() == run.snapshot()
+
+    def test_doc_is_schema_tagged(self):
+        assert run_to_doc(_run("conv", "LADM"))["schema"] == RESULT_SCHEMA
+
+
+class TestRefusals:
+    def test_profile_runs_not_serialisable(self):
+        run = _run("conv", "LADM")
+        run.page_access_counts = np.zeros((2, 2), dtype=np.int64)
+        with pytest.raises(MetricsError, match="page"):
+            run_to_doc(run)
+
+    def test_wrong_schema_rejected(self):
+        doc = run_to_doc(_run("conv", "LADM"))
+        doc["schema"] = "something-else"
+        with pytest.raises(MetricsError, match="schema"):
+            run_from_doc(doc)
+
+    def test_malformed_doc_raises_metrics_error(self):
+        doc = run_to_doc(_run("conv", "LADM"))
+        del doc["kernels"][0]["l2_requests"]
+        with pytest.raises(MetricsError, match="malformed"):
+            run_from_doc(doc)

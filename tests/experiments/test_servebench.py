@@ -1,0 +1,50 @@
+"""The serving SLO benchmark: cold/warm phases, gates, report shape."""
+
+import json
+
+from repro.experiments.servebench import (
+    SERVEBENCH_SCHEMA,
+    check_gate,
+    run_servebench,
+)
+
+
+def _tiny_report(tmp_path):
+    return run_servebench(
+        queries=16,
+        seed=0,
+        smoke=True,
+        workers=0,
+        verify=True,
+        min_speedup=1.0,  # wall-clock SLO is checked in CI, not unit tests
+        p95_ceiling_s=60.0,
+        store_root=str(tmp_path / "store"),
+    )
+
+
+class TestServebench:
+    def test_report_shape_and_soundness(self, tmp_path):
+        report = _tiny_report(tmp_path)
+        assert report["schema"] == SERVEBENCH_SCHEMA
+        assert report["verify"]["divergence"] == 0
+        assert report["verify"]["warm_payload_mismatch"] == 0
+        # Cold phase computed every unique digest; warm computed nothing.
+        assert report["cold"]["tiers"]["computed"] == report["cold"]["unique_digests"]
+        assert report["warm"]["tiers"]["computed"] == 0
+        assert report["warm"]["store"]["hits"] > 0
+        assert (report["cold"]["dedup_ratio"] or 0) > 1.0
+        assert report["warm_speedup"] > 0
+
+    def test_gate_same_scale_regression(self, tmp_path):
+        report = _tiny_report(tmp_path)
+        gate = dict(report, warm_speedup=report["warm_speedup"] * 10)
+        gate_path = tmp_path / "gate.json"
+        gate_path.write_text(json.dumps(gate))
+        failures = check_gate(report, str(gate_path))
+        assert any("regressed" in f for f in failures)
+
+    def test_gate_passes_against_itself(self, tmp_path):
+        report = _tiny_report(tmp_path)
+        gate_path = tmp_path / "gate.json"
+        gate_path.write_text(json.dumps(report))
+        assert check_gate(report, str(gate_path)) == report["slo"]["failures"]

@@ -1,0 +1,66 @@
+"""run_matrix worker payloads: names for registry workloads, not objects."""
+
+import pickle
+
+from repro.experiments.runner import _hydrate_workload, _workload_ref
+from repro.workloads.base import TEST, Workload
+from repro.workloads.suite import get_workload
+
+
+def _clone(name: str) -> Workload:
+    suite = get_workload("conv")
+    return Workload(
+        name=name,
+        cls=suite.cls,
+        expected_locality=suite.expected_locality,
+        expected_scheduler=suite.expected_scheduler,
+        build=suite.build,
+        description="not the registry singleton",
+    )
+
+
+class TestWorkloadRefs:
+    def test_registry_workload_travels_by_name(self):
+        workload = get_workload("conv")
+        ref = _workload_ref(workload)
+        assert ref == ("name", "conv")
+        assert _hydrate_workload(ref) is workload
+
+    def test_adhoc_workload_falls_back_to_object(self):
+        workload = _clone("adhoc-conv")
+        kind, payload = _workload_ref(workload)
+        assert kind == "obj"
+        assert _hydrate_workload((kind, payload)) is workload
+
+    def test_name_ref_is_tiny_vs_object(self):
+        """The point of the refactor: per-task payloads stop carrying
+        program builders across the fork boundary."""
+        workload = get_workload("conv")
+        name_ref = pickle.dumps(_workload_ref(workload))
+        obj_ref = pickle.dumps(("obj", workload))
+        assert len(name_ref) < len(obj_ref)
+        assert len(name_ref) < 64
+
+    def test_shadowing_name_is_not_hijacked(self):
+        """An ad-hoc workload reusing a suite name must NOT hydrate to the
+        suite singleton -- identity, not name, decides."""
+        impostor = _clone("conv")
+        kind, payload = _workload_ref(impostor)
+        assert kind == "obj"
+        assert _hydrate_workload((kind, payload)) is impostor
+
+    def test_parallel_matches_serial_with_name_refs(self):
+        """The acceptance check for satellite 1: hydrated-by-name parallel
+        runs stay bit-identical to serial."""
+        from repro.experiments.runner import run_matrix
+        from repro.topology.config import bench_hierarchical
+
+        workloads = [get_workload("conv"), get_workload("scalarprod")]
+        strategies = [("LADM", bench_hierarchical())]
+        seq = run_matrix(workloads, strategies, TEST)
+        par = run_matrix(workloads, strategies, TEST, parallel=2)
+        for w in workloads:
+            assert (
+                seq.get(w.name, "LADM").snapshot()
+                == par.get(w.name, "LADM").snapshot()
+            )

@@ -1,0 +1,86 @@
+"""The load generator: seeded streams, replay, parity verification."""
+
+import pytest
+
+from repro.fuzz.loadgen import (
+    LoadgenError,
+    arrival_offsets,
+    generate_stream,
+    run_stream,
+    verify_responses,
+)
+from repro.serve.query import query_digest
+from repro.serve.server import ServerThread
+
+
+class TestStreams:
+    def test_same_seed_same_stream(self):
+        a = generate_stream(7, 40, mix="mixed", smoke=True)
+        b = generate_stream(7, 40, mix="mixed", smoke=True)
+        assert [q.to_doc() for q in a] == [q.to_doc() for q in b]
+
+    def test_different_seeds_differ(self):
+        a = generate_stream(1, 40, smoke=True)
+        b = generate_stream(2, 40, smoke=True)
+        assert [q.to_doc() for q in a] != [q.to_doc() for q in b]
+
+    def test_duplicate_heavy(self):
+        stream = generate_stream(0, 100, dup_fraction=0.6, smoke=True)
+        unique = len({query_digest(q) for q in stream})
+        assert unique < len(stream)
+
+    def test_no_duplicates_when_disabled(self):
+        stream = generate_stream(0, 30, mix="fuzz", dup_fraction=0.0)
+        assert len({query_digest(q) for q in stream}) == len(stream)
+
+    def test_fuzz_mix_generates_specs(self):
+        stream = generate_stream(0, 10, mix="fuzz", dup_fraction=0.0)
+        assert all("spec" in q.program for q in stream)
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"mix": "bogus"}, {"dup_fraction": 1.5}, {"dup_fraction": -0.1}]
+    )
+    def test_bad_config_rejected(self, kwargs):
+        with pytest.raises(LoadgenError):
+            generate_stream(0, 10, **kwargs)
+
+
+class TestArrivals:
+    def test_offsets_deterministic_and_monotone(self):
+        a = arrival_offsets(3, 50, rate_qps=100.0)
+        b = arrival_offsets(3, 50, rate_qps=100.0)
+        assert a == b
+        assert all(x < y for x, y in zip(a, a[1:]))
+
+    def test_rate_sets_the_mean_gap(self):
+        offsets = arrival_offsets(0, 2000, rate_qps=100.0)
+        mean_gap = offsets[-1] / len(offsets)
+        assert 0.005 < mean_gap < 0.02  # ~1/100 s
+
+
+class TestReplay:
+    def test_replay_report_and_zero_divergence(self, tmp_path):
+        stream = generate_stream(5, 20, mix="workloads", smoke=True)
+        with ServerThread(workers=0, store_dir=str(tmp_path / "s")) as thread:
+            report = run_stream(thread.host, thread.port, stream, seed=5)
+        responses = report.pop("responses")
+        assert report["queries"] == 20
+        assert report["unique_digests"] == len(
+            {query_digest(q) for q in stream}
+        )
+        assert sum(report["tiers"].values()) == 20
+        assert report["latency_s"]["p95"] >= report["latency_s"]["p50"]
+        verdict = verify_responses(stream, responses)
+        assert verdict["divergence"] == 0
+        assert verdict["unique"] == report["unique_digests"]
+
+    def test_verify_flags_a_doctored_payload(self, tmp_path):
+        stream = generate_stream(5, 4, mix="workloads", dup_fraction=0.0, smoke=True)
+        with ServerThread(workers=0) as thread:
+            report = run_stream(thread.host, thread.port, stream, seed=5)
+        responses = report.pop("responses")
+        victim = responses[0]["result"]["kernels"][0]
+        victim["l2_requests"] = victim["l2_requests"] + 1
+        verdict = verify_responses(stream, responses)
+        assert verdict["divergence"] == 1
+        assert "direct execution" in verdict["divergences"][0]

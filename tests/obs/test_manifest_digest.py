@@ -1,0 +1,132 @@
+"""Canonical digests: order-free, process-free, type-exact (satellite 2)."""
+
+import subprocess
+import sys
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.stats import TrafficClass
+from repro.obs.manifest import canonical_digest, canonical_payload, config_digest
+from repro.topology.config import bench_hierarchical
+
+
+# Nested JSON-ish values: scalars, lists, string-keyed dicts.
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.floats(allow_nan=False),
+    st.text(max_size=12),
+)
+_values = st.recursive(
+    _scalars,
+    lambda inner: st.one_of(
+        st.lists(inner, max_size=4),
+        st.dictionaries(st.text(max_size=6), inner, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+def _shuffled(value, rng):
+    """The same value with every dict's insertion order permuted."""
+    if isinstance(value, dict):
+        keys = list(value)
+        rng.shuffle(keys)
+        return {k: _shuffled(value[k], rng) for k in keys}
+    if isinstance(value, list):
+        return [_shuffled(v, rng) for v in value]
+    return value
+
+
+class TestOrderIndependence:
+    @settings(max_examples=100, deadline=None)
+    @given(value=_values, seed=st.integers(min_value=0, max_value=2**16))
+    def test_dict_insertion_order_is_irrelevant(self, value, seed):
+        import random
+
+        reordered = _shuffled(value, random.Random(seed))
+        assert canonical_digest(value) == canonical_digest(reordered)
+
+    def test_list_order_matters(self):
+        assert canonical_digest([1, 2]) != canonical_digest([2, 1])
+
+
+class TestTypeExactness:
+    def test_float_vs_int_distinct(self):
+        assert canonical_digest(1) != canonical_digest(1.0)
+
+    def test_nearby_floats_distinct(self):
+        assert canonical_digest(0.1 + 0.2) != canonical_digest(0.3)
+
+    def test_negative_zero_distinct(self):
+        assert canonical_digest(0.0) != canonical_digest(-0.0)
+
+    def test_inf_handled(self):
+        assert canonical_digest(float("inf")) != canonical_digest(float("-inf"))
+
+    def test_enum_digests_by_value(self):
+        assert canonical_digest(TrafficClass.LOCAL_LOCAL) == canonical_digest(
+            TrafficClass.LOCAL_LOCAL
+        )
+        assert canonical_digest(TrafficClass.LOCAL_LOCAL) != canonical_digest(
+            TrafficClass.REMOTE_LOCAL
+        )
+
+    def test_dataclass_config_stable(self):
+        assert canonical_digest(bench_hierarchical()) == canonical_digest(
+            bench_hierarchical()
+        )
+
+    def test_payload_is_bytes_and_compact(self):
+        payload = canonical_payload({"b": 1, "a": 2})
+        assert payload == b'{"a":2,"b":1}'
+
+
+class TestConfigDigest:
+    def test_engine_and_seed_are_part_of_the_key(self):
+        config = bench_hierarchical()
+        base = config_digest(config)
+        assert config_digest(config, engine="vector") != base
+        assert config_digest(config, seed=1) != base
+        assert config_digest(config, seed=1) != config_digest(config, seed=2)
+
+    def test_digest_is_short_hex(self):
+        digest = config_digest(bench_hierarchical())
+        assert len(digest) == 16
+        int(digest, 16)  # hex
+
+
+_CHILD = """
+import sys
+sys.path.insert(0, {src!r})
+from repro.obs.manifest import canonical_digest
+from repro.topology.config import bench_hierarchical
+doc = {{"config": bench_hierarchical(), "floats": [0.1, 2.5e-3], "n": 7}}
+print(canonical_digest(doc))
+"""
+
+
+class TestCrossProcess:
+    def test_identical_across_hash_seeds(self, tmp_path):
+        """Digests must not depend on PYTHONHASHSEED (set ordering, dict
+        iteration): two interpreters with different hash seeds agree."""
+        import os
+
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        code = _CHILD.format(src=os.path.abspath(src))
+        outs = []
+        for hash_seed in ("1", "4242"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            proc = subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True,
+                text=True,
+                env=env,
+                timeout=120,
+            )
+            assert proc.returncode == 0, proc.stderr
+            outs.append(proc.stdout.strip())
+        assert outs[0] == outs[1]
+        assert len(outs[0]) == 64

@@ -1,0 +1,99 @@
+"""Query identity: digests, batch groups, topology resolution, validation."""
+
+import pytest
+
+from repro.serve.query import (
+    Query,
+    QueryError,
+    batch_digest,
+    execute_query,
+    query_digest,
+    resolve_topology,
+)
+
+CONV = {"workload": "conv"}
+
+
+class TestValidation:
+    def test_program_must_name_workload_or_spec(self):
+        with pytest.raises(QueryError, match="program"):
+            Query(program={"nope": 1})
+        with pytest.raises(QueryError, match="program"):
+            Query(program={})
+
+    def test_scale_checked(self):
+        with pytest.raises(QueryError, match="scale"):
+            Query(program=CONV, scale="huge")
+
+    def test_unknown_topology(self):
+        query = Query(program=CONV, topology="no-such-topology")
+        with pytest.raises(QueryError, match="topology"):
+            resolve_topology(query)
+
+    def test_doc_round_trip(self):
+        query = Query(program=CONV, strategy="H-CODA", seed=7)
+        assert Query.from_doc(query.to_doc()) == query
+
+    def test_malformed_doc(self):
+        with pytest.raises(QueryError, match="malformed"):
+            Query.from_doc({"strategy": "LADM"})
+
+
+class TestDigests:
+    def test_identical_queries_share_a_digest(self):
+        assert query_digest(Query(program=CONV)) == query_digest(
+            Query(program=dict(CONV))
+        )
+
+    @pytest.mark.parametrize(
+        "other",
+        [
+            Query(program=CONV, strategy="H-CODA"),
+            Query(program=CONV, seed=1),
+            Query(program=CONV, engine="legacy"),
+            Query(program={"workload": "scalarprod"}),
+            Query(program=CONV, topology="bench-mono"),
+        ],
+    )
+    def test_any_answer_relevant_field_splits_the_digest(self, other):
+        assert query_digest(Query(program=CONV)) != query_digest(other)
+
+    def test_batch_group_shared_across_strategies(self):
+        """Same program, any strategy -- including Monolithic, whose default
+        topology differs -- lands in one compute batch."""
+        digests = {
+            batch_digest(Query(program=CONV, strategy=s))
+            for s in ("LADM", "H-CODA", "Monolithic")
+        }
+        assert len(digests) == 1
+
+    def test_explicit_topology_splits_the_batch(self):
+        assert batch_digest(Query(program=CONV)) != batch_digest(
+            Query(program=CONV, topology="bench-mono")
+        )
+
+    def test_monolithic_defaults_to_mono_twin(self):
+        name, _ = resolve_topology(Query(program=CONV, strategy="Monolithic"))
+        assert name == "bench-mono"
+        name, _ = resolve_topology(Query(program=CONV, strategy="LADM"))
+        assert name == "bench-hier"
+
+
+class TestExecution:
+    def test_deterministic(self):
+        query = Query(program=CONV, strategy="LADM")
+        assert (
+            execute_query(query).snapshot() == execute_query(query).snapshot()
+        )
+
+    def test_spec_programs_run_on_fuzz_topology(self):
+        import random
+
+        from repro.fuzz.genprog import generate_spec, spec_to_json
+
+        spec = generate_spec(random.Random(3), name="q", scale="tiny")
+        query = Query(program={"spec": spec_to_json(spec)}, strategy="LADM")
+        name, _ = resolve_topology(query)
+        assert name == "fuzz-hier"
+        run = execute_query(query)
+        assert run.kernels
