@@ -17,6 +17,8 @@ repository's extensions::
     python -m repro serve --store DIR               # what-if query service
     python -m repro loadgen --queries 200 --verify  # replay a query stream
     python -m repro servebench --smoke              # serving SLO benchmark
+    python -m repro top 127.0.0.1:7653              # live serving telemetry
+    python -m repro regress --current r.json --baseline BENCH_serve.json
 """
 
 from __future__ import annotations
@@ -48,6 +50,8 @@ from repro.experiments.runner import scale_by_name, strategy_by_name
 from repro.fuzz import cli as fuzz_cli
 from repro.fuzz import loadgen
 from repro.obs import profile as obs_profile
+from repro.obs import regress as obs_regress
+from repro.obs import top as obs_top
 from repro.serve import server as serve_server
 from repro.topology.config import bench_hierarchical, bench_monolithic
 from repro.version import __version__
@@ -60,6 +64,8 @@ _EXPERIMENT_MAINS = {
     "servebench": servebench.main,
     "serve": serve_server.main,
     "loadgen": loadgen.main,
+    "top": obs_top.main,
+    "regress": obs_regress.main,
     "profile": obs_profile.main,
     "fuzz": fuzz_cli.main,
     "fig4": fig4.main,
@@ -347,6 +353,14 @@ def build_parser() -> argparse.ArgumentParser:
         elif name == "loadgen":
             sub.add_parser(
                 name, help="replay a seeded query stream against repro serve"
+            )
+        elif name == "top":
+            sub.add_parser(
+                name, help="live telemetry view of a running serve endpoint"
+            )
+        elif name == "regress":
+            sub.add_parser(
+                name, help="diff a bench report against a committed baseline"
             )
         elif name == "profile":
             sub.add_parser(

@@ -366,14 +366,14 @@ def check_gate(report: dict, gate_path: str) -> List[str]:
                         f"{entry.get('launch_index')}: repair_rate "
                         f"{rate:.2f} exceeds {REPAIR_RATE_CEILING}"
                     )
-    ref_overall = gate.get("overall_speedup")
-    if same_scale and ref_overall:
-        cur_overall = report.get("overall_speedup", 0.0)
-        if cur_overall < 0.8 * ref_overall:
-            failures.append(
-                f"overall speedup {cur_overall:.2f}x regressed >20% "
-                f"vs committed {ref_overall:.2f}x"
-            )
+    # End-to-end scalars go through the shared baseline-diff watchdog so
+    # `repro regress`, servebench and this gate agree on the arithmetic.
+    from repro.obs import regress as obs_regress
+
+    findings = obs_regress.compare_reports(
+        report, gate, obs_regress.PERF_SPECS, same_scale=same_scale
+    )
+    failures.extend(obs_regress.gate_failures(findings))
     return failures
 
 

@@ -22,9 +22,11 @@ The SLO gates assert the properties the serving layer exists for:
   actually buys end-to-end time on the Fig-9 mix;
 * warm-phase store hits > 0 and warm p95 under ``--p95-ceiling``.
 
-``--gate FILE`` additionally compares against a committed
-``BENCH_serve.json`` (warm speedup must stay within 20% when the scale
-matches).  ``--smoke`` shrinks the stream and workload mix for CI.
+``--gate FILE`` additionally diffs against a committed
+``BENCH_serve.json`` through :mod:`repro.obs.regress` (warm speedup,
+cold dedup ratio and warm p95 must stay within their spec tolerances
+when the scale matches; cross-scale only the sanity floors apply).
+``--smoke`` shrinks the stream and workload mix for CI.
 """
 
 from __future__ import annotations
@@ -38,6 +40,7 @@ import tempfile
 from typing import Dict, List, Optional
 
 from repro.fuzz.loadgen import generate_stream, run_stream, verify_responses
+from repro.obs import regress as obs_regress
 from repro.obs.manifest import build_manifest
 from repro.serve.server import ServerThread
 
@@ -47,22 +50,32 @@ SERVEBENCH_SCHEMA = "repro-servebench-v1"
 
 #: Cross-machine sanity floor used when no same-scale gate value exists:
 #: a warm store that is not even this much faster than cold simulation is
-#: broken regardless of hardware.
+#: broken regardless of hardware.  Kept equal to the ``warm_speedup``
+#: spec's floor in :data:`repro.obs.regress.SERVE_SPECS` (that spec is
+#: what ``check_gate`` actually evaluates).
 CROSS_SCALE_SPEEDUP_FLOOR = 1.5
 
 
 def _phase_summary(report: Dict) -> Dict:
-    """The part of a loadgen report worth committing (no raw responses)."""
+    """The part of a loadgen report worth committing (no raw responses).
+
+    ``latency_s``/``tiers_latency_s`` are the client-observed quantile
+    ladders; ``server_latency``/``server_slo`` are the server's own
+    histogram summaries and SLO burn-rate evaluation for the phase.
+    """
     return {
         "queries": report["queries"],
         "unique_digests": report["unique_digests"],
         "wall_s": report["wall_s"],
         "throughput_qps": report["throughput_qps"],
         "latency_s": report["latency_s"],
+        "tiers_latency_s": report.get("tiers_latency_s", {}),
         "tiers": report["tiers"],
         "tier_hit_rate": report["tier_hit_rate"],
         "dedup_ratio": report["dedup_ratio"],
         "store": report["store"],
+        "server_latency": report.get("server_latency"),
+        "server_slo": report.get("server_slo"),
     }
 
 
@@ -170,26 +183,22 @@ def run_servebench(
 def check_gate(report: Dict, gate_path: str) -> List[str]:
     """Compare against a committed BENCH_serve.json; returns failures.
 
-    Same-scale (same ``smoke`` flag): warm speedup must stay within 20% of
-    the committed value.  Cross-scale: only the sanity floor applies.  SLO
-    failures in the fresh report always fail.
+    Delegates the baseline diff to :mod:`repro.obs.regress`: same-scale
+    runs (same ``smoke`` flag) must keep every :data:`SERVE_SPECS` metric
+    within its tolerance of the committed value; cross-scale runs only
+    face the absolute sanity floors.  SLO failures in the fresh report
+    always fail.
     """
     with open(gate_path) as fh:
         gate = json.load(fh)
     failures = list(report["slo"]["failures"])
-    same_scale = gate.get("meta", {}).get("smoke") == report["meta"]["smoke"]
-    ref = gate.get("warm_speedup")
-    cur = report.get("warm_speedup", 0.0)
-    if same_scale and ref:
-        if cur < 0.8 * ref:
-            failures.append(
-                f"warm speedup {cur:.2f}x regressed >20% vs committed {ref:.2f}x"
-            )
-    elif cur < CROSS_SCALE_SPEEDUP_FLOOR:
-        failures.append(
-            f"warm speedup {cur:.2f}x below sanity floor "
-            f"{CROSS_SCALE_SPEEDUP_FLOOR}x"
-        )
+    findings = obs_regress.compare_reports(
+        report,
+        gate,
+        obs_regress.SERVE_SPECS,
+        same_scale=obs_regress.reports_same_scale(report, gate, "serve"),
+    )
+    failures.extend(obs_regress.gate_failures(findings))
     return failures
 
 

@@ -15,9 +15,10 @@ the repeated what-if queries the tiered cache exists for.  Everything is
 derived from ``--seed``; two runs of the same seed issue byte-identical
 query docs in the same order at the same offsets.
 
-The report carries client-side p50/p95/p99 latency, throughput, per-tier
-answer counts and the in-flight dedup ratio (from the server's ``stats``
-op), and -- under ``--verify`` -- a **parity sweep**: every unique digest
+The report carries client-side p50/p95/p99/p99.9 latency, a per-tier
+latency breakdown (log-bucketed histograms split by which cache tier
+answered), throughput, per-tier answer counts, the in-flight dedup ratio
+and the server's own latency/SLO view (from the ``stats`` op), and -- under ``--verify`` -- a **parity sweep**: every unique digest
 in the stream is re-executed directly through
 :func:`repro.serve.query.execute_query` and compared snapshot-equal to
 the served payload.  ``divergence`` must be 0; anything else is a
@@ -35,6 +36,7 @@ import time
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ReproError
+from repro.obs.metrics import LogHistogram, summarize_histogram
 from repro.serve.client import AsyncServeClient
 from repro.serve.query import Query, execute_query, query_digest
 
@@ -212,6 +214,13 @@ def run_stream(
     )
     lat = sorted(latencies)
     tiers = server_stats.get("tiers", {})
+    # Per-tier client-side latency breakdown through the same log-bucketed
+    # histograms the server records into -- the client-observed view of
+    # which cache tier the time went to.
+    tier_hists: Dict[str, LogHistogram] = {}
+    for response, latency in zip(responses, latencies):
+        tier = response.get("tier", "unknown")
+        tier_hists.setdefault(tier, LogHistogram()).record(latency)
     return {
         "queries": len(stream),
         "unique_digests": len({r["digest"] for r in responses}),
@@ -222,12 +231,19 @@ def run_stream(
             "p50": _percentile(lat, 0.50),
             "p95": _percentile(lat, 0.95),
             "p99": _percentile(lat, 0.99),
+            "p999": _percentile(lat, 0.999),
             "max": lat[-1] if lat else 0.0,
+        },
+        "tiers_latency_s": {
+            tier: summarize_histogram(h.snapshot())
+            for tier, h in sorted(tier_hists.items())
         },
         "tiers": tiers,
         "tier_hit_rate": server_stats.get("tier_hit_rate", 0.0),
         "dedup_ratio": server_stats.get("dedup_ratio"),
         "store": server_stats.get("store"),
+        "server_latency": server_stats.get("latency"),
+        "server_slo": server_stats.get("slo"),
         "responses": responses,
     }
 
@@ -334,12 +350,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     print(
         f"  latency p50={lat['p50'] * 1e3:.1f}ms p95={lat['p95'] * 1e3:.1f}ms "
-        f"p99={lat['p99'] * 1e3:.1f}ms"
+        f"p99={lat['p99'] * 1e3:.1f}ms p99.9={lat['p999'] * 1e3:.1f}ms"
     )
+    for tier, summary in report["tiers_latency_s"].items():
+        print(
+            f"    {tier:<9} n={summary['count']:<5} "
+            f"p50={summary['p50'] * 1e3:.1f}ms p95={summary['p95'] * 1e3:.1f}ms "
+            f"p99={summary['p99'] * 1e3:.1f}ms max={summary['max'] * 1e3:.1f}ms"
+        )
     print(
         f"  tiers={report['tiers']} hit_rate={report['tier_hit_rate']:.2f} "
         f"dedup_ratio={report['dedup_ratio']}"
     )
+    slo = report.get("server_slo") or {}
+    if slo:
+        print(f"  server slo: {slo.get('state', '?')}")
     if args.verify:
         v = report["verify"]
         print(f"  verify: {v['unique']} unique, divergence={v['divergence']}")

@@ -31,18 +31,24 @@ import os
 from typing import Optional
 
 from repro.obs.counters import CounterRegistry
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import SpanTracer
 
 __all__ = ["ObsSession", "current", "enable", "disable", "install"]
 
 
 class ObsSession:
-    """One tracer plus one counter registry, enabled or inert together."""
+    """One tracer, one counter registry and one metrics registry -- enabled
+    or inert together.  ``metrics`` holds the streaming instruments
+    (sliding-window latency histograms, gauges, rate meters) the serving
+    layer records into; like the others its disabled path is one attribute
+    check."""
 
-    def __init__(self, enabled: bool = True):
+    def __init__(self, enabled: bool = True, epoch_ns: Optional[int] = None):
         self.enabled = enabled
-        self.tracer = SpanTracer(enabled=enabled)
+        self.tracer = SpanTracer(enabled=enabled, epoch_ns=epoch_ns)
         self.counters = CounterRegistry(enabled=enabled)
+        self.metrics = MetricsRegistry(enabled=enabled)
 
 
 _current: Optional[ObsSession] = None

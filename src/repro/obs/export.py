@@ -23,12 +23,16 @@ __all__ = [
     "TRACE_SCHEMA",
     "COUNTERS_SCHEMA",
     "to_chrome_trace",
+    "events_to_chrome_trace",
     "counters_payload",
     "write_trace",
     "write_counters",
     "validate_trace",
     "validate_counters",
     "flame_summary",
+    "spans_for_trace",
+    "validate_trace_tree",
+    "stitch_summary",
 ]
 
 TRACE_SCHEMA = "repro-trace-v1"
@@ -39,13 +43,20 @@ COUNTERS_SCHEMA = "repro-counters-v1"
 # Export
 # ----------------------------------------------------------------------
 def to_chrome_trace(session, manifest: Optional[dict] = None) -> dict:
-    """Render a session's span events as a Chrome trace-event JSON object.
+    """Render a session's span events as a Chrome trace-event JSON object."""
+    return events_to_chrome_trace(session.tracer.events(), manifest)
+
+
+def events_to_chrome_trace(events, manifest: Optional[dict] = None) -> dict:
+    """Render raw span events (already merged/stitched) as Chrome JSON.
 
     Raw pids/tids are remapped to small consecutive ids (Perfetto sorts
     tracks by them) and named through ``process_name``/``thread_name``
     metadata events; the original identifiers stay in the metadata args.
+    Events carrying a ``trace_id`` (request-scoped sampling, see
+    :func:`repro.obs.tracer.trace_context`) keep it in their args so one
+    stitched request is greppable in the Perfetto query pane.
     """
-    events = session.tracer.events()
     pid_ids: Dict[int, int] = {}
     tid_ids: Dict[Tuple[int, int], int] = {}
     trace_events: List[dict] = []
@@ -55,6 +66,8 @@ def to_chrome_trace(session, manifest: Optional[dict] = None) -> dict:
         tid = tid_ids.setdefault((ev["pid"], ev["tid"]), len(tid_ids) + 1)
         args = {k: _json_safe(v) for k, v in ev["args"].items()}
         args["path"] = "/".join(ev["path"])
+        if ev.get("trace_id") is not None:
+            args["trace_id"] = str(ev["trace_id"])
         trace_events.append(
             {
                 "name": ev["name"],
@@ -188,6 +201,65 @@ def validate_counters(obj: dict) -> List[str]:
     if not isinstance(obj.get("manifest"), dict):
         errors.append("manifest missing or not an object")
     return errors
+
+
+# ----------------------------------------------------------------------
+# Cross-process trace stitching
+# ----------------------------------------------------------------------
+def spans_for_trace(events, trace_id: str) -> List[dict]:
+    """Every span event stamped with ``trace_id``, in recorded order.
+
+    Includes spans merged in from worker processes (the serving layer ships
+    worker span buffers home already re-parented under the dispatching
+    server span, so the returned set forms one tree across pids).
+    """
+    return [ev for ev in events if ev.get("trace_id") == trace_id]
+
+
+def validate_trace_tree(events) -> List[str]:
+    """Connectivity errors of one stitched span set ([] when valid).
+
+    A stitched request must be a single tree: exactly one root path, and
+    every span's parent path must itself be a recorded span.  Operates on
+    ``path`` tuples (structural), not timestamps, so it is immune to the
+    residual cross-process clock skew a fork can introduce.
+    """
+    errors: List[str] = []
+    if not events:
+        return ["no spans in trace"]
+    paths = {tuple(ev["path"]) for ev in events}
+    roots = {p for p in paths if len(p) == 1}
+    if len(roots) != 1:
+        errors.append(f"expected exactly one root span, got {sorted(roots)}")
+    for path in sorted(paths):
+        if len(path) > 1 and path[:-1] not in paths:
+            errors.append(f"span {'/'.join(path)} has no recorded parent")
+    return errors
+
+
+def stitch_summary(events) -> Dict[str, dict]:
+    """Per-trace-id overview of a merged event buffer.
+
+    For each id: span count, distinct pids (>1 proves the trace crossed
+    the fork boundary), the root span names, and whether the set passes
+    :func:`validate_trace_tree`.  Drives the CI telemetry-smoke assertions
+    and the ``repro serve --trace`` shutdown report.
+    """
+    by_id: Dict[str, List[dict]] = {}
+    for ev in events:
+        tid = ev.get("trace_id")
+        if tid is not None:
+            by_id.setdefault(tid, []).append(ev)
+    out: Dict[str, dict] = {}
+    for tid, group in sorted(by_id.items()):
+        paths = {tuple(ev["path"]) for ev in group}
+        out[tid] = {
+            "spans": len(group),
+            "pids": sorted({ev["pid"] for ev in group}),
+            "roots": sorted({p[0] for p in paths}),
+            "connected": not validate_trace_tree(group),
+        }
+    return out
 
 
 # ----------------------------------------------------------------------

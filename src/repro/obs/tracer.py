@@ -1,16 +1,36 @@
 """The span tracer: nested wall-clock intervals with structured attributes.
 
 A *span* is one timed interval with a name, a category, and free-form
-``args``.  Spans nest through the ``with`` statement; each recording thread
-keeps its own span stack (``threading.local``), so concurrent threads never
-corrupt each other's nesting, and finished spans append to the shared event
-list under a lock (one lock acquisition per span *exit*, never inside the
-span body).
+``args``.  Spans nest through the ``with`` statement; each recording
+context keeps its own span stack in a :mod:`contextvars` variable, so
+concurrent threads never corrupt each other's nesting (a fresh thread
+starts with a fresh context), and finished spans append to the shared
+event list under a lock (one lock acquisition per span *exit*, never
+inside the span body).
+
+Asyncio callers get correct nesting too, with one rule: a task that
+serves an independent unit of work (one request, one batch flush) calls
+:meth:`SpanTracer.begin_task` first.  Tasks copy their parent's context
+*shallowly*, so without the reset two interleaved request tasks would
+push onto one shared stack; ``begin_task`` gives the task a fresh stack
+and -- optionally -- a **virtual track id** that replaces the thread id
+in recorded events, so each in-flight request renders as its own
+properly-nested track in Perfetto instead of overlapping on the event
+loop's single thread.
+
+**Trace IDs** stitch request-scoped work across threads and processes:
+:func:`trace_context` binds an id to the current context and every span
+recorded under it carries ``trace_id``.  The serving layer samples a
+query, binds its id around the whole tier walk, ships the id to pool
+workers, and the exporter reassembles one connected span tree per id
+(:func:`repro.obs.export.validate_trace_tree`).
 
 Clocks are ``time.perf_counter_ns`` -- monotonic, immune to wall-clock
-steps -- and every event is stamped with its ``os.getpid()`` and
-``threading.get_ident()`` so traces from forked ``run_matrix`` workers
-stay attributable after merging.
+steps, and (on Linux) shared across processes, so a parent can hand its
+``epoch_ns`` to forked workers and their span timestamps land on the
+same axis.  Every event is stamped with its ``os.getpid()`` and
+``threading.get_ident()`` so traces from forked workers stay
+attributable after merging.
 
 Zero cost when disabled: :meth:`SpanTracer.span` returns one shared
 no-op context manager without allocating anything, so a disabled tracer
@@ -20,15 +40,54 @@ site (O(ns); see ``tests/obs/test_overhead.py``).
 
 from __future__ import annotations
 
+import contextvars
 import os
 import threading
 import time
+from contextlib import contextmanager
 from typing import Dict, List, Optional, Tuple
 
-__all__ = ["SpanTracer", "SpanEvent"]
+__all__ = [
+    "SpanTracer",
+    "SpanEvent",
+    "trace_context",
+    "current_trace_id",
+]
 
 #: One finished span: every field JSON-safe except ``path`` (a tuple).
 SpanEvent = Dict
+
+#: Per-context span stacks, keyed by tracer instance (two live tracers in
+#: one context keep independent nesting).  A fresh thread starts with an
+#: empty context, so this behaves like thread-local storage for sync code.
+_STACKS: contextvars.ContextVar[Optional[dict]] = contextvars.ContextVar(
+    "repro_obs_stacks", default=None
+)
+_TRACE_ID: contextvars.ContextVar[Optional[str]] = contextvars.ContextVar(
+    "repro_obs_trace_id", default=None
+)
+_TRACK: contextvars.ContextVar[Optional[int]] = contextvars.ContextVar(
+    "repro_obs_track", default=None
+)
+
+
+@contextmanager
+def trace_context(trace_id: Optional[str]):
+    """Bind ``trace_id`` to the current context for the duration.
+
+    Every span recorded inside (same thread/task, or child threads that
+    copy the context) carries the id.  ``None`` clears any inherited id.
+    """
+    token = _TRACE_ID.set(trace_id)
+    try:
+        yield trace_id
+    finally:
+        _TRACE_ID.reset(token)
+
+
+def current_trace_id() -> Optional[str]:
+    """The trace id bound to the current context, if any."""
+    return _TRACE_ID.get()
 
 
 class _NullSpan:
@@ -73,30 +132,34 @@ class _LiveSpan:
         stack = tracer._stack()
         if stack and stack[-1] is self._path:
             stack.pop()
-        tracer._record(
-            {
-                "name": self.name,
-                "cat": self.cat,
-                "ts_ns": self._t0 - tracer.epoch_ns,
-                "dur_ns": t1 - self._t0,
-                "pid": os.getpid(),
-                "tid": threading.get_ident(),
-                "path": self._path,
-                "args": self.args,
-            }
-        )
+        event = {
+            "name": self.name,
+            "cat": self.cat,
+            "ts_ns": self._t0 - tracer.epoch_ns,
+            "dur_ns": t1 - self._t0,
+            "pid": os.getpid(),
+            "tid": _TRACK.get() or threading.get_ident(),
+            "path": self._path,
+            "args": self.args,
+        }
+        trace_id = _TRACE_ID.get()
+        if trace_id is not None:
+            event["trace_id"] = trace_id
+        tracer._record(event)
         return False
 
 
 class SpanTracer:
     """Collects :class:`SpanEvent` records from ``span()`` context managers."""
 
-    def __init__(self, enabled: bool = True):
+    def __init__(self, enabled: bool = True, epoch_ns: Optional[int] = None):
         self.enabled = enabled
-        self.epoch_ns = time.perf_counter_ns()
+        #: Timestamps are relative to this epoch.  Pass a parent process's
+        #: epoch to a forked worker to put both on one time axis
+        #: (``perf_counter`` is CLOCK_MONOTONIC on Linux: system-wide).
+        self.epoch_ns = time.perf_counter_ns() if epoch_ns is None else epoch_ns
         self._events: List[SpanEvent] = []
         self._lock = threading.Lock()
-        self._tls = threading.local()
 
     # ------------------------------------------------------------------
     def span(self, name: str, cat: str = "stage", **args):
@@ -110,11 +173,40 @@ class SpanTracer:
             return _NULL_SPAN
         return _LiveSpan(self, name, cat, args)
 
+    def begin_task(self, track: Optional[int] = None) -> None:
+        """Give the current context a fresh span stack (and virtual track).
+
+        Call at the top of every asyncio task that represents an
+        independent unit of work: tasks copy the parent context shallowly,
+        so without this two interleaved tasks would share one stack.
+        ``track`` replaces the thread id in recorded events so each task
+        renders as its own Perfetto track; ``None`` keeps the real tid.
+        """
+        if not self.enabled:
+            return
+        stacks = _STACKS.get()
+        if stacks is None:
+            stacks = {}
+            _STACKS.set(stacks)
+        stacks = dict(stacks)  # do not mutate a stack dict shared with the parent
+        stacks[id(self)] = []
+        _STACKS.set(stacks)
+        _TRACK.set(track)
+
+    def current_path(self) -> Tuple[str, ...]:
+        """The open span path in this context (() outside any span)."""
+        stack = self._stack()
+        return stack[-1] if stack else ()
+
     # ------------------------------------------------------------------
     def _stack(self) -> list:
-        stack = getattr(self._tls, "stack", None)
+        stacks = _STACKS.get()
+        if stacks is None:
+            stacks = {}
+            _STACKS.set(stacks)
+        stack = stacks.get(id(self))
         if stack is None:
-            stack = self._tls.stack = []
+            stack = stacks[id(self)] = []
         return stack
 
     def _record(self, event: SpanEvent) -> None:

@@ -112,6 +112,15 @@ class AsyncServeClient:
     async def stats(self) -> Dict:
         return (await self.request("stats"))["stats"]
 
+    async def health(self) -> Dict:
+        """The server's SLO state (``ok``/``warn``/``breach`` + specs)."""
+        return (await self.request("health"))["health"]
+
+    async def trace(self, trace_id: Optional[str] = None) -> Dict:
+        """The stitched Chrome-trace JSON (one sampled query, or all)."""
+        fields = {"trace_id": trace_id} if trace_id else {}
+        return (await self.request("trace", **fields))["trace"]
+
     async def ping(self) -> bool:
         return bool((await self.request("ping")).get("pong"))
 
@@ -159,6 +168,13 @@ class ServeClient:
 
     def stats(self) -> Dict:
         return self.request("stats")["stats"]
+
+    def health(self) -> Dict:
+        return self.request("health")["health"]
+
+    def trace(self, trace_id: Optional[str] = None) -> Dict:
+        fields = {"trace_id": trace_id} if trace_id else {}
+        return self.request("trace", **fields)["trace"]
 
     def ping(self) -> bool:
         return bool(self.request("ping").get("pong"))

@@ -15,6 +15,7 @@ import time
 from repro import obs
 from repro.engine.simulator import Simulator
 from repro.obs.counters import CounterRegistry
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import SpanTracer
 from repro.compiler.passes import compile_program
 from repro.experiments.runner import scale_by_name, strategy_by_name
@@ -41,6 +42,22 @@ class TestMicrobench:
             reg.inc("x", node=0)
         per_call_ns = (time.perf_counter_ns() - start) / N_CALLS
         assert per_call_ns < 2_000, f"disabled inc costs {per_call_ns:.0f}ns"
+
+    def test_disabled_metrics_observe_is_nanoseconds(self):
+        reg = MetricsRegistry(enabled=False)
+        start = time.perf_counter_ns()
+        for _ in range(N_CALLS):
+            reg.observe("serve.latency", 0.001, tier="memory")
+        per_call_ns = (time.perf_counter_ns() - start) / N_CALLS
+        assert per_call_ns < 2_000, f"disabled observe costs {per_call_ns:.0f}ns"
+
+    def test_disabled_metrics_mark_is_nanoseconds(self):
+        reg = MetricsRegistry(enabled=False)
+        start = time.perf_counter_ns()
+        for _ in range(N_CALLS):
+            reg.mark("serve.rate", tier="memory")
+        per_call_ns = (time.perf_counter_ns() - start) / N_CALLS
+        assert per_call_ns < 2_000, f"disabled mark costs {per_call_ns:.0f}ns"
 
 
 def _timed_run(workload, scale):
