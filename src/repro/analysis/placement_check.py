@@ -48,6 +48,7 @@ from repro.sched.schedulers import (
     LineBindingScheduler,
     min_tb_batch,
 )
+from repro.sched.swizzle import SwizzleScheduler
 from repro.topology.system import SystemTopology
 
 __all__ = ["check_launch_placement", "check_program_placement"]
@@ -124,8 +125,17 @@ def _expected_scheduler(
     sizes: Mapping[str, int],
     page_size: int,
     dominant: LocalityType,
+    swizzle: Optional[str] = None,
+    swizzle_snap: bool = True,
 ) -> Tuple[str, Optional[str], Optional[int]]:
-    """(family, axis, batch) per the Table-II policy columns."""
+    """(family, axis, batch) per the Table-II policy columns.
+
+    When the swizzle arm is configured (``swizzle`` is a kind name), a
+    2-D-tiled launch whose dominant structure is RCL or a no-locality
+    stride must get the matching ``swizzle-*`` scheduler, snapped to the
+    Equation-2 batch of the winning argument unless ``swizzle_snap`` is
+    off (see docs/locality_lint.md, LASP-SCHED swizzle row).
+    """
     usable = {a: r for a, r in rows.items() if r.malloc_pc is not None}
     rcl = [a for a, r in usable.items() if r.classification.locality.is_rcl]
     nl = [
@@ -133,6 +143,19 @@ def _expected_scheduler(
         for a, r in usable.items()
         if r.classification.locality is LocalityType.NO_LOCALITY
     ]
+    if swizzle is not None and launch.grid.is_2d:
+        candidates = list(rcl)
+        if not candidates and dominant is LocalityType.NO_LOCALITY:
+            candidates = [a for a in nl if _stride_bytes(launch, rows[a]) > 0]
+        if candidates:
+            winner = max(candidates, key=lambda a: sizes[a])
+            batch: Optional[int] = None
+            if swizzle_snap:
+                db = max(
+                    1, datablock_span_bytes(launch, _hot_site(launch.kernel, winner))
+                )
+                batch = min_tb_batch(page_size, db)
+            return f"swizzle-{swizzle}", None, batch
     if rcl:
         winner = max(rcl, key=lambda a: sizes[a])
         sharing = rows[winner].classification.sharing
@@ -151,6 +174,8 @@ def _expected_scheduler(
 
 def _actual_scheduler(decision) -> Tuple[str, Optional[str], Optional[int]]:
     sched = decision.scheduler
+    if isinstance(sched, SwizzleScheduler):
+        return sched.family, None, sched.snap_batch
     if isinstance(sched, LineBindingScheduler):
         return "line", sched.axis.value, None
     if isinstance(sched, ExplicitScheduler):
@@ -168,8 +193,14 @@ def check_launch_placement(
     topology: SystemTopology,
     launch: KernelLaunch,
     cache_mode: str = "crb",
+    swizzle: Optional[str] = None,
+    swizzle_snap: bool = True,
 ) -> List[Diagnostic]:
-    """Diff LASP's actual decision for one launch against the table."""
+    """Diff LASP's actual decision for one launch against the table.
+
+    ``swizzle``/``swizzle_snap`` must mirror the runtime configuration
+    being linted; the default lints the paper's Table-II decision.
+    """
     kernel = launch.kernel
     program = compiled.program
     cfg = topology.config
@@ -188,12 +219,22 @@ def check_launch_placement(
     else:
         expected_dominant = LocalityType.UNCLASSIFIED
 
-    decision = decide_launch(compiled, topology, launch, cache_mode=cache_mode)
+    decision = decide_launch(
+        compiled,
+        topology,
+        launch,
+        cache_mode=cache_mode,
+        swizzle=swizzle,
+        swizzle_snap=swizzle_snap,
+    )
     diags: List[Diagnostic] = []
     kprov = Provenance(program.name, kernel.name)
 
     # -- scheduler ----------------------------------------------------
-    expected = _expected_scheduler(launch, rows, sizes, page_size, expected_dominant)
+    expected = _expected_scheduler(
+        launch, rows, sizes, page_size, expected_dominant,
+        swizzle=swizzle, swizzle_snap=swizzle_snap,
+    )
     actual = _actual_scheduler(decision)
     if expected != actual:
         diags.append(
@@ -304,13 +345,16 @@ def check_program_placement(
     compiled: CompiledProgram,
     topology: SystemTopology,
     cache_mode: str = "crb",
+    swizzle: Optional[str] = None,
+    swizzle_snap: bool = True,
 ) -> List[Diagnostic]:
     """Placement-consistency diagnostics over every launch, deduplicated."""
     seen = set()
     out: List[Diagnostic] = []
     for launch in compiled.program.launches:
         for diag in check_launch_placement(
-            compiled, topology, launch, cache_mode=cache_mode
+            compiled, topology, launch, cache_mode=cache_mode,
+            swizzle=swizzle, swizzle_snap=swizzle_snap,
         ):
             key = (diag.rule, diag.provenance.render(), diag.message)
             if key not in seen:

@@ -9,6 +9,7 @@ repository's extensions::
     python -m repro bound sq_gemm --check     # static traffic bounds vs sim
     python -m repro run sq_gemm --strategy LADM H-CODA
     python -m repro fig4 | fig9 | fig10 | fig11
+    python -m repro swizzle [--page-sizes 512 4096]  # CTA-swizzle head-to-head
     python -m repro table1 | table2 | table4
     python -m repro hw-validation | ablations | energy | paging | proactive
     python -m repro bench [--smoke] [--gate FILE]   # engine perf benchmark
@@ -42,6 +43,7 @@ from repro.experiments import (
     proactive,
     servebench,
     summary,
+    swizzle,
     table1,
     table2,
     table4,
@@ -72,6 +74,7 @@ _EXPERIMENT_MAINS = {
     "fig9": fig9.main,
     "fig10": fig10.main,
     "fig11": fig11.main,
+    "swizzle": swizzle.main,
     "table1": table1.main,
     "table2": table2.main,
     "table4": table4.main,
@@ -90,7 +93,8 @@ def _cmd_list(_args) -> None:
         print(f"  {w.name:<15} {w.cls.value:<13} {w.description}")
     print()
     print("strategies: Baseline-RR, Batch+FT[-optimal], Kernel-wide, CODA,")
-    print("            H-CODA, LASP+RTWICE, LASP+RONCE, LADM, Monolithic")
+    print("            H-CODA, LASP+RTWICE, LASP+RONCE, LADM, Monolithic,")
+    print("            SWZ-Bit, SWZ-Morton, SWZ-Hilbert[/nosnap]")
 
 
 def _cmd_classify(args) -> None:

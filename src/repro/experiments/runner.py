@@ -23,6 +23,7 @@ from repro.strategies import (
     LADMStrategy,
     MonolithicStrategy,
     RRStrategy,
+    SwizzleStrategy,
 )
 from repro.topology.config import SystemConfig
 from repro.workloads.base import BENCH, TEST, Scale, Workload
@@ -42,6 +43,10 @@ def strategy_by_name(name: str):
         "LASP+RTWICE": lambda: LADMStrategy("rtwice"),
         "LASP+RONCE": lambda: LADMStrategy("ronce"),
         "LADM": lambda: LADMStrategy("crb"),
+        "SWZ-Bit": lambda: SwizzleStrategy("bit"),
+        "SWZ-Morton": lambda: SwizzleStrategy("morton"),
+        "SWZ-Hilbert": lambda: SwizzleStrategy("hilbert"),
+        "SWZ-Hilbert/nosnap": lambda: SwizzleStrategy("hilbert", snap=False),
         "Monolithic": lambda: MonolithicStrategy(),
     }
     try:

@@ -79,6 +79,9 @@ ALL_STRATEGIES = (
     "LASP+RONCE",
     "LADM",
     "Monolithic",
+    "SWZ-Bit",
+    "SWZ-Morton",
+    "SWZ-Hilbert",
 )
 
 _LASP_FAMILY = ("LASP+RTWICE", "LASP+RONCE", "LADM")

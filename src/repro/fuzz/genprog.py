@@ -148,6 +148,19 @@ SHAPES: Dict[str, _Shape] = {
     "itl_coef": _Shape(True, 2, False, lambda c: _TID2 * (c + 1) + c * M),
     "nonlin": _Shape(True, 1, False, lambda c: BX * BDX + TX + c * M * M),
     "mixed": _Shape(True, 1, False, lambda c: BX * BDX + TX + M * (BDX + c * _W)),
+    # swizzle-eligible 2-D tiled shapes: a padded data pitch (``c`` grid-row
+    # widths per data row, ``c >= 2`` so the pitch differs from ``nl2d``).
+    # ``pitch2d`` is a loop-free output tile (GEMM C); ``pitch_row`` walks a
+    # pitched row slab (GEMM A) -- its per-iteration stride ``c * bdx`` is
+    # >= 2 by min_coef, so it never aliases ITL.
+    "pitch2d": _Shape(
+        False, 2, False,
+        lambda c: (Expr.coerce(BY) * BDY + TY) * (c * _W) + BX * BDX + TX,
+    ),
+    "pitch_row": _Shape(
+        True, 2, False,
+        lambda c: (Expr.coerce(BY) * BDY + TY) * (c * _W) + TX + c * M * BDX,
+    ),
     # data-dependent shapes (provider-backed; the oracle refuses these)
     "data": _Shape(False, 1, True),
     "data_itl": _Shape(True, 1, True),
@@ -424,9 +437,10 @@ _LOOP_SHAPES = [
     "itl_coef",
     "nonlin",
     "mixed",
+    "pitch_row",
     "data_itl",
 ]
-_FREE_SHAPES = ["nl1d", "nl2d", "bcast", "data"]
+_FREE_SHAPES = ["nl1d", "nl2d", "bcast", "pitch2d", "data"]
 
 
 def _sample_access(rng: random.Random, allocs: List[str], k: KernelSpec) -> AccessSpec:
@@ -494,6 +508,40 @@ def generate_spec(
     elem_sizes = tuple((a, rng.choice([4, 4, 4, 8])) for a in allocs)
     kernels = []
     for ki in range(rng.choice([1, 1, 1, 2, 2, 3])):
+        if rng.random() < 0.25:
+            # Swizzle-eligible 2-D tiling: a proper (gdx x gdy) tile grid
+            # walking a pitched row slab plus an output tile -- exactly the
+            # launches LASP's swizzle arm targets.
+            k = KernelSpec(
+                name=f"k{ki}",
+                bdx=rng.choice([2, 4, 8]),
+                bdy=rng.choice([1, 2, 4]),
+                gdx=rng.randint(2, 5),
+                gdy=rng.randint(2, 5),
+                trip=rng.randint(1, 4),
+                copies=1,
+            )
+            coef = rng.randint(2, 4)
+            kernels.append(
+                replace(
+                    k,
+                    accesses=(
+                        AccessSpec(
+                            alloc=rng.choice(allocs),
+                            shape="pitch_row",
+                            coef=coef,
+                            in_loop=True,
+                        ),
+                        AccessSpec(
+                            alloc=rng.choice(allocs),
+                            shape="pitch2d",
+                            mode="write",
+                            coef=coef,
+                        ),
+                    ),
+                )
+            )
+            continue
         k = KernelSpec(
             name=f"k{ki}",
             bdx=rng.choice([1, 2, 4, 8, 16, 32]),

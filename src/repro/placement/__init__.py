@@ -7,6 +7,7 @@ kernel-wide chunks); the baselines use them directly (round-robin
 interleave, first-touch).
 """
 
+from repro.placement.page_constraint import PageHomeConstraint, snapped_batches_ok
 from repro.placement.policies import (
     ChunkedPlacement,
     FirstTouchPlacement,
@@ -28,5 +29,7 @@ __all__ = [
     "FirstTouchPlacement",
     "SingleNodePlacement",
     "StridePeriodicPlacement",
+    "PageHomeConstraint",
+    "snapped_batches_ok",
     "stride_aware_granularity",
 ]

@@ -1,0 +1,80 @@
+"""Page-granularity compatibility constraint for swizzled scheduling.
+
+"Making Locality-aware GEMM Compatible with Page-Granularity Placement on
+Chiplet GPUs" observes that a locality-optimised CTA order only pays off
+when the data each batch of CTAs touches actually *lives* on the node that
+runs the batch -- and page-granularity placement can only home whole
+pages.  The constraint is the paper's Equation 2 in curve space: a batch
+of at least ``min_tb_batch = ceil(page_size / datablock_bytes)``
+curve-consecutive threadblocks must be dealt to one node, so the pages
+those threadblocks first touch have an unambiguous home.
+
+:class:`PageHomeConstraint` packages that computation for a configurable
+page size and exposes the check the property tests (and LASP's swizzle
+arm) use: given a curve order and a node assignment, no snap batch may
+straddle a node boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PlacementError
+from repro.sched.schedulers import min_tb_batch
+
+__all__ = ["PageHomeConstraint", "snapped_batches_ok"]
+
+
+@dataclass(frozen=True)
+class PageHomeConstraint:
+    """Equation-2 snapping requirement for one (page size, datablock) pair."""
+
+    page_size: int
+    datablock_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.page_size < 1:
+            raise PlacementError("page_size must be >= 1")
+
+    @property
+    def snap_batch(self) -> int:
+        """Minimum curve-consecutive threadblocks per node (Equation 2)."""
+        return min_tb_batch(self.page_size, self.datablock_bytes)
+
+    def check(self, nodes: np.ndarray, curve_rank: np.ndarray) -> bool:
+        """True iff no snap batch straddles a node (page-home) boundary."""
+        return snapped_batches_ok(nodes, curve_rank, self.snap_batch)
+
+    def describe(self) -> str:
+        return (
+            f"page-home(page={self.page_size}B,"
+            f"db={self.datablock_bytes}B,b={self.snap_batch})"
+        )
+
+
+def snapped_batches_ok(
+    nodes: np.ndarray, curve_rank: np.ndarray, snap_batch: int
+) -> bool:
+    """Whether every batch of ``snap_batch`` curve-consecutive threadblocks
+    is assigned to a single node.
+
+    ``nodes`` and ``curve_rank`` are both indexed by linear threadblock id;
+    ``curve_rank`` is the scheduler's curve permutation (see
+    :meth:`repro.sched.swizzle.SwizzleScheduler.curve_positions`).
+    """
+    nodes = np.asarray(nodes)
+    curve_rank = np.asarray(curve_rank, dtype=np.int64)
+    if nodes.shape != curve_rank.shape:
+        raise PlacementError("nodes and curve_rank must align per threadblock")
+    if snap_batch <= 1 or nodes.size == 0:
+        return True
+    # Re-order nodes along the curve, then every batch must be constant.
+    along_curve = np.empty_like(nodes)
+    along_curve[curve_rank] = nodes
+    for start in range(0, along_curve.size, snap_batch):
+        batch = along_curve[start : start + snap_batch]
+        if batch.size and (batch != batch[0]).any():
+            return False
+    return True

@@ -14,6 +14,14 @@ For every kernel launch LASP:
    stride-aware interleaving, row/column-based placement that follows the
    binding scheduler's line map, or kernel-wide chunks,
 4. selects the CRB cache policy.
+
+An opt-in *swizzle arm* (``LASP(..., swizzle="bit"|"morton"|"hilbert")``)
+replaces step 2 for 2-D-tiled RCL/RSTRIDE launches with a CTA swizzle /
+space-filling-curve scheduler (:mod:`repro.sched.swizzle`), snapping the
+curve dealing to Equation-2 page batches via
+:class:`repro.placement.page_constraint.PageHomeConstraint` unless
+``swizzle_snap=False``.  The default (``swizzle=None``) is byte-identical
+to the paper's Table-II decision.
 """
 
 from __future__ import annotations
@@ -33,6 +41,7 @@ from repro.errors import SchedulingError
 from repro.kir.expr import BX, BY
 from repro.kir.kernel import GlobalAccess
 from repro.kir.program import KernelLaunch
+from repro.placement.page_constraint import PageHomeConstraint
 from repro.placement.policies import (
     ChunkedPlacement,
     FunctionPlacement,
@@ -57,6 +66,7 @@ from repro.sched.schedulers import (
     TBScheduler,
     min_tb_batch,
 )
+from repro.sched.swizzle import SWIZZLE_KINDS, make_swizzle
 from repro.topology.system import SystemTopology
 
 __all__ = ["LASP", "LaunchDecision", "decide_launch"]
@@ -80,14 +90,23 @@ def decide_launch(
     topology: SystemTopology,
     launch: KernelLaunch,
     cache_mode: str = "crb",
+    swizzle: Optional[str] = None,
+    swizzle_snap: bool = True,
 ) -> LaunchDecision:
     """Pure entry point: LASP's decision for one launch.
 
     A plain function of (compiled program, topology, launch) with no engine
     state attached, so static checkers can re-derive and diff the decision
-    without running a simulation.
+    without running a simulation.  ``swizzle``/``swizzle_snap`` select the
+    opt-in swizzle arm (None keeps the paper's Table-II decision).
     """
-    return LASP(compiled, topology, cache_mode=cache_mode).decide(launch)
+    return LASP(
+        compiled,
+        topology,
+        cache_mode=cache_mode,
+        swizzle=swizzle,
+        swizzle_snap=swizzle_snap,
+    ).decide(launch)
 
 
 class LASP:
@@ -98,10 +117,18 @@ class LASP:
         compiled: CompiledProgram,
         topology: SystemTopology,
         cache_mode: str = "crb",
+        swizzle: Optional[str] = None,
+        swizzle_snap: bool = True,
     ):
+        if swizzle is not None and swizzle not in SWIZZLE_KINDS:
+            raise SchedulingError(
+                f"unknown swizzle kind {swizzle!r} (expected one of {SWIZZLE_KINDS})"
+            )
         self.compiled = compiled
         self.topology = topology
         self.cache_mode = cache_mode
+        self.swizzle = swizzle
+        self.swizzle_snap = swizzle_snap
         cfg = topology.config
         self.page_size = cfg.page_size
         self.sched_ctx = SchedContext(
@@ -175,6 +202,14 @@ class LASP:
 
         dominant = self._dominant_locality(usable, sizes)
 
+        if self.swizzle is not None:
+            swizzled = self._swizzle_scheduler(
+                launch, rows, rcl_args, nl_args, sizes, dominant
+            )
+            if swizzled is not None:
+                sched, batch = swizzled
+                return sched, sched.describe(), batch, dominant
+
         if rcl_args:
             # Input-size-aware tie-break: the largest RCL structure wins.
             winner = max(rcl_args, key=lambda a: sizes[a])
@@ -208,6 +243,41 @@ class LASP:
         # ITL and unclassified kernels: kernel-wide grid partitioning.
         sched = KernelWideScheduler()
         return sched, sched.describe(), None, dominant
+
+    def _swizzle_scheduler(
+        self,
+        launch: KernelLaunch,
+        rows: Mapping[str, LocalityRow],
+        rcl_args: List[str],
+        nl_args: List[str],
+        sizes: Mapping[str, int],
+        dominant: LocalityType,
+    ) -> Optional[Tuple[TBScheduler, Optional[int]]]:
+        """The opt-in swizzle arm of the Table-II decision.
+
+        Fires only for 2-D-tiled launches whose dominant structure shows
+        row/column locality (RCL) or a no-locality stride (RSTRIDE) --
+        exactly the launches where curve rasterisation can convert tile
+        adjacency into L2 reuse.  1-D grids and adjacency/unclassified
+        kernels keep the paper's decision.
+        """
+        if not launch.grid.is_2d:
+            return None
+        candidates = list(rcl_args)
+        if not candidates and dominant is LocalityType.NO_LOCALITY:
+            candidates = [
+                a for a in nl_args if self._stride_bytes(launch, rows[a]) > 0
+            ]
+        if not candidates:
+            return None
+        winner = max(candidates, key=lambda a: sizes[a])
+        batch: Optional[int] = None
+        if self.swizzle_snap:
+            site = self._dominant_site(launch.kernel, winner)
+            db_bytes = max(1, datablock_span_bytes(launch, site))
+            constraint = PageHomeConstraint(self.page_size, db_bytes)
+            batch = constraint.snap_batch
+        return make_swizzle(self.swizzle, snap_batch=batch), batch
 
     def _dominant_locality(
         self, usable: Mapping[str, LocalityRow], sizes: Mapping[str, int]

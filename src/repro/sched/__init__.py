@@ -16,6 +16,14 @@ from repro.sched.schedulers import (
     TBScheduler,
     min_tb_batch,
 )
+from repro.sched.swizzle import (
+    SWIZZLE_KINDS,
+    BitSwizzleScheduler,
+    HilbertScheduler,
+    MortonScheduler,
+    SwizzleScheduler,
+    make_swizzle,
+)
 
 __all__ = [
     "TBScheduler",
@@ -26,5 +34,11 @@ __all__ = [
     "LineBindingScheduler",
     "LineAxis",
     "SingleNodeScheduler",
+    "SwizzleScheduler",
+    "BitSwizzleScheduler",
+    "MortonScheduler",
+    "HilbertScheduler",
+    "SWIZZLE_KINDS",
+    "make_swizzle",
     "min_tb_batch",
 ]

@@ -68,7 +68,20 @@ class TBScheduler(abc.ABC):
     def describe(self) -> str:
         return type(self).__name__
 
+    def _check_grid(self, grid: Dim2) -> None:
+        """Reject zero-threadblock grids uniformly across every family.
+
+        ``Dim2`` cannot normally be empty, but grid-like stand-ins (and
+        future launch paths) can be; an empty assignment would otherwise
+        propagate silently as a no-op launch.
+        """
+        if grid.count <= 0:
+            raise SchedulingError(
+                f"{self.describe()}: cannot schedule a zero-threadblock grid"
+            )
+
     def _validate(self, nodes: np.ndarray, grid: Dim2, ctx: SchedContext) -> np.ndarray:
+        self._check_grid(grid)
         nodes = np.asarray(nodes, dtype=np.int32)
         if nodes.shape != (grid.count,):
             raise SchedulingError(

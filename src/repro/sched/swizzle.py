@@ -1,0 +1,297 @@
+"""CTA swizzle / space-filling-curve schedulers.
+
+LADM's scheduler axis (batching, line-binding, kernel-wide chunks) never
+remaps *which* threadblock gets which tile.  CUTLASS-style threadblock
+swizzling exploits exactly that axis: replace the hardware's row-major
+rasterisation with a spatially-aware curve order so tiles that share input
+rows/columns land close together, then deal the *curve order* to nodes in
+contiguous chunks.  Every scheduler here is a pure remap
+
+    linear tb id (row-major)  -->  curve rank  -->  contiguous dealing
+
+so the dealing stage is identical to :class:`KernelWideScheduler`'s
+proportional split -- only the order in which threadblocks are dealt
+changes.  Three curve families are provided:
+
+* :class:`BitSwizzleScheduler` -- CUTLASS/Triton "grouped rasterisation":
+  group ``2**log_tile`` grid rows and walk each group column-major, a
+  log-tile bit-swizzle generalised to arbitrary (non-power-of-two) grids
+  by clamping the last group.
+* :class:`MortonScheduler` -- Z-order (bit-interleave) curve over the
+  bounding box, clipped to the grid by rank compression.
+* :class:`HilbertScheduler` -- generalised Hilbert curve (gilbert-style
+  recursion) directly over arbitrary ``w x h`` rectangles; consecutive
+  curve positions are grid neighbours whenever the longer side is even
+  (all power-of-two grids qualify), and at worst one diagonal step
+  otherwise.
+
+A swizzled batch can be snapped to page-home boundaries with
+``snap_batch`` (Equation-2 ``min_tb_batch``): every ``snap_batch``
+consecutive curve positions then land wholly on one node, keeping the
+curve compatible with page-granularity first-touch placement (see
+``placement/page_constraint.py``).
+"""
+
+from __future__ import annotations
+
+import abc
+from functools import lru_cache
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SchedulingError
+from repro.kir.kernel import Dim2
+from repro.sched.schedulers import SchedContext, TBScheduler
+
+__all__ = [
+    "SwizzleScheduler",
+    "BitSwizzleScheduler",
+    "MortonScheduler",
+    "HilbertScheduler",
+    "SWIZZLE_KINDS",
+    "make_swizzle",
+    "morton_interleave",
+    "hilbert_positions",
+]
+
+
+class SwizzleScheduler(TBScheduler):
+    """Base: curve-rank remap composed with contiguous chunk dealing.
+
+    Subclasses implement :meth:`curve_positions`, returning each linear
+    threadblock's rank along the curve -- a permutation of
+    ``arange(grid.count)``.  ``assign`` deals the curve order to nodes in
+    N contiguous chunks (exactly the :class:`KernelWideScheduler` split,
+    applied to curve ranks instead of dispatch order), optionally snapping
+    chunk boundaries to multiples of ``snap_batch`` so a page-aligned
+    batch of curve-consecutive threadblocks never straddles two nodes.
+    """
+
+    def __init__(self, snap_batch: Optional[int] = None):
+        if snap_batch is not None and snap_batch < 1:
+            raise SchedulingError("snap_batch must be >= 1")
+        self.snap_batch = snap_batch
+
+    @abc.abstractmethod
+    def curve_positions(self, grid: Dim2) -> np.ndarray:
+        """Curve rank per linear (row-major) threadblock id.
+
+        Must be a permutation of ``np.arange(grid.count)``.
+        """
+
+    def assign(self, grid: Dim2, ctx: SchedContext) -> np.ndarray:
+        self._check_grid(grid)
+        rank = np.asarray(self.curve_positions(grid), dtype=np.int64)
+        order = np.asarray(ctx.node_order, dtype=np.int32)
+        n = ctx.num_nodes
+        b = self.snap_batch or 1
+        if b > 1:
+            # Page-granularity compatibility: deal whole batches of b
+            # curve-consecutive threadblocks, so a batch never straddles
+            # a node (and hence a page-home) boundary.
+            num_batches = -(-grid.count // b)
+            nodes = order[((rank // b) * n) // num_batches]
+        else:
+            nodes = order[(rank * n) // grid.count]
+        return self._validate(nodes, grid, ctx)
+
+    def _describe_suffix(self) -> str:
+        return f",snap={self.snap_batch}" if self.snap_batch else ""
+
+
+class BitSwizzleScheduler(SwizzleScheduler):
+    """CUTLASS log-tile bit-swizzle (grouped rasterisation).
+
+    Rows are grouped ``2**log_tile`` at a time and each group is walked
+    column-major: threadblocks that share a column strip of B (and a
+    narrow band of A rows) execute back to back.  On non-power-of-two
+    grids the final group is simply shorter -- the walk stays a bijection
+    because group size is clamped to the rows that exist.
+    """
+
+    family = "swizzle-bit"
+
+    def __init__(self, log_tile: Optional[int] = None, snap_batch: Optional[int] = None):
+        super().__init__(snap_batch)
+        if log_tile is not None and log_tile < 0:
+            raise SchedulingError("log_tile must be >= 0")
+        self.log_tile = log_tile
+
+    def _log_tile_for(self, grid: Dim2) -> int:
+        if self.log_tile is not None:
+            return self.log_tile
+        # Auto: the largest power-of-two group that fits the row count,
+        # capped at 8 rows (the CUTLASS default N=8 neighbourhood).
+        return min(3, max(0, grid.y.bit_length() - 1))
+
+    def curve_positions(self, grid: Dim2) -> np.ndarray:
+        group_rows = 1 << self._log_tile_for(grid)
+        tb = np.arange(grid.count, dtype=np.int64)
+        bx = tb % grid.x
+        by = tb // grid.x
+        group = by // group_rows
+        first = group * group_rows  # first row of this group
+        gsize = np.minimum(grid.y - first, group_rows)  # clamp last group
+        return first * grid.x + bx * gsize + (by - first)
+
+    def describe(self) -> str:
+        tile = "auto" if self.log_tile is None else str(self.log_tile)
+        return f"swizzle-bit(log_tile={tile}{self._describe_suffix()})"
+
+
+def _part1by1(v: np.ndarray) -> np.ndarray:
+    """Spread the low 16 bits of ``v`` into the even bit positions."""
+    v = v & np.int64(0xFFFF)
+    v = (v | (v << 8)) & np.int64(0x00FF00FF)
+    v = (v | (v << 4)) & np.int64(0x0F0F0F0F)
+    v = (v | (v << 2)) & np.int64(0x33333333)
+    v = (v | (v << 1)) & np.int64(0x55555555)
+    return v
+
+
+def morton_interleave(bx: np.ndarray, by: np.ndarray) -> np.ndarray:
+    """Z-order code: bits of ``bx`` and ``by`` interleaved (x in bit 0)."""
+    return _part1by1(np.asarray(bx, dtype=np.int64)) | (
+        _part1by1(np.asarray(by, dtype=np.int64)) << 1
+    )
+
+
+class MortonScheduler(SwizzleScheduler):
+    """Z-order (Morton) curve rasterisation.
+
+    Curve codes are computed over the power-of-two bounding box of the
+    grid; non-power-of-two grids are handled by *clipping*: the existing
+    cells are ranked by their position along the full bounding-box curve
+    (codes are unique per cell, so the compressed rank is a bijection).
+    """
+
+    family = "swizzle-morton"
+
+    _MAX_DIM = 1 << 16  # _part1by1 spreads 16 bits
+
+    def curve_positions(self, grid: Dim2) -> np.ndarray:
+        if grid.x > self._MAX_DIM or grid.y > self._MAX_DIM:
+            raise SchedulingError(
+                f"morton swizzle supports grid dims up to {self._MAX_DIM}"
+            )
+        tb = np.arange(grid.count, dtype=np.int64)
+        codes = morton_interleave(tb % grid.x, tb // grid.x)
+        rank = np.empty(grid.count, dtype=np.int64)
+        rank[np.argsort(codes, kind="stable")] = tb
+        return rank
+
+    def describe(self) -> str:
+        return f"swizzle-morton(z-order{self._describe_suffix()})"
+
+
+def _sgn(v: int) -> int:
+    return (v > 0) - (v < 0)
+
+
+def _gilbert(
+    x: int, y: int, ax: int, ay: int, bx: int, by: int
+) -> Iterator[Tuple[int, int]]:
+    """Generalised Hilbert curve over the rectangle spanned by (ax,ay)x(bx,by).
+
+    Gilbert-style recursion: unit steps whenever the major (longer) side
+    is even -- so power-of-two grids get true Hilbert adjacency -- and at
+    most one diagonal step otherwise.
+    """
+    w = abs(ax + ay)
+    h = abs(bx + by)
+    dax, day = _sgn(ax), _sgn(ay)  # major direction
+    dbx, dby = _sgn(bx), _sgn(by)  # orthogonal direction
+
+    if h == 1:
+        for _ in range(w):
+            yield (x, y)
+            x += dax
+            y += day
+        return
+    if w == 1:
+        for _ in range(h):
+            yield (x, y)
+            x += dbx
+            y += dby
+        return
+
+    ax2, ay2 = ax // 2, ay // 2
+    bx2, by2 = bx // 2, by // 2
+    w2 = abs(ax2 + ay2)
+    h2 = abs(bx2 + by2)
+
+    if 2 * w > 3 * h:
+        if (w2 % 2) and (w > 2):
+            ax2 += dax
+            ay2 += day
+        # long case: split in two along the major axis only
+        yield from _gilbert(x, y, ax2, ay2, bx, by)
+        yield from _gilbert(x + ax2, y + ay2, ax - ax2, ay - ay2, bx, by)
+    else:
+        if (h2 % 2) and (h > 2):
+            bx2 += dbx
+            by2 += dby
+        # standard case: one step up, one long horizontal, one step down
+        yield from _gilbert(x, y, bx2, by2, ax2, ay2)
+        yield from _gilbert(x + bx2, y + by2, ax, ay, bx - bx2, by - by2)
+        yield from _gilbert(
+            x + (ax - dax) + (bx2 - dbx),
+            y + (ay - day) + (by2 - dby),
+            -bx2,
+            -by2,
+            -(ax - ax2),
+            -(ay - ay2),
+        )
+
+
+@lru_cache(maxsize=128)
+def hilbert_positions(gx: int, gy: int) -> np.ndarray:
+    """Curve rank per linear (row-major) cell of a ``gx x gy`` grid.
+
+    ``result[by * gx + bx]`` is the cell's position along the generalised
+    Hilbert curve.  Cached per grid shape (read-only array).
+    """
+    if gx < 1 or gy < 1:
+        raise SchedulingError("hilbert grid dims must be >= 1")
+    if gx >= gy:
+        walk = _gilbert(0, 0, gx, 0, 0, gy)
+    else:
+        walk = _gilbert(0, 0, 0, gy, gx, 0)
+    rank = np.empty(gx * gy, dtype=np.int64)
+    for pos, (cx, cy) in enumerate(walk):
+        rank[cy * gx + cx] = pos
+    rank.setflags(write=False)
+    return rank
+
+
+class HilbertScheduler(SwizzleScheduler):
+    """Generalised Hilbert curve rasterisation over arbitrary rectangles."""
+
+    family = "swizzle-hilbert"
+
+    def curve_positions(self, grid: Dim2) -> np.ndarray:
+        return hilbert_positions(grid.x, grid.y)
+
+    def describe(self) -> str:
+        return f"swizzle-hilbert(gilbert{self._describe_suffix()})"
+
+
+SWIZZLE_KINDS = ("bit", "morton", "hilbert")
+
+
+def make_swizzle(
+    kind: str,
+    snap_batch: Optional[int] = None,
+    log_tile: Optional[int] = None,
+) -> SwizzleScheduler:
+    """Factory for the three swizzle families by short name."""
+    if kind == "bit":
+        return BitSwizzleScheduler(log_tile=log_tile, snap_batch=snap_batch)
+    if kind == "morton":
+        return MortonScheduler(snap_batch=snap_batch)
+    if kind == "hilbert":
+        return HilbertScheduler(snap_batch=snap_batch)
+    raise SchedulingError(
+        f"unknown swizzle kind {kind!r} (expected one of {SWIZZLE_KINDS})"
+    )

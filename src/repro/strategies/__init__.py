@@ -34,6 +34,7 @@ from repro.strategies.locality_descriptor import (
     SchedulerHint,
 )
 from repro.strategies.migration import ReactiveMigrationStrategy
+from repro.strategies.swizzle import SwizzleStrategy
 
 __all__ = [
     "Strategy",
@@ -43,6 +44,7 @@ __all__ = [
     "CODAStrategy",
     "MonolithicStrategy",
     "LADMStrategy",
+    "SwizzleStrategy",
     "ReactiveMigrationStrategy",
     "LocalityDescriptorStrategy",
     "LocalityAnnotation",

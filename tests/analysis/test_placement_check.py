@@ -40,8 +40,8 @@ class TestConsistent:
 class TestDrift:
     def test_scheduler_drift_is_flagged(self, gemm_compiled, bench_topology,
                                         monkeypatch):
-        def broken(compiled, topology, launch, cache_mode="crb"):
-            d = decide_launch(compiled, topology, launch, cache_mode)
+        def broken(compiled, topology, launch, cache_mode="crb", **kw):
+            d = decide_launch(compiled, topology, launch, cache_mode, **kw)
             d.scheduler = KernelWideScheduler()
             d.scheduler_desc = d.scheduler.describe()
             return d
@@ -54,8 +54,8 @@ class TestDrift:
 
     def test_placement_drift_is_flagged(self, gemm_compiled, bench_topology,
                                         monkeypatch):
-        def broken(compiled, topology, launch, cache_mode="crb"):
-            d = decide_launch(compiled, topology, launch, cache_mode)
+        def broken(compiled, topology, launch, cache_mode="crb", **kw):
+            d = decide_launch(compiled, topology, launch, cache_mode, **kw)
             d.placements = {a: InterleavePlacement(1) for a in d.placements}
             return d
 
@@ -67,8 +67,8 @@ class TestDrift:
 
     def test_cache_drift_is_flagged(self, gemm_compiled, bench_topology,
                                     monkeypatch):
-        def broken(compiled, topology, launch, cache_mode="crb"):
-            d = decide_launch(compiled, topology, launch, cache_mode)
+        def broken(compiled, topology, launch, cache_mode="crb", **kw):
+            d = decide_launch(compiled, topology, launch, cache_mode, **kw)
             d.cache_policy = {a: CachePolicy.RONCE for a in d.cache_policy}
             return d
 
@@ -76,6 +76,46 @@ class TestDrift:
         diags = check_all(gemm_compiled, bench_topology)
         assert {d.rule for d in diags} == {"LASP-CACHE"}
         assert all("RTWICE" in d.message for d in diags)
+
+
+class TestSwizzleLint:
+    """The lint's swizzle mirror: configured kinds must re-derive the same
+    swizzle-* decision the runtime makes, and drift stays detectable."""
+
+    @pytest.mark.parametrize("kind", ["bit", "morton", "hilbert"])
+    @pytest.mark.parametrize("snap", [True, False])
+    def test_swizzle_configs_are_consistent(self, kind, snap, gemm_compiled,
+                                            bench_topology):
+        diags = check_all(gemm_compiled, bench_topology,
+                          swizzle=kind, swizzle_snap=snap)
+        assert diags == []
+
+    def test_swizzle_scheduler_drift_is_flagged(self, gemm_compiled,
+                                                bench_topology, monkeypatch):
+        # Runtime silently loses the swizzle arm: lint expects swizzle-*.
+        def broken(compiled, topology, launch, cache_mode="crb", **kw):
+            kw.pop("swizzle", None)
+            kw.pop("swizzle_snap", None)
+            return decide_launch(compiled, topology, launch, cache_mode)
+
+        monkeypatch.setattr(pc, "decide_launch", broken)
+        diags = check_all(gemm_compiled, bench_topology, swizzle="hilbert")
+        assert any(d.rule == "LASP-SCHED" for d in diags)
+        sched = [d for d in diags if d.rule == "LASP-SCHED"]
+        assert all(d.severity is Severity.ERROR for d in sched)
+        assert any("swizzle-hilbert" in d.message for d in sched)
+
+    def test_swizzle_snap_drift_is_flagged(self, gemm_compiled, bench_topology,
+                                           monkeypatch):
+        # Runtime drops the Equation-2 snapping the lint was told to expect.
+        def broken(compiled, topology, launch, cache_mode="crb", **kw):
+            kw["swizzle_snap"] = False
+            return decide_launch(compiled, topology, launch, cache_mode, **kw)
+
+        monkeypatch.setattr(pc, "decide_launch", broken)
+        diags = check_all(gemm_compiled, bench_topology, swizzle="morton",
+                          swizzle_snap=True)
+        assert any(d.rule == "LASP-SCHED" for d in diags)
 
 
 class TestFallback:

@@ -1,0 +1,73 @@
+"""Golden shape regressions for the swizzle head-to-head.
+
+Like ``test_golden_shapes.py`` these pin qualitative structure at TEST
+scale -- who beats whom on inter-GPU traffic and L2 reuse -- not absolute
+byte counts.  Re-record in the same commit if an engine change legitimately
+moves a cell.
+"""
+
+import pytest
+
+from repro.experiments.swizzle import (
+    SWIZZLE_STRATEGIES,
+    run_page_sweep,
+    run_swizzle,
+)
+from repro.workloads.base import TEST
+
+SUBSET = ("sq_gemm", "hotspot3d", "lstm1")
+SWIZZLES = ("SWZ-Bit", "SWZ-Morton", "SWZ-Hilbert")
+
+
+@pytest.fixture(scope="module")
+def swizzle_result():
+    return run_swizzle(TEST, workload_names=list(SUBSET))
+
+
+class TestHeadToHead:
+    def test_swizzle_beats_batch_rr_on_gemm_traffic(self, swizzle_result):
+        """The L2-reuse-heavy GEMM launch: every curve family moves fewer
+        inter-GPU bytes than the batch-rr baseline (H-CODA)."""
+        by_strat = swizzle_result.matrix.results["sq_gemm"]
+        hcoda = by_strat["H-CODA"].total_inter_gpu_bytes
+        for s in SWIZZLES:
+            assert by_strat[s].total_inter_gpu_bytes < hcoda, s
+
+    def test_swizzle_beats_batch_rr_on_gemm_l2(self, swizzle_result):
+        by_strat = swizzle_result.matrix.results["sq_gemm"]
+        hcoda = by_strat["H-CODA"].aggregate_l2().overall_hit_rate()
+        for s in SWIZZLES:
+            assert by_strat[s].aggregate_l2().overall_hit_rate() > hcoda, s
+
+    def test_swizzle_wins_somewhere_against_ladm(self, swizzle_result):
+        """The acceptance metric: at least one launch where a swizzle
+        strategy beats LADM on inter-GPU bytes or L2 hit rate."""
+        assert swizzle_result.swizzle_wins()
+
+    def test_speedups_positive_and_rendered(self, swizzle_result):
+        for s in SWIZZLE_STRATEGIES[1:]:
+            assert swizzle_result.geomean_speedup(s) > 0
+        table = swizzle_result.render()
+        assert "GEOMEAN" in table
+        for s in SWIZZLES:
+            assert s in table
+
+
+class TestPageSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return run_page_sweep(
+            TEST, workload_names=["sq_gemm"], page_sizes=(512, 4096)
+        )
+
+    def test_all_cells_present(self, sweep):
+        assert set(sweep.results) == {512, 4096}
+        for ps in sweep.results:
+            by_strat = sweep.results[ps]["sq_gemm"]
+            assert set(by_strat) == {"LADM", "SWZ-Hilbert"}
+            for res in by_strat.values():
+                assert res.total_inter_gpu_bytes >= 0
+
+    def test_render_mentions_page_sizes(self, sweep):
+        table = sweep.render()
+        assert "512B" in table and "4096B" in table

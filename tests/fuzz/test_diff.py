@@ -79,9 +79,10 @@ class TestFaultInjection:
     """The issue's acceptance case: a seeded ArrayLRU off-by-one must be
     caught by legacy-vs-vector parity and shrink to a tiny repro."""
 
-    # found by sweeping seed 0: generate_spec(Random(child)) for these
-    # indices produce set-conflict-heavy footprints that expose assoc-1
-    CATCHING_SEED = 0
+    # found by sweeping seeds: generate_spec(Random(seed)) here yields a
+    # set-conflict-heavy footprint that exposes assoc-1 (re-swept after the
+    # tiled-shape grammar extension shifted the sampler's RNG stream)
+    CATCHING_SEED = 21
 
     @pytest.fixture()
     def inject(self, monkeypatch):
@@ -111,3 +112,51 @@ class TestFaultInjection:
         spec = generate_spec(rng, "fi0")
         report = run_spec(spec, strategies_for(0))
         assert report.ok, report.describe()
+
+
+class TestSwizzleRotation:
+    def test_swizzle_strategies_in_registry(self):
+        for name in ("SWZ-Bit", "SWZ-Morton", "SWZ-Hilbert"):
+            assert name in ALL_STRATEGIES
+
+    def test_tiled_spec_is_divergence_free_under_swizzle(self):
+        """The swizzle-eligible tiled shape agrees with the oracle under
+        every swizzle strategy (and the references, for good measure)."""
+        spec = ProgramSpec(
+            name="swz",
+            elem_sizes=(("g0", 4), ("g1", 4)),
+            kernels=(
+                KernelSpec(
+                    name="k0",
+                    bdx=4,
+                    bdy=2,
+                    gdx=4,
+                    gdy=3,
+                    trip=3,
+                    accesses=(
+                        AccessSpec(alloc="g0", shape="pitch_row", coef=2,
+                                   in_loop=True),
+                        AccessSpec(alloc="g1", shape="pitch2d", coef=2,
+                                   mode="write"),
+                    ),
+                ),
+            ),
+        )
+        report = run_spec(
+            spec,
+            ["Baseline-RR", "LADM", "SWZ-Bit", "SWZ-Morton", "SWZ-Hilbert"],
+        )
+        assert report.ok, report.describe()
+
+    def test_generated_tiled_specs_clean_under_swizzle(self):
+        rng = random.Random(77)
+        checked = 0
+        while checked < 3:
+            spec = generate_spec(rng, f"swzgen{checked}")
+            if not any(
+                a.shape == "pitch_row" for k in spec.kernels for a in k.accesses
+            ):
+                continue
+            report = run_spec(spec, ["SWZ-Hilbert", "SWZ-Morton", "SWZ-Bit"])
+            assert report.ok, report.describe()
+            checked += 1

@@ -145,3 +145,62 @@ class TestShapeTable:
             spec = _spec(trip=3 if info.needs_loop else 0, accesses=(access,))
             validate_spec(spec)
             build_program(spec)
+
+
+class TestTiledShapes:
+    """The swizzle-eligible 2-D pitched shapes added for the swizzle arm."""
+
+    def _tiled_spec(self, coef=2, **kernel_kw):
+        defaults = dict(
+            name="k0",
+            bdx=4,
+            bdy=2,
+            gdx=3,
+            gdy=4,
+            trip=2,
+            accesses=(
+                AccessSpec(alloc="g0", shape="pitch_row", coef=coef, in_loop=True),
+                AccessSpec(alloc="g0", shape="pitch2d", coef=coef, mode="write"),
+            ),
+        )
+        defaults.update(kernel_kw)
+        return ProgramSpec(
+            name="tiled",
+            elem_sizes=(("g0", 4),),
+            kernels=(KernelSpec(**defaults),),
+        )
+
+    def test_tiled_spec_validates_and_builds(self):
+        spec = self._tiled_spec()
+        validate_spec(spec)
+        program = build_program(spec)
+        launch = program.launches[0]
+        assert launch.grid.is_2d
+
+    def test_pitch_shapes_require_coef_ge_2(self):
+        # coef=1 would collapse the pitch to the nl2d width (and pitch_row's
+        # per-iteration stride to an ITL alias); min_coef forbids it.
+        with pytest.raises(FuzzSpecError):
+            validate_spec(self._tiled_spec(coef=1))
+
+    def test_pitch_row_needs_loop(self):
+        spec = self._tiled_spec(
+            trip=0,
+            accesses=(AccessSpec(alloc="g0", shape="pitch_row", coef=2),),
+        )
+        with pytest.raises(FuzzSpecError):
+            validate_spec(spec)
+
+    def test_sampler_emits_tiled_kernels(self):
+        """The 2-D tiled path fires often enough to exercise the swizzle
+        strategies during a campaign (~25% of kernels)."""
+        rng = random.Random(0)
+        tiled = 0
+        for i in range(60):
+            spec = generate_spec(rng, f"t{i}")
+            for k in spec.kernels:
+                shapes = {a.shape for a in k.accesses}
+                if "pitch_row" in shapes and "pitch2d" in shapes:
+                    assert k.gdx >= 2 and k.gdy >= 2
+                    tiled += 1
+        assert tiled >= 5

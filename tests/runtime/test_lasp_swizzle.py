@@ -1,0 +1,149 @@
+"""Tests for LASP's opt-in swizzle arm.
+
+The arm replaces the Table-II scheduler for 2-D-tiled RCL/RSTRIDE
+launches with a curve rasterisation scheduler; everything else -- and
+every launch when ``swizzle=None`` -- must keep the paper's decision.
+"""
+
+import pytest
+
+from repro.compiler.passes import compile_program
+from repro.errors import SchedulingError
+from repro.placement.page_constraint import PageHomeConstraint
+from repro.runtime.datablock import datablock_span_bytes
+from repro.runtime.lasp import LASP, decide_launch
+from repro.sched.schedulers import BatchRRScheduler, LineBindingScheduler
+from repro.sched.swizzle import (
+    SWIZZLE_KINDS,
+    BitSwizzleScheduler,
+    HilbertScheduler,
+    MortonScheduler,
+    SwizzleScheduler,
+)
+from repro.topology import SystemTopology
+
+from tests.conftest import make_gemm_program, make_vecadd_program
+
+_KIND_TO_CLASS = {
+    "bit": BitSwizzleScheduler,
+    "morton": MortonScheduler,
+    "hilbert": HilbertScheduler,
+}
+
+
+@pytest.fixture
+def gemm_setup(bench_topology):
+    prog = make_gemm_program()
+    return compile_program(prog), prog.launches[0]
+
+
+class TestSwizzleArm:
+    @pytest.mark.parametrize("kind", SWIZZLE_KINDS)
+    def test_fires_on_2d_rcl_launch(self, kind, gemm_setup, bench_topology):
+        compiled, launch = gemm_setup
+        decision = LASP(compiled, bench_topology, swizzle=kind).decide(launch)
+        assert isinstance(decision.scheduler, _KIND_TO_CLASS[kind])
+        assert decision.scheduler_desc.startswith(f"swizzle-{kind}")
+
+    def test_snap_batch_is_equation_2(self, gemm_setup, bench_topology):
+        """The snapped batch equals Equation 2 on the dominant datablock."""
+        compiled, launch = gemm_setup
+        decision = LASP(compiled, bench_topology, swizzle="hilbert").decide(launch)
+        site = next(a for a in launch.kernel.accesses if a.array == "A")
+        db = datablock_span_bytes(launch, site)
+        cfg = bench_topology.config
+        expected = PageHomeConstraint(cfg.page_size, db).snap_batch
+        assert decision.batch_size == expected
+        assert decision.scheduler.snap_batch == expected
+        # gemm datablocks exceed the 512B bench page, so the batch is 1.
+        assert expected == 1
+
+    def test_larger_pages_grow_the_batch(self, gemm_setup):
+        """On a 4K-page system several datablocks share a page, so the
+        curve dealing must snap batches of curve-consecutive TBs."""
+        compiled, launch = gemm_setup
+        from repro.topology.config import bench_hierarchical
+
+        cfg = bench_hierarchical().with_(name="bench-4k", page_size=4096)
+        topo = SystemTopology(cfg)
+        decision = LASP(compiled, topo, swizzle="morton").decide(launch)
+        site = next(a for a in launch.kernel.accesses if a.array == "A")
+        db = datablock_span_bytes(launch, site)
+        expected = -(-4096 // db)
+        assert expected > 1
+        assert decision.batch_size == expected
+        assert decision.scheduler.snap_batch == expected
+
+    def test_snap_false_disables_batching(self, gemm_setup, bench_topology):
+        compiled, launch = gemm_setup
+        decision = LASP(
+            compiled, bench_topology, swizzle="hilbert", swizzle_snap=False
+        ).decide(launch)
+        assert isinstance(decision.scheduler, HilbertScheduler)
+        assert decision.scheduler.snap_batch is None
+        assert decision.batch_size is None
+
+    def test_default_is_unchanged(self, gemm_setup, bench_topology):
+        """swizzle=None keeps the paper's Table-II decision byte-for-byte."""
+        compiled, launch = gemm_setup
+        plain = LASP(compiled, bench_topology).decide(launch)
+        explicit = LASP(compiled, bench_topology, swizzle=None).decide(launch)
+        assert isinstance(plain.scheduler, LineBindingScheduler)
+        assert plain.scheduler_desc == explicit.scheduler_desc
+        assert plain.batch_size == explicit.batch_size
+
+    def test_1d_grids_keep_paper_decision(self, bench_topology):
+        """A 1-D NL launch is not swizzle-eligible even when configured."""
+        prog = make_vecadd_program(block_x=64)
+        compiled = compile_program(prog)
+        decision = LASP(compiled, bench_topology, swizzle="morton").decide(
+            prog.launches[0]
+        )
+        assert isinstance(decision.scheduler, BatchRRScheduler)
+        assert decision.scheduler.batch_size == 2  # Equation-2 batch
+
+    def test_unknown_kind_raises(self, gemm_setup, bench_topology):
+        compiled, _ = gemm_setup
+        with pytest.raises(SchedulingError, match="peano"):
+            LASP(compiled, bench_topology, swizzle="peano")
+
+    def test_decide_launch_forwards_swizzle(self, gemm_setup, bench_topology):
+        compiled, launch = gemm_setup
+        d = decide_launch(compiled, bench_topology, launch, swizzle="bit")
+        assert isinstance(d.scheduler, BitSwizzleScheduler)
+        d = decide_launch(compiled, bench_topology, launch)
+        assert not isinstance(d.scheduler, SwizzleScheduler)
+
+
+class TestSwizzlePlacementCoDesign:
+    def test_placements_follow_the_scheduler(self, gemm_setup, bench_topology):
+        """RCL arrays keep row-based placement (it follows the data's own
+        sharing axis, not the scheduler), but NL arrays must stop following
+        a binding line map that no longer exists: with a swizzle scheduler
+        they fall back to Equation-1 interleaving."""
+        from repro.placement.policies import InterleavePlacement
+
+        compiled, launch = gemm_setup
+        plain = LASP(compiled, bench_topology).decide(launch)
+        swz = LASP(compiled, bench_topology, swizzle="hilbert").decide(launch)
+        # RCL placements are scheduler-agnostic: identical under both arms.
+        for name in ("A", "B"):
+            assert type(swz.placements[name]) is type(plain.placements[name])
+        # The NL write C followed the row-binding line map by default; with
+        # no binding axis it must use the stride-aware interleave instead.
+        assert isinstance(swz.placements["C"], InterleavePlacement)
+        assert not isinstance(plain.placements["C"], InterleavePlacement)
+
+    def test_obs_counter_records_family(self, gemm_setup, bench_topology):
+        from repro import obs
+
+        compiled, launch = gemm_setup
+        prev = obs.current()
+        sess = obs.enable()
+        try:
+            LASP(compiled, bench_topology, swizzle="hilbert").decide(launch)
+            snap = sess.counters.snapshot()
+        finally:
+            obs.install(prev)
+        keys = [k for k in snap if k.startswith("lasp.scheduler")]
+        assert any("family=swizzle-hilbert" in k for k in keys)

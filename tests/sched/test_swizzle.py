@@ -1,0 +1,300 @@
+"""Property battery for the CTA swizzle / space-filling-curve schedulers.
+
+The whole family is a pile of index bijections, so the tests are mostly
+hypothesis properties: every curve is a permutation on arbitrary grids
+(including non-power-of-two and degenerate 1xN / Nx1), assignments pass
+``_validate``, Hilbert consecutive positions are grid neighbours on
+power-of-two grids, and Morton matches an independent pure-python
+bit-interleave oracle.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SchedulingError
+from repro.kir.kernel import Dim2
+from repro.placement.page_constraint import PageHomeConstraint, snapped_batches_ok
+from repro.sched.schedulers import (
+    BatchRRScheduler,
+    ExplicitScheduler,
+    KernelWideScheduler,
+    LineAxis,
+    LineBindingScheduler,
+    SchedContext,
+    SingleNodeScheduler,
+)
+from repro.sched.swizzle import (
+    SWIZZLE_KINDS,
+    BitSwizzleScheduler,
+    HilbertScheduler,
+    MortonScheduler,
+    hilbert_positions,
+    make_swizzle,
+    morton_interleave,
+)
+
+
+def ctx(nodes=4, gpus=2, order=None):
+    return SchedContext(
+        num_nodes=nodes,
+        num_gpus=gpus,
+        chiplets_per_gpu=nodes // gpus,
+        node_order=order or list(range(nodes)),
+    )
+
+
+# Arbitrary grids including non-power-of-two and degenerate 1xN / Nx1.
+grids = st.builds(
+    Dim2,
+    st.integers(min_value=1, max_value=40),
+    st.integers(min_value=1, max_value=40),
+)
+swizzlers = st.one_of(
+    st.builds(BitSwizzleScheduler),
+    st.builds(
+        BitSwizzleScheduler, log_tile=st.integers(min_value=0, max_value=5)
+    ),
+    st.builds(MortonScheduler),
+    st.builds(HilbertScheduler),
+)
+
+
+class TestBijection:
+    @settings(max_examples=200, deadline=None)
+    @given(grid=grids, sched=swizzlers)
+    def test_curve_is_a_permutation(self, grid, sched):
+        rank = sched.curve_positions(grid)
+        assert sorted(np.asarray(rank).tolist()) == list(range(grid.count))
+
+    @settings(max_examples=150, deadline=None)
+    @given(grid=grids, sched=swizzlers)
+    def test_assignment_passes_validate(self, grid, sched):
+        c = ctx()
+        nodes = sched.assign(grid, c)
+        # _validate re-checks shape and node range; also re-run it directly.
+        again = sched._validate(nodes, grid, c)
+        assert again.shape == (grid.count,)
+        assert again.dtype == np.int32
+        assert again.min() >= 0 and again.max() < c.num_nodes
+
+    @settings(max_examples=150, deadline=None)
+    @given(grid=grids, sched=swizzlers)
+    def test_dealing_is_balanced(self, grid, sched):
+        """Contiguous proportional dealing: node loads differ by <= 1."""
+        counts = np.bincount(sched.assign(grid, ctx()), minlength=4)
+        assert counts.max() - counts.min() <= 1
+
+    def test_degenerate_lines_are_identity_like(self):
+        # On a 1xN or Nx1 grid every curve is a single line walk, so the
+        # dealing must equal the kernel-wide contiguous split.
+        c = ctx()
+        for grid in (Dim2(17, 1), Dim2(1, 17)):
+            want = KernelWideScheduler().assign(grid, c)
+            for kind in SWIZZLE_KINDS:
+                got = make_swizzle(kind).assign(grid, c)
+                assert np.array_equal(np.sort(got), np.sort(want))
+
+
+class TestBitSwizzle:
+    def test_grouped_rasterisation_order(self):
+        # 4x4 grid, log_tile=1: row pairs are walked column-major.
+        rank = BitSwizzleScheduler(log_tile=1).curve_positions(Dim2(4, 4))
+        grid_ranks = np.asarray(rank).reshape(4, 4)  # [by][bx]
+        assert grid_ranks[0, 0] == 0 and grid_ranks[1, 0] == 1
+        assert grid_ranks[0, 1] == 2 and grid_ranks[1, 1] == 3
+        assert grid_ranks[2, 0] == 8  # second group starts after the first
+
+    def test_log_tile_zero_is_row_major(self):
+        grid = Dim2(5, 3)
+        rank = BitSwizzleScheduler(log_tile=0).curve_positions(grid)
+        assert np.array_equal(rank, np.arange(grid.count))
+
+    @settings(max_examples=100, deadline=None)
+    @given(grid=grids, log_tile=st.integers(min_value=0, max_value=6))
+    def test_remainder_group_is_clamped(self, grid, log_tile):
+        rank = BitSwizzleScheduler(log_tile=log_tile).curve_positions(grid)
+        assert sorted(np.asarray(rank).tolist()) == list(range(grid.count))
+
+    def test_rejects_negative_log_tile(self):
+        with pytest.raises(SchedulingError):
+            BitSwizzleScheduler(log_tile=-1)
+
+
+def _morton_oracle(bx: int, by: int) -> int:
+    """Independent pure-python bit interleave (x in even bits)."""
+    code = 0
+    for bit in range(16):
+        code |= ((bx >> bit) & 1) << (2 * bit)
+        code |= ((by >> bit) & 1) << (2 * bit + 1)
+    return code
+
+
+class TestMorton:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        bx=st.integers(min_value=0, max_value=2**16 - 1),
+        by=st.integers(min_value=0, max_value=2**16 - 1),
+    )
+    def test_interleave_matches_oracle(self, bx, by):
+        got = morton_interleave(np.array([bx]), np.array([by]))[0]
+        assert int(got) == _morton_oracle(bx, by)
+
+    def test_power_of_two_square_is_z_order(self):
+        # On a power-of-two square, clipping is a no-op: the rank IS the
+        # Morton code.
+        grid = Dim2(4, 4)
+        rank = MortonScheduler().curve_positions(grid)
+        tb = np.arange(grid.count)
+        codes = [_morton_oracle(int(t % 4), int(t // 4)) for t in tb]
+        assert np.asarray(rank).tolist() == codes
+
+    @settings(max_examples=100, deadline=None)
+    @given(grid=grids)
+    def test_clipping_preserves_code_order(self, grid):
+        """Compressed ranks sort cells exactly like raw Morton codes."""
+        rank = np.asarray(MortonScheduler().curve_positions(grid))
+        tb = np.arange(grid.count)
+        codes = np.asarray(
+            [_morton_oracle(int(t % grid.x), int(t // grid.x)) for t in tb]
+        )
+        assert np.array_equal(np.argsort(rank), np.argsort(codes))
+
+    def test_rejects_oversized_grid(self):
+        class Huge:
+            x, y, count = 1 << 17, 1, 1 << 17
+
+        with pytest.raises(SchedulingError):
+            MortonScheduler().curve_positions(Huge())
+
+
+class TestHilbert:
+    @settings(max_examples=60, deadline=None)
+    @given(exp_x=st.integers(1, 5), exp_y=st.integers(1, 5))
+    def test_adjacency_on_power_of_two_grids(self, exp_x, exp_y):
+        """Consecutive curve positions are Manhattan-distance-1 neighbours."""
+        gx, gy = 1 << exp_x, 1 << exp_y
+        rank = hilbert_positions(gx, gy)
+        cell_at = np.empty(gx * gy, dtype=np.int64)
+        cell_at[rank] = np.arange(gx * gy)
+        xs, ys = cell_at % gx, cell_at // gx
+        dist = np.abs(np.diff(xs)) + np.abs(np.diff(ys))
+        assert (dist == 1).all()
+
+    def test_adjacency_holds_with_even_major_side(self):
+        # Non-power-of-two, but the longer side is even: still unit steps.
+        rank = hilbert_positions(6, 5)
+        cell_at = np.empty(30, dtype=np.int64)
+        cell_at[rank] = np.arange(30)
+        xs, ys = cell_at % 6, cell_at // 6
+        dist = np.abs(np.diff(xs)) + np.abs(np.diff(ys))
+        assert (dist == 1).all()
+
+    @settings(max_examples=100, deadline=None)
+    @given(grid=grids)
+    def test_odd_grids_take_at_most_diagonal_steps(self, grid):
+        """The generalised curve never jumps: steps are <= one diagonal."""
+        rank = hilbert_positions(grid.x, grid.y)
+        cell_at = np.empty(grid.count, dtype=np.int64)
+        cell_at[np.asarray(rank)] = np.arange(grid.count)
+        xs, ys = cell_at % grid.x, cell_at // grid.x
+        if grid.count > 1:
+            assert np.abs(np.diff(xs)).max() <= 1
+            assert np.abs(np.diff(ys)).max() <= 1
+
+    def test_cache_returns_readonly(self):
+        rank = hilbert_positions(8, 8)
+        with pytest.raises(ValueError):
+            rank[0] = 99
+
+
+class TestSnapping:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        grid=grids,
+        kind=st.sampled_from(SWIZZLE_KINDS),
+        batch=st.integers(min_value=1, max_value=16),
+    )
+    def test_snapped_batches_never_straddle_nodes(self, grid, kind, batch):
+        sched = make_swizzle(kind, snap_batch=batch)
+        nodes = sched.assign(grid, ctx())
+        assert snapped_batches_ok(nodes, sched.curve_positions(grid), batch)
+
+    def test_unsnapped_can_straddle(self):
+        # Sanity: the checker does fail when dealing ignores the batch.
+        grid = Dim2(8, 8)
+        sched = make_swizzle("hilbert")
+        nodes = sched.assign(grid, ctx())
+        assert not snapped_batches_ok(nodes, sched.curve_positions(grid), 7)
+
+    def test_rejects_bad_snap(self):
+        with pytest.raises(SchedulingError):
+            make_swizzle("hilbert", snap_batch=0)
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(SchedulingError):
+            make_swizzle("peano")
+
+
+class _ZeroGrid:
+    """A grid-like stand-in; Dim2 itself cannot be empty."""
+
+    x = y = count = 0
+    is_2d = False
+
+
+@pytest.mark.parametrize(
+    "sched",
+    [
+        BatchRRScheduler(1),
+        BatchRRScheduler(8),
+        KernelWideScheduler(),
+        LineBindingScheduler(LineAxis.ROWS),
+        LineBindingScheduler(LineAxis.COLS),
+        ExplicitScheduler(np.array([], dtype=np.int32)),
+        SingleNodeScheduler(),
+        BitSwizzleScheduler(),
+        MortonScheduler(),
+        HilbertScheduler(),
+    ],
+    ids=lambda s: s.describe(),
+)
+def test_zero_tb_grid_raises_for_every_family(sched):
+    """Zero-TB grids raise SchedulingError consistently across all families
+    (previously KernelWideScheduler silently produced an empty assignment)."""
+    with pytest.raises(SchedulingError, match="zero-threadblock"):
+        sched.assign(_ZeroGrid(), ctx())
+
+
+class TestPageHomeConstraint:
+    def test_snap_batch_is_equation_2(self):
+        assert PageHomeConstraint(4096, 1024).snap_batch == 4
+        assert PageHomeConstraint(4096, 4096).snap_batch == 1
+        assert PageHomeConstraint(4096, 3000).snap_batch == 2  # ceil
+        assert PageHomeConstraint(512, 0).snap_batch == 1  # clamp
+
+    def test_rejects_bad_page_size(self):
+        from repro.errors import PlacementError
+
+        with pytest.raises(PlacementError):
+            PageHomeConstraint(0, 64)
+
+    @pytest.mark.parametrize("page_size", [4096, 65536, 2 * 1024 * 1024])
+    @pytest.mark.parametrize("kind", SWIZZLE_KINDS)
+    def test_page_size_sweep_batches_respect_homes(self, page_size, kind):
+        """4K/64K/2M sweep: swizzled batches snapped with the Equation-2
+        batch never straddle a page-home (node) boundary."""
+        constraint = PageHomeConstraint(page_size, datablock_bytes=8192)
+        sched = make_swizzle(kind, snap_batch=constraint.snap_batch)
+        grid = Dim2(24, 24)
+        nodes = sched.assign(grid, ctx())
+        assert constraint.check(nodes, sched.curve_positions(grid))
+        # Equation-2 alignment honoured: batch == ceil(page/datablock).
+        assert constraint.snap_batch == -(-page_size // 8192)
+
+    def test_mismatched_shapes_rejected(self):
+        from repro.errors import PlacementError
+
+        with pytest.raises(PlacementError):
+            snapped_batches_ok(np.zeros(4), np.arange(5), 2)

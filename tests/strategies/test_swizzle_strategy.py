@@ -1,0 +1,65 @@
+"""Tests for the SwizzleStrategy wrappers (LASP + swizzle arm)."""
+
+import numpy as np
+import pytest
+
+from repro.compiler.passes import compile_program
+from repro.engine.simulator import Simulator
+from repro.sched.swizzle import SWIZZLE_KINDS, make_swizzle
+from repro.strategies import LADMStrategy, SwizzleStrategy
+from repro.strategies.swizzle import _NAMES
+
+from tests.conftest import make_gemm_program
+
+
+@pytest.mark.parametrize("kind", SWIZZLE_KINDS)
+def test_plan_deals_along_the_curve(kind, bench_topology):
+    """The plan's TB assignment is exactly the curve scheduler's dealing."""
+    program = make_gemm_program()
+    compiled = compile_program(program)
+    strategy = SwizzleStrategy(kind)
+    plan = strategy.plan(compiled, bench_topology)
+    launch = program.launches[0]
+    decision = strategy.decide_launch(compiled, bench_topology, launch)
+    sched = make_swizzle(kind, snap_batch=decision.scheduler.snap_batch)
+    lasp = strategy._lasp(compiled, bench_topology)
+    want = sched.assign(launch.grid, lasp.sched_ctx)
+    assert np.array_equal(plan.launches[0].tb_nodes, want)
+
+
+def test_curve_dealing_differs_from_line_binding(bench_topology):
+    program = make_gemm_program()
+    compiled = compile_program(program)
+    ladm = LADMStrategy().plan(compiled, bench_topology)
+    swz = SwizzleStrategy("hilbert").plan(compiled, bench_topology)
+    assert not np.array_equal(ladm.launches[0].tb_nodes, swz.launches[0].tb_nodes)
+
+
+def test_names_and_nosnap_suffix():
+    for kind, name in _NAMES.items():
+        assert SwizzleStrategy(kind).name == name
+        assert SwizzleStrategy(kind, snap=False).name == f"{name}/nosnap"
+
+
+def test_unknown_kind_raises():
+    with pytest.raises(ValueError):
+        SwizzleStrategy("peano")
+
+
+def test_registry_resolves_swizzle_names():
+    from repro.experiments.runner import strategy_by_name
+
+    for name in ("SWZ-Bit", "SWZ-Morton", "SWZ-Hilbert", "SWZ-Hilbert/nosnap"):
+        strategy = strategy_by_name(name)
+        assert strategy.name == name
+
+
+def test_simulation_runs_end_to_end(bench_config):
+    program = make_gemm_program()
+    compiled = compile_program(program)
+    sim = Simulator(bench_config)
+    strategy = SwizzleStrategy("morton")
+    plan = strategy.plan(compiled, sim.topology)
+    result = sim.run(compiled, plan)
+    assert result.total_time_s > 0
+    assert result.total_inter_gpu_bytes >= 0
